@@ -1,0 +1,28 @@
+//! Communication-plan statistics per benchmark/processor-count: the raw
+//! inputs behind the paper's §8 discussion (message counts, exchange
+//! volumes, pipeline structure, guard density).
+use dhpf_core::codegen::emit::plan_stats;
+use dhpf_nas::Class;
+
+fn main() {
+    let verbose = std::env::args().any(|a| a == "--listing");
+    println!("{:<6} {:>5} {:>10} {:>10} {:>12} {:>10} {:>14}",
+        "bench", "procs", "exchanges", "messages", "elements", "pipelines", "guarded/stmts");
+    type CompileFn = fn(Class, usize) -> dhpf_core::driver::Compiled;
+    let sp_compile: CompileFn = |c, p| dhpf_nas::sp::compile_dhpf(c, p, None);
+    let bt_compile: CompileFn = |c, p| dhpf_nas::bt::compile_dhpf(c, p, None);
+    for (name, compile) in [("SP", sp_compile), ("BT", bt_compile)] {
+        for procs in [1usize, 4, 9, 16] {
+            let compiled = compile(Class::W, procs);
+            let st = plan_stats(&compiled.program);
+            println!(
+                "{:<6} {:>5} {:>10} {:>10} {:>12} {:>10} {:>9}/{}",
+                name, procs, st.exchanges, st.exchange_messages, st.exchange_elements,
+                st.pipelines, st.guarded_statements, st.statements
+            );
+            if verbose && procs == 4 {
+                println!("{}", dhpf_core::codegen::emit::listing(&compiled.program));
+            }
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Regenerates Figures 8.1-8.4: space-time diagrams of one benchmark
+//! timestep. Usage: `spacetime <sp|bt> <hand|dhpf|pgi> [nprocs] [width]`
+use dhpf_bench::{run_version, Bench};
+use dhpf_nas::Class;
+use dhpf_spmd::trace::{render_spacetime, to_csv, utilization_summary, EventKind};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let bench = match args.get(1).map(|s| s.as_str()) {
+        Some("bt") => Bench::Bt,
+        _ => Bench::Sp,
+    };
+    let version: &'static str = match args.get(2).map(|s| s.as_str()) {
+        Some("dhpf") => "dhpf",
+        Some("pgi") => "pgi",
+        _ => "hand",
+    };
+    let nprocs: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(16);
+    let width: usize = args.get(4).and_then(|s| s.parse().ok()).unwrap_or(140);
+
+    let (m, traces) = run_version(bench, version, Class::W, nprocs, true)
+        .expect("configuration must be runnable (hand needs a square count)");
+    // window = the last timestep: from the final compute_rhs phase marker
+    // on rank 0 to the end of the run
+    let t_start = traces[0]
+        .events
+        .iter()
+        .filter(|e| matches!(&e.kind, EventKind::Phase(p) if p == "compute_rhs"))
+        .map(|e| e.t0)
+        .fold(0.0f64, f64::max);
+    let t_end = m.time;
+    println!(
+        "{} {} on {} procs: total {:.4}s, {} messages, {} bytes",
+        bench.name(),
+        version,
+        nprocs,
+        m.time,
+        m.messages,
+        m.bytes
+    );
+    println!("{}", render_spacetime(&traces, t_start, t_end, width));
+    println!("{}", utilization_summary(&traces));
+    if args.iter().any(|a| a == "--csv") {
+        println!("{}", to_csv(&traces));
+    }
+}

@@ -1,0 +1,167 @@
+//! # dhpf-bench — the paper's evaluation harness
+//!
+//! Binaries that regenerate every table and figure of §8:
+//!
+//! * `table_sp` / `table_bt` — Tables 8.1 / 8.2: execution time,
+//!   relative speedup and relative efficiency of hand-written MPI
+//!   (multipartitioning), dHPF-compiled, and the transpose-based pghpf
+//!   stand-in, for Class A and B across processor counts.
+//! * `spacetime` — Figures 8.1–8.4: per-processor space-time diagrams of
+//!   one benchmark timestep (16 processors by default), rendered as text
+//!   plus CSV.
+//! * `ablation` — per-optimization on/off study (§4, §5, §7 claims):
+//!   message counts, communication volume and virtual time with each
+//!   dHPF optimization disabled.
+//!
+//! `cargo bench -p dhpf-bench` additionally runs Criterion microbenches
+//! of the compiler substrates.
+
+use dhpf_nas::Class;
+use dhpf_spmd::machine::MachineConfig;
+
+/// One measured configuration.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    pub version: &'static str,
+    pub class: Class,
+    pub nprocs: usize,
+    /// Virtual seconds for the whole run.
+    pub time: f64,
+    pub messages: u64,
+    pub bytes: u64,
+}
+
+/// Which benchmark.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub enum Bench {
+    Sp,
+    Bt,
+}
+
+impl Bench {
+    pub fn name(self) -> &'static str {
+        match self {
+            Bench::Sp => "SP",
+            Bench::Bt => "BT",
+        }
+    }
+}
+
+/// Run one version; `None` when the version cannot run at this count
+/// (multipartitioning needs a square count dividing the grid).
+pub fn run_version(
+    bench: Bench,
+    version: &'static str,
+    class: Class,
+    nprocs: usize,
+    trace: bool,
+) -> Option<(Measurement, Vec<dhpf_spmd::trace::Trace>)> {
+    let mut machine = MachineConfig::sp2(nprocs);
+    machine.trace = trace;
+    let (time, messages, bytes, traces) = match (bench, version) {
+        (Bench::Sp, "dhpf") => {
+            let r = dhpf_nas::sp::run_dhpf(class, nprocs, machine);
+            (r.run.virtual_time, r.run.stats.messages, r.run.stats.bytes, r.run.traces)
+        }
+        (Bench::Bt, "dhpf") => {
+            let r = dhpf_nas::bt::run_dhpf(class, nprocs, machine);
+            (r.run.virtual_time, r.run.stats.messages, r.run.stats.bytes, r.run.traces)
+        }
+        (Bench::Sp, "hand") => {
+            let r = dhpf_nas::sp::multipart::run(class, nprocs, machine)?;
+            (r.run.virtual_time, r.run.stats.messages, r.run.stats.bytes, r.run.traces)
+        }
+        (Bench::Bt, "hand") => {
+            let r = dhpf_nas::bt::multipart::run(class, nprocs, machine)?;
+            (r.run.virtual_time, r.run.stats.messages, r.run.stats.bytes, r.run.traces)
+        }
+        (Bench::Sp, "pgi") => {
+            let r = dhpf_nas::sp::transpose::run(class, nprocs, machine)?;
+            (r.run.virtual_time, r.run.stats.messages, r.run.stats.bytes, r.run.traces)
+        }
+        (Bench::Bt, "pgi") => {
+            let r = dhpf_nas::bt::transpose::run(class, nprocs, machine)?;
+            (r.run.virtual_time, r.run.stats.messages, r.run.stats.bytes, r.run.traces)
+        }
+        _ => return None,
+    };
+    Some((
+        Measurement { version, class, nprocs, time, messages, bytes },
+        traces,
+    ))
+}
+
+/// Print a paper-style comparison table (Table 8.1 / 8.2 format):
+/// execution time, relative speedup (vs. the `base_procs`-processor
+/// hand-written run assumed perfect) and relative efficiency.
+pub fn print_table(bench: Bench, rows: &[usize], classes: &[Class], results: &[Measurement]) {
+    let find = |v: &str, c: Class, p: usize| {
+        results
+            .iter()
+            .find(|m| m.version == v && m.class == c && m.nprocs == p)
+            .map(|m| m.time)
+    };
+    // speedup base: smallest hand-written run per class, assumed perfect
+    let base: Vec<(Class, f64, usize)> = classes
+        .iter()
+        .filter_map(|&c| {
+            rows.iter()
+                .find_map(|&p| find("hand", c, p).map(|t| (c, t * p as f64, p)))
+        })
+        .collect();
+    let serial_equiv = |c: Class| base.iter().find(|(bc, _, _)| *bc == c).map(|(_, t, _)| *t);
+
+    println!("\n=== Table: {} — execution time (virtual s), relative speedup, relative efficiency ===", bench.name());
+    println!("(speedups relative to the smallest hand-written run, assumed perfect, as in the paper)\n");
+    let chdr: Vec<String> = classes.iter().map(|c| format!("Class {}", c.name())).collect();
+    println!(
+        "{:>6} | {:^29} | {:^29} | {:^29} | {:^21} | {:^21}",
+        "procs",
+        format!("hand-written {}", chdr.join("/")),
+        format!("dHPF {}", chdr.join("/")),
+        format!("PGI-style {}", chdr.join("/")),
+        "rel.speedup dHPF",
+        "rel.eff dHPF/PGI"
+    );
+    for &p in rows {
+        let mut cells: Vec<String> = Vec::new();
+        for v in ["hand", "dhpf", "pgi"] {
+            let mut per_class = Vec::new();
+            for &c in classes {
+                per_class.push(match find(v, c, p) {
+                    Some(t) => format!("{t:9.4}"),
+                    None => format!("{:>9}", "-"),
+                });
+            }
+            cells.push(per_class.join(" /"));
+        }
+        let mut speedups = Vec::new();
+        let mut effs = Vec::new();
+        for &c in classes {
+            let s = serial_equiv(c);
+            let sp_d = match (find("dhpf", c, p), s) {
+                (Some(t), Some(se)) => format!("{:6.2}", se / t),
+                _ => format!("{:>6}", "-"),
+            };
+            speedups.push(sp_d);
+            let eff = match (find("dhpf", c, p), find("hand", c, p)) {
+                (Some(td), Some(th)) => format!("{:4.2}", th / td),
+                _ => format!("{:>4}", "-"),
+            };
+            let effp = match (find("pgi", c, p), find("hand", c, p)) {
+                (Some(tp), Some(th)) => format!("{:4.2}", th / tp),
+                _ => format!("{:>4}", "-"),
+            };
+            effs.push(format!("{eff}|{effp}"));
+        }
+        println!(
+            "{:>6} | {:^29} | {:^29} | {:^29} | {:^21} | {:^21}",
+            p,
+            cells[0],
+            cells[1],
+            cells[2],
+            speedups.join("  "),
+            effs.join("  ")
+        );
+    }
+}

@@ -1,0 +1,951 @@
+//! SPMD code generation: lower analyzed program units into a
+//! [`NodeProgram`] — the compiled form the node-program interpreter
+//! ([`crate::exec::node`]) executes on the virtual machine.
+//!
+//! Everything dynamic is pre-resolved: scalar names become integer/float
+//! slot numbers (Fortran implicit typing decides which), array names
+//! become local slots bound to global storage ids (dummies bind at call
+//! time), subscripts become affine [`CIdx`] forms over integer slots,
+//! CPs become [`Guard`]s over per-processor ownership tables, and the
+//! communication plans of [`crate::comm`] become `Exchange` /
+//! `Pipeline` ops with concrete per-processor-pair regions.
+
+pub mod emit;
+
+use crate::comm::{Msg, NestPlan, PipeSchedule};
+use crate::cp::{Cp, SubTerm};
+use crate::distrib::{ArrayDist, DistEnv, ProcGrid};
+use crate::exec::serial::is_integer_name;
+use crate::select::CpAssignment;
+use dhpf_fortran::ast::{self, BinOp, Expr, ProgramUnit, Stmt, StmtKind};
+use dhpf_fortran::subscript::affine;
+use dhpf_iset::LinExpr;
+use std::collections::BTreeMap;
+
+/// Affine integer form over integer slots: `Σ coeff·slot + cst`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CIdx {
+    pub terms: Vec<(usize, i64)>,
+    pub cst: i64,
+}
+
+impl CIdx {
+    pub fn cst(v: i64) -> Self {
+        CIdx { terms: vec![], cst: v }
+    }
+
+    #[inline]
+    pub fn eval(&self, ints: &[i64]) -> i64 {
+        let mut acc = self.cst;
+        for (slot, c) in &self.terms {
+            acc += ints[*slot] * c;
+        }
+        acc
+    }
+}
+
+/// Compiled expression.
+#[derive(Clone, Debug)]
+pub enum CExpr {
+    Const(f64),
+    /// Affine integer expression used as a float.
+    Int(CIdx),
+    /// Float scalar slot.
+    LoadF(usize),
+    /// Array element load (local array slot).
+    Load { arr: usize, subs: Vec<CIdx> },
+    Bin(BinOp, Box<CExpr>, Box<CExpr>),
+    Neg(Box<CExpr>),
+    /// Intrinsic call (name index into [`INTRINSIC_NAMES`]).
+    Intr(usize, Vec<CExpr>),
+}
+
+/// Names corresponding to `CExpr::Intr` indices.
+pub const INTRINSIC_NAMES: &[&str] =
+    &["min", "max", "abs", "mod", "sqrt", "exp", "dble", "int", "sin", "cos", "sign"];
+
+/// One ownership-test atom of a CP guard, resolved per processor at run
+/// time through the frame's local→global array binding.
+#[derive(Clone, Debug)]
+pub enum GuardAtom {
+    /// `owned_lo ≤ sub ≤ owned_hi` on dimension `dim` of local array `arr`.
+    In { arr: usize, dim: usize, sub: CIdx },
+    /// Range-overlap: `hi ≥ owned_lo ∧ lo ≤ owned_hi`.
+    Overlap { arr: usize, dim: usize, lo: CIdx, hi: CIdx },
+}
+
+/// A compiled CP: OR over terms of AND over atoms. `None` on a statement
+/// means replicated (everyone executes).
+#[derive(Clone, Debug, Default)]
+pub struct Guard {
+    pub terms: Vec<Vec<GuardAtom>>,
+}
+
+/// A compiled message (regions in global array coordinates; the array is
+/// a *local slot* resolved through the executing frame).
+#[derive(Clone, Debug)]
+pub struct CMsg {
+    pub from: usize,
+    pub to: usize,
+    pub arr: usize,
+    pub lo: Vec<i64>,
+    pub hi: Vec<i64>,
+}
+
+/// One level of a pipelined nest.
+#[derive(Clone, Debug)]
+pub struct PipeLevel {
+    pub var: usize,
+    pub lo: CIdx,
+    pub hi: CIdx,
+    pub step: i64,
+}
+
+/// One swept array of a pipeline.
+#[derive(Clone, Debug)]
+pub struct PipeArray {
+    pub arr: usize,
+    /// Swept dimension.
+    pub dim: usize,
+    /// Dimension the strip variable indexes (if any).
+    pub strip_dim: Option<usize>,
+}
+
+/// Node-program operations.
+#[derive(Clone, Debug)]
+pub enum NodeOp {
+    Loop { var: usize, lo: CIdx, hi: CIdx, step: i64, body: Vec<NodeOp> },
+    /// Array assignment, CP-guarded.
+    Assign { guard: Option<Guard>, arr: usize, subs: Vec<CIdx>, value: CExpr, flops: u64 },
+    /// Float scalar assignment.
+    AssignF { guard: Option<Guard>, slot: usize, value: CExpr, flops: u64 },
+    /// Integer scalar assignment (value truncated).
+    AssignI { guard: Option<Guard>, slot: usize, value: CExpr, flops: u64 },
+    If { arms: Vec<(Option<CExpr>, Vec<NodeOp>)> },
+    Call { unit: usize, int_args: Vec<(usize, CExpr)>, float_args: Vec<(usize, CExpr)>, array_args: Vec<(usize, usize)> },
+    /// Vectorized exchange (ghost updates or write-backs).
+    Exchange { msgs: Vec<CMsg>, tag: u64 },
+    /// Coarse-grain pipelined wavefront nest.
+    Pipeline {
+        levels: Vec<PipeLevel>,
+        body: Vec<NodeOp>,
+        sweep_level: usize,
+        strip_level: Option<usize>,
+        granularity: i64,
+        forward: bool,
+        pdim: usize,
+        read_depth: i64,
+        write_depth: i64,
+        arrays: Vec<PipeArray>,
+        tag: u64,
+    },
+}
+
+/// A compiled unit.
+#[derive(Clone, Debug, Default)]
+pub struct CompiledUnit {
+    pub name: String,
+    pub n_ints: usize,
+    pub n_floats: usize,
+    pub n_arrays: usize,
+    /// For each formal, where the actual value lands.
+    pub formals: Vec<FormalSlot>,
+    /// For each local array slot: global storage id (`None` = dummy).
+    pub array_global: Vec<Option<usize>>,
+    /// Local slot → array name (diagnostics & distribution lookup).
+    pub array_names: Vec<String>,
+    pub ops: Vec<NodeOp>,
+}
+
+/// Where a formal argument lands in the callee's frame.
+#[derive(Clone, Debug)]
+pub enum FormalSlot {
+    Int(usize),
+    Float(usize),
+    Array(usize),
+}
+
+/// A global array.
+#[derive(Clone, Debug)]
+pub struct GlobalArray {
+    pub name: String,
+    pub bounds: Vec<(i64, i64)>,
+    /// `None` = serial (fully replicated on every processor).
+    pub dist: Option<ArrayDist>,
+    /// Ghost width per dimension.
+    pub ghost: Vec<usize>,
+}
+
+/// The compiled program.
+#[derive(Clone, Debug)]
+pub struct NodeProgram {
+    pub grid: ProcGrid,
+    pub arrays: Vec<GlobalArray>,
+    pub units: Vec<CompiledUnit>,
+    pub unit_index: BTreeMap<String, usize>,
+    pub main: usize,
+}
+
+/// Codegen failure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CodegenError(pub String);
+
+impl std::fmt::Display for CodegenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "codegen: {}", self.0)
+    }
+}
+
+impl std::error::Error for CodegenError {}
+
+type CgResult<T> = Result<T, CodegenError>;
+
+fn err<T>(msg: impl Into<String>) -> CgResult<T> {
+    Err(CodegenError(msg.into()))
+}
+
+/// Per-unit compilation context.
+pub struct UnitCx<'a> {
+    pub unit: &'a ProgramUnit,
+    pub env: &'a DistEnv,
+    pub cps: &'a CpAssignment,
+    /// Communication plans per top-level loop statement.
+    pub plans: &'a BTreeMap<ast::StmtId, NestPlan>,
+    pub bindings: &'a BTreeMap<String, i64>,
+
+    int_slots: BTreeMap<String, usize>,
+    float_slots: BTreeMap<String, usize>,
+    array_slots: BTreeMap<String, usize>,
+    array_names: Vec<String>,
+    next_tag: u64,
+    /// Global array registry shared across units.
+    pub globals: &'a mut GlobalRegistry,
+}
+
+/// The program-wide array registry.
+#[derive(Default, Debug)]
+pub struct GlobalRegistry {
+    pub arrays: Vec<GlobalArray>,
+    by_name: BTreeMap<String, usize>,
+}
+
+impl GlobalRegistry {
+    /// Register (or look up) a global array. Commons share by bare name;
+    /// unit-locals are qualified.
+    pub fn intern(
+        &mut self,
+        key: String,
+        bounds: Vec<(i64, i64)>,
+        dist: Option<ArrayDist>,
+    ) -> usize {
+        if let Some(&i) = self.by_name.get(&key) {
+            return i;
+        }
+        let ghost = vec![0; bounds.len()];
+        let idx = self.arrays.len();
+        self.arrays.push(GlobalArray { name: key.clone(), bounds, dist, ghost });
+        self.by_name.insert(key, idx);
+        idx
+    }
+
+    pub fn get(&self, key: &str) -> Option<usize> {
+        self.by_name.get(key).copied()
+    }
+
+    /// Widen the ghost region of array `g` on `dim` to at least `width`.
+    pub fn need_ghost(&mut self, g: usize, dim: usize, width: usize) {
+        let slot = &mut self.arrays[g].ghost[dim];
+        *slot = (*slot).max(width);
+    }
+}
+
+impl<'a> UnitCx<'a> {
+    pub fn new(
+        unit: &'a ProgramUnit,
+        env: &'a DistEnv,
+        cps: &'a CpAssignment,
+        plans: &'a BTreeMap<ast::StmtId, NestPlan>,
+        bindings: &'a BTreeMap<String, i64>,
+        globals: &'a mut GlobalRegistry,
+        tag_base: u64,
+    ) -> Self {
+        UnitCx {
+            unit,
+            env,
+            cps,
+            plans,
+            bindings,
+            int_slots: BTreeMap::new(),
+            float_slots: BTreeMap::new(),
+            array_slots: BTreeMap::new(),
+            array_names: Vec::new(),
+            next_tag: tag_base,
+            globals,
+        }
+    }
+
+    fn fresh_tag(&mut self) -> u64 {
+        let t = self.next_tag;
+        self.next_tag += 1;
+        t
+    }
+
+    pub fn final_tag(&self) -> u64 {
+        self.next_tag
+    }
+
+    fn int_slot(&mut self, name: &str) -> usize {
+        let n = self.int_slots.len();
+        *self.int_slots.entry(name.to_string()).or_insert(n)
+    }
+
+    fn float_slot(&mut self, name: &str) -> usize {
+        let n = self.float_slots.len();
+        *self.float_slots.entry(name.to_string()).or_insert(n)
+    }
+
+    fn array_slot(&mut self, name: &str) -> usize {
+        if let Some(&s) = self.array_slots.get(name) {
+            return s;
+        }
+        let s = self.array_names.len();
+        self.array_slots.insert(name.to_string(), s);
+        self.array_names.push(name.to_string());
+        s
+    }
+
+    fn is_array(&self, name: &str) -> bool {
+        self.unit.decls.is_array(name)
+    }
+
+    fn const_of(&self, name: &str) -> Option<i64> {
+        self.unit
+            .decls
+            .params
+            .get(name)
+            .copied()
+            .or_else(|| self.bindings.get(name).copied())
+    }
+
+    /// Compile an affine [`LinExpr`] into a [`CIdx`]: variables must be
+    /// integer scalars (or fold to constants via params/bindings).
+    fn cidx_of_lin(&mut self, lin: &LinExpr) -> CgResult<CIdx> {
+        let mut out = CIdx::cst(lin.constant());
+        for (v, c) in lin.terms() {
+            if let Some(k) = self.const_of(v) {
+                out.cst += k * c;
+                continue;
+            }
+            if !is_integer_name(v, &self.unit.decls) {
+                return err(format!("non-integer `{v}` in subscript in {}", self.unit.name));
+            }
+            let slot = self.int_slot(v);
+            out.terms.push((slot, c));
+        }
+        Ok(out)
+    }
+
+    /// Compile an index expression (subscript / loop bound).
+    fn cidx(&mut self, e: &Expr) -> CgResult<CIdx> {
+        match affine(e, &self.unit.decls) {
+            Some(lin) => self.cidx_of_lin(&lin),
+            None => err(format!(
+                "non-affine index expression at line {} in {}",
+                e.span().line,
+                self.unit.name
+            )),
+        }
+    }
+
+    /// Compile a value expression.
+    fn cexpr(&mut self, e: &Expr) -> CgResult<CExpr> {
+        // affine integer expressions stay exact
+        if let Some(lin) = affine(e, &self.unit.decls) {
+            if let Ok(ci) = self.cidx_of_lin(&lin) {
+                return Ok(CExpr::Int(ci));
+            }
+        }
+        Ok(match e {
+            Expr::Int(v, _) => CExpr::Const(*v as f64),
+            Expr::Real(v, _) => CExpr::Const(*v),
+            Expr::Logical(b, _) => CExpr::Const(if *b { 1.0 } else { 0.0 }),
+            Expr::Un(ast::UnOp::Neg, a, _) => CExpr::Neg(Box::new(self.cexpr(a)?)),
+            Expr::Un(ast::UnOp::Not, a, _) => CExpr::Bin(
+                BinOp::Eq,
+                Box::new(self.cexpr(a)?),
+                Box::new(CExpr::Const(0.0)),
+            ),
+            Expr::Bin(op, a, b, _) => {
+                CExpr::Bin(*op, Box::new(self.cexpr(a)?), Box::new(self.cexpr(b)?))
+            }
+            Expr::Ref(r) => {
+                if ast::is_intrinsic(&r.name) && !self.is_array(&r.name) {
+                    let idx = INTRINSIC_NAMES
+                        .iter()
+                        .position(|n| *n == r.name)
+                        .ok_or_else(|| CodegenError(format!("intrinsic `{}`", r.name)))?;
+                    let args: CgResult<Vec<CExpr>> =
+                        r.subs.iter().map(|a| self.cexpr(a)).collect();
+                    CExpr::Intr(idx, args?)
+                } else if r.subs.is_empty() {
+                    if let Some(k) = self.const_of(&r.name) {
+                        CExpr::Const(k as f64)
+                    } else if is_integer_name(&r.name, &self.unit.decls) {
+                        CExpr::Int(CIdx { terms: vec![(self.int_slot(&r.name), 1)], cst: 0 })
+                    } else {
+                        CExpr::LoadF(self.float_slot(&r.name))
+                    }
+                } else {
+                    let arr = self.array_slot(&r.name);
+                    let subs: CgResult<Vec<CIdx>> =
+                        r.subs.iter().map(|s| self.cidx(s)).collect();
+                    CExpr::Load { arr, subs: subs? }
+                }
+            }
+        })
+    }
+
+    /// Compile a CP into a guard. Replicated → `None`.
+    fn guard_of(&mut self, cp: &Cp) -> CgResult<Option<Guard>> {
+        if cp.is_replicated() {
+            return Ok(None);
+        }
+        let mut terms = Vec::with_capacity(cp.terms.len());
+        for t in &cp.terms {
+            let Some(dist) = self.env.dist_of(&t.array) else {
+                // unknown array: treat term as "everyone" — whole CP is
+                // effectively replicated
+                return Ok(None);
+            };
+            if !dist.is_distributed() {
+                return Ok(None);
+            }
+            let arr = self.array_slot(&t.array);
+            let mut atoms = Vec::new();
+            for (dim, m) in dist.dims.iter().enumerate() {
+                if !matches!(m, crate::distrib::DimMap::Block { .. }) {
+                    continue;
+                }
+                match t.subs.get(dim) {
+                    Some(SubTerm::Affine(e)) => {
+                        atoms.push(GuardAtom::In { arr, dim, sub: self.cidx_of_lin(e)? });
+                    }
+                    Some(SubTerm::Range(a, b)) => {
+                        atoms.push(GuardAtom::Overlap {
+                            arr,
+                            dim,
+                            lo: self.cidx_of_lin(a)?,
+                            hi: self.cidx_of_lin(b)?,
+                        });
+                    }
+                    None => return err(format!("CP term rank mismatch for {}", t.array)),
+                }
+            }
+            terms.push(atoms);
+        }
+        Ok(Some(Guard { terms }))
+    }
+
+    /// Register the unit's declared arrays: commons by bare name,
+    /// unit-locals qualified, dummies deferred.
+    pub fn register_arrays(&mut self) -> CgResult<()> {
+        let common_names: Vec<&String> = self
+            .unit
+            .decls
+            .commons
+            .iter()
+            .flat_map(|(_, names)| names.iter())
+            .collect();
+        let dummies = self.unit.args().to_vec();
+        for (name, decl) in &self.unit.decls.vars {
+            if decl.rank() == 0 {
+                continue;
+            }
+            let slot = self.array_slot(name);
+            let _ = slot;
+            if dummies.contains(name) {
+                continue; // bound at call time
+            }
+            let mut bounds = Vec::new();
+            for (l, h) in &decl.dims {
+                let lo = self.eval_const(l)?;
+                let hi = self.eval_const(h)?;
+                bounds.push((lo, hi));
+            }
+            let key = if common_names.contains(&name) {
+                name.clone()
+            } else {
+                format!("{}::{}", self.unit.name, name)
+            };
+            let dist = self.env.dist_of(name).cloned();
+            self.globals.intern(key, bounds, dist);
+        }
+        Ok(())
+    }
+
+    fn eval_const(&self, e: &Expr) -> CgResult<i64> {
+        let lin = affine(e, &self.unit.decls)
+            .ok_or_else(|| CodegenError(format!("non-affine extent in {}", self.unit.name)))?;
+        lin.eval(&|v| self.bindings.get(v).copied()).ok_or_else(|| {
+            CodegenError(format!("unbound extent `{lin}` in {}", self.unit.name))
+        })
+    }
+
+    /// Resolve the global binding table for local array slots.
+    fn resolve_globals(&self) -> Vec<Option<usize>> {
+        let common_names: Vec<&String> = self
+            .unit
+            .decls
+            .commons
+            .iter()
+            .flat_map(|(_, names)| names.iter())
+            .collect();
+        let dummies = self.unit.args();
+        self.array_names
+            .iter()
+            .map(|name| {
+                if dummies.contains(name) {
+                    None
+                } else if common_names.contains(&name) {
+                    self.globals.get(name)
+                } else {
+                    self.globals.get(&format!("{}::{}", self.unit.name, name))
+                }
+            })
+            .collect()
+    }
+
+    /// Compile message list into `CMsg`s (and widen ghosts as needed).
+    fn compile_msgs(&mut self, msgs: &[Msg]) -> CgResult<Vec<CMsg>> {
+        let mut out = Vec::with_capacity(msgs.len());
+        for m in msgs {
+            let arr = self.array_slot(&m.array);
+            // widen ghost regions on the receiving side
+            if let Some(dist) = self.env.dist_of(&m.array) {
+                let grid = self.env.grid.as_ref().unwrap();
+                let coords = grid.coords(m.to as i64);
+                for (dim, _) in dist.dims.iter().enumerate() {
+                    if let Some((olo, ohi)) = dist.owned_range(dim, &coords) {
+                        let excess_lo = (olo - m.region.lo[dim]).max(0) as usize;
+                        let excess_hi = (m.region.hi[dim] - ohi).max(0) as usize;
+                        let width = excess_lo.max(excess_hi);
+                        if width > 0 {
+                            if let Some(g) = self.global_of_name(&m.array) {
+                                self.globals.need_ghost(g, dim, width);
+                            }
+                        }
+                    }
+                }
+            }
+            out.push(CMsg {
+                from: m.from,
+                to: m.to,
+                arr,
+                lo: m.region.lo.clone(),
+                hi: m.region.hi.clone(),
+            });
+        }
+        Ok(out)
+    }
+
+    fn global_of_name(&self, name: &str) -> Option<usize> {
+        let common_names: Vec<&String> = self
+            .unit
+            .decls
+            .commons
+            .iter()
+            .flat_map(|(_, names)| names.iter())
+            .collect();
+        if common_names.contains(&&name.to_string()) {
+            self.globals.get(name)
+        } else {
+            self.globals
+                .get(&format!("{}::{}", self.unit.name, name))
+                .or_else(|| self.globals.get(name))
+        }
+    }
+
+    // ---- statement lowering -------------------------------------------------
+
+    /// Compile the unit body into ops.
+    pub fn compile_body(
+        &mut self,
+        body: &[Stmt],
+        unit_index: &BTreeMap<String, usize>,
+        units: &[&ProgramUnit],
+    ) -> CgResult<Vec<NodeOp>> {
+        let mut ops = Vec::new();
+        for s in body {
+            self.compile_stmt(s, unit_index, units, &mut ops)?;
+        }
+        Ok(ops)
+    }
+
+    fn compile_stmt(
+        &mut self,
+        s: &Stmt,
+        unit_index: &BTreeMap<String, usize>,
+        units: &[&ProgramUnit],
+        ops: &mut Vec<NodeOp>,
+    ) -> CgResult<()> {
+        match &s.kind {
+            StmtKind::Assign { lhs, rhs } => {
+                let guard = match self.cps.get(&s.id) {
+                    Some(cp) => self.guard_of(cp)?,
+                    None => None,
+                };
+                let value = self.cexpr(rhs)?;
+                let flops = rhs.flop_count() + 1;
+                if lhs.subs.is_empty() {
+                    if is_integer_name(&lhs.name, &self.unit.decls) {
+                        let slot = self.int_slot(&lhs.name);
+                        ops.push(NodeOp::AssignI { guard, slot, value, flops });
+                    } else {
+                        let slot = self.float_slot(&lhs.name);
+                        ops.push(NodeOp::AssignF { guard, slot, value, flops });
+                    }
+                } else {
+                    // ghost widening for replicated writes: |const shift|
+                    self.widen_for_write(lhs, self.cps.get(&s.id))?;
+                    let arr = self.array_slot(&lhs.name);
+                    let subs: CgResult<Vec<CIdx>> =
+                        lhs.subs.iter().map(|e| self.cidx(e)).collect();
+                    ops.push(NodeOp::Assign { guard, arr, subs: subs?, value, flops });
+                }
+                Ok(())
+            }
+            StmtKind::Do { var, lo, hi, step, body, .. } => {
+                // communication plan attached?
+                if let Some(plan) = self.plans.get(&s.id) {
+                    return self.compile_planned_nest(s, plan.clone(), unit_index, units, ops);
+                }
+                let var_slot = self.int_slot(var);
+                let lo = self.cidx(lo)?;
+                let hi = self.cidx(hi)?;
+                let step = match step {
+                    None => 1,
+                    Some(e) => {
+                        let c = self.cidx(e)?;
+                        if !c.terms.is_empty() {
+                            return err("non-constant do step");
+                        }
+                        c.cst
+                    }
+                };
+                let inner = self.compile_body(body, unit_index, units)?;
+                ops.push(NodeOp::Loop { var: var_slot, lo, hi, step, body: inner });
+                Ok(())
+            }
+            StmtKind::If { arms } => {
+                let mut carms = Vec::with_capacity(arms.len());
+                for (cond, body) in arms {
+                    let c = match cond {
+                        Some(c) => Some(self.cexpr(c)?),
+                        None => None,
+                    };
+                    carms.push((c, self.compile_body(body, unit_index, units)?));
+                }
+                ops.push(NodeOp::If { arms: carms });
+                Ok(())
+            }
+            StmtKind::Call { name, args, .. } => {
+                let Some(&unit) = unit_index.get(name) else {
+                    return err(format!("call to uncompiled unit `{name}`"));
+                };
+                let callee = units[unit];
+                let formals = callee.args();
+                if formals.len() != args.len() {
+                    return err(format!("arity mismatch calling {name}"));
+                }
+                let mut int_args = Vec::new();
+                let mut float_args = Vec::new();
+                let mut array_args = Vec::new();
+                for (pos, (formal, actual)) in formals.iter().zip(args).enumerate() {
+                    if callee.decls.is_array(formal) {
+                        let Expr::Ref(r) = actual else {
+                            return err(format!(
+                                "array dummy `{formal}` of {name} needs a whole-array actual"
+                            ));
+                        };
+                        if !r.subs.is_empty() || !self.is_array(&r.name) {
+                            return err(format!(
+                                "array dummy `{formal}` of {name} needs a whole-array actual"
+                            ));
+                        }
+                        array_args.push((pos, self.array_slot(&r.name)));
+                    } else if is_integer_name(formal, &callee.decls) {
+                        int_args.push((pos, self.cexpr(actual)?));
+                    } else {
+                        float_args.push((pos, self.cexpr(actual)?));
+                    }
+                }
+                ops.push(NodeOp::Call { unit, int_args, float_args, array_args });
+                Ok(())
+            }
+            StmtKind::Return => {
+                // body-level return only at tail in our subset; ignore
+                Ok(())
+            }
+            StmtKind::Continue => Ok(()),
+        }
+    }
+
+    /// Widen ghost regions for writes that can land outside the owned
+    /// block: (a) subscripts with a constant shift off a bare induction
+    /// variable, and (b) partial replication — the CP's union terms place
+    /// the writer up to |lhs_sub − term_sub| cells across the boundary.
+    fn widen_for_write(&mut self, lhs: &ast::ArrayRef, cp: Option<&Cp>) -> CgResult<()> {
+        let Some(dist) = self.env.dist_of(&lhs.name).cloned() else { return Ok(()) };
+        if !dist.is_distributed() {
+            return Ok(());
+        }
+        let Some(g) = self.global_of_name(&lhs.name) else { return Ok(()) };
+        for (dim, m) in dist.dims.iter().enumerate() {
+            let crate::distrib::DimMap::Block { pdim, .. } = m else { continue };
+            let Some(lhs_lin) = affine(&lhs.subs[dim], &self.unit.decls) else { continue };
+            // (a) constant shift off a single unit-coefficient variable
+            if lhs_lin.num_vars() == 1
+                && lhs_lin.terms().next().map(|(_, c)| c.abs()) == Some(1)
+            {
+                let shift = lhs_lin.constant().unsigned_abs() as usize;
+                if shift > 0 {
+                    self.globals.need_ghost(g, dim, shift);
+                }
+            }
+            // (b) CP union terms shifted relative to the LHS subscript
+            if let Some(cp) = cp {
+                for t in &cp.terms {
+                    let Some(tdist) = self.env.dist_of(&t.array) else { continue };
+                    // match the term's dimension by processor-grid dim
+                    for (td, tm) in tdist.dims.iter().enumerate() {
+                        let crate::distrib::DimMap::Block { pdim: tp, .. } = tm else {
+                            continue;
+                        };
+                        if tp != pdim {
+                            continue;
+                        }
+                        if let Some(SubTerm::Affine(te)) = t.subs.get(td) {
+                            let diff = lhs_lin.clone() - te.clone();
+                            if diff.is_constant() {
+                                let w = diff.constant().unsigned_abs() as usize;
+                                if w > 0 {
+                                    self.globals.need_ghost(g, dim, w);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Compile a loop that has a communication plan: pre-exchange, the
+    /// (possibly pipelined) nest, post write-backs.
+    fn compile_planned_nest(
+        &mut self,
+        s: &Stmt,
+        plan: NestPlan,
+        unit_index: &BTreeMap<String, usize>,
+        units: &[&ProgramUnit],
+        ops: &mut Vec<NodeOp>,
+    ) -> CgResult<()> {
+        let pre = self.compile_msgs(plan.pre())?;
+        if !pre.is_empty() {
+            let tag = self.fresh_tag();
+            ops.push(NodeOp::Exchange { msgs: pre, tag });
+        }
+        match &plan {
+            NestPlan::Parallel { .. } => {
+                // plain nest with guards
+                let StmtKind::Do { var, lo, hi, step, body, .. } = &s.kind else {
+                    return err("plan attached to non-loop");
+                };
+                let var_slot = self.int_slot(var);
+                let lo = self.cidx(lo)?;
+                let hi = self.cidx(hi)?;
+                let step = match step {
+                    None => 1,
+                    Some(e) => self.cidx(e)?.cst,
+                };
+                let inner = self.compile_body(body, unit_index, units)?;
+                ops.push(NodeOp::Loop { var: var_slot, lo, hi, step, body: inner });
+            }
+            NestPlan::Pipelined { schedule, .. } => {
+                self.compile_pipeline(s, schedule, unit_index, units, ops)?;
+            }
+        }
+        let post = self.compile_msgs(plan.post())?;
+        if !post.is_empty() {
+            let tag = self.fresh_tag();
+            ops.push(NodeOp::Exchange { msgs: post, tag });
+        }
+        Ok(())
+    }
+
+    fn compile_pipeline(
+        &mut self,
+        s: &Stmt,
+        schedule: &PipeSchedule,
+        unit_index: &BTreeMap<String, usize>,
+        units: &[&ProgramUnit],
+        ops: &mut Vec<NodeOp>,
+    ) -> CgResult<()> {
+        // gather the single-chain nest levels
+        let mut levels: Vec<PipeLevel> = Vec::new();
+        let mut strip_var_name: Option<String> = None;
+        let mut cur = s;
+        let body_ref: &[Stmt];
+        loop {
+            let StmtKind::Do { var, lo, hi, step, body, .. } = &cur.kind else {
+                return err("pipeline nest is not a loop chain");
+            };
+            let step_v = match step {
+                None => 1,
+                Some(e) => self.cidx(e)?.cst,
+            };
+            levels.push(PipeLevel {
+                var: self.int_slot(var),
+                lo: self.cidx(lo)?,
+                hi: self.cidx(hi)?,
+                step: step_v,
+            });
+            if Some(levels.len() - 1) == schedule.strip_level {
+                strip_var_name = Some(var.clone());
+            }
+            if body.len() == 1 {
+                if let StmtKind::Do { .. } = body[0].kind {
+                    cur = &body[0];
+                    continue;
+                }
+            }
+            body_ref = body;
+            break;
+        }
+        if schedule.sweep_level >= levels.len() {
+            return err("sweep level outside nest");
+        }
+        let body = self.compile_body(body_ref, unit_index, units)?;
+
+        // swept arrays: local slot + strip dim (the dim indexed by the
+        // strip variable in any reference)
+        let mut arrays = Vec::new();
+        for (name, dim) in &schedule.arrays {
+            let arr = self.array_slot(name);
+            let strip_dim = strip_var_name.as_ref().and_then(|sv| {
+                self.find_strip_dim(name, sv)
+            });
+            arrays.push(PipeArray { arr, dim: *dim, strip_dim });
+            // ghost for read-behind on the low side / write-ahead high
+            // side; at least one plane — the interpreter always moves one
+            // boundary plane per hop even when both depths degenerate to 0
+            if let Some(g) = self.global_of_name(name) {
+                let width = schedule.read_depth.max(schedule.depth).max(1) as usize;
+                self.globals.need_ghost(g, *dim, width);
+            }
+        }
+
+        let tag = self.fresh_tag();
+        ops.push(NodeOp::Pipeline {
+            levels,
+            body,
+            sweep_level: schedule.sweep_level,
+            strip_level: schedule.strip_level,
+            granularity: schedule.granularity.max(1),
+            forward: schedule.forward,
+            pdim: schedule.pdim,
+            read_depth: schedule.read_depth,
+            write_depth: schedule.depth,
+            arrays,
+            tag,
+        });
+        Ok(())
+    }
+
+    /// Find the array dimension indexed by `strip_var` (scans the unit's
+    /// references to `array`).
+    fn find_strip_dim(&self, array: &str, strip_var: &str) -> Option<usize> {
+        let mut found = None;
+        self.unit.for_each_stmt(&mut |st| {
+            st.for_each_ref(&mut |r, _| {
+                if r.name != array || found.is_some() {
+                    return;
+                }
+                for (d, sub) in r.subs.iter().enumerate() {
+                    if let Some(lin) = affine(sub, &self.unit.decls) {
+                        if lin.mentions(strip_var) {
+                            found = Some(d);
+                            return;
+                        }
+                    }
+                }
+            });
+        });
+        found
+    }
+
+    /// Finalize into a [`CompiledUnit`].
+    pub fn finish(self, ops: Vec<NodeOp>) -> CompiledUnit {
+        let array_global = self.resolve_globals();
+        let mut formals = Vec::new();
+        for f in self.unit.args() {
+            if self.unit.decls.is_array(f) {
+                formals.push(FormalSlot::Array(
+                    self.array_slots.get(f).copied().unwrap_or(usize::MAX),
+                ));
+            } else if is_integer_name(f, &self.unit.decls) {
+                formals.push(FormalSlot::Int(self.int_slots.get(f).copied().unwrap_or(usize::MAX)));
+            } else {
+                formals.push(FormalSlot::Float(
+                    self.float_slots.get(f).copied().unwrap_or(usize::MAX),
+                ));
+            }
+        }
+        CompiledUnit {
+            name: self.unit.name.clone(),
+            n_ints: self.int_slots.len(),
+            n_floats: self.float_slots.len(),
+            n_arrays: self.array_names.len(),
+            formals,
+            array_global,
+            array_names: self.array_names,
+            ops,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cidx_eval() {
+        let c = CIdx { terms: vec![(0, 2), (1, -1)], cst: 5 };
+        assert_eq!(c.eval(&[3, 4]), 2 * 3 - 4 + 5);
+        assert_eq!(CIdx::cst(-2).eval(&[]), -2);
+    }
+
+    #[test]
+    fn global_registry_interns_and_widens() {
+        let mut g = GlobalRegistry::default();
+        let a = g.intern("x".into(), vec![(1, 8)], None);
+        let b = g.intern("x".into(), vec![(1, 8)], None);
+        assert_eq!(a, b);
+        let c = g.intern("y".into(), vec![(0, 3), (0, 3)], None);
+        assert_ne!(a, c);
+        g.need_ghost(c, 1, 2);
+        g.need_ghost(c, 1, 1); // narrower request must not shrink
+        assert_eq!(g.arrays[c].ghost, vec![0, 2]);
+    }
+
+    #[test]
+    fn intrinsic_name_table_is_consistent() {
+        // every intrinsic the front end accepts must be executable
+        for name in dhpf_fortran::ast::INTRINSICS {
+            assert!(
+                INTRINSIC_NAMES.contains(name),
+                "intrinsic `{name}` parsed but not executable"
+            );
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! Human-readable listing of a compiled node program (the moral
+//! equivalent of dHPF's generated-Fortran output; used by golden tests
+//! and `commstats`).
+
+use super::{CExpr, CompiledUnit, GuardAtom, NodeOp, NodeProgram};
+use std::fmt::Write;
+
+/// Render the whole program.
+pub fn listing(prog: &NodeProgram) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "node program: grid {:?}, {} global arrays",
+        prog.grid.extents,
+        prog.arrays.len()
+    );
+    for ga in &prog.arrays {
+        let _ = writeln!(
+            out,
+            "  array {:<16} bounds {:?} ghost {:?} {}",
+            ga.name,
+            ga.bounds,
+            ga.ghost,
+            if ga.dist.as_ref().map(|d| d.is_distributed()).unwrap_or(false) {
+                "distributed"
+            } else {
+                "serial"
+            }
+        );
+    }
+    for u in &prog.units {
+        let _ = writeln!(out, "unit {} ({} ints, {} floats):", u.name, u.n_ints, u.n_floats);
+        emit_ops(&u.ops, u, 1, &mut out);
+    }
+    out
+}
+
+fn ind(depth: usize, out: &mut String) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+fn emit_ops(ops: &[NodeOp], u: &CompiledUnit, depth: usize, out: &mut String) {
+    for op in ops {
+        match op {
+            NodeOp::Loop { var, lo, hi, step, body } => {
+                ind(depth, out);
+                let _ = writeln!(out, "do i{var} = {lo:?}, {hi:?}, {step}");
+                emit_ops(body, u, depth + 1, out);
+            }
+            NodeOp::Assign { guard, arr, subs, flops, .. } => {
+                ind(depth, out);
+                let g = guard
+                    .as_ref()
+                    .map(|g| format!(" guard[{}]", render_guard(g, u)))
+                    .unwrap_or_default();
+                let _ = writeln!(
+                    out,
+                    "{}({}) = … ; {flops} flops{g}",
+                    u.array_names[*arr],
+                    subs.iter().map(|s| format!("{s:?}")).collect::<Vec<_>>().join(", ")
+                );
+            }
+            NodeOp::AssignF { slot, flops, guard, .. } => {
+                ind(depth, out);
+                let g = guard.as_ref().map(|_| " guarded").unwrap_or_default();
+                let _ = writeln!(out, "f{slot} = … ; {flops} flops{g}");
+            }
+            NodeOp::AssignI { slot, guard, .. } => {
+                ind(depth, out);
+                let g = guard.as_ref().map(|_| " guarded").unwrap_or_default();
+                let _ = writeln!(out, "i{slot} = …{g}");
+            }
+            NodeOp::If { arms } => {
+                ind(depth, out);
+                let _ = writeln!(out, "if ({} arms)", arms.len());
+                for (_, body) in arms {
+                    emit_ops(body, u, depth + 1, out);
+                }
+            }
+            NodeOp::Call { unit, .. } => {
+                ind(depth, out);
+                let _ = writeln!(out, "call unit#{unit}");
+            }
+            NodeOp::Exchange { msgs, tag } => {
+                ind(depth, out);
+                let vol: usize = msgs
+                    .iter()
+                    .map(|m| {
+                        m.lo.iter()
+                            .zip(&m.hi)
+                            .map(|(l, h)| (h - l + 1).max(0) as usize)
+                            .product::<usize>()
+                    })
+                    .sum();
+                let _ = writeln!(out, "exchange tag {tag}: {} messages, {vol} elements", msgs.len());
+                for m in msgs {
+                    ind(depth + 1, out);
+                    let _ = writeln!(
+                        out,
+                        "{} {}->{} {:?}..{:?}",
+                        u.array_names[m.arr], m.from, m.to, m.lo, m.hi
+                    );
+                }
+            }
+            NodeOp::Pipeline {
+                sweep_level,
+                strip_level,
+                granularity,
+                forward,
+                pdim,
+                read_depth,
+                write_depth,
+                arrays,
+                tag,
+                body,
+                ..
+            } => {
+                ind(depth, out);
+                let names: Vec<&str> =
+                    arrays.iter().map(|a| u.array_names[a.arr].as_str()).collect();
+                let _ = writeln!(
+                    out,
+                    "pipeline tag {tag}: sweep level {sweep_level} ({}) over pdim {pdim}, \
+                     strip {strip_level:?} g={granularity}, rd={read_depth} wd={write_depth}, \
+                     arrays [{}]",
+                    if *forward { "forward" } else { "backward" },
+                    names.join(", ")
+                );
+                emit_ops(body, u, depth + 1, out);
+            }
+        }
+    }
+}
+
+fn render_guard(g: &super::Guard, u: &CompiledUnit) -> String {
+    g.terms
+        .iter()
+        .map(|atoms| {
+            atoms
+                .iter()
+                .map(|a| match a {
+                    GuardAtom::In { arr, dim, sub } => {
+                        format!("{}[{dim}]∋{sub:?}", u.array_names[*arr])
+                    }
+                    GuardAtom::Overlap { arr, dim, lo, hi } => {
+                        format!("{}[{dim}]∩[{lo:?},{hi:?}]", u.array_names[*arr])
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("∧")
+        })
+        .collect::<Vec<_>>()
+        .join(" ∨ ")
+}
+
+/// Plan statistics for one compiled program.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct PlanStats {
+    pub exchanges: usize,
+    pub exchange_messages: usize,
+    pub exchange_elements: usize,
+    pub pipelines: usize,
+    pub guarded_statements: usize,
+    pub statements: usize,
+}
+
+/// Collect plan statistics.
+pub fn plan_stats(prog: &NodeProgram) -> PlanStats {
+    let mut st = PlanStats::default();
+    fn walk(ops: &[NodeOp], st: &mut PlanStats) {
+        for op in ops {
+            match op {
+                NodeOp::Exchange { msgs, .. } => {
+                    st.exchanges += 1;
+                    st.exchange_messages += msgs.len();
+                    st.exchange_elements += msgs
+                        .iter()
+                        .map(|m| {
+                            m.lo.iter()
+                                .zip(&m.hi)
+                                .map(|(l, h)| (h - l + 1).max(0) as usize)
+                                .product::<usize>()
+                        })
+                        .sum::<usize>();
+                }
+                NodeOp::Pipeline { body, .. } => {
+                    st.pipelines += 1;
+                    walk(body, st);
+                }
+                NodeOp::Loop { body, .. } => walk(body, st),
+                NodeOp::If { arms } => arms.iter().for_each(|(_, b)| walk(b, st)),
+                NodeOp::Assign { guard, .. }
+                | NodeOp::AssignF { guard, .. }
+                | NodeOp::AssignI { guard, .. } => {
+                    st.statements += 1;
+                    if guard.is_some() {
+                        st.guarded_statements += 1;
+                    }
+                }
+                NodeOp::Call { .. } => {}
+            }
+        }
+    }
+    for u in &prog.units {
+        walk(&u.ops, &mut st);
+    }
+    st
+}
+
+// silence unused-variant lint for CExpr in the listing module
+#[allow(dead_code)]
+fn _touch(_: &CExpr) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::{compile, CompileOptions};
+    use dhpf_fortran::parse;
+
+    fn compile_stencil() -> NodeProgram {
+        let src = "
+      program t
+      parameter (n = 16)
+      integer i, j
+      double precision a(n, n), b(n, n)
+!hpf$ processors p(2, 2)
+!hpf$ distribute (block, block) onto p :: a, b
+      do j = 2, n - 1
+         do i = 2, n - 1
+            b(i, j) = a(i - 1, j) + a(i + 1, j)
+         enddo
+      enddo
+      end
+";
+        compile(&parse(src).unwrap(), &CompileOptions::new()).unwrap().program
+    }
+
+    #[test]
+    fn listing_shows_exchange_and_guards() {
+        let prog = compile_stencil();
+        let text = listing(&prog);
+        assert!(text.contains("exchange tag"), "{text}");
+        assert!(text.contains("guard["), "{text}");
+        assert!(text.contains("t::a"), "{text}");
+    }
+
+    #[test]
+    fn plan_stats_count_structure() {
+        let prog = compile_stencil();
+        let st = plan_stats(&prog);
+        assert_eq!(st.exchanges, 1);
+        assert!(st.exchange_messages >= 4, "{st:?}");
+        assert_eq!(st.pipelines, 0);
+        assert_eq!(st.statements, 1);
+        assert_eq!(st.guarded_statements, 1);
+    }
+
+    #[test]
+    fn sweep_listing_shows_pipeline() {
+        let src = "
+      program t
+      parameter (n = 16)
+      integer i, j
+      double precision a(n, n)
+!hpf$ processors p(4)
+!hpf$ distribute (*, block) onto p :: a
+      do j = 2, n
+         do i = 1, n
+            a(i, j) = a(i, j) + a(i, j - 1)
+         enddo
+      enddo
+      end
+";
+        let prog = compile(&parse(src).unwrap(), &CompileOptions::new()).unwrap().program;
+        let text = listing(&prog);
+        assert!(text.contains("pipeline tag"), "{text}");
+        assert!(text.contains("forward"), "{text}");
+        let st = plan_stats(&prog);
+        assert_eq!(st.pipelines, 1);
+    }
+}

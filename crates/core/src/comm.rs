@@ -1,0 +1,1000 @@
+//! Communication analysis: non-local data sets, message vectorization
+//! and coalescing, overlap-area exchanges, and coarse-grain pipelining
+//! for wavefront nests.
+//!
+//! For every top-level loop nest the analysis produces a [`NestPlan`]:
+//!
+//! * **Parallel** nests get *pre-exchanges* (vectorized ghost updates of
+//!   every value read but neither owned, nor covered by a preceding
+//!   write on the same processor — the §7 availability rule folds the
+//!   partial-replication optimizations of §4 into one uniform test) and
+//!   *post write-backs* (non-owner-computed values returned to their
+//!   owners, minus values the owner redundantly computes itself).
+//! * **Pipelined** nests (a carried flow dependence along a distributed
+//!   dimension) get the same pre-exchanges plus a sweep schedule: the
+//!   nest is strip-mined along an orthogonal parallel loop with uniform
+//!   granularity `G`, and each strip receives the predecessor's boundary
+//!   write-back before computing and forwards its own afterwards.
+
+use crate::avail::{accessed_set, nest_bounds, read_available, Availability};
+use crate::cp::SubTerm;
+use crate::distrib::{DimMap, DistEnv};
+use crate::select::CpAssignment;
+use dhpf_depend::dep::{DepKind, Dependence};
+use dhpf_depend::loops::UnitLoops;
+use dhpf_depend::refs::UnitRefs;
+use dhpf_depend::usedef;
+use dhpf_fortran::ast::StmtId;
+use dhpf_iset::enumerate::bounding_box;
+use dhpf_iset::Set;
+
+/// An inclusive rectangular section of an array.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Region {
+    pub lo: Vec<i64>,
+    pub hi: Vec<i64>,
+}
+
+impl Region {
+    pub fn len(&self) -> usize {
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .map(|(l, h)| (h - l + 1).max(0) as usize)
+            .product()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Intersection with another region.
+    pub fn intersect(&self, other: &Region) -> Region {
+        Region {
+            lo: self.lo.iter().zip(&other.lo).map(|(a, b)| *a.max(b)).collect(),
+            hi: self.hi.iter().zip(&other.hi).map(|(a, b)| *a.min(b)).collect(),
+        }
+    }
+}
+
+/// One vectorized message: `from` sends `array[region]` to `to`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Msg {
+    pub from: usize,
+    pub to: usize,
+    pub array: String,
+    pub region: Region,
+}
+
+/// The sweep schedule of a pipelined nest.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PipeSchedule {
+    /// Index (within the nest, outermost = 0) of the sequential sweep loop.
+    pub sweep_level: usize,
+    /// Sweep direction: `true` = increasing indices.
+    pub forward: bool,
+    /// Processor-grid dimension the sweep crosses.
+    pub pdim: usize,
+    /// The distributed array dimension the sweep traverses, per swept array.
+    pub arrays: Vec<(String, usize)>,
+    /// Write-ahead depth: planes written past the owned block (non-owner
+    /// writes forwarded to the successor).
+    pub depth: i64,
+    /// Read-behind depth: planes read from the predecessor's block.
+    pub read_depth: i64,
+    /// Index of the loop to strip-mine for coarse-grain pipelining
+    /// (`None`: whole local block is one strip).
+    pub strip_level: Option<usize>,
+    /// Iterations of the strip loop per communication.
+    pub granularity: i64,
+}
+
+/// Communication plan for one top-level nest.
+#[derive(Clone, Debug)]
+pub enum NestPlan {
+    Parallel { pre: Vec<Msg>, post: Vec<Msg> },
+    Pipelined { pre: Vec<Msg>, post: Vec<Msg>, schedule: PipeSchedule },
+}
+
+impl NestPlan {
+    pub fn pre(&self) -> &[Msg] {
+        match self {
+            NestPlan::Parallel { pre, .. } | NestPlan::Pipelined { pre, .. } => pre,
+        }
+    }
+
+    pub fn post(&self) -> &[Msg] {
+        match self {
+            NestPlan::Parallel { post, .. } | NestPlan::Pipelined { post, .. } => post,
+        }
+    }
+}
+
+/// Analysis failure (pattern outside the compiler's repertoire).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommError(pub String);
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "communication analysis: {}", self.0)
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// Options for the analysis.
+#[derive(Clone, Copy, Debug)]
+pub struct CommOptions {
+    /// Apply §7 data availability elimination.
+    pub data_availability: bool,
+    /// Coarse-grain pipelining granularity (strip size).
+    pub granularity: i64,
+}
+
+impl Default for CommOptions {
+    fn default() -> Self {
+        CommOptions { data_availability: true, granularity: 4 }
+    }
+}
+
+/// Statistics of what the analysis eliminated (for the ablation bench).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CommReport {
+    pub reads_examined: usize,
+    pub reads_eliminated_by_availability: usize,
+    pub writebacks_suppressed_by_replication: usize,
+    pub pre_messages: usize,
+    pub pre_volume: usize,
+    pub post_messages: usize,
+    pub post_volume: usize,
+}
+
+/// Build the communication plan for the top-level loop `loop_id`.
+pub fn plan_nest(
+    loop_id: StmtId,
+    loops: &UnitLoops,
+    refs: &UnitRefs,
+    deps: &[Dependence],
+    cps: &CpAssignment,
+    env: &DistEnv,
+    opts: &CommOptions,
+    report: &mut CommReport,
+) -> Result<NestPlan, CommError> {
+    plan_nest_scoped(loop_id, loop_id, None, loops, refs, deps, cps, env, opts, report)
+}
+
+/// Like [`plan_nest`], but preceding writes for the availability rule
+/// (§7) are searched within `scope` (an enclosing loop — e.g. the
+/// one-trip LOCALIZE wrapper whose child nests are planned separately).
+/// `scope_deps` are the dependences analyzed at scope level (used only
+/// for the produces-before-consumes check).
+#[allow(clippy::too_many_arguments)]
+pub fn plan_nest_scoped(
+    loop_id: StmtId,
+    scope: StmtId,
+    scope_deps: Option<&[Dependence]>,
+    loops: &UnitLoops,
+    refs: &UnitRefs,
+    deps: &[Dependence],
+    cps: &CpAssignment,
+    env: &DistEnv,
+    opts: &CommOptions,
+    report: &mut CommReport,
+) -> Result<NestPlan, CommError> {
+    let grid =
+        env.grid.clone().ok_or_else(|| CommError("no processor grid declared".into()))?;
+    let nprocs = grid.nprocs() as usize;
+    let ud = usedef::build(scope, loops, refs);
+    let flow_deps = scope_deps.unwrap_or(deps);
+
+    let sweep = detect_sweep(loop_id, loops, refs, deps, cps, env);
+
+    // ---- pre-exchanges for reads ------------------------------------------
+    let mut pre: Vec<Msg> = Vec::new();
+    for stmt in loops.stmts_in(loop_id) {
+        let Some(cp) = cps.get(&stmt) else { continue };
+        for r in refs.of_stmt(stmt) {
+            if r.is_write || r.is_scalar {
+                continue;
+            }
+            let Some(dist) = env.dist_of(&r.array) else { continue };
+            if !dist.is_distributed() {
+                continue;
+            }
+            if r.subs.iter().any(|s| s.is_none()) {
+                return Err(CommError(format!(
+                    "non-affine subscript on distributed array `{}`",
+                    r.array
+                )));
+            }
+            report.reads_examined += 1;
+            // behind-reads of swept arrays are carried by the pipeline
+            if let Some(sch) = &sweep {
+                if let Some((_, dm)) = sch.arrays.iter().find(|(a, _)| a == &r.array) {
+                    if let Some(Some(sub)) = r.subs.get(*dm) {
+                        let var = {
+                            // sweep loop variable: level sweep_level in the
+                            // single-chain nest starting at loop_id
+                            let mut nest_ids = vec![loop_id];
+                            loop {
+                                let last = *nest_ids.last().unwrap();
+                                match loops.loop_body.get(&last) {
+                                    Some(body) if body.len() == 1
+                                        && loops.loops.contains_key(&body[0]) =>
+                                    {
+                                        nest_ids.push(body[0]);
+                                    }
+                                    _ => break,
+                                }
+                            }
+                            nest_ids
+                                .get(sch.sweep_level)
+                                .map(|id| loops.loops[id].var.clone())
+                        };
+                        if let Some(var) = var {
+                            if sub.coeff(&var) != 0 {
+                                // shift relative to CP on the swept dim
+                                let behind = cp.terms.iter().any(|t| {
+                                    matches!(
+                                        t.subs.get(*dm),
+                                        Some(SubTerm::Affine(tsub))
+                                            if {
+                                                let d = sub.clone() - tsub.clone();
+                                                d.is_constant()
+                                                    && (if sch.forward { -d.constant() } else { d.constant() }) > 0
+                                            }
+                                    )
+                                });
+                                if behind {
+                                    continue;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            // last preceding write inside the nest
+            let pred = ud
+                .last_write_before
+                .get(&r.id)
+                .and_then(|w| refs.by_id(*w))
+                .filter(|w| {
+                    // require an actual flow dependence (production precedes
+                    // consumption) before trusting coverage
+                    flow_deps.iter().any(|d| {
+                        d.kind == DepKind::Flow && d.src_ref == w.id && d.dst_ref == r.id
+                    })
+                });
+            // staleness check first (it must run even when availability
+            // would eliminate the communication): any part of the read a
+            // processor does NOT compute itself but which some OTHER
+            // processor computes in this same (non-pipelined) nest is
+            // inner-loop communication — unsupported, and exactly what §5
+            // localization prevents. Pipelined nests are exempt: the
+            // sweep schedule carries behind-values, and ahead-values are
+            // serial-order pre-nest values, which the pre-exchange
+            // delivers correctly.
+            if let Some(w) = pred {
+                if sweep.is_none() && loops.stmts_in(loop_id).contains(&w.stmt) {
+                    let Some(nest_r) = nest_bounds(r.stmt, loops) else {
+                        return Err(CommError("non-affine loop bounds".into()));
+                    };
+                    let Some(nw) = nest_bounds(w.stmt, loops) else {
+                        return Err(CommError("non-affine loop bounds".into()));
+                    };
+                    let wcp = cps.get(&w.stmt).cloned().unwrap_or_default();
+                    for rank in 0..nprocs {
+                        let coords = grid.coords(rank as i64);
+                        let (Some(read_data), Some(wd)) = (
+                            accessed_set(r, cp, &nest_r, env, &coords),
+                            accessed_set(w, &wcp, &nw, env, &coords),
+                        ) else {
+                            continue;
+                        };
+                        let uncovered = read_data.subtract(&wd);
+                        if uncovered.is_empty() {
+                            continue;
+                        }
+                        for orank in 0..nprocs {
+                            if orank == rank {
+                                continue;
+                            }
+                            let oc = grid.coords(orank as i64);
+                            if let Some(owd) = accessed_set(w, &wcp, &nw, env, &oc) {
+                                if !uncovered.intersect(&owd).is_empty() {
+                                    return Err(CommError(format!(
+                                        "read of `{}` needs inner-loop communication                                          (value produced on another processor in the                                          same nest); communication-sensitive loop                                          distribution (§5) avoids this",
+                                        r.array
+                                    )));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            if opts.data_availability {
+                if let Some(w) = pred {
+                    let wcp = cps.get(&w.stmt).cloned().unwrap_or_default();
+                    if read_available(r, cp, w, &wcp, loops, env) == Availability::Available {
+                        report.reads_eliminated_by_availability += 1;
+                        continue;
+                    }
+                }
+            }
+            // residual non-local read per processor
+            let Some(nest_r) = nest_bounds(r.stmt, loops) else {
+                return Err(CommError("non-affine loop bounds".into()));
+            };
+            for rank in 0..nprocs {
+                let coords = grid.coords(rank as i64);
+                let Some(read_data) = accessed_set(r, cp, &nest_r, env, &coords) else {
+                    return Err(CommError("non-affine read subscripts".into()));
+                };
+                let owned = dist.owned_set(&coords);
+                let mut nonlocal = read_data.subtract(&owned);
+                // §7: data this processor itself produces (as owner or
+                // non-owner) is locally available — subtract it. With the
+                // optimization disabled, everything non-local is fetched
+                // from its owner, as the base communication model says.
+                if opts.data_availability {
+                    if let Some(w) = pred {
+                        if let Some(nw) = nest_bounds(w.stmt, loops) {
+                            let wcp = cps.get(&w.stmt).cloned().unwrap_or_default();
+                            if let Some(wd) = accessed_set(w, &wcp, &nw, env, &coords) {
+                                nonlocal = nonlocal.subtract(&wd);
+                            }
+                        }
+                    }
+                }
+                push_msgs(&mut pre, &nonlocal, &r.array, dist, &grid, rank);
+            }
+        }
+    }
+    coalesce(&mut pre);
+    report.pre_messages += pre.len();
+    report.pre_volume += pre.iter().map(|m| m.region.len()).sum::<usize>();
+
+    // ---- write-backs (writer → owner, replication-suppressed) -------------
+    let mut post: Vec<Msg> = Vec::new();
+    build_writebacks(
+        loop_id,
+        loops,
+        refs,
+        cps,
+        env,
+        &grid,
+        sweep.as_ref(),
+        &mut post,
+        report,
+    )?;
+    coalesce(&mut post);
+    report.post_messages += post.len();
+    report.post_volume += post.iter().map(|m| m.region.len()).sum::<usize>();
+
+    match sweep {
+        Some(mut schedule) => {
+            schedule.granularity = opts.granularity;
+            Ok(NestPlan::Pipelined { pre, post, schedule })
+        }
+        None => Ok(NestPlan::Parallel { pre, post }),
+    }
+}
+
+/// Write-back construction (writer → owner).
+#[allow(clippy::too_many_arguments)]
+fn build_writebacks(
+    loop_id: StmtId,
+    loops: &UnitLoops,
+    refs: &UnitRefs,
+    cps: &CpAssignment,
+    env: &DistEnv,
+    grid: &crate::distrib::ProcGrid,
+    sweep: Option<&PipeSchedule>,
+    post: &mut Vec<Msg>,
+    report: &mut CommReport,
+) -> Result<(), CommError> {
+    let nprocs = grid.nprocs() as usize;
+    for stmt in loops.stmts_in(loop_id) {
+        let Some(cp) = cps.get(&stmt) else { continue };
+        for w in refs.of_stmt(stmt) {
+            if !w.is_write || w.is_scalar {
+                continue;
+            }
+            let Some(dist) = env.dist_of(&w.array) else { continue };
+            if !dist.is_distributed() {
+                continue;
+            }
+            if let Some(s) = sweep {
+                if s.arrays.iter().any(|(a, _)| a == &w.array) {
+                    continue;
+                }
+            }
+            let Some(nest_w) = nest_bounds(w.stmt, loops) else {
+                return Err(CommError("non-affine loop bounds".into()));
+            };
+            // cache per-owner "computes itself" sets
+            let owner_self: Vec<Option<Set>> = (0..nprocs)
+                .map(|orank| {
+                    let oc = grid.coords(orank as i64);
+                    accessed_set(w, cp, &nest_w, env, &oc)
+                        .map(|s| s.intersect(&dist.owned_set(&oc)))
+                })
+                .collect();
+            for rank in 0..nprocs {
+                let coords = grid.coords(rank as i64);
+                let Some(written) = accessed_set(w, cp, &nest_w, env, &coords) else {
+                    return Err(CommError("non-affine write subscripts".into()));
+                };
+                let nonowned = written.subtract(&dist.owned_set(&coords));
+                if nonowned.is_empty() {
+                    continue;
+                }
+                for orank in 0..nprocs {
+                    if orank == rank {
+                        continue;
+                    }
+                    let ocoords = grid.coords(orank as i64);
+                    let oowned = dist.owned_set(&ocoords);
+                    let mut piece = nonowned.intersect(&oowned);
+                    if piece.is_empty() {
+                        continue;
+                    }
+                    // owner computes these itself? then no write-back
+                    if let Some(selfset) = &owner_self[orank] {
+                        let before = piece.clone();
+                        piece = piece.subtract(selfset);
+                        if piece.is_empty() && !before.is_empty() {
+                            report.writebacks_suppressed_by_replication += 1;
+                        }
+                    }
+                    if piece.is_empty() {
+                        continue;
+                    }
+                    for region in regions_of(&piece) {
+                        post.push(Msg {
+                            from: rank,
+                            to: orank,
+                            array: w.array.clone(),
+                            region,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Convert a set into bounding-box regions (one per disjunct, merged).
+fn regions_of(s: &Set) -> Vec<Region> {
+    let mut out: Vec<Region> = Vec::new();
+    for poly in s.polys() {
+        let single = Set::from_poly(s.space(), poly.clone());
+        if let Some(bb) = bounding_box(&single, &|_| None) {
+            let r = Region {
+                lo: bb.iter().map(|b| b.0).collect(),
+                hi: bb.iter().map(|b| b.1).collect(),
+            };
+            if !r.is_empty() && !out.contains(&r) {
+                out.push(r);
+            }
+        }
+    }
+    merge_regions(&mut out);
+    out
+}
+
+/// Merge regions that abut or overlap along exactly one dimension.
+fn merge_regions(regions: &mut Vec<Region>) {
+    let mut changed = true;
+    while changed {
+        changed = false;
+        'outer: for i in 0..regions.len() {
+            for j in i + 1..regions.len() {
+                if let Some(m) = try_merge(&regions[i], &regions[j]) {
+                    regions[i] = m;
+                    regions.remove(j);
+                    changed = true;
+                    break 'outer;
+                }
+            }
+        }
+    }
+}
+
+fn try_merge(a: &Region, b: &Region) -> Option<Region> {
+    let n = a.lo.len();
+    let mut diff_dim = None;
+    for d in 0..n {
+        if a.lo[d] == b.lo[d] && a.hi[d] == b.hi[d] {
+            continue;
+        }
+        if diff_dim.is_some() {
+            return None;
+        }
+        diff_dim = Some(d);
+    }
+    let Some(d) = diff_dim else { return Some(a.clone()) }; // identical
+    // mergeable if the ranges overlap or abut
+    if a.hi[d] + 1 >= b.lo[d] && b.hi[d] + 1 >= a.lo[d] {
+        let mut m = a.clone();
+        m.lo[d] = a.lo[d].min(b.lo[d]);
+        m.hi[d] = a.hi[d].max(b.hi[d]);
+        Some(m)
+    } else {
+        None
+    }
+}
+
+/// For a receiving processor, split a non-local set into per-owner
+/// messages.
+fn push_msgs(
+    out: &mut Vec<Msg>,
+    nonlocal: &Set,
+    array: &str,
+    dist: &crate::distrib::ArrayDist,
+    grid: &crate::distrib::ProcGrid,
+    receiver: usize,
+) {
+    if nonlocal.is_empty() {
+        return;
+    }
+    for orank in 0..grid.nprocs() as usize {
+        if orank == receiver {
+            continue;
+        }
+        let ocoords = grid.coords(orank as i64);
+        let oowned = dist.owned_set(&ocoords);
+        let piece = nonlocal.intersect(&oowned);
+        if piece.is_empty() {
+            continue;
+        }
+        for region in regions_of(&piece) {
+            out.push(Msg { from: orank, to: receiver, array: array.to_string(), region });
+        }
+    }
+}
+
+/// Deduplicate and merge messages between identical endpoints.
+fn coalesce(msgs: &mut Vec<Msg>) {
+    msgs.sort_by(|a, b| {
+        (a.from, a.to, &a.array).cmp(&(b.from, b.to, &b.array)).then_with(|| {
+            a.region.lo.cmp(&b.region.lo)
+        })
+    });
+    msgs.dedup();
+    // merge regions per endpoint pair
+    let mut out: Vec<Msg> = Vec::new();
+    for m in msgs.drain(..) {
+        let mut merged = false;
+        for o in out.iter_mut() {
+            if o.from == m.from && o.to == m.to && o.array == m.array {
+                if let Some(r) = try_merge(&o.region, &m.region) {
+                    o.region = r;
+                    merged = true;
+                    break;
+                }
+            }
+        }
+        if !merged {
+            out.push(m);
+        }
+    }
+    *msgs = out;
+}
+
+/// Detect a wavefront sweep: the outermost loop level carrying a flow
+/// dependence whose loop variable subscripts a distributed dimension.
+fn detect_sweep(
+    loop_id: StmtId,
+    loops: &UnitLoops,
+    refs: &UnitRefs,
+    deps: &[Dependence],
+    cps: &CpAssignment,
+    env: &DistEnv,
+) -> Option<PipeSchedule> {
+    // nest structure of the *loop itself*: level 0 = loop_id
+    let mut nest: Vec<StmtId> = vec![loop_id];
+    // follow single-child chains of loops to list nest levels
+    loop {
+        let last = *nest.last().unwrap();
+        let body = loops.loop_body.get(&last)?;
+        let inner: Vec<StmtId> =
+            body.iter().filter(|s| loops.loops.contains_key(s)).cloned().collect();
+        if inner.len() == 1 && body.len() == 1 {
+            nest.push(inner[0]);
+        } else {
+            // also descend when the loop body is a single loop among
+            // non-loop statements? keep strict single-chain
+            break;
+        }
+    }
+
+    let mut sweep: Option<(usize, String, usize, usize, bool, i64)> = None;
+    for d in deps {
+        if d.kind != DepKind::Flow {
+            continue;
+        }
+        let Some(level) = d.level else { continue };
+        // the dependence level is relative to loop_id = level 0
+        if level >= nest.len() {
+            continue;
+        }
+        let info = &loops.loops[&nest[level]];
+        let var = info.var.clone();
+        let Some(dist) = env.dist_of(&d.array) else { continue };
+        if !dist.is_distributed() {
+            continue;
+        }
+        // does `var` subscript a distributed dim of this array?
+        let src = refs.by_id(d.src_ref)?;
+        for (dim, m) in dist.dims.iter().enumerate() {
+            let DimMap::Block { pdim, .. } = m else { continue };
+            let Some(Some(sub)) = src.subs.get(dim) else { continue };
+            if sub.coeff(&var) == 0 {
+                continue;
+            }
+            // depth: maximum |shift| between the CP subscript and any
+            // write subscript along this dim
+            let depth = write_depth(loop_id, loops, refs, cps, &d.array, dim, &var);
+            let cand = (level, d.array.clone(), dim, *pdim, info.step >= 0, depth);
+            match &sweep {
+                Some((l, ..)) if *l <= level => {}
+                _ => sweep = Some(cand),
+            }
+        }
+    }
+    let (level, array, dim, pdim, forward, depth) = sweep?;
+    // collect all swept arrays that share the pdim and have writes shifted
+    // along their swept dim
+    let mut arrays = vec![(array.clone(), dim)];
+    for stmt in loops.stmts_in(loop_id) {
+        for w in refs.of_stmt(stmt) {
+            if !w.is_write || w.is_scalar {
+                continue;
+            }
+            let Some(d2) = env.dist_of(&w.array) else { continue };
+            for (dm, m) in d2.dims.iter().enumerate() {
+                let DimMap::Block { pdim: p2, .. } = m else { continue };
+                if *p2 != pdim {
+                    continue;
+                }
+                let var = &loops.loops[&nest[level]].var;
+                if let Some(Some(sub)) = w.subs.get(dm) {
+                    if sub.coeff(var) != 0 && !arrays.iter().any(|(a, _)| a == &w.array) {
+                        arrays.push((w.array.clone(), dm));
+                    }
+                }
+            }
+        }
+    }
+    // read-behind depth: reads of swept arrays shifted against the sweep
+    let sweep_var = loops.loops[&nest[level]].var.clone();
+    let mut read_depth = 0i64;
+    for stmt in loops.stmts_in(loop_id) {
+        let Some(cp) = cps.get(&stmt) else { continue };
+        for r in refs.of_stmt(stmt) {
+            if r.is_write {
+                continue;
+            }
+            let Some((_, dm)) = arrays.iter().find(|(a, _)| a == &r.array) else { continue };
+            let Some(Some(sub)) = r.subs.get(*dm) else { continue };
+            if sub.coeff(&sweep_var) == 0 {
+                continue;
+            }
+            for t in &cp.terms {
+                if t.array != r.array {
+                    continue;
+                }
+                if let Some(SubTerm::Affine(tsub)) = t.subs.get(*dm) {
+                    let diff = sub.clone() - tsub.clone();
+                    if diff.is_constant() {
+                        let d = diff.constant();
+                        // "behind" = against the sweep direction
+                        let behind = if forward { -d } else { d };
+                        read_depth = read_depth.max(behind.max(0));
+                    }
+                }
+            }
+        }
+    }
+    // strip loop: must enclose the sweep loop (outside it) and carry no
+    // dependence of its own
+    let strip_level = (0..level)
+        .find(|l| !deps.iter().any(|d| d.level == Some(*l) && d.kind == DepKind::Flow));
+    Some(PipeSchedule {
+        sweep_level: level,
+        forward,
+        pdim,
+        arrays,
+        depth,
+        read_depth,
+        strip_level,
+        granularity: 4,
+    })
+}
+
+/// Max |shift| of writes to `array` along `dim` relative to the sweep var.
+fn write_depth(
+    loop_id: StmtId,
+    loops: &UnitLoops,
+    refs: &UnitRefs,
+    cps: &CpAssignment,
+    array: &str,
+    dim: usize,
+    var: &str,
+) -> i64 {
+    let mut depth = 0i64;
+    for stmt in loops.stmts_in(loop_id) {
+        let Some(cp) = cps.get(&stmt) else { continue };
+        for w in refs.of_stmt(stmt) {
+            if !w.is_write || w.array != array {
+                continue;
+            }
+            let Some(Some(sub)) = w.subs.get(dim) else { continue };
+            if sub.coeff(var) == 0 {
+                continue;
+            }
+            // compare against each CP term's subscript on the same array
+            for t in &cp.terms {
+                if t.array != array {
+                    continue;
+                }
+                if let Some(SubTerm::Affine(tsub)) = t.subs.get(dim) {
+                    let diff = sub.clone() - tsub.clone();
+                    if diff.is_constant() {
+                        depth = depth.max(diff.constant().abs());
+                    }
+                }
+            }
+        }
+    }
+    depth
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cp::{Cp, CpTerm};
+    use crate::distrib::resolve;
+    use crate::select::{assignments_in, select_for_loop};
+    use dhpf_depend::dep::analyze_loop_deps;
+    use dhpf_depend::refs::analyze_unit;
+    use dhpf_fortran::parse;
+    use dhpf_iset::LinExpr;
+
+    fn setup(src: &str) -> (UnitLoops, UnitRefs, DistEnv, Vec<Dependence>, CpAssignment, StmtId) {
+        let p = parse(src).expect("parse");
+        let name = p.units[0].name.clone();
+        let (loops, refs, _) = analyze_unit(&p, &name).expect("analyze");
+        let env = resolve(&p.units[0], &Default::default()).expect("resolve");
+        let outer = loops
+            .loops
+            .iter()
+            .filter(|(_, i)| i.depth == 0)
+            .map(|(id, _)| *id)
+            .min_by_key(|id| loops.order[id])
+            .unwrap();
+        let deps = analyze_loop_deps(outer, &loops, &refs);
+        let stmts = assignments_in(outer, &loops, &refs);
+        let cps = select_for_loop(&stmts, &CpAssignment::new(), &refs, &env);
+        (loops, refs, env, deps, cps, outer)
+    }
+
+    /// 1-D stencil: a(i) = b(i-1) + b(i+1), both BLOCK over 4 procs,
+    /// n = 16 (blocks of 4).
+    const STENCIL_1D: &str = "
+      subroutine s(a, b)
+      parameter (n = 16)
+      integer i
+      double precision a(n), b(n)
+!hpf$ processors p(4)
+!hpf$ distribute (block) onto p :: a, b
+      do i = 2, n - 1
+         a(i) = b(i - 1) + b(i + 1)
+      enddo
+      end
+";
+
+    #[test]
+    fn stencil_exchanges_one_boundary_cell_each_way() {
+        let (loops, refs, env, deps, cps, outer) = setup(STENCIL_1D);
+        let mut report = CommReport::default();
+        let plan = plan_nest(
+            outer,
+            &loops,
+            &refs,
+            &deps,
+            &cps,
+            &env,
+            &CommOptions::default(),
+            &mut report,
+        )
+        .expect("plan");
+        let NestPlan::Parallel { pre, post } = plan else { panic!("expected parallel") };
+        // interior boundaries: 3 boundaries × 2 directions = 6 messages,
+        // one element each
+        assert_eq!(pre.len(), 6, "{pre:?}");
+        assert!(pre.iter().all(|m| m.region.len() == 1));
+        // owner-computes writes: no write-backs
+        assert!(post.is_empty(), "{post:?}");
+        // directions: proc 1 receives b(4) from proc 0 and b(9) from proc 2
+        assert!(pre
+            .iter()
+            .any(|m| m.from == 0 && m.to == 1 && m.region.lo == vec![4]));
+        assert!(pre
+            .iter()
+            .any(|m| m.from == 2 && m.to == 1 && m.region.lo == vec![9]));
+    }
+
+    #[test]
+    fn replication_eliminates_exchange() {
+        // same stencil but the producer loop partially replicates b's
+        // boundary computation (LOCALIZE-style CP): reads become covered
+        let src = "
+      subroutine s(a, b, u)
+      parameter (n = 16)
+      integer i, one
+      double precision a(n), b(n), u(n)
+!hpf$ processors p(4)
+!hpf$ distribute (block) onto p :: a, b, u
+      do one = 1, 1
+         do i = 1, n
+            b(i) = u(i) * 2.0
+         enddo
+         do i = 2, n - 1
+            a(i) = b(i - 1) + b(i + 1)
+         enddo
+      enddo
+      end
+";
+        let p = parse(src).unwrap();
+        let (loops, refs, _) = analyze_unit(&p, "s").unwrap();
+        let env = resolve(&p.units[0], &Default::default()).unwrap();
+        let outer = loops
+            .loops
+            .iter()
+            .filter(|(_, i)| i.depth == 0)
+            .map(|(id, _)| *id)
+            .min_by_key(|id| loops.order[id])
+            .unwrap();
+        let deps = analyze_loop_deps(outer, &loops, &refs);
+        let stmts = assignments_in(outer, &loops, &refs);
+        let mut cps = select_for_loop(&stmts, &CpAssignment::new(), &refs, &env);
+        // manually install the §4.2 partial-replication CP on b's def
+        let b_def = refs.of_array("b").into_iter().find(|r| r.is_write).unwrap();
+        cps.insert(b_def.stmt, Cp {
+            terms: vec![
+                CpTerm::on_home("b", vec![LinExpr::var("i")]),
+                CpTerm::on_home("a", vec![LinExpr::var("i") + 1]),
+                CpTerm::on_home("a", vec![LinExpr::var("i") - 1]),
+            ],
+        });
+        let mut report = CommReport::default();
+        let plan = plan_nest(outer, &loops, &refs, &deps, &cps, &env,
+            &CommOptions::default(), &mut report).expect("plan");
+        // reads of b are now covered by the replicated writes: no b
+        // messages at all; u is read aligned (u(i) under b(i)-homed CP
+        // extended) — only u's boundary cells may move
+        let b_msgs: Vec<&Msg> = plan.pre().iter().filter(|m| m.array == "b").collect();
+        assert!(b_msgs.is_empty(), "partial replication must kill b comm: {b_msgs:?}");
+        assert!(report.reads_eliminated_by_availability >= 2);
+        // and the boundary writes of b need no write-back (owner computes
+        // them too)
+        assert!(plan.post().iter().all(|m| m.array != "b"), "{:?}", plan.post());
+    }
+
+    /// Wavefront: recurrence along distributed j.
+    const SWEEP: &str = "
+      subroutine s(lhs)
+      parameter (n = 16)
+      integer i, j
+      double precision lhs(n, n)
+!hpf$ processors p(4)
+!hpf$ distribute (*, block) onto p :: lhs
+      do j = 2, n
+         do i = 1, n
+            lhs(i, j) = lhs(i, j - 1) * 0.5
+         enddo
+      enddo
+      end
+";
+
+    #[test]
+    fn sweep_detected_and_scheduled() {
+        let (loops, refs, env, deps, cps, outer) = setup(SWEEP);
+        let mut report = CommReport::default();
+        let plan = plan_nest(outer, &loops, &refs, &deps, &cps, &env,
+            &CommOptions { granularity: 2, data_availability: true }, &mut report)
+            .expect("plan");
+        let NestPlan::Pipelined { schedule, pre, .. } = plan else {
+            panic!("expected pipelined")
+        };
+        assert_eq!(schedule.sweep_level, 0);
+        assert!(schedule.forward);
+        assert_eq!(schedule.pdim, 0);
+        assert_eq!(schedule.granularity, 2);
+        // the sweep is the outermost loop: no loop outside it to
+        // strip-mine, so the pipeline runs at whole-block granularity
+        assert_eq!(schedule.strip_level, None);
+        assert!(schedule.read_depth >= 1);
+        assert!(schedule.arrays.iter().any(|(a, d)| a == "lhs" && *d == 1));
+        // reads of lhs(i, j-1): boundary column fetched... but under
+        // owner-computes the j-1 read at j=jlo refers to the previous
+        // block: supplied by the pipeline, so pre remains (conservative
+        // one-column fetch) or empty if availability covered it
+        let _ = pre;
+    }
+
+    #[test]
+    fn region_merge_and_coalesce() {
+        let a = Region { lo: vec![1, 1], hi: vec![4, 1] };
+        let b = Region { lo: vec![1, 2], hi: vec![4, 2] };
+        let m = try_merge(&a, &b).unwrap();
+        assert_eq!(m, Region { lo: vec![1, 1], hi: vec![4, 2] });
+        let c = Region { lo: vec![1, 4], hi: vec![4, 4] };
+        assert!(try_merge(&a, &c).is_none());
+        let mut msgs = vec![
+            Msg { from: 0, to: 1, array: "x".into(), region: a },
+            Msg { from: 0, to: 1, array: "x".into(), region: b },
+        ];
+        coalesce(&mut msgs);
+        assert_eq!(msgs.len(), 1);
+        assert_eq!(msgs[0].region.hi, vec![4, 2]);
+    }
+
+    #[test]
+    fn availability_toggle_changes_report() {
+        let src = "
+      subroutine s(a, b, u)
+      parameter (n = 16)
+      integer i, one
+      double precision a(n), b(n), u(n)
+!hpf$ processors p(4)
+!hpf$ distribute (block) onto p :: a, b, u
+      do one = 1, 1
+         do i = 1, n
+            b(i) = u(i) * 2.0
+         enddo
+         do i = 2, n - 1
+            a(i) = b(i - 1) + b(i + 1)
+         enddo
+      enddo
+      end
+";
+        let p = parse(src).unwrap();
+        let (loops, refs, _) = analyze_unit(&p, "s").unwrap();
+        let env = resolve(&p.units[0], &Default::default()).unwrap();
+        let outer = loops
+            .loops
+            .iter()
+            .filter(|(_, i)| i.depth == 0)
+            .map(|(id, _)| *id)
+            .min_by_key(|id| loops.order[id])
+            .unwrap();
+        let deps = analyze_loop_deps(outer, &loops, &refs);
+        let stmts = assignments_in(outer, &loops, &refs);
+        let mut cps = select_for_loop(&stmts, &CpAssignment::new(), &refs, &env);
+        let b_def = refs.of_array("b").into_iter().find(|r| r.is_write).unwrap();
+        cps.insert(b_def.stmt, Cp {
+            terms: vec![
+                CpTerm::on_home("b", vec![LinExpr::var("i")]),
+                CpTerm::on_home("a", vec![LinExpr::var("i") + 1]),
+                CpTerm::on_home("a", vec![LinExpr::var("i") - 1]),
+            ],
+        });
+        let run = |avail: bool| {
+            let mut report = CommReport::default();
+            let plan = plan_nest(outer, &loops, &refs, &deps, &cps, &env,
+                &CommOptions { data_availability: avail, granularity: 4 }, &mut report)
+                .expect("plan");
+            (plan.pre().len(), report)
+        };
+        let (with_avail, r1) = run(true);
+        let (without, _r2) = run(false);
+        assert!(r1.reads_eliminated_by_availability > 0);
+        // without availability, the residual-subtraction still removes
+        // covered data, so message count is ≥ the optimized one
+        assert!(without >= with_avail);
+    }
+}

@@ -1,0 +1,747 @@
+//! Direct serial interpreter over the Fortran AST (ground truth).
+
+use dhpf_fortran::ast::*;
+use dhpf_fortran::Program;
+use std::collections::BTreeMap;
+
+/// A dense array value (column-major, inclusive bounds per dim).
+#[derive(Clone, Debug)]
+pub struct ArrayValue {
+    pub lo: Vec<i64>,
+    pub hi: Vec<i64>,
+    pub data: Vec<f64>,
+    strides: Vec<usize>,
+}
+
+impl ArrayValue {
+    pub fn new(lo: Vec<i64>, hi: Vec<i64>) -> Self {
+        let mut strides = Vec::with_capacity(lo.len());
+        let mut acc = 1usize;
+        for (l, h) in lo.iter().zip(&hi) {
+            strides.push(acc);
+            acc *= (h - l + 1).max(0) as usize;
+        }
+        ArrayValue { data: vec![0.0; acc], lo, hi, strides }
+    }
+
+    #[inline]
+    pub fn offset(&self, idx: &[i64]) -> usize {
+        let mut off = 0usize;
+        for d in 0..idx.len() {
+            debug_assert!(
+                idx[d] >= self.lo[d] && idx[d] <= self.hi[d],
+                "index {idx:?} out of bounds [{:?}..{:?}]",
+                self.lo,
+                self.hi
+            );
+            off += (idx[d] - self.lo[d]) as usize * self.strides[d];
+        }
+        off
+    }
+
+    pub fn get(&self, idx: &[i64]) -> f64 {
+        self.data[self.offset(idx)]
+    }
+
+    pub fn set(&mut self, idx: &[i64], v: f64) {
+        let off = self.offset(idx);
+        self.data[off] = v;
+    }
+}
+
+/// Result of a serial run: final array values (commons and main-program
+/// locals, keyed by name) plus counters.
+#[derive(Debug, Default)]
+pub struct SerialResult {
+    pub arrays: BTreeMap<String, ArrayValue>,
+    pub scalars: BTreeMap<String, f64>,
+    /// Total weighted flops executed (same weights as the parallel run).
+    pub flops: u64,
+    /// Per-subroutine flop totals (drives the shared cost model).
+    pub flops_by_unit: BTreeMap<String, u64>,
+}
+
+/// Runtime error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunError(pub String);
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "serial interpreter: {}", self.0)
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Is a name integer-typed under Fortran rules (declared `integer`, or
+/// implicit `i`–`n` prefix)?
+pub fn is_integer_name(name: &str, decls: &Decls) -> bool {
+    match decls.vars.get(name) {
+        Some(v) => v.ty == Ty::Integer,
+        None => matches!(name.as_bytes().first(), Some(b'i'..=b'n')),
+    }
+}
+
+struct Frame<'p> {
+    unit: &'p ProgramUnit,
+    ints: BTreeMap<String, i64>,
+    floats: BTreeMap<String, f64>,
+    /// Arrays owned by this frame (locals) or borrowed (commons/dummies)
+    /// — all indirected through the interpreter's global table.
+    arrays: BTreeMap<String, usize>,
+}
+
+/// The interpreter.
+struct Interp<'p> {
+    program: &'p Program,
+    bindings: BTreeMap<String, i64>,
+    storage: Vec<ArrayValue>,
+    /// Arrays shared through COMMON, keyed by variable name.
+    commons: BTreeMap<String, usize>,
+    flops: u64,
+    flops_by_unit: BTreeMap<String, u64>,
+    /// Call-stack of unit names below main: flops are attributed to the
+    /// top-level *phase* (the unit main called), so leaf routines'
+    /// work lands on their calling solve phase — the attribution the
+    /// calibrated cost model needs.
+    phase_stack: Vec<String>,
+}
+
+/// Run the program's main unit. `bindings` provides values for symbolic
+/// names used in declarations (array extents).
+pub fn run_serial(
+    program: &Program,
+    bindings: &BTreeMap<String, i64>,
+) -> Result<SerialResult, RunError> {
+    let main = program
+        .main()
+        .ok_or_else(|| RunError("no main program unit".into()))?;
+    let mut interp = Interp {
+        program,
+        bindings: bindings.clone(),
+        storage: Vec::new(),
+        commons: BTreeMap::new(),
+        flops: 0,
+        flops_by_unit: BTreeMap::new(),
+        phase_stack: Vec::new(),
+    };
+    let mut frame = interp.make_frame(main, &[], &BTreeMap::new())?;
+    interp.exec_body(&main.body, &mut frame)?;
+    let mut out = SerialResult {
+        flops: interp.flops,
+        flops_by_unit: interp.flops_by_unit.clone(),
+        ..Default::default()
+    };
+    for (name, idx) in &frame.arrays {
+        out.arrays.insert(name.clone(), interp.storage[*idx].clone());
+    }
+    for (name, v) in &frame.floats {
+        out.scalars.insert(name.clone(), *v);
+    }
+    for (name, v) in &frame.ints {
+        out.scalars.insert(name.clone(), *v as f64);
+    }
+    Ok(out)
+}
+
+enum Flow {
+    Normal,
+    Return,
+}
+
+impl<'p> Interp<'p> {
+    fn eval_extent(&self, e: &Expr, unit: &ProgramUnit, frame: Option<&Frame>) -> Result<i64, RunError> {
+        // extents may reference parameters, bindings, or (for callee
+        // declarations) integer dummy arguments
+        let lin = dhpf_fortran::subscript::affine(e, &unit.decls)
+            .ok_or_else(|| RunError(format!("non-affine array extent in {}", unit.name)))?;
+        lin.eval(&|v| {
+            frame
+                .and_then(|f| f.ints.get(v).copied())
+                .or_else(|| self.bindings.get(v).copied())
+        })
+        .ok_or_else(|| RunError(format!("unbound symbol in extent `{lin}` of {}", unit.name)))
+    }
+
+    fn make_frame(
+        &mut self,
+        unit: &'p ProgramUnit,
+        scalar_args: &[(String, f64, bool)],
+        array_args: &BTreeMap<String, usize>,
+    ) -> Result<Frame<'p>, RunError> {
+        let mut frame = Frame {
+            unit,
+            ints: BTreeMap::new(),
+            floats: BTreeMap::new(),
+            arrays: BTreeMap::new(),
+        };
+        // bind scalar dummies first (extents may use them)
+        for (name, value, is_int) in scalar_args {
+            if *is_int {
+                frame.ints.insert(name.clone(), *value as i64);
+            } else {
+                frame.floats.insert(name.clone(), *value);
+            }
+        }
+        // commons: the set of names in common blocks
+        let common_names: Vec<&String> =
+            unit.decls.commons.iter().flat_map(|(_, names)| names.iter()).collect();
+        for (name, decl) in &unit.decls.vars {
+            if decl.rank() == 0 {
+                continue;
+            }
+            if let Some(idx) = array_args.get(name) {
+                frame.arrays.insert(name.clone(), *idx);
+                continue;
+            }
+            let mut lo = Vec::new();
+            let mut hi = Vec::new();
+            for (l, h) in &decl.dims {
+                lo.push(self.eval_extent(l, unit, Some(&frame))?);
+                hi.push(self.eval_extent(h, unit, Some(&frame))?);
+            }
+            if common_names.contains(&name) {
+                if let Some(idx) = self.commons.get(name) {
+                    frame.arrays.insert(name.clone(), *idx);
+                    continue;
+                }
+                let idx = self.storage.len();
+                self.storage.push(ArrayValue::new(lo, hi));
+                self.commons.insert(name.clone(), idx);
+                frame.arrays.insert(name.clone(), idx);
+            } else {
+                let idx = self.storage.len();
+                self.storage.push(ArrayValue::new(lo, hi));
+                frame.arrays.insert(name.clone(), idx);
+            }
+        }
+        Ok(frame)
+    }
+
+    fn exec_body(&mut self, body: &[Stmt], frame: &mut Frame<'p>) -> Result<Flow, RunError> {
+        for s in body {
+            match self.exec_stmt(s, frame)? {
+                Flow::Return => return Ok(Flow::Return),
+                Flow::Normal => {}
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn exec_stmt(&mut self, s: &Stmt, frame: &mut Frame<'p>) -> Result<Flow, RunError> {
+        match &s.kind {
+            StmtKind::Assign { lhs, rhs } => {
+                let value = self.eval(rhs, frame)?;
+                let w = rhs.flop_count() + 1;
+                self.flops += w;
+                let phase = self
+                    .phase_stack
+                    .first()
+                    .cloned()
+                    .unwrap_or_else(|| frame.unit.name.clone());
+                *self.flops_by_unit.entry(phase).or_insert(0) += w;
+                self.store(lhs, value, frame)?;
+                Ok(Flow::Normal)
+            }
+            StmtKind::Do { var, lo, hi, step, body, .. } => {
+                let lo = self.eval(lo, frame)? as i64;
+                let hi = self.eval(hi, frame)? as i64;
+                let step = match step {
+                    None => 1,
+                    Some(e) => self.eval(e, frame)? as i64,
+                };
+                if step == 0 {
+                    return Err(RunError("zero do-loop step".into()));
+                }
+                let mut v = lo;
+                while (step > 0 && v <= hi) || (step < 0 && v >= hi) {
+                    frame.ints.insert(var.clone(), v);
+                    if let Flow::Return = self.exec_body(body, frame)? {
+                        return Ok(Flow::Return);
+                    }
+                    v += step;
+                }
+                Ok(Flow::Normal)
+            }
+            StmtKind::If { arms } => {
+                for (cond, body) in arms {
+                    let take = match cond {
+                        Some(c) => self.eval(c, frame)? != 0.0,
+                        None => true,
+                    };
+                    if take {
+                        return self.exec_body(body, frame);
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            StmtKind::Call { name, args, .. } => {
+                self.exec_call(name, args, frame)?;
+                Ok(Flow::Normal)
+            }
+            StmtKind::Return => Ok(Flow::Return),
+            StmtKind::Continue => Ok(Flow::Normal),
+        }
+    }
+
+    fn exec_call(
+        &mut self,
+        name: &str,
+        args: &[Expr],
+        frame: &mut Frame<'p>,
+    ) -> Result<(), RunError> {
+        let callee = self
+            .program
+            .unit(name)
+            .ok_or_else(|| RunError(format!("call to unknown unit `{name}`")))?;
+        let formals = callee.args();
+        if formals.len() != args.len() {
+            return Err(RunError(format!(
+                "arity mismatch calling {name}: {} formals, {} actuals",
+                formals.len(),
+                args.len()
+            )));
+        }
+        let mut scalar_args: Vec<(String, f64, bool)> = Vec::new();
+        let mut array_args: BTreeMap<String, usize> = BTreeMap::new();
+        for (formal, actual) in formals.iter().zip(args) {
+            let formal_is_array = callee.decls.is_array(formal);
+            match actual {
+                Expr::Ref(r) if r.subs.is_empty() && frame.arrays.contains_key(&r.name) => {
+                    if !formal_is_array {
+                        return Err(RunError(format!(
+                            "array `{}` passed for scalar dummy `{formal}` of {name}",
+                            r.name
+                        )));
+                    }
+                    array_args.insert(formal.clone(), frame.arrays[&r.name]);
+                }
+                other => {
+                    if formal_is_array {
+                        return Err(RunError(format!(
+                            "scalar expression passed for array dummy `{formal}` of {name}"
+                        )));
+                    }
+                    let v = self.eval(other, frame)?;
+                    let is_int = is_integer_name(formal, &callee.decls);
+                    scalar_args.push((formal.clone(), v, is_int));
+                }
+            }
+        }
+        let mut callee_frame = self.make_frame(callee, &scalar_args, &array_args)?;
+        self.phase_stack.push(callee.name.clone());
+        let result = self.exec_body(&callee.body, &mut callee_frame);
+        self.phase_stack.pop();
+        result?;
+        Ok(())
+    }
+
+    fn store(&mut self, lhs: &ArrayRef, value: f64, frame: &mut Frame<'p>) -> Result<(), RunError> {
+        if lhs.subs.is_empty() {
+            if is_integer_name(&lhs.name, &frame.unit.decls) {
+                frame.ints.insert(lhs.name.clone(), value as i64);
+            } else {
+                frame.floats.insert(lhs.name.clone(), value);
+            }
+            return Ok(());
+        }
+        let idx: Result<Vec<i64>, _> =
+            lhs.subs.iter().map(|e| self.eval(e, frame).map(|v| v as i64)).collect();
+        let idx = idx?;
+        let aidx = *frame
+            .arrays
+            .get(&lhs.name)
+            .ok_or_else(|| RunError(format!("write to unknown array `{}`", lhs.name)))?;
+        let arr = &self.storage[aidx];
+        for (d, v) in idx.iter().enumerate() {
+            if *v < arr.lo[d] || *v > arr.hi[d] {
+                return Err(RunError(format!(
+                    "index {idx:?} out of bounds for `{}` [{:?}..{:?}]",
+                    lhs.name, arr.lo, arr.hi
+                )));
+            }
+        }
+        self.storage[aidx].set(&idx, value);
+        Ok(())
+    }
+
+    fn eval(&mut self, e: &Expr, frame: &mut Frame<'p>) -> Result<f64, RunError> {
+        match e {
+            Expr::Int(v, _) => Ok(*v as f64),
+            Expr::Real(v, _) => Ok(*v),
+            Expr::Logical(b, _) => Ok(if *b { 1.0 } else { 0.0 }),
+            Expr::Un(UnOp::Neg, a, _) => Ok(-self.eval(a, frame)?),
+            Expr::Un(UnOp::Not, a, _) => Ok(if self.eval(a, frame)? == 0.0 { 1.0 } else { 0.0 }),
+            Expr::Bin(op, a, b, _) => {
+                let x = self.eval(a, frame)?;
+                // short-circuit logicals
+                match op {
+                    BinOp::And if x == 0.0 => return Ok(0.0),
+                    BinOp::Or if x != 0.0 => return Ok(1.0),
+                    _ => {}
+                }
+                let y = self.eval(b, frame)?;
+                Ok(match op {
+                    BinOp::Add => x + y,
+                    BinOp::Sub => x - y,
+                    BinOp::Mul => x * y,
+                    BinOp::Div => x / y,
+                    BinOp::Pow => x.powf(y),
+                    BinOp::Lt => f64::from(x < y),
+                    BinOp::Le => f64::from(x <= y),
+                    BinOp::Gt => f64::from(x > y),
+                    BinOp::Ge => f64::from(x >= y),
+                    BinOp::Eq => f64::from(x == y),
+                    BinOp::Ne => f64::from(x != y),
+                    BinOp::And => f64::from(y != 0.0),
+                    BinOp::Or => f64::from(y != 0.0),
+                })
+            }
+            Expr::Ref(r) => self.eval_ref(r, frame),
+        }
+    }
+
+    fn eval_ref(&mut self, r: &ArrayRef, frame: &mut Frame<'p>) -> Result<f64, RunError> {
+        // intrinsics
+        if is_intrinsic(&r.name) && !frame.arrays.contains_key(&r.name) {
+            let vals: Result<Vec<f64>, _> =
+                r.subs.iter().map(|a| self.eval(a, frame)).collect();
+            let vals = vals?;
+            return eval_intrinsic(&r.name, &vals);
+        }
+        if r.subs.is_empty() {
+            if let Some(v) = frame.ints.get(&r.name) {
+                return Ok(*v as f64);
+            }
+            if let Some(v) = frame.floats.get(&r.name) {
+                return Ok(*v);
+            }
+            if let Some(p) = frame.unit.decls.params.get(&r.name) {
+                return Ok(*p as f64);
+            }
+            if let Some(b) = self.bindings.get(&r.name) {
+                return Ok(*b as f64);
+            }
+            // uninitialized scalar: Fortran would be undefined; we use 0
+            return Ok(0.0);
+        }
+        let idx: Result<Vec<i64>, _> =
+            r.subs.iter().map(|e| self.eval(e, frame).map(|v| v as i64)).collect();
+        let idx = idx?;
+        let aidx = *frame
+            .arrays
+            .get(&r.name)
+            .ok_or_else(|| RunError(format!("read of unknown array `{}`", r.name)))?;
+        let arr = &self.storage[aidx];
+        for (d, v) in idx.iter().enumerate() {
+            if *v < arr.lo[d] || *v > arr.hi[d] {
+                return Err(RunError(format!(
+                    "index {idx:?} out of bounds for `{}` [{:?}..{:?}]",
+                    r.name, arr.lo, arr.hi
+                )));
+            }
+        }
+        Ok(arr.get(&idx))
+    }
+}
+
+/// Evaluate an intrinsic call.
+pub fn eval_intrinsic(name: &str, args: &[f64]) -> Result<f64, RunError> {
+    let need = |n: usize| -> Result<(), RunError> {
+        if args.len() < n {
+            Err(RunError(format!("intrinsic {name} needs {n} args, got {}", args.len())))
+        } else {
+            Ok(())
+        }
+    };
+    Ok(match name {
+        "min" => {
+            need(1)?;
+            args.iter().cloned().fold(f64::INFINITY, f64::min)
+        }
+        "max" => {
+            need(1)?;
+            args.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        }
+        "abs" => {
+            need(1)?;
+            args[0].abs()
+        }
+        "mod" => {
+            need(2)?;
+            args[0] % args[1]
+        }
+        "sqrt" => {
+            need(1)?;
+            args[0].sqrt()
+        }
+        "exp" => {
+            need(1)?;
+            args[0].exp()
+        }
+        "sin" => {
+            need(1)?;
+            args[0].sin()
+        }
+        "cos" => {
+            need(1)?;
+            args[0].cos()
+        }
+        "dble" => {
+            need(1)?;
+            args[0]
+        }
+        "int" => {
+            need(1)?;
+            args[0].trunc()
+        }
+        "sign" => {
+            need(2)?;
+            args[0].abs() * args[1].signum()
+        }
+        other => return Err(RunError(format!("unsupported intrinsic `{other}`"))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhpf_fortran::parse;
+
+    fn run(src: &str) -> SerialResult {
+        let p = parse(src).expect("parse");
+        run_serial(&p, &BTreeMap::new()).expect("run")
+    }
+
+    #[test]
+    fn simple_loop_fills_array() {
+        let r = run(
+            "
+      program t
+      parameter (n = 5)
+      double precision a(n)
+      do i = 1, n
+         a(i) = i * 2.0
+      enddo
+      end
+",
+        );
+        let a = &r.arrays["a"];
+        assert_eq!(a.get(&[1]), 2.0);
+        assert_eq!(a.get(&[5]), 10.0);
+        assert!(r.flops > 0);
+    }
+
+    #[test]
+    fn nested_loops_and_stencil() {
+        let r = run(
+            "
+      program t
+      parameter (n = 4)
+      double precision a(n, n), b(n, n)
+      do j = 1, n
+         do i = 1, n
+            a(i, j) = i + 10 * j
+         enddo
+      enddo
+      do j = 2, n - 1
+         do i = 2, n - 1
+            b(i, j) = (a(i - 1, j) + a(i + 1, j)) / 2.0
+         enddo
+      enddo
+      end
+",
+        );
+        let b = &r.arrays["b"];
+        assert_eq!(b.get(&[2, 2]), (21.0 + 23.0) / 2.0);
+        assert_eq!(b.get(&[1, 1]), 0.0);
+    }
+
+    #[test]
+    fn call_with_array_and_scalar_args() {
+        let r = run(
+            "
+      program t
+      parameter (n = 4)
+      double precision u(n)
+      do i = 1, n
+         u(i) = 1.0
+      enddo
+      call scale(u, n, 3.0d0)
+      end
+
+      subroutine scale(a, m, factor)
+      integer m
+      double precision a(m), factor
+      do i = 1, m
+         a(i) = a(i) * factor
+      enddo
+      end
+",
+        );
+        assert_eq!(r.arrays["u"].get(&[4]), 3.0);
+    }
+
+    #[test]
+    fn common_block_shares_storage() {
+        let r = run(
+            "
+      program t
+      parameter (n = 3)
+      double precision u(n)
+      common /flds/ u
+      call fill
+      x = u(2)
+      end
+
+      subroutine fill
+      parameter (n = 3)
+      double precision u(n)
+      common /flds/ u
+      do i = 1, n
+         u(i) = i * 1.0
+      enddo
+      end
+",
+        );
+        assert_eq!(r.arrays["u"].get(&[2]), 2.0);
+        assert_eq!(r.scalars["x"], 2.0);
+    }
+
+    #[test]
+    fn if_elseif_else_and_logical_ops() {
+        let r = run(
+            "
+      program t
+      x = 5.0
+      if (x .lt. 3.0) then
+         y = 1.0
+      else if (x .lt. 10.0 .and. x .gt. 4.0) then
+         y = 2.0
+      else
+         y = 3.0
+      endif
+      end
+",
+        );
+        assert_eq!(r.scalars["y"], 2.0);
+    }
+
+    #[test]
+    fn intrinsics_work() {
+        let r = run(
+            "
+      program t
+      x = sqrt(16.0d0) + max(1.0d0, 2.0d0, 3.0d0) + mod(7.0d0, 4.0d0) + abs(-2.0d0)
+      end
+",
+        );
+        assert_eq!(r.scalars["x"], 4.0 + 3.0 + 3.0 + 2.0);
+    }
+
+    #[test]
+    fn backward_loop_and_labeled_do() {
+        let r = run(
+            "
+      program t
+      parameter (n = 4)
+      double precision a(0:n)
+      a(n) = 1.0
+      do 10 i = n - 1, 0, -1
+         a(i) = a(i + 1) * 2.0
+ 10   continue
+      end
+",
+        );
+        assert_eq!(r.arrays["a"].get(&[0]), 16.0);
+    }
+
+    #[test]
+    fn integer_implicit_typing() {
+        // k is integer by the implicit i–n rule: 2.9 truncates to 2
+        let r = run(
+            "
+      program t
+      parameter (n = 4)
+      double precision a(n)
+      k = 2.9
+      a(k) = 7.0
+      end
+",
+        );
+        assert_eq!(r.arrays["a"].get(&[2]), 7.0);
+        assert_eq!(r.scalars["k"], 2.0);
+    }
+
+    #[test]
+    fn integer_truncation_in_subscripts() {
+        let r = run(
+            "
+      program t
+      parameter (n = 4)
+      double precision a(n)
+      k = 2
+      a(k + 1) = 7.0
+      end
+",
+        );
+        assert_eq!(r.arrays["a"].get(&[3]), 7.0);
+    }
+
+    #[test]
+    fn out_of_bounds_reported() {
+        let p = parse(
+            "
+      program t
+      double precision a(3)
+      a(4) = 1.0
+      end
+",
+        )
+        .unwrap();
+        let err = run_serial(&p, &BTreeMap::new()).unwrap_err();
+        assert!(err.0.contains("out of bounds"));
+    }
+
+    #[test]
+    fn return_exits_subroutine() {
+        let r = run(
+            "
+      program t
+      double precision a(2)
+      call f(a)
+      end
+
+      subroutine f(a)
+      double precision a(2)
+      a(1) = 1.0
+      return
+      a(2) = 1.0
+      end
+",
+        );
+        assert_eq!(r.arrays["a"].get(&[1]), 1.0);
+        assert_eq!(r.arrays["a"].get(&[2]), 0.0);
+    }
+
+    #[test]
+    fn flops_by_unit_tracked() {
+        let r = run(
+            "
+      program t
+      double precision a(4)
+      call g(a)
+      end
+
+      subroutine g(a)
+      double precision a(4)
+      do i = 1, 4
+         a(i) = i * 2.0 + 1.0
+      enddo
+      end
+",
+        );
+        assert!(r.flops_by_unit["g"] > 0);
+        assert!(!r.flops_by_unit.contains_key("t") || r.flops_by_unit["t"] == 0);
+    }
+}

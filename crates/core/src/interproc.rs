@@ -1,0 +1,299 @@
+//! Interprocedural selection of computation partitionings — §6.
+//!
+//! The algorithm proceeds bottom-up on the call graph:
+//!
+//! * for **leaf** procedures, local CP selection runs unchanged and an
+//!   *entry CP* is summarized for the procedure;
+//! * in non-leaf procedures, each call statement's candidate set is
+//!   restricted to the single choice obtained by translating the
+//!   callee's entry CP to the call site (formal → actual translation of
+//!   array names and scalar subscript arguments, through the shared
+//!   distribution environment — our stand-in for HPF template
+//!   translation, since arrays here are distributed by name program-wide).
+
+use crate::cp::{Cp, CpTerm, SubTerm};
+use crate::distrib::DistEnv;
+use crate::select::CpAssignment;
+use dhpf_depend::refs::UnitRefs;
+use dhpf_fortran::ast::{Expr, ProgramUnit, StmtKind};
+use dhpf_fortran::subscript::affine;
+use dhpf_iset::LinExpr;
+use std::collections::BTreeMap;
+
+/// Summarize a procedure's *entry CP* from its selected statement CPs:
+/// the CP of the last statement writing a distributed dummy argument
+/// (the "output parameter" heuristic the paper describes for
+/// `matvec_sub`), or `None` if the unit touches no distributed data
+/// (caller then treats the call like a scalar statement).
+pub fn entry_cp(
+    unit: &ProgramUnit,
+    assignment: &CpAssignment,
+    refs: &UnitRefs,
+    env: &DistEnv,
+) -> Option<Cp> {
+    let args = unit.args();
+    let mut best: Option<Cp> = None;
+    let mut stmts: Vec<_> = assignment.iter().collect();
+    stmts.sort_by_key(|(s, _)| **s);
+    for (stmt, cp) in stmts {
+        let Some(w) = refs.write_of(*stmt) else { continue };
+        if !args.contains(&w.array) {
+            continue;
+        }
+        let distributed = env.dist_of(&w.array).map(|d| d.is_distributed()).unwrap_or(false);
+        if distributed && !cp.is_replicated() {
+            best = Some(cp.clone());
+        }
+    }
+    best
+}
+
+/// Translate a callee's entry CP to a call site: formal array names map
+/// to actual array names; formal scalar names appearing in subscripts
+/// map to the (affine) actual argument expressions. Returns `None` when
+/// the translation fails (non-affine actual, expression actual for an
+/// array formal, rank mismatch) — the caller then falls back to local
+/// selection for the call statement.
+pub fn translate_to_callsite(
+    callee_cp: &Cp,
+    callee: &ProgramUnit,
+    call_args: &[Expr],
+    caller: &ProgramUnit,
+) -> Option<Cp> {
+    if callee_cp.is_replicated() {
+        return Some(Cp::replicated());
+    }
+    let formals = callee.args();
+    if formals.len() != call_args.len() {
+        return None;
+    }
+    // formal name -> actual: either an array rename or an affine expr
+    let mut array_map: BTreeMap<&str, &str> = BTreeMap::new();
+    let mut scalar_map: BTreeMap<&str, LinExpr> = BTreeMap::new();
+    for (formal, actual) in formals.iter().zip(call_args) {
+        let formal_is_array = callee.decls.is_array(formal);
+        match actual {
+            Expr::Ref(r) if r.subs.is_empty() && caller.decls.is_array(&r.name) => {
+                if formal_is_array {
+                    array_map.insert(formal.as_str(), r.name.as_str());
+                } else {
+                    return None; // array actual for scalar formal
+                }
+            }
+            other => {
+                if formal_is_array {
+                    return None; // expression actual for array formal
+                }
+                scalar_map.insert(formal.as_str(), affine(other, &caller.decls)?);
+            }
+        }
+    }
+
+    let mut terms = Vec::with_capacity(callee_cp.terms.len());
+    for t in &callee_cp.terms {
+        let actual_array = *array_map.get(t.array.as_str())?;
+        let subs: Vec<SubTerm> = t
+            .subs
+            .iter()
+            .map(|s| {
+                let mut s = s.clone();
+                for (formal, repl) in &scalar_map {
+                    s = s.substitute(formal, repl);
+                }
+                s
+            })
+            .collect();
+        terms.push(CpTerm { array: actual_array.to_string(), subs });
+    }
+    Some(Cp { terms })
+}
+
+/// Restrict call statements of `caller` whose callees have known entry
+/// CPs: inserts the translated CP into `fixed` so the local selection
+/// treats it as the single candidate. Returns the number of call sites
+/// restricted.
+pub fn restrict_call_sites(
+    caller: &ProgramUnit,
+    entry_cps: &BTreeMap<String, Cp>,
+    callee_units: &BTreeMap<String, &ProgramUnit>,
+    fixed: &mut CpAssignment,
+) -> usize {
+    let mut count = 0;
+    caller.for_each_stmt(&mut |s| {
+        if let StmtKind::Call { name, args, .. } = &s.kind {
+            if let (Some(cp), Some(callee)) = (entry_cps.get(name), callee_units.get(name)) {
+                if let Some(translated) = translate_to_callsite(cp, callee, args, caller) {
+                    fixed.insert(s.id, translated);
+                    count += 1;
+                }
+            }
+        }
+    });
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distrib::resolve;
+    use crate::select::{assignments_in, select_for_loop};
+    use dhpf_depend::callgraph::CallGraph;
+    use dhpf_depend::refs::analyze_unit;
+    use dhpf_fortran::parse;
+
+    /// BT-like structure (Figure 6.1): a sweep loop calls a leaf routine
+    /// that updates the output array at (i, j, k).
+    const BT_LIKE: &str = "
+      program main
+      parameter (n = 16)
+      integer i, j, k
+      double precision lhs(5, n, n, n), rhs(5, n, n, n)
+      common /fields/ lhs, rhs
+!hpf$ processors p(2, 2)
+!hpf$ distribute (*, *, block, block) onto p :: lhs, rhs
+      do k = 2, n - 1
+         do j = 2, n - 1
+            do i = 2, n - 1
+               call matvec_sub(lhs, rhs, i, j, k)
+            enddo
+         enddo
+      enddo
+      end
+
+      subroutine matvec_sub(ablock, bvec, i, j, k)
+      parameter (n = 16)
+      integer i, j, k, m
+      double precision ablock(5, n, n, n), bvec(5, n, n, n)
+!hpf$ processors p(2, 2)
+!hpf$ distribute (*, *, block, block) onto p :: ablock, bvec
+      do m = 1, 5
+         bvec(m, i, j, k) = bvec(m, i, j, k) - ablock(m, i, j, k)
+      enddo
+      end
+";
+
+    #[test]
+    fn leaf_entry_cp_is_output_owner() {
+        let p = parse(BT_LIKE).unwrap();
+        let (loops, refs, _) = analyze_unit(&p, "matvec_sub").unwrap();
+        let env = resolve(p.unit("matvec_sub").unwrap(), &Default::default()).unwrap();
+        let outer = loops
+            .loops
+            .iter()
+            .filter(|(_, i)| i.depth == 0)
+            .map(|(id, _)| *id)
+            .min_by_key(|id| loops.order[id])
+            .unwrap();
+        let stmts = assignments_in(outer, &loops, &refs);
+        let sel = select_for_loop(&stmts, &CpAssignment::new(), &refs, &env);
+        let cp = entry_cp(p.unit("matvec_sub").unwrap(), &sel, &refs, &env).expect("entry CP");
+        assert_eq!(cp.terms.len(), 1);
+        assert_eq!(cp.terms[0].array, "bvec");
+        // the paper: "exactly as if owner-computes were applied to the
+        // entire subroutine body, since bvec is the output parameter"
+        assert_eq!(cp.terms[0].to_string(), "ON_HOME bvec(m,i,j,k)");
+    }
+
+    #[test]
+    fn translation_maps_formals_to_actuals() {
+        let p = parse(BT_LIKE).unwrap();
+        let callee = p.unit("matvec_sub").unwrap();
+        let caller = p.unit("main").unwrap();
+        let cp = Cp::single(CpTerm::on_home(
+            "bvec",
+            vec![LinExpr::var("m"), LinExpr::var("i"), LinExpr::var("j"), LinExpr::var("k")],
+        ));
+        // find the call args
+        let mut call_args = None;
+        caller.for_each_stmt(&mut |s| {
+            if let StmtKind::Call { args, .. } = &s.kind {
+                call_args = Some(args.clone());
+            }
+        });
+        let t = translate_to_callsite(&cp, callee, &call_args.unwrap(), caller).unwrap();
+        assert_eq!(t.terms[0].array, "rhs");
+        // scalar formals i, j, k map to caller's loop variables verbatim
+        assert_eq!(t.terms[0].to_string(), "ON_HOME rhs(m,i,j,k)");
+    }
+
+    #[test]
+    fn translation_substitutes_scalar_expressions() {
+        let p = parse(BT_LIKE).unwrap();
+        let callee = p.unit("matvec_sub").unwrap();
+        let caller = p.unit("main").unwrap();
+        // synthetic call: call matvec_sub(lhs, rhs, i+1, 2, k)
+        let src = "
+      program x
+      parameter (n = 16)
+      double precision lhs(5, n, n, n), rhs(5, n, n, n)
+      call matvec_sub(lhs, rhs, i + 1, 2, k)
+      end
+";
+        let p2 = parse(src).unwrap();
+        let mut call_args = None;
+        p2.units[0].for_each_stmt(&mut |s| {
+            if let StmtKind::Call { args, .. } = &s.kind {
+                call_args = Some(args.clone());
+            }
+        });
+        let cp = Cp::single(CpTerm::on_home(
+            "bvec",
+            vec![LinExpr::var("m"), LinExpr::var("i"), LinExpr::var("j"), LinExpr::var("k")],
+        ));
+        let t =
+            translate_to_callsite(&cp, callee, &call_args.unwrap(), &p2.units[0]).unwrap();
+        assert_eq!(t.terms[0].to_string(), "ON_HOME rhs(m,i + 1,2,k)");
+        let _ = caller;
+    }
+
+    #[test]
+    fn whole_pipeline_restricts_call_site() {
+        let p = parse(BT_LIKE).unwrap();
+        let g = CallGraph::build(&p);
+        let order = g.bottom_up().unwrap();
+        assert_eq!(order, vec!["matvec_sub", "main"]);
+
+        // leaf pass
+        let (loops, refs, _) = analyze_unit(&p, "matvec_sub").unwrap();
+        let env = resolve(p.unit("matvec_sub").unwrap(), &Default::default()).unwrap();
+        let outer = loops.loops.keys().next().cloned().unwrap();
+        let stmts = assignments_in(outer, &loops, &refs);
+        let sel = select_for_loop(&stmts, &CpAssignment::new(), &refs, &env);
+        let ecp = entry_cp(p.unit("matvec_sub").unwrap(), &sel, &refs, &env).unwrap();
+
+        let mut entry_cps = BTreeMap::new();
+        entry_cps.insert("matvec_sub".to_string(), ecp);
+        let mut callee_units = BTreeMap::new();
+        callee_units.insert("matvec_sub".to_string(), p.unit("matvec_sub").unwrap());
+        let mut fixed = CpAssignment::new();
+        let n = restrict_call_sites(p.unit("main").unwrap(), &entry_cps, &callee_units, &mut fixed);
+        assert_eq!(n, 1);
+        let cp = fixed.values().next().unwrap();
+        assert_eq!(cp.terms[0].array, "rhs");
+    }
+
+    #[test]
+    fn translation_fails_gracefully_on_expression_actual() {
+        let p = parse(BT_LIKE).unwrap();
+        let callee = p.unit("matvec_sub").unwrap();
+        let src = "
+      program x
+      parameter (n = 16)
+      double precision rhs(5, n, n, n)
+      call matvec_sub(rhs(1, 1, 1, 1), rhs, 1, 2, 3)
+      end
+";
+        let p2 = parse(src).unwrap();
+        let mut call_args = None;
+        p2.units[0].for_each_stmt(&mut |s| {
+            if let StmtKind::Call { args, .. } = &s.kind {
+                call_args = Some(args.clone());
+            }
+        });
+        let cp = Cp::single(CpTerm::on_home("ablock", vec![LinExpr::var("m")]));
+        assert!(
+            translate_to_callsite(&cp, callee, &call_args.unwrap(), &p2.units[0]).is_none(),
+            "array-element actual for array formal must fail translation"
+        );
+    }
+}

@@ -1,0 +1,434 @@
+//! Pairwise dependence testing via integer-set emptiness.
+//!
+//! For two references to the same variable inside a loop nest, we build
+//! the classic dependence system — loop bounds for source and destination
+//! iterations (renamed apart), subscript equality per affine dimension —
+//! and probe it once per *level*:
+//!
+//! * **loop-independent**: all common loop variables equal, source
+//!   lexically before destination;
+//! * **carried at level ℓ**: equal above ℓ, source precedes destination
+//!   at ℓ (respecting the loop step direction).
+//!
+//! Non-affine subscript dimensions contribute no constraint
+//! (conservative: assumed dependent). Scalar references always conflict.
+
+use crate::loops::UnitLoops;
+use crate::refs::{RefInfo, UnitRefs};
+use dhpf_fortran::ast::StmtId;
+use dhpf_iset::{Constraint, LinExpr, Set};
+
+/// Dependence kind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DepKind {
+    /// Write → read.
+    Flow,
+    /// Read → write.
+    Anti,
+    /// Write → write.
+    Output,
+}
+
+/// One dependence edge (source executes before destination).
+#[derive(Clone, Debug)]
+pub struct Dependence {
+    pub array: String,
+    pub kind: DepKind,
+    pub src_stmt: StmtId,
+    pub dst_stmt: StmtId,
+    pub src_ref: dhpf_fortran::ast::RefId,
+    pub dst_ref: dhpf_fortran::ast::RefId,
+    /// `None` = loop-independent; `Some(l)` = carried by the l-th common
+    /// loop (0-based, outermost first, counted within the analyzed loop's
+    /// nest).
+    pub level: Option<usize>,
+}
+
+impl Dependence {
+    pub fn is_loop_independent(&self) -> bool {
+        self.level.is_none()
+    }
+}
+
+/// Analyze all dependences among statements inside `loop_id` (including
+/// nested statements), considering the common loops *from `loop_id`
+/// inward*. Level 0 is `loop_id` itself.
+pub fn analyze_loop_deps(
+    loop_id: StmtId,
+    loops: &UnitLoops,
+    refs: &UnitRefs,
+) -> Vec<Dependence> {
+    let mut out = Vec::new();
+    let body = loops.stmts_in(loop_id);
+    // collect refs of interest grouped by array
+    let mut by_array: std::collections::BTreeMap<&str, Vec<&RefInfo>> = Default::default();
+    for &sid in &body {
+        for r in refs.of_stmt(sid) {
+            // skip induction variables of enclosing loops
+            if r.is_scalar && loops.loop_vars(r.stmt).contains(&r.array.as_str()) {
+                continue;
+            }
+            by_array.entry(r.array.as_str()).or_default().push(r);
+        }
+    }
+    for (_, rs) in by_array {
+        for (i, r1) in rs.iter().enumerate() {
+            for r2 in rs.iter().skip(i) {
+                if !r1.is_write && !r2.is_write {
+                    continue;
+                }
+                // ordered pairs both ways (skip the self-pair duplicate)
+                test_pair(r1, r2, loop_id, loops, &mut out);
+                if r1.id != r2.id {
+                    test_pair(r2, r1, loop_id, loops, &mut out);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn kind_of(src: &RefInfo, dst: &RefInfo) -> DepKind {
+    match (src.is_write, dst.is_write) {
+        (true, true) => DepKind::Output,
+        (true, false) => DepKind::Flow,
+        (false, true) => DepKind::Anti,
+        (false, false) => unreachable!("read-read filtered"),
+    }
+}
+
+/// Test `src → dst` dependences and append findings.
+fn test_pair(
+    src: &RefInfo,
+    dst: &RefInfo,
+    loop_id: StmtId,
+    loops: &UnitLoops,
+    out: &mut Vec<Dependence>,
+) {
+    // Common loops from `loop_id` inward.
+    let common_all = loops.common_loops(src.stmt, dst.stmt);
+    let start = match common_all.iter().position(|&l| l == loop_id) {
+        Some(p) => p,
+        None => return, // loop_id does not enclose both
+    };
+    let common: Vec<StmtId> = common_all[start..].to_vec();
+    let n_common = common.len();
+
+    let src_nest = loops.nest_of.get(&src.stmt).cloned().unwrap_or_default();
+    let dst_nest = loops.nest_of.get(&dst.stmt).cloned().unwrap_or_default();
+
+    // rename maps: original var name -> renamed, per side
+    let s_names: Vec<(String, String)> = src_nest
+        .iter()
+        .enumerate()
+        .map(|(i, lid)| (loops.loops[lid].var.clone(), format!("S{i}")))
+        .collect();
+    let d_names: Vec<(String, String)> = dst_nest
+        .iter()
+        .enumerate()
+        .map(|(i, lid)| (loops.loops[lid].var.clone(), format!("D{i}")))
+        .collect();
+
+    let rename = |e: &LinExpr, names: &[(String, String)]| -> LinExpr {
+        let mut cur = e.clone();
+        // apply innermost-first so shadowed outer same-named vars (rare)
+        // rename to the innermost binding, matching Fortran scoping
+        for (orig, fresh) in names.iter().rev() {
+            if cur.mentions(orig) && !cur.mentions(fresh) {
+                cur = cur.rename(orig, fresh);
+            }
+        }
+        cur
+    };
+
+    let space: Vec<String> = s_names
+        .iter()
+        .map(|(_, f)| f.clone())
+        .chain(d_names.iter().map(|(_, f)| f.clone()))
+        .collect();
+
+    let mut base = Vec::new();
+    // loop bounds (bounds may reference outer loop vars — rename them too)
+    for (side_nest, names) in [(&src_nest, &s_names), (&dst_nest, &d_names)] {
+        for (i, lid) in side_nest.iter().enumerate() {
+            let info = &loops.loops[lid];
+            let v = LinExpr::var(&names[i].1);
+            let (lo, hi) = (info.lo.as_ref(), info.hi.as_ref());
+            // normalize direction: for negative step, lo ≥ v ≥ hi
+            let (lob, hib) = if info.step >= 0 { (lo, hi) } else { (hi, lo) };
+            if let Some(l) = lob {
+                base.push(Constraint::ge(v.clone(), rename(l, names)));
+            }
+            if let Some(h) = hib {
+                base.push(Constraint::le(v.clone(), rename(h, names)));
+            }
+        }
+    }
+    // subscript equality per affine dimension
+    for (a, b) in src.subs.iter().zip(dst.subs.iter()) {
+        if let (Some(a), Some(b)) = (a, b) {
+            base.push(Constraint::eq(rename(a, &s_names), rename(b, &d_names)));
+        }
+    }
+
+    let common_offset = start; // position of common[0] within both nests
+    let kind = kind_of(src, dst);
+
+    // --- loop-independent: all common vars equal; src lexically first ---
+    // within one statement the RHS reads execute before the LHS write,
+    // so the only same-statement loop-independent order is read → write
+    if loops.before(src.stmt, dst.stmt)
+        || (src.stmt == dst.stmt && !src.is_write && dst.is_write)
+    {
+        let mut cons = base.clone();
+        for l in 0..n_common {
+            let i = common_offset + l;
+            cons.push(Constraint::eq(
+                LinExpr::var(&s_names[i].1),
+                LinExpr::var(&d_names[i].1),
+            ));
+        }
+        if !Set::from_constraints(&space, cons).is_empty() {
+            out.push(Dependence {
+                array: src.array.clone(),
+                kind,
+                src_stmt: src.stmt,
+                dst_stmt: dst.stmt,
+                src_ref: src.id,
+                dst_ref: dst.id,
+                level: None,
+            });
+        }
+    }
+
+    // --- carried at each level ---
+    for l in 0..n_common {
+        let mut cons = base.clone();
+        for m in 0..l {
+            let i = common_offset + m;
+            cons.push(Constraint::eq(
+                LinExpr::var(&s_names[i].1),
+                LinExpr::var(&d_names[i].1),
+            ));
+        }
+        let i = common_offset + l;
+        let step = loops.loops[&common[l]].step;
+        let (sv, dv) = (LinExpr::var(&s_names[i].1), LinExpr::var(&d_names[i].1));
+        if step >= 0 {
+            cons.push(Constraint::ge(dv, sv + 1));
+        } else {
+            cons.push(Constraint::ge(sv, dv + 1));
+        }
+        if !Set::from_constraints(&space, cons).is_empty() {
+            out.push(Dependence {
+                array: src.array.clone(),
+                kind,
+                src_stmt: src.stmt,
+                dst_stmt: dst.stmt,
+                src_ref: src.id,
+                dst_ref: dst.id,
+                level: Some(l),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::refs::analyze_unit;
+    use dhpf_fortran::parse;
+
+    fn deps_of(src: &str, unit: &str) -> (Vec<Dependence>, UnitLoops, UnitRefs) {
+        let p = parse(src).expect("parse");
+        let (loops, refs, _) = analyze_unit(&p, unit).expect("analyze");
+        // outermost loop
+        let mut ids: Vec<StmtId> = loops.loops.keys().cloned().collect();
+        ids.sort_by_key(|id| loops.order[id]);
+        let outer = *ids.iter().find(|id| loops.loops[id].depth == 0).unwrap();
+        let d = analyze_loop_deps(outer, &loops, &refs);
+        (d, loops, refs)
+    }
+
+    #[test]
+    fn carried_flow_dependence() {
+        let (deps, ..) = deps_of(
+            "
+      subroutine s(a, n)
+      double precision a(n)
+      do i = 2, n
+         a(i) = a(i - 1) + 1.0
+      enddo
+      end
+",
+            "s",
+        );
+        assert!(deps
+            .iter()
+            .any(|d| d.kind == DepKind::Flow && d.level == Some(0) && d.array == "a"));
+        // no loop-independent flow (a(i) then a(i-1) differ in same iter)
+        assert!(!deps.iter().any(|d| d.kind == DepKind::Flow && d.level.is_none()));
+    }
+
+    #[test]
+    fn independent_iterations_no_carried_dep() {
+        let (deps, ..) = deps_of(
+            "
+      subroutine s(a, b, n)
+      double precision a(n), b(n)
+      do i = 1, n
+         a(i) = b(i) * 2.0
+      enddo
+      end
+",
+            "s",
+        );
+        assert!(deps.iter().all(|d| d.array != "a" || d.level.is_none()));
+    }
+
+    #[test]
+    fn loop_independent_flow_between_statements() {
+        let (deps, ..) = deps_of(
+            "
+      subroutine s(a, b, n)
+      double precision a(n), b(n)
+      do i = 1, n
+         a(i) = 1.0
+         b(i) = a(i) + 2.0
+      enddo
+      end
+",
+            "s",
+        );
+        let li: Vec<_> = deps
+            .iter()
+            .filter(|d| d.array == "a" && d.kind == DepKind::Flow && d.level.is_none())
+            .collect();
+        assert_eq!(li.len(), 1);
+    }
+
+    #[test]
+    fn anti_dependence_direction() {
+        let (deps, ..) = deps_of(
+            "
+      subroutine s(a, n)
+      double precision a(n)
+      do i = 1, n - 1
+         a(i) = a(i + 1) * 0.5
+      enddo
+      end
+",
+            "s",
+        );
+        // read a(i+1) in iteration i, written at iteration i+1: anti carried
+        assert!(deps.iter().any(|d| d.kind == DepKind::Anti && d.level == Some(0)));
+        assert!(!deps.iter().any(|d| d.kind == DepKind::Flow && d.level == Some(0)));
+    }
+
+    #[test]
+    fn outer_loop_carries_inner_independent() {
+        let (deps, ..) = deps_of(
+            "
+      subroutine s(a, n)
+      double precision a(n, n)
+      do k = 2, n
+         do j = 1, n
+            a(j, k) = a(j, k - 1) + 1.0
+         enddo
+      enddo
+      end
+",
+            "s",
+        );
+        assert!(deps.iter().any(|d| d.kind == DepKind::Flow && d.level == Some(0)));
+        assert!(!deps.iter().any(|d| d.kind == DepKind::Flow && d.level == Some(1)));
+    }
+
+    #[test]
+    fn distance_beyond_bounds_no_dep() {
+        let (deps, ..) = deps_of(
+            "
+      subroutine s(a)
+      double precision a(20)
+      do i = 1, 5
+         a(i) = a(i + 10) + 1.0
+      enddo
+      end
+",
+            "s",
+        );
+        // read indices 11..15 never written (writes cover 1..5)
+        assert!(deps.iter().all(|d| d.array != "a" || d.kind == DepKind::Output));
+    }
+
+    #[test]
+    fn scalar_dependences_detected() {
+        let (deps, ..) = deps_of(
+            "
+      subroutine s(a, n)
+      double precision a(n)
+      do i = 1, n
+         t = a(i) * 2.0
+         a(i) = t + 1.0
+      enddo
+      end
+",
+            "s",
+        );
+        // t: loop-independent flow from def to use; carried anti/output too
+        assert!(deps
+            .iter()
+            .any(|d| d.array == "t" && d.kind == DepKind::Flow && d.level.is_none()));
+        assert!(deps.iter().any(|d| d.array == "t" && d.level == Some(0)));
+    }
+
+    #[test]
+    fn induction_variable_not_a_dependence() {
+        let (deps, ..) = deps_of(
+            "
+      subroutine s(a, n)
+      double precision a(n)
+      do i = 1, n
+         a(i) = i * 1.0
+      enddo
+      end
+",
+            "s",
+        );
+        assert!(deps.iter().all(|d| d.array != "i"));
+    }
+
+    #[test]
+    fn negative_step_direction() {
+        let (deps, ..) = deps_of(
+            "
+      subroutine s(a, n)
+      double precision a(n)
+      do i = n - 1, 1, -1
+         a(i) = a(i + 1) + 1.0
+      enddo
+      end
+",
+            "s",
+        );
+        // backward sweep: a(i+1) was written in the *previous* iteration
+        // (i+1 executes before i) → flow carried
+        assert!(deps.iter().any(|d| d.kind == DepKind::Flow && d.level == Some(0)));
+    }
+
+    #[test]
+    fn output_dependence() {
+        let (deps, ..) = deps_of(
+            "
+      subroutine s(a, n)
+      double precision a(n)
+      do i = 1, n
+         a(1) = i * 1.0
+      enddo
+      end
+",
+            "s",
+        );
+        assert!(deps.iter().any(|d| d.kind == DepKind::Output && d.level == Some(0)));
+    }
+}

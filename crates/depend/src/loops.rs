@@ -1,0 +1,229 @@
+//! Loop-nest structure of a program unit.
+
+use dhpf_fortran::ast::{LoopDirective, ProgramUnit, Stmt, StmtId, StmtKind};
+use dhpf_fortran::subscript::affine;
+use dhpf_iset::LinExpr;
+use std::collections::BTreeMap;
+
+/// Information about one `do` loop.
+#[derive(Clone, Debug)]
+pub struct LoopInfo {
+    pub id: StmtId,
+    pub var: String,
+    /// Affine lower bound (None if non-affine).
+    pub lo: Option<LinExpr>,
+    /// Affine upper bound.
+    pub hi: Option<LinExpr>,
+    /// Constant step (None if absent = 1, or non-constant).
+    pub step: i64,
+    pub dir: LoopDirective,
+    /// Nesting depth (0 = outermost in the unit).
+    pub depth: usize,
+}
+
+/// Loop structure for one unit.
+#[derive(Clone, Debug, Default)]
+pub struct UnitLoops {
+    /// Every loop by its statement id.
+    pub loops: BTreeMap<StmtId, LoopInfo>,
+    /// For every statement: the enclosing loop ids, outermost first.
+    pub nest_of: BTreeMap<StmtId, Vec<StmtId>>,
+    /// Lexical (pre-order) position of every statement.
+    pub order: BTreeMap<StmtId, usize>,
+    /// Direct child statements of each loop (ids, in order).
+    pub loop_body: BTreeMap<StmtId, Vec<StmtId>>,
+}
+
+impl UnitLoops {
+    /// Build from a parsed unit.
+    pub fn build(unit: &ProgramUnit) -> Self {
+        let mut out = UnitLoops::default();
+        let mut counter = 0usize;
+        let mut stack: Vec<StmtId> = Vec::new();
+        for s in &unit.body {
+            visit(s, unit, &mut out, &mut counter, &mut stack);
+        }
+        out
+    }
+
+    /// The loop variables enclosing a statement, outermost first.
+    pub fn loop_vars(&self, stmt: StmtId) -> Vec<&str> {
+        self.nest_of
+            .get(&stmt)
+            .map(|ids| ids.iter().map(|id| self.loops[id].var.as_str()).collect())
+            .unwrap_or_default()
+    }
+
+    /// The common enclosing loops of two statements, outermost first.
+    pub fn common_loops(&self, a: StmtId, b: StmtId) -> Vec<StmtId> {
+        let na = self.nest_of.get(&a).cloned().unwrap_or_default();
+        let nb = self.nest_of.get(&b).cloned().unwrap_or_default();
+        na.iter().zip(nb.iter()).take_while(|(x, y)| x == y).map(|(x, _)| *x).collect()
+    }
+
+    /// Is statement `a` lexically before `b`?
+    pub fn before(&self, a: StmtId, b: StmtId) -> bool {
+        self.order.get(&a) < self.order.get(&b)
+    }
+
+    /// All statements (ids) strictly inside a loop (any depth).
+    pub fn stmts_in(&self, loop_id: StmtId) -> Vec<StmtId> {
+        let mut out: Vec<StmtId> = self
+            .nest_of
+            .iter()
+            .filter(|(id, nest)| **id != loop_id && nest.contains(&loop_id))
+            .map(|(id, _)| *id)
+            .collect();
+        out.sort_by_key(|id| self.order[id]);
+        out
+    }
+}
+
+fn visit(
+    s: &Stmt,
+    unit: &ProgramUnit,
+    out: &mut UnitLoops,
+    counter: &mut usize,
+    stack: &mut Vec<StmtId>,
+) {
+    out.order.insert(s.id, *counter);
+    *counter += 1;
+    out.nest_of.insert(s.id, stack.clone());
+    match &s.kind {
+        StmtKind::Do { var, lo, hi, step, body, dir } => {
+            let step_val = match step {
+                None => 1,
+                Some(e) => affine(e, &unit.decls)
+                    .filter(|l| l.is_constant())
+                    .map(|l| l.constant())
+                    .unwrap_or(1),
+            };
+            out.loops.insert(
+                s.id,
+                LoopInfo {
+                    id: s.id,
+                    var: var.clone(),
+                    lo: affine(lo, &unit.decls),
+                    hi: affine(hi, &unit.decls),
+                    step: step_val,
+                    dir: dir.clone(),
+                    depth: stack.len(),
+                },
+            );
+            out.loop_body.insert(s.id, body.iter().map(|b| b.id).collect());
+            stack.push(s.id);
+            for b in body {
+                visit(b, unit, out, counter, stack);
+            }
+            stack.pop();
+        }
+        StmtKind::If { arms } => {
+            for (_, body) in arms {
+                for b in body {
+                    visit(b, unit, out, counter, stack);
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhpf_fortran::parse;
+
+    fn build(src: &str) -> (dhpf_fortran::Program, UnitLoops) {
+        let p = parse(src).expect("parse");
+        let l = UnitLoops::build(&p.units[0]);
+        (p, l)
+    }
+
+    const NEST: &str = "
+      subroutine s(a, n)
+      double precision a(n, n)
+      do k = 1, n
+         do j = 2, n - 1
+            a(j, k) = a(j - 1, k) + 1.0
+         enddo
+         a(1, k) = 0.0
+      enddo
+      end
+";
+
+    #[test]
+    fn loop_structure() {
+        let (p, l) = build(NEST);
+        assert_eq!(l.loops.len(), 2);
+        let mut loop_ids: Vec<StmtId> = l.loops.keys().cloned().collect();
+        loop_ids.sort_by_key(|id| l.order[id]);
+        let (k_loop, j_loop) = (loop_ids[0], loop_ids[1]);
+        assert_eq!(l.loops[&k_loop].var, "k");
+        assert_eq!(l.loops[&k_loop].depth, 0);
+        assert_eq!(l.loops[&j_loop].var, "j");
+        assert_eq!(l.loops[&j_loop].depth, 1);
+        assert_eq!(l.loops[&j_loop].lo.as_ref().unwrap().to_string(), "2");
+        assert_eq!(l.loops[&j_loop].hi.as_ref().unwrap().to_string(), "n - 1");
+
+        // body statements
+        let mut assign_ids = vec![];
+        p.units[0].for_each_stmt(&mut |s| {
+            if matches!(s.kind, dhpf_fortran::StmtKind::Assign { .. }) {
+                assign_ids.push(s.id);
+            }
+        });
+        assert_eq!(l.loop_vars(assign_ids[0]), vec!["k", "j"]);
+        assert_eq!(l.loop_vars(assign_ids[1]), vec!["k"]);
+        assert_eq!(l.common_loops(assign_ids[0], assign_ids[1]), vec![k_loop]);
+        assert!(l.before(assign_ids[0], assign_ids[1]));
+    }
+
+    #[test]
+    fn stmts_in_collects_descendants() {
+        let (_, l) = build(NEST);
+        let mut loop_ids: Vec<StmtId> = l.loops.keys().cloned().collect();
+        loop_ids.sort_by_key(|id| l.order[id]);
+        let inner_count = l.stmts_in(loop_ids[0]).len();
+        assert_eq!(inner_count, 3); // j loop + 2 assigns
+        assert_eq!(l.stmts_in(loop_ids[1]).len(), 1);
+    }
+
+    #[test]
+    fn if_bodies_share_enclosing_nest() {
+        let (p, l) = build(
+            "
+      subroutine s(a, n)
+      double precision a(n)
+      do i = 1, n
+         if (i .gt. 1) then
+            a(i) = 1.0
+         endif
+      enddo
+      end
+",
+        );
+        let mut assign = None;
+        p.units[0].for_each_stmt(&mut |s| {
+            if matches!(s.kind, dhpf_fortran::StmtKind::Assign { .. }) {
+                assign = Some(s.id);
+            }
+        });
+        assert_eq!(l.loop_vars(assign.unwrap()), vec!["i"]);
+    }
+
+    #[test]
+    fn step_extraction() {
+        let (_, l) = build(
+            "
+      subroutine s(a, n)
+      double precision a(n)
+      do i = n, 1, -1
+         a(i) = 1.0
+      enddo
+      end
+",
+        );
+        let info = l.loops.values().next().unwrap();
+        assert_eq!(info.step, -1);
+    }
+}

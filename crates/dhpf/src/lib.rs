@@ -1,0 +1,24 @@
+//! # dhpf — facade crate
+//!
+//! One `use dhpf::prelude::*` away from the whole reproduction: the
+//! Fortran/HPF front end, the integer-set framework, dependence
+//! analysis, the dHPF compiler, the virtual message-passing machine and
+//! the NAS SP/BT benchmarks. See the repository README for the map.
+
+pub use dhpf_core as core;
+pub use dhpf_depend as depend;
+pub use dhpf_fortran as fortran;
+pub use dhpf_iset as iset;
+pub use dhpf_nas as nas;
+pub use dhpf_spmd as spmd;
+
+/// Everything a typical user needs.
+pub mod prelude {
+    pub use dhpf_core::driver::{compile, CompileOptions, OptFlags};
+    pub use dhpf_core::exec::node::run_node_program;
+    pub use dhpf_core::exec::serial::run_serial;
+    pub use dhpf_fortran::parse;
+    pub use dhpf_nas::Class;
+    pub use dhpf_spmd::machine::MachineConfig;
+    pub use dhpf_spmd::trace::{render_spacetime, utilization_summary};
+}

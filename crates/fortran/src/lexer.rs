@@ -1,0 +1,451 @@
+//! Line-oriented lexer for the Fortran subset.
+//!
+//! Handles: case folding, `!` comments, `c`/`*` full-line comments in
+//! column 1 (classic fixed-form comment markers), `&` continuation at end
+//! of line, `.op.` dotted operators, `d`/`e` real exponents, and `!hpf$` /
+//! `chpf$` directive lines (emitted as a [`Tok::HpfDirective`] marker
+//! followed by the directive tokens).
+
+use crate::span::{Diagnostic, Span};
+use crate::token::{Tok, Token};
+
+/// Tokenize the whole source. Errors are collected; lexing continues past
+/// them so the parser can report as much as possible.
+pub fn lex(source: &str) -> (Vec<Token>, Vec<Diagnostic>) {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'s> {
+    src: &'s str,
+    bytes: &'s [u8],
+    pos: usize,
+    line: u32,
+    toks: Vec<Token>,
+    diags: Vec<Diagnostic>,
+    /// True while lexing a directive body (affects nothing today but kept
+    /// for clarity and future directive-only tokens).
+    in_directive: bool,
+}
+
+impl<'s> Lexer<'s> {
+    fn new(src: &'s str) -> Self {
+        Lexer { src, bytes: src.as_bytes(), pos: 0, line: 1, toks: Vec::new(), diags: Vec::new(), in_directive: false }
+    }
+
+    fn run(mut self) -> (Vec<Token>, Vec<Diagnostic>) {
+        while self.pos < self.bytes.len() {
+            self.lex_line();
+        }
+        // final EOS if the last line lacked a newline
+        if !matches!(self.toks.last().map(|t| &t.tok), Some(Tok::Eos) | None) {
+            self.emit(Tok::Eos, self.pos, self.pos);
+        }
+        self.emit(Tok::Eof, self.pos, self.pos);
+        (self.toks, self.diags)
+    }
+
+    fn peek(&self) -> u8 {
+        *self.bytes.get(self.pos).unwrap_or(&0)
+    }
+
+    fn peek2(&self) -> u8 {
+        *self.bytes.get(self.pos + 1).unwrap_or(&0)
+    }
+
+    fn emit(&mut self, tok: Tok, start: usize, end: usize) {
+        self.toks.push(Token { tok, span: Span::new(start, end, self.line) });
+    }
+
+    /// Lex one physical line (which may continue a logical line).
+    fn lex_line(&mut self) {
+        let line_start = self.pos;
+        // detect full-line comments and directives
+        let rest = &self.src[self.pos..];
+        let trimmed = rest.trim_start_matches([' ', '\t']);
+        let lower = trimmed.get(..6).unwrap_or(trimmed).to_ascii_lowercase();
+        let is_directive = lower.starts_with("!hpf$") || lower.starts_with("chpf$") || lower.starts_with("*hpf$");
+        // Classic fixed-form comment marker in column 1. To coexist with
+        // free-form code we only honor it when the next character cannot
+        // continue an identifier (so `call`/`common` at column 1 still lex).
+        let col1 = self.bytes.get(line_start).copied().unwrap_or(0).to_ascii_lowercase();
+        let col2 = self.bytes.get(line_start + 1).copied().unwrap_or(b'\n');
+        let fixed_comment = (col1 == b'c' || col1 == b'*')
+            && !col2.is_ascii_alphanumeric()
+            && col2 != b'_'
+            && !is_directive;
+        if fixed_comment || trimmed.starts_with('!') && !is_directive {
+            self.skip_to_eol();
+            self.consume_newline(false);
+            return;
+        }
+        if is_directive {
+            // advance past the sentinel
+            let sent_off = rest.len() - trimmed.len();
+            self.pos += sent_off + 5;
+            let start = self.pos;
+            self.emit(Tok::HpfDirective, start, start);
+            self.in_directive = true;
+        } else if trimmed.starts_with('&') {
+            // leading-`&` continuation: this physical line continues the
+            // previous logical line, so drop the Eos we emitted for it.
+            let sent_off = rest.len() - trimmed.len();
+            self.pos += sent_off + 1;
+            if matches!(self.toks.last().map(|t| &t.tok), Some(Tok::Eos)) {
+                self.toks.pop();
+            }
+        }
+        // token loop for the logical line
+        loop {
+            self.skip_blanks();
+            let c = self.peek();
+            if c == 0 {
+                break;
+            }
+            if c == b'\n' || c == b'\r' {
+                self.consume_newline(true);
+                return;
+            }
+            if c == b'!' {
+                self.skip_to_eol();
+                continue;
+            }
+            if c == b'&' {
+                // continuation: swallow to end of line without EOS
+                self.pos += 1;
+                self.skip_blanks();
+                let c2 = self.peek();
+                if c2 == b'\n' || c2 == b'\r' || c2 == b'!' {
+                    if c2 == b'!' {
+                        self.skip_to_eol();
+                    }
+                    self.consume_newline(false);
+                    // continuation lines may start with '&' too
+                    self.skip_blanks();
+                    if self.peek() == b'&' {
+                        self.pos += 1;
+                    }
+                    continue;
+                }
+                // stray '&' mid-line
+                self.diags.push(Diagnostic::error(
+                    "unexpected '&' (continuation must end the line)",
+                    Span::new(self.pos - 1, self.pos, self.line),
+                ));
+                continue;
+            }
+            self.lex_token();
+        }
+        // EOF without newline
+        self.emit(Tok::Eos, self.pos, self.pos);
+        self.in_directive = false;
+    }
+
+    fn consume_newline(&mut self, emit_eos: bool) {
+        if self.peek() == b'\r' {
+            self.pos += 1;
+        }
+        if self.peek() == b'\n' {
+            if emit_eos {
+                self.emit(Tok::Eos, self.pos, self.pos);
+                self.in_directive = false;
+            }
+            self.pos += 1;
+            self.line += 1;
+        } else if emit_eos {
+            self.emit(Tok::Eos, self.pos, self.pos);
+            self.in_directive = false;
+        }
+    }
+
+    fn skip_blanks(&mut self) {
+        while matches!(self.peek(), b' ' | b'\t') {
+            self.pos += 1;
+        }
+    }
+
+    fn skip_to_eol(&mut self) {
+        while !matches!(self.peek(), b'\n' | b'\r' | 0) {
+            self.pos += 1;
+        }
+    }
+
+    fn lex_token(&mut self) {
+        let start = self.pos;
+        let c = self.peek();
+        match c {
+            b'(' => self.single(Tok::LParen),
+            b')' => self.single(Tok::RParen),
+            b',' => self.single(Tok::Comma),
+            b'+' => self.single(Tok::Plus),
+            b'-' => self.single(Tok::Minus),
+            b':' => self.single(Tok::Colon),
+            b'*' => {
+                if self.peek2() == b'*' {
+                    self.pos += 2;
+                    self.emit(Tok::Pow, start, self.pos);
+                } else {
+                    self.single(Tok::Star);
+                }
+            }
+            b'/' => {
+                if self.peek2() == b'=' {
+                    self.pos += 2;
+                    self.emit(Tok::DotOp("ne".into()), start, self.pos);
+                } else {
+                    self.single(Tok::Slash);
+                }
+            }
+            b'=' => {
+                if self.peek2() == b'=' {
+                    self.pos += 2;
+                    self.emit(Tok::DotOp("eq".into()), start, self.pos);
+                } else {
+                    self.single(Tok::Assign);
+                }
+            }
+            b'<' => {
+                if self.peek2() == b'=' {
+                    self.pos += 2;
+                    self.emit(Tok::DotOp("le".into()), start, self.pos);
+                } else {
+                    self.single(Tok::DotOp("lt".into()));
+                }
+            }
+            b'>' => {
+                if self.peek2() == b'=' {
+                    self.pos += 2;
+                    self.emit(Tok::DotOp("ge".into()), start, self.pos);
+                } else {
+                    self.single(Tok::DotOp("gt".into()));
+                }
+            }
+            b'.' => {
+                // dotted operator or real literal like `.5`
+                if self.peek2().is_ascii_digit() {
+                    self.lex_number();
+                } else {
+                    self.lex_dot_op();
+                }
+            }
+            b'0'..=b'9' => self.lex_number(),
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.lex_ident(),
+            other => {
+                self.diags.push(Diagnostic::error(
+                    format!("unexpected character {:?}", other as char),
+                    Span::new(start, start + 1, self.line),
+                ));
+                self.pos += 1;
+            }
+        }
+    }
+
+    fn single(&mut self, tok: Tok) {
+        let start = self.pos;
+        self.pos += 1;
+        self.emit(tok, start, self.pos);
+    }
+
+    fn lex_dot_op(&mut self) {
+        let start = self.pos;
+        self.pos += 1; // '.'
+        let word_start = self.pos;
+        while self.peek().is_ascii_alphabetic() {
+            self.pos += 1;
+        }
+        let word = self.src[word_start..self.pos].to_ascii_lowercase();
+        if self.peek() == b'.' {
+            self.pos += 1;
+        } else {
+            self.diags.push(Diagnostic::error(
+                format!("unterminated dotted operator .{word}"),
+                Span::new(start, self.pos, self.line),
+            ));
+        }
+        let norm = match word.as_str() {
+            "lt" | "le" | "gt" | "ge" | "eq" | "ne" | "and" | "or" | "not" => word,
+            "true" | "false" => word,
+            other => {
+                self.diags.push(Diagnostic::error(
+                    format!("unknown dotted operator .{other}."),
+                    Span::new(start, self.pos, self.line),
+                ));
+                "eq".to_string()
+            }
+        };
+        self.emit(Tok::DotOp(norm), start, self.pos);
+    }
+
+    fn lex_number(&mut self) {
+        let start = self.pos;
+        let mut saw_dot = false;
+        let mut saw_exp = false;
+        while self.pos < self.bytes.len() {
+            let c = self.peek();
+            if c.is_ascii_digit() {
+                self.pos += 1;
+            } else if c == b'.' && !saw_dot && !saw_exp {
+                // don't swallow a dotted operator: `1.lt.2`
+                let after = self.peek2().to_ascii_lowercase();
+                if after.is_ascii_alphabetic() && !matches!(after, b'd' | b'e') {
+                    break;
+                }
+                // `1.e5` / `1.d0` is a real; `1.lt.` handled above; `1.le.`?
+                // 'e' is ambiguous: `1.e5` vs `1.eq.2` — resolve by what
+                // follows the letter.
+                if matches!(after, b'd' | b'e') {
+                    let third = self.bytes.get(self.pos + 2).copied().unwrap_or(0);
+                    let lower3 = third.to_ascii_lowercase();
+                    if lower3.is_ascii_alphabetic() {
+                        // `.eq.`-style: stop the number before the dot
+                        break;
+                    }
+                }
+                saw_dot = true;
+                self.pos += 1;
+            } else if matches!(c.to_ascii_lowercase(), b'd' | b'e') && !saw_exp {
+                let after = self.peek2();
+                if after.is_ascii_digit() || ((after == b'+' || after == b'-')
+                    && self.bytes.get(self.pos + 2).is_some_and(|b| b.is_ascii_digit()))
+                {
+                    saw_exp = true;
+                    saw_dot = true; // exponent implies real
+                    self.pos += 2; // letter + first digit/sign
+                } else {
+                    break;
+                }
+            } else {
+                break;
+            }
+        }
+        let text = &self.src[start..self.pos];
+        let span = Span::new(start, self.pos, self.line);
+        if saw_dot || saw_exp {
+            let norm = text.to_ascii_lowercase().replace(['d', 'e'], "e");
+            match norm.parse::<f64>() {
+                Ok(v) => self.emit(Tok::Real(v), start, self.pos),
+                Err(_) => {
+                    self.diags.push(Diagnostic::error(format!("bad real literal {text}"), span));
+                    self.emit(Tok::Real(0.0), start, self.pos);
+                }
+            }
+        } else {
+            match text.parse::<i64>() {
+                Ok(v) => self.emit(Tok::Int(v), start, self.pos),
+                Err(_) => {
+                    self.diags.push(Diagnostic::error(format!("bad integer literal {text}"), span));
+                    self.emit(Tok::Int(0), start, self.pos);
+                }
+            }
+        }
+    }
+
+    fn lex_ident(&mut self) {
+        let start = self.pos;
+        while matches!(self.peek(), b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_') {
+            self.pos += 1;
+        }
+        let text = self.src[start..self.pos].to_ascii_lowercase();
+        self.emit(Tok::Ident(text), start, self.pos);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        let (toks, diags) = lex(src);
+        assert!(diags.is_empty(), "diags: {diags:?}");
+        toks.into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn basic_assignment() {
+        let t = kinds("a = b + 1\n");
+        assert_eq!(
+            t,
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Assign,
+                Tok::Ident("b".into()),
+                Tok::Plus,
+                Tok::Int(1),
+                Tok::Eos,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn case_folding_and_array_ref() {
+        let t = kinds("LHS(I,J+1) = RHS(I,J)\n");
+        assert!(matches!(&t[0], Tok::Ident(s) if s == "lhs"));
+        assert!(t.contains(&Tok::LParen));
+        assert!(t.contains(&Tok::Comma));
+    }
+
+    #[test]
+    fn dotted_and_symbolic_relops() {
+        let t = kinds("if (x .lt. y .and. a >= b) then\n");
+        assert!(t.contains(&Tok::DotOp("lt".into())));
+        assert!(t.contains(&Tok::DotOp("and".into())));
+        assert!(t.contains(&Tok::DotOp("ge".into())));
+    }
+
+    #[test]
+    fn real_literals() {
+        let t = kinds("x = 1.5d0 + 2.0e-3 + .5 + 3d2\n");
+        let reals: Vec<f64> = t
+            .iter()
+            .filter_map(|t| if let Tok::Real(v) = t { Some(*v) } else { None })
+            .collect();
+        assert_eq!(reals, vec![1.5, 2.0e-3, 0.5, 300.0]);
+    }
+
+    #[test]
+    fn number_followed_by_dotted_op() {
+        let t = kinds("if (n .eq. 1.and.m.lt.2) x = 1\n");
+        assert!(t.contains(&Tok::DotOp("and".into())));
+        assert!(t.contains(&Tok::Int(1)));
+        assert!(t.contains(&Tok::Int(2)));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let t = kinds("c full line comment\n* another\n x = 1 ! trailing\n");
+        assert_eq!(t.iter().filter(|t| matches!(t, Tok::Ident(_))).count(), 1);
+    }
+
+    #[test]
+    fn continuation_lines() {
+        let t = kinds(" x = a +\n     & b\n");
+        // one logical line: single Eos before Eof
+        let eos_count = t.iter().filter(|t| matches!(t, Tok::Eos)).count();
+        assert_eq!(eos_count, 1);
+        assert!(t.contains(&Tok::Ident("b".into())));
+    }
+
+    #[test]
+    fn hpf_directive_lines() {
+        let t = kinds("!hpf$ independent, new(cv)\nCHPF$ distribute t(block) onto p\n");
+        let dcount = t.iter().filter(|t| matches!(t, Tok::HpfDirective)).count();
+        assert_eq!(dcount, 2);
+        assert!(t.contains(&Tok::Ident("localize".into())) == false);
+        assert!(t.contains(&Tok::Ident("new".into())));
+        assert!(t.contains(&Tok::Ident("block".into())));
+    }
+
+    #[test]
+    fn power_and_slash() {
+        let t = kinds("y = x**2 / 4\n");
+        assert!(t.contains(&Tok::Pow));
+        assert!(t.contains(&Tok::Slash));
+    }
+
+    #[test]
+    fn error_recovery_on_bad_char() {
+        let (toks, diags) = lex("x = 1 $ 2\n");
+        assert_eq!(diags.len(), 1);
+        assert!(toks.iter().any(|t| t.tok == Tok::Int(2)));
+    }
+}

@@ -1,0 +1,48 @@
+//! # dhpf-fortran — Fortran 77 subset + HPF front end
+//!
+//! The front end the dHPF reproduction compiles from. It accepts a
+//! free-form, case-insensitive Fortran 77 subset covering everything the
+//! NAS SP/BT serial sources (as restructured in §8.1/§8.2 of the paper)
+//! need:
+//!
+//! * program units: `program`, `subroutine`, `function`, `end`
+//! * declarations: `integer`, `double precision`, `real`, `logical`,
+//!   `dimension`, `parameter (…)`, `common /blk/ …`
+//! * statements: assignment, `do`/`enddo` (with optional step),
+//!   block `if`/`else if`/`else`/`endif`, logical `if (c) stmt`, `call`,
+//!   `return`, `continue`
+//! * expressions: `+ - * / **`, unary minus, relational operators in both
+//!   `.lt.` and `<` spellings, `.and. .or. .not.`, numeric literals with
+//!   `d`/`e` exponents, array references and function calls
+//!
+//! and the HPF directive set the paper relies on, written as `!HPF$` or
+//! `CHPF$` comment lines:
+//!
+//! * `PROCESSORS p(n₁, …)`
+//! * `TEMPLATE t(e₁, …)`
+//! * `ALIGN a(i,j) WITH t(i+c₁, j+c₂)`
+//! * `DISTRIBUTE t(BLOCK, BLOCK, *) ONTO p`
+//! * `INDEPENDENT [, NEW(v, …)] [, LOCALIZE(v, …)]` — `LOCALIZE` is the
+//!   dHPF extension of §4.2.
+//!
+//! Every statement and array reference carries a stable id
+//! ([`ast::StmtId`], [`ast::RefId`]) that the analysis crates key their
+//! results by, and a byte-span for diagnostics.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod span;
+pub mod subscript;
+pub mod symtab;
+pub mod token;
+pub mod unparse;
+
+pub use ast::{ArrayRef, Expr, Program, ProgramUnit, Stmt, StmtKind};
+pub use parser::parse_program;
+pub use span::{Diagnostic, Span};
+
+/// Parse source text into a [`Program`], or return rendered diagnostics.
+pub fn parse(source: &str) -> Result<Program, Vec<Diagnostic>> {
+    parse_program(source)
+}

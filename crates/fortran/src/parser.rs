@@ -1,0 +1,1282 @@
+//! Recursive-descent parser for the Fortran subset + HPF directives.
+
+use crate::ast::*;
+use crate::lexer::lex;
+use crate::span::{Diagnostic, Span};
+use crate::token::{Tok, Token};
+
+/// Parse a full source file.
+pub fn parse_program(source: &str) -> Result<Program, Vec<Diagnostic>> {
+    let (toks, mut diags) = lex(source);
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        diags: Vec::new(),
+        next_stmt: 0,
+        next_ref: 0,
+        pending_dir: None,
+    };
+    let program = p.parse_units();
+    diags.extend(p.diags);
+    if diags.iter().any(|d| matches!(d.severity, crate::span::Severity::Error)) {
+        Err(diags)
+    } else {
+        Ok(program)
+    }
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+    diags: Vec<Diagnostic>,
+    next_stmt: u32,
+    next_ref: u32,
+    /// A loop directive seen on the previous directive line, waiting for
+    /// its `do` statement.
+    pending_dir: Option<LoopDirective>,
+}
+
+impl Parser {
+    // ---- cursor utilities -------------------------------------------------
+
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos.min(self.toks.len() - 1)].tok
+    }
+
+    fn peek_span(&self) -> Span {
+        self.toks[self.pos.min(self.toks.len() - 1)].span
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)].tok
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.toks[self.pos.min(self.toks.len() - 1)].clone();
+        if self.pos < self.toks.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_eof(&self) -> bool {
+        matches!(self.peek(), Tok::Eof)
+    }
+
+    fn error(&mut self, msg: impl Into<String>) {
+        let span = self.peek_span();
+        self.diags.push(Diagnostic::error(msg, span));
+    }
+
+    fn expect(&mut self, tok: &Tok, what: &str) -> bool {
+        if self.peek() == tok {
+            self.bump();
+            true
+        } else {
+            self.error(format!("expected {what}, found `{}`", self.peek()));
+            false
+        }
+    }
+
+    fn eat(&mut self, tok: &Tok) -> bool {
+        if self.peek() == tok {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consume an identifier, returning it (or a placeholder on error).
+    fn ident(&mut self, what: &str) -> String {
+        if let Tok::Ident(s) = self.peek().clone() {
+            self.bump();
+            s
+        } else {
+            self.error(format!("expected {what}, found `{}`", self.peek()));
+            "<error>".to_string()
+        }
+    }
+
+    /// Is the current token the identifier `kw`?
+    fn at_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(s) if s == kw)
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.at_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Skip to just past the next end-of-statement (error recovery).
+    fn sync_to_eos(&mut self) {
+        while !matches!(self.peek(), Tok::Eos | Tok::Eof) {
+            self.bump();
+        }
+        self.eat(&Tok::Eos);
+    }
+
+    fn end_stmt(&mut self) {
+        if !self.eat(&Tok::Eos) && !self.at_eof() {
+            self.error(format!("expected end of statement, found `{}`", self.peek()));
+            self.sync_to_eos();
+        }
+    }
+
+    fn fresh_stmt(&mut self) -> StmtId {
+        let id = StmtId(self.next_stmt);
+        self.next_stmt += 1;
+        id
+    }
+
+    fn fresh_ref(&mut self) -> RefId {
+        let id = RefId(self.next_ref);
+        self.next_ref += 1;
+        id
+    }
+
+    // ---- program units ----------------------------------------------------
+
+    fn parse_units(&mut self) -> Program {
+        let mut program = Program::default();
+        loop {
+            while self.eat(&Tok::Eos) {}
+            if self.at_eof() {
+                break;
+            }
+            if let Some(unit) = self.parse_unit() {
+                program.units.push(unit);
+            } else {
+                self.sync_to_eos();
+            }
+        }
+        program
+    }
+
+    fn parse_unit(&mut self) -> Option<ProgramUnit> {
+        let start = self.peek_span();
+        let (kind, name) = if self.eat_kw("program") {
+            let name = self.ident("program name");
+            self.end_stmt();
+            (UnitKind::Program, name)
+        } else if self.eat_kw("subroutine") {
+            let name = self.ident("subroutine name");
+            let args = self.parse_dummy_args();
+            self.end_stmt();
+            (UnitKind::Subroutine { args }, name)
+        } else if self.eat_kw("function") {
+            let name = self.ident("function name");
+            let args = self.parse_dummy_args();
+            self.end_stmt();
+            (UnitKind::Function { args }, name)
+        } else {
+            self.error(format!(
+                "expected `program`, `subroutine` or `function`, found `{}`",
+                self.peek()
+            ));
+            return None;
+        };
+
+        let mut unit = ProgramUnit {
+            name,
+            kind,
+            decls: Decls::default(),
+            hpf: HpfMapping::default(),
+            body: Vec::new(),
+            span: start,
+        };
+
+        // specification part: declarations and unit-level directives
+        loop {
+            while self.eat(&Tok::Eos) {}
+            if matches!(self.peek(), Tok::HpfDirective) {
+                // Peek at the directive keyword to decide whether it is a
+                // mapping directive (spec part) or a loop directive (body).
+                if self.directive_is_loop_level() {
+                    break;
+                }
+                self.bump();
+                self.parse_mapping_directive(&mut unit);
+                continue;
+            }
+            if self.at_decl_keyword() {
+                self.parse_declaration(&mut unit.decls);
+                continue;
+            }
+            break;
+        }
+
+        // executable part
+        let body = self.parse_stmt_list(&["end"], &unit.decls);
+        unit.body = body;
+        if self.eat_kw("end") {
+            // allow `end`, `end program x`, `end subroutine x`
+            while !matches!(self.peek(), Tok::Eos | Tok::Eof) {
+                self.bump();
+            }
+            self.eat(&Tok::Eos);
+        } else {
+            self.error("expected `end` at end of program unit");
+        }
+        Some(unit)
+    }
+
+    fn parse_dummy_args(&mut self) -> Vec<String> {
+        let mut args = Vec::new();
+        if self.eat(&Tok::LParen) {
+            if !self.eat(&Tok::RParen) {
+                loop {
+                    args.push(self.ident("dummy argument"));
+                    if !self.eat(&Tok::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&Tok::RParen, "`)`");
+            }
+        }
+        args
+    }
+
+    fn at_decl_keyword(&self) -> bool {
+        matches!(self.peek(), Tok::Ident(s) if matches!(
+            s.as_str(),
+            "integer" | "real" | "double" | "logical" | "dimension" | "parameter" | "common" | "implicit"
+        ))
+    }
+
+    // ---- declarations -----------------------------------------------------
+
+    fn parse_declaration(&mut self, decls: &mut Decls) {
+        let kw = self.ident("declaration keyword");
+        match kw.as_str() {
+            "implicit" => {
+                // `implicit none` (only) — accept and ignore
+                self.eat_kw("none");
+                self.end_stmt();
+            }
+            "integer" => self.parse_type_decl(Ty::Integer, decls),
+            "real" => self.parse_type_decl(Ty::Real, decls),
+            "logical" => self.parse_type_decl(Ty::Logical, decls),
+            "double" => {
+                if !self.eat_kw("precision") {
+                    self.error("expected `precision` after `double`");
+                }
+                self.parse_type_decl(Ty::Double, decls);
+            }
+            "dimension" => {
+                // dimension a(...), b(...)
+                loop {
+                    let span = self.peek_span();
+                    let name = self.ident("array name");
+                    let dims = self.parse_dims();
+                    match decls.vars.get_mut(&name) {
+                        Some(v) => v.dims = dims,
+                        None => {
+                            decls.vars.insert(
+                                name.clone(),
+                                VarDecl { name, ty: Ty::Double, dims, span },
+                            );
+                        }
+                    }
+                    if !self.eat(&Tok::Comma) {
+                        break;
+                    }
+                }
+                self.end_stmt();
+            }
+            "parameter" => {
+                self.expect(&Tok::LParen, "`(` after parameter");
+                loop {
+                    let name = self.ident("parameter name");
+                    self.expect(&Tok::Assign, "`=`");
+                    let e = self.parse_expr();
+                    match self.const_eval_int(&e, decls) {
+                        Some(v) => {
+                            decls.params.insert(name, v);
+                        }
+                        None => self.diags.push(Diagnostic::error(
+                            format!("parameter `{name}` must be an integer constant expression"),
+                            e.span(),
+                        )),
+                    }
+                    if !self.eat(&Tok::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&Tok::RParen, "`)`");
+                self.end_stmt();
+            }
+            "common" => {
+                self.expect(&Tok::Slash, "`/` after common");
+                let block = self.ident("common block name");
+                self.expect(&Tok::Slash, "`/`");
+                let mut names = Vec::new();
+                loop {
+                    let span = self.peek_span();
+                    let name = self.ident("common variable");
+                    // allow dims here too: common /b/ a(10)
+                    if matches!(self.peek(), Tok::LParen) {
+                        let dims = self.parse_dims();
+                        decls
+                            .vars
+                            .entry(name.clone())
+                            .and_modify(|v| v.dims = dims.clone())
+                            .or_insert_with(|| VarDecl {
+                                name: name.clone(),
+                                ty: Ty::Double,
+                                dims,
+                                span,
+                            });
+                    }
+                    names.push(name);
+                    if !self.eat(&Tok::Comma) {
+                        break;
+                    }
+                }
+                decls.commons.push((block, names));
+                self.end_stmt();
+            }
+            _ => unreachable!("at_decl_keyword guards dispatch"),
+        }
+    }
+
+    fn parse_type_decl(&mut self, ty: Ty, decls: &mut Decls) {
+        loop {
+            let span = self.peek_span();
+            let name = self.ident("variable name");
+            let dims =
+                if matches!(self.peek(), Tok::LParen) { self.parse_dims() } else { Vec::new() };
+            decls
+                .vars
+                .entry(name.clone())
+                .and_modify(|v| {
+                    v.ty = ty;
+                    if !dims.is_empty() {
+                        v.dims = dims.clone();
+                    }
+                })
+                .or_insert_with(|| VarDecl { name: name.clone(), ty, dims, span });
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        self.end_stmt();
+    }
+
+    /// Parse `(d1, l2:u2, …)` dimension lists.
+    fn parse_dims(&mut self) -> Vec<(Expr, Expr)> {
+        let mut dims = Vec::new();
+        self.expect(&Tok::LParen, "`(`");
+        loop {
+            let first = self.parse_expr();
+            if self.eat(&Tok::Colon) {
+                let second = self.parse_expr();
+                dims.push((first, second));
+            } else {
+                let one = Expr::Int(1, first.span());
+                dims.push((one, first));
+            }
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        self.expect(&Tok::RParen, "`)`");
+        dims
+    }
+
+    fn const_eval_int(&self, e: &Expr, decls: &Decls) -> Option<i64> {
+        match e {
+            Expr::Int(v, _) => Some(*v),
+            Expr::Ref(r) if r.subs.is_empty() => decls.params.get(&r.name).copied(),
+            Expr::Bin(op, a, b, _) => {
+                let a = self.const_eval_int(a, decls)?;
+                let b = self.const_eval_int(b, decls)?;
+                match op {
+                    BinOp::Add => Some(a + b),
+                    BinOp::Sub => Some(a - b),
+                    BinOp::Mul => Some(a * b),
+                    BinOp::Div => (b != 0).then(|| a / b),
+                    BinOp::Pow => Some(a.pow(b.try_into().ok()?)),
+                    _ => None,
+                }
+            }
+            Expr::Un(UnOp::Neg, a, _) => Some(-self.const_eval_int(a, decls)?),
+            _ => None,
+        }
+    }
+
+    // ---- HPF directives ---------------------------------------------------
+
+    /// Without consuming, check whether the upcoming directive is a
+    /// loop-level one (`independent`/`new`/`localize`).
+    fn directive_is_loop_level(&self) -> bool {
+        debug_assert!(matches!(self.peek(), Tok::HpfDirective));
+        matches!(self.peek2(), Tok::Ident(s) if matches!(s.as_str(), "independent" | "new" | "localize"))
+    }
+
+    fn parse_mapping_directive(&mut self, unit: &mut ProgramUnit) {
+        let span = self.peek_span();
+        let kw = self.ident("HPF directive keyword");
+        match kw.as_str() {
+            "processors" => {
+                let name = self.ident("processors name");
+                let extents = self.parse_paren_exprs();
+                unit.hpf.processors.push(ProcessorsDecl { name, extents, span });
+                self.end_stmt();
+            }
+            "template" => {
+                let name = self.ident("template name");
+                let extents = self.parse_paren_exprs();
+                unit.hpf.templates.push(TemplateDecl { name, extents, span });
+                self.end_stmt();
+            }
+            "align" => {
+                let array = self.ident("array name");
+                let mut dummies = Vec::new();
+                self.expect(&Tok::LParen, "`(`");
+                loop {
+                    dummies.push(self.ident("align dummy"));
+                    if !self.eat(&Tok::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&Tok::RParen, "`)`");
+                if !self.eat_kw("with") {
+                    self.error("expected `with` in ALIGN directive");
+                }
+                let target = self.ident("align target");
+                let target_subs = self.parse_paren_exprs();
+                unit.hpf.aligns.push(AlignDecl { array, dummies, target, target_subs, span });
+                self.end_stmt();
+            }
+            "distribute" => {
+                // forms: DISTRIBUTE t(BLOCK, *) ONTO p
+                //        DISTRIBUTE (BLOCK, *) ONTO p :: a, b, c
+                let mut targets = Vec::new();
+                let formats;
+                if matches!(self.peek(), Tok::LParen) {
+                    formats = self.parse_dist_formats();
+                } else {
+                    targets.push(self.ident("distribute target"));
+                    formats = self.parse_dist_formats();
+                }
+                let onto = if self.eat_kw("onto") { Some(self.ident("processors name")) } else { None };
+                // `:: a, b, c` tail
+                if self.eat(&Tok::Colon) {
+                    self.expect(&Tok::Colon, "`::`");
+                    loop {
+                        targets.push(self.ident("distribute target"));
+                        if !self.eat(&Tok::Comma) {
+                            break;
+                        }
+                    }
+                }
+                if targets.is_empty() {
+                    self.error("DISTRIBUTE names no target");
+                }
+                unit.hpf.distributes.push(DistributeDecl { targets, formats, onto, span });
+                self.end_stmt();
+            }
+            other => {
+                self.error(format!("unknown HPF directive `{other}`"));
+                self.sync_to_eos();
+            }
+        }
+    }
+
+    fn parse_dist_formats(&mut self) -> Vec<DistFormat> {
+        let mut formats = Vec::new();
+        self.expect(&Tok::LParen, "`(`");
+        loop {
+            if self.eat(&Tok::Star) {
+                formats.push(DistFormat::Star);
+            } else if self.eat_kw("block") {
+                if self.eat(&Tok::LParen) {
+                    if let Tok::Int(k) = self.peek().clone() {
+                        self.bump();
+                        formats.push(DistFormat::BlockK(k));
+                    } else {
+                        self.error("expected integer block size");
+                        formats.push(DistFormat::Block);
+                    }
+                    self.expect(&Tok::RParen, "`)`");
+                } else {
+                    formats.push(DistFormat::Block);
+                }
+            } else if self.eat_kw("cyclic") {
+                formats.push(DistFormat::Cyclic);
+            } else {
+                self.error(format!("expected BLOCK, CYCLIC or `*`, found `{}`", self.peek()));
+                self.bump();
+            }
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        self.expect(&Tok::RParen, "`)`");
+        formats
+    }
+
+    /// Parse an `INDEPENDENT [, NEW(…)] [, LOCALIZE(…)]` line into a
+    /// pending loop directive (attached to the next `do`). A bare
+    /// `NEW(…)`/`LOCALIZE(…)` line extends the pending directive.
+    fn parse_loop_directive(&mut self) {
+        let mut dir = self.pending_dir.take().unwrap_or_default();
+        loop {
+            if self.eat_kw("independent") {
+                dir.independent = true;
+            } else if self.eat_kw("new") {
+                dir.new_vars.extend(self.parse_paren_names());
+            } else if self.eat_kw("localize") {
+                dir.localize_vars.extend(self.parse_paren_names());
+            } else {
+                self.error(format!("unexpected token in loop directive: `{}`", self.peek()));
+                self.sync_to_eos();
+                self.pending_dir = Some(dir);
+                return;
+            }
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        self.end_stmt();
+        self.pending_dir = Some(dir);
+    }
+
+    fn parse_paren_names(&mut self) -> Vec<String> {
+        let mut names = Vec::new();
+        self.expect(&Tok::LParen, "`(`");
+        loop {
+            names.push(self.ident("variable name"));
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        self.expect(&Tok::RParen, "`)`");
+        names
+    }
+
+    fn parse_paren_exprs(&mut self) -> Vec<Expr> {
+        let mut exprs = Vec::new();
+        self.expect(&Tok::LParen, "`(`");
+        loop {
+            exprs.push(self.parse_expr());
+            if !self.eat(&Tok::Comma) {
+                break;
+            }
+        }
+        self.expect(&Tok::RParen, "`)`");
+        exprs
+    }
+
+    // ---- statements ---------------------------------------------------------
+
+    /// Parse statements until one of the `terminators` keywords (not
+    /// consumed) or EOF.
+    fn parse_stmt_list(&mut self, terminators: &[&str], decls: &Decls) -> Vec<Stmt> {
+        let mut out = Vec::new();
+        loop {
+            while self.eat(&Tok::Eos) {}
+            if self.at_eof() {
+                break;
+            }
+            if matches!(self.peek(), Tok::HpfDirective) {
+                self.bump();
+                self.parse_loop_directive();
+                continue;
+            }
+            if let Tok::Ident(s) = self.peek() {
+                if terminators.contains(&s.as_str())
+                    || matches!(s.as_str(), "else" | "elseif" | "endif" | "enddo" | "end")
+                {
+                    break;
+                }
+            }
+            // labeled statement: `10 continue`
+            let label = if let Tok::Int(v) = self.peek() {
+                let v = *v as u32;
+                self.bump();
+                Some(v)
+            } else {
+                None
+            };
+            if let Some(stmt) = self.parse_stmt(label, decls) {
+                out.push(stmt);
+            } else {
+                self.sync_to_eos();
+            }
+        }
+        out
+    }
+
+    fn parse_stmt(&mut self, label: Option<u32>, decls: &Decls) -> Option<Stmt> {
+        let span = self.peek_span();
+        let id = self.fresh_stmt();
+        let kind = if self.at_kw("do") {
+            self.parse_do(decls)?
+        } else if self.at_kw("if") {
+            self.parse_if(decls)?
+        } else if self.at_kw("call") {
+            self.bump();
+            let name = self.ident("subroutine name");
+            let mut args = Vec::new();
+            let mut arg_refs = Vec::new();
+            if self.eat(&Tok::LParen) {
+                if !self.eat(&Tok::RParen) {
+                    loop {
+                        let e = self.parse_expr();
+                        let rid = match &e {
+                            Expr::Ref(r) => Some(r.id),
+                            _ => None,
+                        };
+                        args.push(e);
+                        arg_refs.push(rid);
+                        if !self.eat(&Tok::Comma) {
+                            break;
+                        }
+                    }
+                    self.expect(&Tok::RParen, "`)`");
+                }
+            }
+            self.end_stmt();
+            StmtKind::Call { name, args, arg_refs }
+        } else if self.eat_kw("return") {
+            self.end_stmt();
+            StmtKind::Return
+        } else if self.eat_kw("continue") {
+            self.end_stmt();
+            StmtKind::Continue
+        } else if matches!(self.peek(), Tok::Ident(_)) {
+            // assignment
+            let lhs = self.parse_array_ref();
+            self.expect(&Tok::Assign, "`=` in assignment");
+            let rhs = self.parse_expr();
+            self.end_stmt();
+            StmtKind::Assign { lhs, rhs }
+        } else {
+            self.error(format!("expected statement, found `{}`", self.peek()));
+            return None;
+        };
+        Some(Stmt { id, span, kind, label })
+    }
+
+    fn parse_do(&mut self, decls: &Decls) -> Option<StmtKind> {
+        self.bump(); // `do`
+        let dir = self.pending_dir.take().unwrap_or_default();
+        // optional label form: `do 10 i = …`
+        let end_label = if let Tok::Int(v) = self.peek() {
+            let v = *v as u32;
+            self.bump();
+            Some(v)
+        } else {
+            None
+        };
+        let var = self.ident("loop variable");
+        self.expect(&Tok::Assign, "`=`");
+        let lo = self.parse_expr();
+        self.expect(&Tok::Comma, "`,`");
+        let hi = self.parse_expr();
+        let step = if self.eat(&Tok::Comma) { Some(self.parse_expr()) } else { None };
+        self.end_stmt();
+        let body = if let Some(end_label) = end_label {
+            // gather until statement labeled `end_label`
+            let mut body = Vec::new();
+            loop {
+                while self.eat(&Tok::Eos) {}
+                if self.at_eof() {
+                    self.error(format!("missing `{end_label} continue` for labeled do"));
+                    break;
+                }
+                if matches!(self.peek(), Tok::HpfDirective) {
+                    self.bump();
+                    self.parse_loop_directive();
+                    continue;
+                }
+                let label = if let Tok::Int(v) = self.peek() {
+                    let v = *v as u32;
+                    self.bump();
+                    Some(v)
+                } else {
+                    None
+                };
+                let stmt = self.parse_stmt(label, decls)?;
+                let done = stmt.label == Some(end_label);
+                // the labeled `continue` is the loop terminator; keep other
+                // labeled statements in the body
+                if done && matches!(stmt.kind, StmtKind::Continue) {
+                    break;
+                }
+                body.push(stmt);
+                if done {
+                    break;
+                }
+            }
+            body
+        } else {
+            let body = self.parse_stmt_list(&[], decls);
+            if self.eat_kw("enddo") {
+                self.end_stmt();
+            } else if self.eat_kw("end") && self.eat_kw("do") {
+                self.end_stmt();
+            } else {
+                self.error("expected `enddo`");
+            }
+            body
+        };
+        Some(StmtKind::Do { var, lo, hi, step, body, dir })
+    }
+
+    fn parse_if(&mut self, decls: &Decls) -> Option<StmtKind> {
+        self.bump(); // `if`
+        self.expect(&Tok::LParen, "`(`");
+        let cond = self.parse_expr();
+        self.expect(&Tok::RParen, "`)`");
+        if self.eat_kw("then") {
+            self.end_stmt();
+            let mut arms: Vec<(Option<Expr>, Vec<Stmt>)> = Vec::new();
+            let mut current_cond = Some(cond);
+            loop {
+                let body = self.parse_stmt_list(&[], decls);
+                arms.push((current_cond.take(), body));
+                if self.eat_kw("elseif") || (self.at_kw("else") && matches!(self.peek2(), Tok::Ident(s) if s == "if") && {
+                    self.bump();
+                    self.bump();
+                    true
+                }) {
+                    self.expect(&Tok::LParen, "`(`");
+                    let c = self.parse_expr();
+                    self.expect(&Tok::RParen, "`)`");
+                    if !self.eat_kw("then") {
+                        self.error("expected `then` after `else if (…)`");
+                    }
+                    self.end_stmt();
+                    current_cond = Some(c);
+                } else if self.eat_kw("else") {
+                    self.end_stmt();
+                    let body = self.parse_stmt_list(&[], decls);
+                    arms.push((None, body));
+                    if !self.eat_kw("endif") && !(self.eat_kw("end") && self.eat_kw("if")) {
+                        self.error("expected `endif`");
+                    }
+                    self.end_stmt();
+                    break;
+                } else if self.eat_kw("endif") || (self.eat_kw("end") && self.eat_kw("if")) {
+                    self.end_stmt();
+                    break;
+                } else {
+                    self.error(format!("expected `else`/`endif`, found `{}`", self.peek()));
+                    return None;
+                }
+            }
+            Some(StmtKind::If { arms })
+        } else {
+            // logical if: `if (c) stmt`
+            let inner = self.parse_stmt(None, decls)?;
+            Some(StmtKind::If { arms: vec![(Some(cond), vec![inner])] })
+        }
+    }
+
+    // ---- expressions --------------------------------------------------------
+
+    fn parse_array_ref(&mut self) -> ArrayRef {
+        let span = self.peek_span();
+        let name = self.ident("identifier");
+        let id = self.fresh_ref();
+        let mut subs = Vec::new();
+        if self.eat(&Tok::LParen) {
+            if !self.eat(&Tok::RParen) {
+                loop {
+                    subs.push(self.parse_expr());
+                    if !self.eat(&Tok::Comma) {
+                        break;
+                    }
+                }
+                self.expect(&Tok::RParen, "`)`");
+            }
+        }
+        let end = self.peek_span();
+        ArrayRef { id, name, subs, span: span.to(end) }
+    }
+
+    fn parse_expr(&mut self) -> Expr {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Expr {
+        let mut lhs = self.parse_and();
+        while matches!(self.peek(), Tok::DotOp(s) if s == "or") {
+            self.bump();
+            let rhs = self.parse_and();
+            let span = lhs.span().to(rhs.span());
+            lhs = Expr::Bin(BinOp::Or, Box::new(lhs), Box::new(rhs), span);
+        }
+        lhs
+    }
+
+    fn parse_and(&mut self) -> Expr {
+        let mut lhs = self.parse_not();
+        while matches!(self.peek(), Tok::DotOp(s) if s == "and") {
+            self.bump();
+            let rhs = self.parse_not();
+            let span = lhs.span().to(rhs.span());
+            lhs = Expr::Bin(BinOp::And, Box::new(lhs), Box::new(rhs), span);
+        }
+        lhs
+    }
+
+    fn parse_not(&mut self) -> Expr {
+        if matches!(self.peek(), Tok::DotOp(s) if s == "not") {
+            let span = self.peek_span();
+            self.bump();
+            let e = self.parse_not();
+            let sp = span.to(e.span());
+            return Expr::Un(UnOp::Not, Box::new(e), sp);
+        }
+        self.parse_rel()
+    }
+
+    fn parse_rel(&mut self) -> Expr {
+        let lhs = self.parse_additive();
+        let op = match self.peek() {
+            Tok::DotOp(s) => match s.as_str() {
+                "lt" => Some(BinOp::Lt),
+                "le" => Some(BinOp::Le),
+                "gt" => Some(BinOp::Gt),
+                "ge" => Some(BinOp::Ge),
+                "eq" => Some(BinOp::Eq),
+                "ne" => Some(BinOp::Ne),
+                _ => None,
+            },
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let rhs = self.parse_additive();
+            let span = lhs.span().to(rhs.span());
+            Expr::Bin(op, Box::new(lhs), Box::new(rhs), span)
+        } else {
+            lhs
+        }
+    }
+
+    fn parse_additive(&mut self) -> Expr {
+        let mut lhs = self.parse_mul();
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.parse_mul();
+            let span = lhs.span().to(rhs.span());
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs), span);
+        }
+        lhs
+    }
+
+    fn parse_mul(&mut self) -> Expr {
+        let mut lhs = self.parse_unary();
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.parse_unary();
+            let span = lhs.span().to(rhs.span());
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs), span);
+        }
+        lhs
+    }
+
+    fn parse_unary(&mut self) -> Expr {
+        match self.peek() {
+            Tok::Minus => {
+                let span = self.peek_span();
+                self.bump();
+                let e = self.parse_unary();
+                let sp = span.to(e.span());
+                Expr::Un(UnOp::Neg, Box::new(e), sp)
+            }
+            Tok::Plus => {
+                self.bump();
+                self.parse_unary()
+            }
+            _ => self.parse_power(),
+        }
+    }
+
+    fn parse_power(&mut self) -> Expr {
+        let base = self.parse_primary();
+        if matches!(self.peek(), Tok::Pow) {
+            self.bump();
+            // right-associative; exponent may be unary-negated
+            let exp = self.parse_unary();
+            let span = base.span().to(exp.span());
+            Expr::Bin(BinOp::Pow, Box::new(base), Box::new(exp), span)
+        } else {
+            base
+        }
+    }
+
+    fn parse_primary(&mut self) -> Expr {
+        let span = self.peek_span();
+        match self.peek().clone() {
+            Tok::Int(v) => {
+                self.bump();
+                Expr::Int(v, span)
+            }
+            Tok::Real(v) => {
+                self.bump();
+                Expr::Real(v, span)
+            }
+            Tok::DotOp(s) if s == "true" || s == "false" => {
+                self.bump();
+                Expr::Logical(s == "true", span)
+            }
+            Tok::LParen => {
+                self.bump();
+                let e = self.parse_expr();
+                self.expect(&Tok::RParen, "`)`");
+                e
+            }
+            Tok::Ident(_) => Expr::Ref(self.parse_array_ref()),
+            other => {
+                self.error(format!("expected expression, found `{other}`"));
+                self.bump();
+                Expr::Int(0, span)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(src: &str) -> Program {
+        match parse_program(src) {
+            Ok(p) => p,
+            Err(diags) => {
+                let rendered: Vec<String> = diags.iter().map(|d| d.render(src)).collect();
+                panic!("parse failed:\n{}", rendered.join("\n"));
+            }
+        }
+    }
+
+    #[test]
+    fn minimal_program() {
+        let p = parse_ok("      program t\n      x = 1\n      end\n");
+        assert_eq!(p.units.len(), 1);
+        assert_eq!(p.units[0].name, "t");
+        assert_eq!(p.units[0].body.len(), 1);
+    }
+
+    #[test]
+    fn subroutine_with_args_and_decls() {
+        let src = "
+      subroutine lhsy(lhs, n)
+      integer n, i, j
+      double precision lhs(5, n, n)
+      double precision cv(0:n)
+      lhs(1, 1, 1) = 0.0d0
+      end
+";
+        let p = parse_ok(src);
+        let u = &p.units[0];
+        assert_eq!(u.args(), &["lhs".to_string(), "n".to_string()]);
+        assert_eq!(u.decls.var("lhs").unwrap().rank(), 3);
+        let cv = u.decls.var("cv").unwrap();
+        assert_eq!(cv.rank(), 1);
+        // 0:n lower bound
+        match &cv.dims[0].0 {
+            Expr::Int(0, _) => {}
+            other => panic!("expected lower bound 0, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parameters_fold() {
+        let src = "
+      program t
+      parameter (nx = 8, ny = nx * 2, nz = ny - 3)
+      x = 1
+      end
+";
+        let p = parse_ok(src);
+        let d = &p.units[0].decls;
+        assert_eq!(d.params["nx"], 8);
+        assert_eq!(d.params["ny"], 16);
+        assert_eq!(d.params["nz"], 13);
+    }
+
+    #[test]
+    fn do_loop_nest_with_directive() {
+        let src = "
+      subroutine s(a, n)
+      double precision a(n), cv(n)
+!hpf$ independent, new(cv)
+      do j = 1, n
+         do i = 2, n - 1
+            cv(i) = a(i) * 2.0
+         enddo
+      enddo
+      end
+";
+        let p = parse_ok(src);
+        let body = &p.units[0].body;
+        assert_eq!(body.len(), 1);
+        match &body[0].kind {
+            StmtKind::Do { var, dir, body, .. } => {
+                assert_eq!(var, "j");
+                assert!(dir.independent);
+                assert_eq!(dir.new_vars, vec!["cv".to_string()]);
+                assert_eq!(body.len(), 1);
+                match &body[0].kind {
+                    StmtKind::Do { var, dir, .. } => {
+                        assert_eq!(var, "i");
+                        assert!(dir.is_empty());
+                    }
+                    other => panic!("expected inner do, got {other:?}"),
+                }
+            }
+            other => panic!("expected do, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn labeled_do_loop() {
+        let src = "
+      program t
+      do 10 i = 1, 4
+         x = x + i
+ 10   continue
+      end
+";
+        let p = parse_ok(src);
+        match &p.units[0].body[0].kind {
+            StmtKind::Do { body, .. } => assert_eq!(body.len(), 1),
+            other => panic!("expected do, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn if_elseif_else() {
+        let src = "
+      program t
+      if (x .lt. 1) then
+         y = 1
+      else if (x .lt. 2) then
+         y = 2
+      else
+         y = 3
+      endif
+      end
+";
+        let p = parse_ok(src);
+        match &p.units[0].body[0].kind {
+            StmtKind::If { arms } => {
+                assert_eq!(arms.len(), 3);
+                assert!(arms[0].0.is_some());
+                assert!(arms[1].0.is_some());
+                assert!(arms[2].0.is_none());
+            }
+            other => panic!("expected if, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn logical_if() {
+        let src = "      program t\n      if (x .gt. 0) y = 1\n      end\n";
+        let p = parse_ok(src);
+        match &p.units[0].body[0].kind {
+            StmtKind::If { arms } => {
+                assert_eq!(arms.len(), 1);
+                assert_eq!(arms[0].1.len(), 1);
+            }
+            other => panic!("expected if, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hpf_mapping_directives() {
+        let src = "
+      program t
+      parameter (n = 16)
+      double precision u(n, n)
+!hpf$ processors p(2, 2)
+!hpf$ template tm(n, n)
+!hpf$ align u(i, j) with tm(i, j)
+!hpf$ distribute tm(block, block) onto p
+      u(1, 1) = 0.0
+      end
+";
+        let p = parse_ok(src);
+        let h = &p.units[0].hpf;
+        assert_eq!(h.processors.len(), 1);
+        assert_eq!(h.processors[0].extents.len(), 2);
+        assert_eq!(h.templates.len(), 1);
+        assert_eq!(h.aligns.len(), 1);
+        assert_eq!(h.aligns[0].dummies, vec!["i".to_string(), "j".to_string()]);
+        assert_eq!(h.distributes.len(), 1);
+        assert_eq!(h.distributes[0].formats, vec![DistFormat::Block, DistFormat::Block]);
+        assert_eq!(h.distributes[0].onto.as_deref(), Some("p"));
+    }
+
+    #[test]
+    fn distribute_colon_colon_form() {
+        let src = "
+      program t
+      double precision a(8), b(8)
+!hpf$ distribute (block) onto p :: a, b
+      a(1) = 0.0
+      end
+";
+        let p = parse_ok(src);
+        let d = &p.units[0].hpf.distributes[0];
+        assert_eq!(d.targets, vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn call_statement_with_array_args() {
+        let src = "
+      program t
+      double precision lhs(5), rhs(5)
+      call matvec(lhs, rhs, 3)
+      end
+";
+        let p = parse_ok(src);
+        match &p.units[0].body[0].kind {
+            StmtKind::Call { name, args, arg_refs } => {
+                assert_eq!(name, "matvec");
+                assert_eq!(args.len(), 3);
+                assert!(arg_refs[0].is_some());
+                assert!(arg_refs[2].is_none());
+            }
+            other => panic!("expected call, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let src = "      program t\n      x = a + b * c ** 2\n      end\n";
+        let p = parse_ok(src);
+        match &p.units[0].body[0].kind {
+            StmtKind::Assign { rhs, .. } => match rhs {
+                Expr::Bin(BinOp::Add, _, r, _) => match r.as_ref() {
+                    Expr::Bin(BinOp::Mul, _, rr, _) => {
+                        assert!(matches!(rr.as_ref(), Expr::Bin(BinOp::Pow, _, _, _)));
+                    }
+                    other => panic!("expected mul, got {other:?}"),
+                },
+                other => panic!("expected add at top, got {other:?}"),
+            },
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn unary_minus_and_power() {
+        // -x**2 parses as -(x**2) in Fortran
+        let src = "      program t\n      y = -x**2\n      end\n";
+        let p = parse_ok(src);
+        match &p.units[0].body[0].kind {
+            StmtKind::Assign { rhs, .. } => {
+                assert!(matches!(rhs, Expr::Un(UnOp::Neg, _, _)));
+            }
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn stmt_and_ref_ids_are_unique() {
+        let src = "
+      program t
+      do i = 1, 3
+         a(i) = a(i) + b(i)
+      enddo
+      end
+";
+        let p = parse_ok(src);
+        let mut stmt_ids = vec![];
+        let mut ref_ids = vec![];
+        p.for_each_stmt(&mut |s| {
+            stmt_ids.push(s.id);
+            s.for_each_ref(&mut |r, _| ref_ids.push(r.id));
+        });
+        let mut s2 = stmt_ids.clone();
+        s2.sort();
+        s2.dedup();
+        assert_eq!(s2.len(), stmt_ids.len());
+        let mut r2 = ref_ids.clone();
+        r2.sort();
+        r2.dedup();
+        assert_eq!(r2.len(), ref_ids.len());
+    }
+
+    #[test]
+    fn parse_error_reports_line() {
+        let src = "      program t\n      x = (1 +\n      end\n";
+        let err = parse_program(src).unwrap_err();
+        assert!(!err.is_empty());
+    }
+
+    #[test]
+    fn multiple_units() {
+        let src = "
+      program main
+      call s(1)
+      end
+
+      subroutine s(x)
+      y = x
+      end
+";
+        let p = parse_ok(src);
+        assert_eq!(p.units.len(), 2);
+        assert!(p.main().is_some());
+        assert!(p.unit("s").is_some());
+    }
+
+    #[test]
+    fn common_blocks() {
+        let src = "
+      program t
+      double precision u(4)
+      common /fields/ u, v
+      u(1) = 0.0
+      end
+";
+        let p = parse_ok(src);
+        let d = &p.units[0].decls;
+        assert_eq!(d.commons.len(), 1);
+        assert_eq!(d.commons[0].0, "fields");
+        assert_eq!(d.commons[0].1, vec!["u".to_string(), "v".to_string()]);
+    }
+
+    #[test]
+    fn onetrip_localize_directive() {
+        let src = "
+      subroutine rhs(n)
+      double precision rho_i(n), us(n)
+!hpf$ independent, localize(rho_i, us)
+      do one = 1, 1
+         rho_i(1) = 1.0
+      enddo
+      end
+";
+        let p = parse_ok(src);
+        match &p.units[0].body[0].kind {
+            StmtKind::Do { dir, .. } => {
+                assert_eq!(dir.localize_vars, vec!["rho_i".to_string(), "us".to_string()]);
+            }
+            _ => unreachable!(),
+        }
+    }
+}

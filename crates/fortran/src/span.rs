@@ -1,0 +1,92 @@
+//! Source locations and diagnostics.
+
+use std::fmt;
+
+/// A byte range in the source, with 1-based line of the start.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Hash)]
+pub struct Span {
+    pub start: usize,
+    pub end: usize,
+    pub line: u32,
+}
+
+impl Span {
+    pub fn new(start: usize, end: usize, line: u32) -> Self {
+        Span { start, end, line }
+    }
+
+    /// Merge two spans (keeps the earlier line).
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+            line: self.line.min(other.line),
+        }
+    }
+}
+
+/// Severity of a diagnostic.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Severity {
+    Error,
+    Warning,
+}
+
+/// A diagnostic message attached to a span.
+#[derive(Clone, Debug)]
+pub struct Diagnostic {
+    pub severity: Severity,
+    pub message: String,
+    pub span: Span,
+}
+
+impl Diagnostic {
+    pub fn error(message: impl Into<String>, span: Span) -> Self {
+        Diagnostic { severity: Severity::Error, message: message.into(), span }
+    }
+
+    pub fn warning(message: impl Into<String>, span: Span) -> Self {
+        Diagnostic { severity: Severity::Warning, message: message.into(), span }
+    }
+
+    /// Render with a snippet of the offending line.
+    pub fn render(&self, source: &str) -> String {
+        let line_text = source.lines().nth(self.span.line.saturating_sub(1) as usize).unwrap_or("");
+        let sev = match self.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        format!("{sev}: line {}: {}\n  | {}", self.span.line, self.message, line_text.trim_end())
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let sev = match self.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+        };
+        write!(f, "{sev}: line {}: {}", self.span.line, self.message)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_merge() {
+        let a = Span::new(5, 9, 2);
+        let b = Span::new(12, 20, 3);
+        assert_eq!(a.to(b), Span::new(5, 20, 2));
+    }
+
+    #[test]
+    fn diagnostic_render_includes_line() {
+        let src = "line one\nbad line here\n";
+        let d = Diagnostic::error("something", Span::new(9, 12, 2));
+        let r = d.render(src);
+        assert!(r.contains("line 2"));
+        assert!(r.contains("bad line here"));
+    }
+}

@@ -1,0 +1,76 @@
+//! Token definitions for the Fortran subset.
+
+use crate::span::Span;
+use std::fmt;
+
+/// Token kinds. Keywords are recognized by the parser from `Ident` tokens
+/// (Fortran has no reserved words), except inside directives.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Tok {
+    /// Identifier or keyword (lower-cased).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Real literal (including `d0` style exponents).
+    Real(f64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `**`
+    Pow,
+    /// `:` (array bounds separator)
+    Colon,
+    /// Relational / logical operators (normalized: `lt le gt ge eq ne and or not`)
+    DotOp(String),
+    /// End of statement (end of logical line).
+    Eos,
+    /// Start of an HPF directive line (`!hpf$` / `chpf$`); the directive
+    /// body follows as normal tokens terminated by `Eos`.
+    HpfDirective,
+    /// End of file.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Int(v) => write!(f, "{v}"),
+            Tok::Real(v) => write!(f, "{v}"),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::Comma => write!(f, ","),
+            Tok::Assign => write!(f, "="),
+            Tok::Plus => write!(f, "+"),
+            Tok::Minus => write!(f, "-"),
+            Tok::Star => write!(f, "*"),
+            Tok::Slash => write!(f, "/"),
+            Tok::Pow => write!(f, "**"),
+            Tok::Colon => write!(f, ":"),
+            Tok::DotOp(s) => write!(f, ".{s}."),
+            Tok::Eos => write!(f, "<eos>"),
+            Tok::HpfDirective => write!(f, "<hpf$>"),
+            Tok::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A token with its source span.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    pub tok: Tok,
+    pub span: Span,
+}

@@ -1,0 +1,354 @@
+//! Unparser: render an AST back to Fortran source.
+//!
+//! Used by the golden tests (parse → unparse → parse fixpoint) and by the
+//! compiler's `--emit=fortran` debugging output.
+
+use crate::ast::*;
+use std::fmt::Write;
+
+/// Render a whole program.
+pub fn unparse_program(p: &Program) -> String {
+    let mut out = String::new();
+    for u in &p.units {
+        unparse_unit(u, &mut out);
+        out.push('\n');
+    }
+    out
+}
+
+/// Render one unit.
+pub fn unparse_unit(u: &ProgramUnit, out: &mut String) {
+    match &u.kind {
+        UnitKind::Program => {
+            let _ = writeln!(out, "      program {}", u.name);
+        }
+        UnitKind::Subroutine { args } => {
+            let _ = writeln!(out, "      subroutine {}({})", u.name, args.join(", "));
+        }
+        UnitKind::Function { args } => {
+            let _ = writeln!(out, "      function {}({})", u.name, args.join(", "));
+        }
+    }
+    // parameters first (declarations may reference them)
+    if !u.decls.params.is_empty() {
+        let ps: Vec<String> =
+            u.decls.params.iter().map(|(k, v)| format!("{k} = {v}")).collect();
+        let _ = writeln!(out, "      parameter ({})", ps.join(", "));
+    }
+    for decl in u.decls.vars.values() {
+        let ty = match decl.ty {
+            Ty::Integer => "integer",
+            Ty::Real => "real",
+            Ty::Double => "double precision",
+            Ty::Logical => "logical",
+        };
+        if decl.dims.is_empty() {
+            let _ = writeln!(out, "      {ty} {}", decl.name);
+        } else {
+            let dims: Vec<String> = decl
+                .dims
+                .iter()
+                .map(|(lo, hi)| {
+                    if matches!(lo, Expr::Int(1, _)) {
+                        unparse_expr(hi)
+                    } else {
+                        format!("{}:{}", unparse_expr(lo), unparse_expr(hi))
+                    }
+                })
+                .collect();
+            let _ = writeln!(out, "      {ty} {}({})", decl.name, dims.join(", "));
+        }
+    }
+    for (block, names) in &u.decls.commons {
+        let _ = writeln!(out, "      common /{block}/ {}", names.join(", "));
+    }
+    for p in &u.hpf.processors {
+        let ex: Vec<String> = p.extents.iter().map(unparse_expr).collect();
+        let _ = writeln!(out, "!hpf$ processors {}({})", p.name, ex.join(", "));
+    }
+    for t in &u.hpf.templates {
+        let ex: Vec<String> = t.extents.iter().map(unparse_expr).collect();
+        let _ = writeln!(out, "!hpf$ template {}({})", t.name, ex.join(", "));
+    }
+    for a in &u.hpf.aligns {
+        let subs: Vec<String> = a.target_subs.iter().map(unparse_expr).collect();
+        let _ = writeln!(
+            out,
+            "!hpf$ align {}({}) with {}({})",
+            a.array,
+            a.dummies.join(", "),
+            a.target,
+            subs.join(", ")
+        );
+    }
+    for d in &u.hpf.distributes {
+        let fmts: Vec<String> = d
+            .formats
+            .iter()
+            .map(|f| match f {
+                DistFormat::Block => "block".to_string(),
+                DistFormat::BlockK(k) => format!("block({k})"),
+                DistFormat::Cyclic => "cyclic".to_string(),
+                DistFormat::Star => "*".to_string(),
+            })
+            .collect();
+        let onto = d.onto.as_ref().map(|p| format!(" onto {p}")).unwrap_or_default();
+        if d.targets.len() == 1 {
+            let _ = writeln!(out, "!hpf$ distribute {}({}){onto}", d.targets[0], fmts.join(", "));
+        } else {
+            let _ = writeln!(
+                out,
+                "!hpf$ distribute ({}){onto} :: {}",
+                fmts.join(", "),
+                d.targets.join(", ")
+            );
+        }
+    }
+    for s in &u.body {
+        unparse_stmt(s, 6, out);
+    }
+    let _ = writeln!(out, "      end");
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push(' ');
+    }
+}
+
+/// Render one statement at the given indentation.
+pub fn unparse_stmt(s: &Stmt, depth: usize, out: &mut String) {
+    match &s.kind {
+        StmtKind::Assign { lhs, rhs } => {
+            indent(out, depth);
+            let _ = writeln!(out, "{} = {}", unparse_ref(lhs), unparse_expr(rhs));
+        }
+        StmtKind::Do { var, lo, hi, step, body, dir } => {
+            if !dir.is_empty() {
+                indent(out, 0);
+                out.push_str("!hpf$");
+                let mut parts: Vec<String> = Vec::new();
+                if dir.independent {
+                    parts.push(" independent".to_string());
+                }
+                if !dir.new_vars.is_empty() {
+                    parts.push(format!(" new({})", dir.new_vars.join(", ")));
+                }
+                if !dir.localize_vars.is_empty() {
+                    parts.push(format!(" localize({})", dir.localize_vars.join(", ")));
+                }
+                out.push_str(&parts.join(","));
+                out.push('\n');
+            }
+            indent(out, depth);
+            let st = step.as_ref().map(|e| format!(", {}", unparse_expr(e))).unwrap_or_default();
+            let _ = writeln!(out, "do {var} = {}, {}{st}", unparse_expr(lo), unparse_expr(hi));
+            for b in body {
+                unparse_stmt(b, depth + 3, out);
+            }
+            indent(out, depth);
+            out.push_str("enddo\n");
+        }
+        StmtKind::If { arms } => {
+            for (i, (cond, body)) in arms.iter().enumerate() {
+                indent(out, depth);
+                match (i, cond) {
+                    (0, Some(c)) => {
+                        let _ = writeln!(out, "if ({}) then", unparse_expr(c));
+                    }
+                    (_, Some(c)) => {
+                        let _ = writeln!(out, "else if ({}) then", unparse_expr(c));
+                    }
+                    (_, None) => out.push_str("else\n"),
+                }
+                for b in body {
+                    unparse_stmt(b, depth + 3, out);
+                }
+            }
+            indent(out, depth);
+            out.push_str("endif\n");
+        }
+        StmtKind::Call { name, args, .. } => {
+            indent(out, depth);
+            let a: Vec<String> = args.iter().map(unparse_expr).collect();
+            let _ = writeln!(out, "call {name}({})", a.join(", "));
+        }
+        StmtKind::Return => {
+            indent(out, depth);
+            out.push_str("return\n");
+        }
+        StmtKind::Continue => {
+            indent(out, depth);
+            out.push_str("continue\n");
+        }
+    }
+}
+
+/// Render a reference.
+pub fn unparse_ref(r: &ArrayRef) -> String {
+    if r.subs.is_empty() {
+        r.name.clone()
+    } else {
+        let subs: Vec<String> = r.subs.iter().map(unparse_expr).collect();
+        format!("{}({})", r.name, subs.join(", "))
+    }
+}
+
+/// Render an expression (fully parenthesized for unambiguity except at
+/// obvious precedence levels).
+pub fn unparse_expr(e: &Expr) -> String {
+    prec_expr(e, 0)
+}
+
+fn prec(op: BinOp) -> u8 {
+    match op {
+        BinOp::Or => 1,
+        BinOp::And => 2,
+        BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::Eq | BinOp::Ne => 3,
+        BinOp::Add | BinOp::Sub => 4,
+        BinOp::Mul | BinOp::Div => 5,
+        BinOp::Pow => 7,
+    }
+}
+
+fn op_str(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => " + ",
+        BinOp::Sub => " - ",
+        BinOp::Mul => " * ",
+        BinOp::Div => " / ",
+        BinOp::Pow => "**",
+        BinOp::Lt => " .lt. ",
+        BinOp::Le => " .le. ",
+        BinOp::Gt => " .gt. ",
+        BinOp::Ge => " .ge. ",
+        BinOp::Eq => " .eq. ",
+        BinOp::Ne => " .ne. ",
+        BinOp::And => " .and. ",
+        BinOp::Or => " .or. ",
+    }
+}
+
+fn prec_expr(e: &Expr, parent: u8) -> String {
+    match e {
+        Expr::Int(v, _) => {
+            if *v < 0 {
+                format!("({v})")
+            } else {
+                v.to_string()
+            }
+        }
+        Expr::Real(v, _) => {
+            let mut s = format!("{v:?}");
+            if !s.contains(['.', 'e', 'E']) {
+                s.push_str(".0");
+            }
+            s = s.replace('e', "d");
+            if !s.contains('d') {
+                s.push_str("d0");
+            }
+            s
+        }
+        Expr::Logical(b, _) => if *b { ".true.".into() } else { ".false.".into() },
+        Expr::Ref(r) => unparse_ref(r),
+        Expr::Bin(op, a, b, _) => {
+            let p = prec(*op);
+            let l = prec_expr(a, p);
+            // right child needs a higher threshold for left-assoc ops
+            let r = prec_expr(b, p + 1);
+            let s = format!("{l}{}{r}", op_str(*op));
+            if p < parent {
+                format!("({s})")
+            } else {
+                s
+            }
+        }
+        Expr::Un(UnOp::Neg, a, _) => {
+            let s = format!("-{}", prec_expr(a, 6));
+            if parent > 4 {
+                format!("({s})")
+            } else {
+                s
+            }
+        }
+        Expr::Un(UnOp::Not, a, _) => format!(".not. {}", prec_expr(a, 3)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_program;
+
+    fn roundtrip(src: &str) {
+        let p1 = parse_program(src).expect("parse 1");
+        let text = unparse_program(&p1);
+        let p2 = parse_program(&text).unwrap_or_else(|d| {
+            let msgs: Vec<String> = d.iter().map(|d| d.render(&text)).collect();
+            panic!("reparse failed:\n{}\n--- source ---\n{text}", msgs.join("\n"));
+        });
+        let text2 = unparse_program(&p2);
+        assert_eq!(text, text2, "unparse not a fixpoint");
+    }
+
+    #[test]
+    fn roundtrip_simple() {
+        roundtrip("      program t\n      x = a + b * 2\n      end\n");
+    }
+
+    #[test]
+    fn roundtrip_full_featured() {
+        roundtrip(
+            "
+      subroutine lhsy(lhs, rhs, n)
+      parameter (m = 5)
+      integer n, i, j
+      double precision lhs(m, n, n), rhs(m, n), cv(0:n)
+      common /work/ cv
+!hpf$ processors p(2, 2)
+!hpf$ template tm(n, n)
+!hpf$ align lhs(i, j) with tm(i, j)
+!hpf$ distribute tm(block, block) onto p
+!hpf$ independent, new(cv)
+      do j = 2, n - 1
+         do i = 1, n
+            cv(i) = rhs(1, i) * 2.0d0
+         enddo
+         do i = 2, n - 1
+            lhs(1, i, j) = cv(i - 1) + cv(i + 1) / 4.0d0
+         enddo
+      enddo
+      if (n .gt. 2) then
+         call fixup(lhs, n)
+      else
+         return
+      endif
+      end
+
+      subroutine fixup(lhs, n)
+      double precision lhs(5, n, n)
+      lhs(1, 1, 1) = 0.0d0
+      end
+",
+        );
+    }
+
+    #[test]
+    fn precedence_preserved() {
+        let src = "      program t\n      x = (a + b) * c\n      y = a + b * c\n      end\n";
+        let p = parse_program(src).unwrap();
+        let text = unparse_program(&p);
+        assert!(text.contains("(a + b) * c"));
+        assert!(text.contains("a + b * c"));
+    }
+
+    #[test]
+    fn negative_exponent_roundtrip() {
+        roundtrip("      program t\n      x = -y**2 + z**(-2)\n      end\n");
+    }
+
+    #[test]
+    fn real_literals_roundtrip() {
+        roundtrip("      program t\n      x = 1.5d0 + 1.0d-3\n      end\n");
+    }
+}

@@ -1,0 +1,86 @@
+//! Property tests: parse → unparse → parse is a fixpoint for randomly
+//! generated programs in the subset.
+
+use dhpf_fortran::{parse, unparse::unparse_program};
+use proptest::prelude::*;
+
+/// Random affine-ish expression over i, j and constants.
+fn expr_strategy() -> impl Strategy<Value = String> {
+    let leaf = prop_oneof![
+        Just("i".to_string()),
+        Just("j".to_string()),
+        Just("x".to_string()),
+        (1i64..20).prop_map(|v| v.to_string()),
+        (1i64..9).prop_map(|v| format!("{v}.5d0")),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} + {b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} - {b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} * {b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} / {b})")),
+            inner.clone().prop_map(|a| format!("(-{a})")),
+            inner.prop_map(|a| format!("sqrt(abs({a}))")),
+        ]
+    })
+}
+
+/// Random loop-nest program writing a(i) / b(i,j).
+fn program_strategy() -> impl Strategy<Value = String> {
+    (
+        expr_strategy(),
+        expr_strategy(),
+        2i64..16,
+        prop::bool::ANY,
+        prop::bool::ANY,
+    )
+        .prop_map(|(e1, e2, n, use_if, backward)| {
+            let hdr = if backward {
+                format!("do i = {n} - 1, 2, -1")
+            } else {
+                format!("do i = 2, {n} - 1")
+            };
+            let body = if use_if {
+                format!(
+                    "         if (i .gt. 3) then\n            a(i) = {e1}\n         else\n            a(i) = {e2}\n         endif"
+                )
+            } else {
+                format!("         a(i) = {e1} + {e2}")
+            };
+            format!(
+                "      program t\n      parameter (n = {n})\n      double precision a(0:{n}), b({n}, {n})\n      {hdr}\n{body}\n         do j = 1, n\n            b(i, j) = a(i) * j\n         enddo\n      enddo\n      end\n"
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn unparse_is_fixpoint(src in program_strategy()) {
+        let p1 = parse(&src).expect("generated program parses");
+        let text1 = unparse_program(&p1);
+        let p2 = parse(&text1).expect("unparsed text reparses");
+        let text2 = unparse_program(&p2);
+        prop_assert_eq!(text1, text2);
+    }
+
+    #[test]
+    fn reparse_preserves_statement_count(src in program_strategy()) {
+        let p1 = parse(&src).unwrap();
+        let text = unparse_program(&p1);
+        let p2 = parse(&text).unwrap();
+        let count = |p: &dhpf_fortran::Program| {
+            let mut n = 0;
+            p.for_each_stmt(&mut |_| n += 1);
+            n
+        };
+        prop_assert_eq!(count(&p1), count(&p2));
+    }
+
+    #[test]
+    fn lexer_never_panics_on_ascii(src in "[ -~\n]{0,300}") {
+        // arbitrary printable input must produce diagnostics, not panics
+        let _ = parse(&src);
+    }
+}

@@ -1,0 +1,11 @@
+fn main() {
+    let mut opts = dhpf_core::driver::CompileOptions::new();
+    opts.bindings = dhpf_nas::sp::bindings(dhpf_nas::Class::B, 32);
+    let p = dhpf_fortran::parse(&dhpf_nas::sp::source()).unwrap();
+    let compiled = dhpf_core::driver::compile(&p, &opts).unwrap();
+    let r = dhpf_core::exec::node::run_node_program(
+        &compiled.program,
+        dhpf_spmd::machine::MachineConfig::sp2(32),
+    );
+    println!("ok: {:?}", r.map(|x| x.run.virtual_time));
+}

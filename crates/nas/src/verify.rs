@@ -1,0 +1,69 @@
+//! Cross-version verification: every parallel implementation must
+//! reproduce the serial interpreter's fields.
+
+use dhpf_core::exec::node::ExecResult;
+use dhpf_core::exec::serial::{ArrayValue, SerialResult};
+
+/// Compare named fields between the serial ground truth and a compiled
+/// parallel run. Panics with a located diff on mismatch.
+pub fn compare_fields(serial: &SerialResult, parallel: &ExecResult, names: &[&str], tol: f64) {
+    for name in names {
+        let s = serial
+            .arrays
+            .get(*name)
+            .unwrap_or_else(|| panic!("serial run lacks array {name}"));
+        let p = parallel
+            .arrays
+            .get(*name)
+            .unwrap_or_else(|| panic!("parallel run lacks array {name}"));
+        compare_arrays(name, s, p, tol);
+    }
+}
+
+/// Compare two array values element-wise with relative tolerance.
+pub fn compare_arrays(name: &str, a: &ArrayValue, b: &ArrayValue, tol: f64) {
+    assert_eq!(a.lo, b.lo, "{name}: bounds differ");
+    assert_eq!(a.hi, b.hi, "{name}: bounds differ");
+    assert_eq!(a.data.len(), b.data.len());
+    for (i, (x, y)) in a.data.iter().zip(&b.data).enumerate() {
+        let scale = x.abs().max(1.0);
+        assert!(
+            (x - y).abs() <= tol * scale,
+            "{name}[flat {i}]: {x} vs {y} (|Δ| = {:.3e})",
+            (x - y).abs()
+        );
+    }
+}
+
+/// Compare a raw buffer (hand-written version) against a serial array:
+/// `get(idx)` fetches the hand version's value at global coordinates.
+pub fn compare_with(
+    name: &str,
+    serial: &ArrayValue,
+    tol: f64,
+    get: &dyn Fn(&[i64]) -> f64,
+) {
+    let rank = serial.lo.len();
+    let mut idx = serial.lo.clone();
+    loop {
+        let x = serial.get(&idx);
+        let y = get(&idx);
+        let scale = x.abs().max(1.0);
+        assert!(
+            (x - y).abs() <= tol * scale,
+            "{name}{idx:?}: serial {x} vs hand {y}"
+        );
+        let mut d = 0;
+        loop {
+            if d == rank {
+                return;
+            }
+            idx[d] += 1;
+            if idx[d] <= serial.hi[d] {
+                break;
+            }
+            idx[d] = serial.lo[d];
+            d += 1;
+        }
+    }
+}

@@ -1,0 +1,533 @@
+//! The virtual machine: processors, clocks, messages.
+
+use crate::trace::{Event, EventKind, Trace};
+use parking_lot::{Condvar, Mutex};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Machine cost model and size. Defaults approximate the paper's IBM SP2
+/// (120 MHz P2SC nodes, user-space MPI): ~60 Mflop/s sustained per node,
+/// ~40 µs one-way latency, ~35 MB/s bandwidth, small CPU overheads.
+#[derive(Clone, Debug)]
+pub struct MachineConfig {
+    pub nprocs: usize,
+    /// Seconds of virtual time per floating-point operation.
+    pub seconds_per_flop: f64,
+    /// One-way network latency (α), seconds.
+    pub latency: f64,
+    /// Seconds per payload byte (β = 1/bandwidth).
+    pub byte_time: f64,
+    /// CPU overhead charged to the sender per message.
+    pub send_overhead: f64,
+    /// CPU overhead charged to the receiver per message.
+    pub recv_overhead: f64,
+    /// Record per-processor event traces.
+    pub trace: bool,
+}
+
+impl MachineConfig {
+    /// SP2-like defaults for `nprocs` processors.
+    pub fn sp2(nprocs: usize) -> Self {
+        MachineConfig {
+            nprocs,
+            seconds_per_flop: 1.0 / 60.0e6,
+            latency: 40.0e-6,
+            byte_time: 1.0 / 35.0e6,
+            send_overhead: 8.0e-6,
+            recv_overhead: 8.0e-6,
+            trace: false,
+        }
+    }
+
+    /// Enable tracing.
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
+        self
+    }
+}
+
+/// A message in flight.
+struct Msg {
+    arrival: f64,
+    data: Vec<f64>,
+}
+
+/// One processor's mailbox: FIFO queues keyed by `(source, tag)`.
+#[derive(Default)]
+struct Mailbox {
+    queues: Mutex<HashMap<(usize, u64), VecDeque<Msg>>>,
+    signal: Condvar,
+}
+
+/// Barrier state for virtual-time barriers.
+struct BarrierState {
+    mutex: Mutex<BarrierInner>,
+    cv: Condvar,
+}
+
+struct BarrierInner {
+    arrived: usize,
+    generation: u64,
+    /// Max clock gathered for the in-progress barrier round.
+    gather_max: f64,
+    /// Exit times double-buffered by generation parity: a waiter can lag
+    /// at most one generation behind (it must arrive before the next
+    /// round can complete), so two slots suffice.
+    exit_times: [f64; 2],
+}
+
+/// Shared machine state.
+struct Shared {
+    config: MachineConfig,
+    mailboxes: Vec<Mailbox>,
+    barrier: BarrierState,
+    msg_count: AtomicU64,
+    byte_count: AtomicU64,
+}
+
+/// Aggregate communication statistics for one run.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CommStats {
+    pub messages: u64,
+    pub bytes: u64,
+}
+
+/// Result of a machine run.
+#[derive(Debug)]
+pub struct RunResult {
+    /// Completion time: the maximum final virtual clock over processors.
+    pub virtual_time: f64,
+    /// Final clock of each processor.
+    pub proc_times: Vec<f64>,
+    /// Per-processor traces (empty unless tracing was enabled).
+    pub traces: Vec<Trace>,
+    pub stats: CommStats,
+}
+
+/// The virtual machine. Construct a config and call [`Machine::run`].
+pub struct Machine;
+
+impl Machine {
+    /// Run `body` as an SPMD program: one invocation per processor, each
+    /// on its own host thread with its own [`Proc`] handle. Panics in any
+    /// rank propagate.
+    pub fn run<F>(config: MachineConfig, body: F) -> RunResult
+    where
+        F: Fn(&mut Proc) + Send + Sync,
+    {
+        assert!(config.nprocs >= 1, "machine needs at least one processor");
+        let shared = Arc::new(Shared {
+            mailboxes: (0..config.nprocs).map(|_| Mailbox::default()).collect(),
+            barrier: BarrierState {
+                mutex: Mutex::new(BarrierInner {
+                    arrived: 0,
+                    generation: 0,
+                    gather_max: 0.0,
+                    exit_times: [0.0; 2],
+                }),
+                cv: Condvar::new(),
+            },
+            msg_count: AtomicU64::new(0),
+            byte_count: AtomicU64::new(0),
+            config: config.clone(),
+        });
+
+        let results: Vec<(f64, Trace)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..config.nprocs)
+                .map(|rank| {
+                    let shared = Arc::clone(&shared);
+                    let body = &body;
+                    scope.spawn(move || {
+                        let mut proc = Proc {
+                            rank,
+                            clock: 0.0,
+                            shared,
+                            trace: Trace::new(rank),
+                            pending_work: 0.0,
+                            work_start: 0.0,
+                        };
+                        body(&mut proc);
+                        proc.flush_work();
+                        (proc.clock, proc.trace)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+        });
+
+        let proc_times: Vec<f64> = results.iter().map(|(t, _)| *t).collect();
+        let traces: Vec<Trace> = results.into_iter().map(|(_, tr)| tr).collect();
+        RunResult {
+            virtual_time: proc_times.iter().cloned().fold(0.0, f64::max),
+            proc_times,
+            traces,
+            stats: CommStats {
+                messages: shared.msg_count.load(Ordering::Relaxed),
+                bytes: shared.byte_count.load(Ordering::Relaxed),
+            },
+        }
+    }
+}
+
+/// Handle given to each simulated processor.
+pub struct Proc {
+    rank: usize,
+    clock: f64,
+    shared: Arc<Shared>,
+    trace: Trace,
+    /// Accumulated but not yet flushed compute seconds (coalesces trace
+    /// events; the clock itself is always up to date).
+    pending_work: f64,
+    work_start: f64,
+}
+
+impl Proc {
+    /// This processor's rank (0-based).
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of processors.
+    pub fn nprocs(&self) -> usize {
+        self.shared.config.nprocs
+    }
+
+    /// Current virtual clock (seconds).
+    pub fn clock(&self) -> f64 {
+        self.clock
+    }
+
+    /// The machine config (cost model constants).
+    pub fn config(&self) -> &MachineConfig {
+        &self.shared.config
+    }
+
+    /// Advance the clock by `flops` floating-point operations of work.
+    pub fn work(&mut self, flops: f64) {
+        let dt = flops * self.shared.config.seconds_per_flop;
+        self.work_seconds(dt);
+    }
+
+    /// Advance the clock by raw seconds of local computation.
+    pub fn work_seconds(&mut self, dt: f64) {
+        debug_assert!(dt >= 0.0);
+        if self.pending_work == 0.0 {
+            self.work_start = self.clock;
+        }
+        self.pending_work += dt;
+        self.clock += dt;
+    }
+
+    fn flush_work(&mut self) {
+        if self.pending_work > 0.0 {
+            if self.shared.config.trace {
+                self.trace.push(Event {
+                    t0: self.work_start,
+                    t1: self.work_start + self.pending_work,
+                    kind: EventKind::Compute,
+                });
+            }
+            self.pending_work = 0.0;
+        }
+    }
+
+    /// Record a named phase marker (for space-time diagram annotation).
+    pub fn phase(&mut self, name: &str) {
+        self.flush_work();
+        if self.shared.config.trace {
+            self.trace.push(Event {
+                t0: self.clock,
+                t1: self.clock,
+                kind: EventKind::Phase(name.to_string()),
+            });
+        }
+    }
+
+    /// Send `data` to processor `to` with a message tag. Non-blocking:
+    /// the sender pays only its CPU send overhead; the message arrives at
+    /// `clock + o_s + latency + bytes·byte_time`.
+    pub fn send(&mut self, to: usize, tag: u64, data: Vec<f64>) {
+        assert!(to < self.nprocs(), "send to rank {to} out of range");
+        assert_ne!(to, self.rank, "self-send not supported (use local copy)");
+        self.flush_work();
+        let cfg = &self.shared.config;
+        let bytes = (data.len() * 8) as f64;
+        let depart = self.clock + cfg.send_overhead;
+        let arrival = depart + cfg.latency + bytes * cfg.byte_time;
+        self.clock = depart;
+        if cfg.trace {
+            self.trace.push(Event {
+                t0: depart - cfg.send_overhead,
+                t1: depart,
+                kind: EventKind::Send { to, bytes: bytes as u64 },
+            });
+        }
+        self.shared.msg_count.fetch_add(1, Ordering::Relaxed);
+        self.shared.byte_count.fetch_add(bytes as u64, Ordering::Relaxed);
+        let mailbox = &self.shared.mailboxes[to];
+        mailbox
+            .queues
+            .lock()
+            .entry((self.rank, tag))
+            .or_default()
+            .push_back(Msg { arrival, data });
+        mailbox.signal.notify_all();
+    }
+
+    /// Receive the next message from `from` with `tag`. Blocks (in host
+    /// time) until available; in virtual time the receive completes at
+    /// `max(clock + o_r, arrival)`.
+    pub fn recv(&mut self, from: usize, tag: u64) -> Vec<f64> {
+        assert!(from < self.nprocs(), "recv from rank {from} out of range");
+        self.flush_work();
+        let msg = {
+            let mailbox = &self.shared.mailboxes[self.rank];
+            let mut queues = mailbox.queues.lock();
+            loop {
+                if let Some(q) = queues.get_mut(&(from, tag)) {
+                    if let Some(m) = q.pop_front() {
+                        break m;
+                    }
+                }
+                mailbox.signal.wait(&mut queues);
+            }
+        };
+        let cfg = &self.shared.config;
+        let ready = self.clock + cfg.recv_overhead;
+        let complete = ready.max(msg.arrival);
+        if cfg.trace {
+            if complete > ready {
+                self.trace.push(Event {
+                    t0: self.clock,
+                    t1: complete,
+                    kind: EventKind::RecvWait { from, bytes: (msg.data.len() * 8) as u64 },
+                });
+            } else {
+                self.trace.push(Event {
+                    t0: self.clock,
+                    t1: complete,
+                    kind: EventKind::Recv { from, bytes: (msg.data.len() * 8) as u64 },
+                });
+            }
+        }
+        self.clock = complete;
+        msg.data
+    }
+
+    /// Exchange with a neighbor: send then receive (deadlock-free because
+    /// sends never block).
+    pub fn sendrecv(&mut self, to: usize, from: usize, tag: u64, data: Vec<f64>) -> Vec<f64> {
+        self.send(to, tag, data);
+        self.recv(from, tag)
+    }
+
+    /// Virtual-time barrier: all processors synchronize their clocks to
+    /// the maximum plus one latency.
+    pub fn barrier(&mut self) {
+        self.flush_work();
+        let bar = &self.shared.barrier;
+        let n = self.nprocs();
+        let mut inner = bar.mutex.lock();
+        let my_gen = inner.generation;
+        inner.gather_max = inner.gather_max.max(self.clock);
+        inner.arrived += 1;
+        if inner.arrived == n {
+            let t_exit = inner.gather_max + self.shared.config.latency;
+            inner.exit_times[(my_gen % 2) as usize] = t_exit;
+            inner.arrived = 0;
+            inner.generation += 1;
+            inner.gather_max = 0.0;
+            bar.cv.notify_all();
+            drop(inner);
+            self.finish_barrier(t_exit);
+        } else {
+            while inner.generation == my_gen {
+                bar.cv.wait(&mut inner);
+            }
+            let t_exit = inner.exit_times[(my_gen % 2) as usize];
+            drop(inner);
+            self.finish_barrier(t_exit);
+        }
+    }
+
+    fn finish_barrier(&mut self, t_exit: f64) {
+        if self.shared.config.trace && t_exit > self.clock {
+            self.trace.push(Event {
+                t0: self.clock,
+                t1: t_exit,
+                kind: EventKind::Barrier,
+            });
+        }
+        self.clock = self.clock.max(t_exit);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(n: usize) -> MachineConfig {
+        MachineConfig {
+            nprocs: n,
+            seconds_per_flop: 1.0,
+            latency: 10.0,
+            byte_time: 0.125, // 1 second per f64
+            send_overhead: 1.0,
+            recv_overhead: 1.0,
+            trace: true,
+        }
+    }
+
+    #[test]
+    fn work_advances_clock() {
+        let r = Machine::run(cfg(1), |p| {
+            p.work(5.0);
+            assert_eq!(p.clock(), 5.0);
+        });
+        assert_eq!(r.virtual_time, 5.0);
+    }
+
+    #[test]
+    fn message_timing_is_logp() {
+        // rank0 sends 1 f64 at t=0: depart=1 (o_s), arrival=1+10+1=12.
+        // rank1 computes 3, then recv: ready=3+1=4 < 12 → clock=12.
+        let r = Machine::run(cfg(2), |p| {
+            if p.rank() == 0 {
+                p.send(1, 7, vec![42.0]);
+                assert_eq!(p.clock(), 1.0);
+            } else {
+                p.work(3.0);
+                let d = p.recv(0, 7);
+                assert_eq!(d, vec![42.0]);
+                assert_eq!(p.clock(), 12.0);
+            }
+        });
+        assert_eq!(r.virtual_time, 12.0);
+        assert_eq!(r.stats.messages, 1);
+        assert_eq!(r.stats.bytes, 8);
+    }
+
+    #[test]
+    fn late_receiver_pays_no_wait() {
+        // receiver busy until t=100 ≥ arrival → completes at 101 (o_r).
+        let r = Machine::run(cfg(2), |p| {
+            if p.rank() == 0 {
+                p.send(1, 0, vec![1.0]);
+            } else {
+                p.work(100.0);
+                p.recv(0, 0);
+                assert_eq!(p.clock(), 101.0);
+            }
+        });
+        assert_eq!(r.virtual_time, 101.0);
+    }
+
+    #[test]
+    fn fifo_per_source_tag() {
+        let r = Machine::run(cfg(2), |p| {
+            if p.rank() == 0 {
+                p.send(1, 0, vec![1.0]);
+                p.send(1, 0, vec![2.0]);
+                p.send(1, 9, vec![3.0]);
+            } else {
+                // tag 9 can be received before earlier tag-0 messages
+                assert_eq!(p.recv(0, 9), vec![3.0]);
+                assert_eq!(p.recv(0, 0), vec![1.0]);
+                assert_eq!(p.recv(0, 0), vec![2.0]);
+            }
+        });
+        assert_eq!(r.stats.messages, 3);
+    }
+
+    #[test]
+    fn virtual_time_deterministic_across_runs() {
+        let run = || {
+            Machine::run(cfg(4), |p| {
+                let n = p.nprocs();
+                let next = (p.rank() + 1) % n;
+                let prev = (p.rank() + n - 1) % n;
+                p.work(p.rank() as f64 * 3.0);
+                let got = p.sendrecv(next, prev, 1, vec![p.rank() as f64]);
+                assert_eq!(got, vec![prev as f64]);
+                p.work(2.0);
+            })
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.virtual_time, b.virtual_time);
+        assert_eq!(a.proc_times, b.proc_times);
+    }
+
+    #[test]
+    fn pipeline_timing() {
+        // 3-proc pipeline: each works 5 then passes downstream.
+        // p0: work 5, send (depart 6). arrival at p1 = 6+10+1 = 17.
+        // p1: recv at max(0+1, 17)=17, work 5 → 22, send depart 23,
+        //     arrival 23+10+1=34. p2: recv 34, work 5 → 39.
+        let r = Machine::run(cfg(3), |p| {
+            if p.rank() > 0 {
+                p.recv(p.rank() - 1, 0);
+            }
+            p.work(5.0);
+            if p.rank() + 1 < p.nprocs() {
+                p.send(p.rank() + 1, 0, vec![0.0]);
+            }
+        });
+        assert_eq!(r.proc_times[2], 39.0);
+    }
+
+    #[test]
+    fn barrier_synchronizes_clocks() {
+        let r = Machine::run(cfg(3), |p| {
+            p.work((p.rank() as f64 + 1.0) * 10.0); // clocks 10, 20, 30
+            p.barrier();
+            assert_eq!(p.clock(), 40.0); // max 30 + latency 10
+        });
+        assert!(r.proc_times.iter().all(|&t| t == 40.0));
+    }
+
+    #[test]
+    fn barriers_repeat() {
+        let r = Machine::run(cfg(2), |p| {
+            for _ in 0..3 {
+                p.work(1.0);
+                p.barrier();
+            }
+        });
+        // per round: max(clock)+10; rounds: 11, 22, 33
+        assert!(r.proc_times.iter().all(|&t| (t - 33.0).abs() < 1e-9));
+    }
+
+    #[test]
+    fn traces_record_compute_and_comm() {
+        let r = Machine::run(cfg(2), |p| {
+            if p.rank() == 0 {
+                p.work(2.0);
+                p.send(1, 0, vec![0.0; 4]);
+            } else {
+                p.recv(0, 0);
+            }
+        });
+        let t0 = &r.traces[0];
+        assert!(t0.events.iter().any(|e| matches!(e.kind, EventKind::Compute)));
+        assert!(t0.events.iter().any(|e| matches!(e.kind, EventKind::Send { .. })));
+        let t1 = &r.traces[1];
+        assert!(t1
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::RecvWait { .. } | EventKind::Recv { .. })));
+    }
+
+    #[test]
+    fn work_coalesces_into_one_trace_event() {
+        let r = Machine::run(cfg(1), |p| {
+            for _ in 0..100 {
+                p.work(1.0);
+            }
+        });
+        let compute_events =
+            r.traces[0].events.iter().filter(|e| matches!(e.kind, EventKind::Compute)).count();
+        assert_eq!(compute_events, 1);
+    }
+}

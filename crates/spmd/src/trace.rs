@@ -1,0 +1,213 @@
+//! Per-processor execution traces and space-time diagram rendering.
+//!
+//! The paper's Figures 8.1–8.4 are space-time diagrams of one benchmark
+//! timestep on 16 processors: one row per processor, green bars for
+//! computation, blue lines for messages, white for idle. We render the
+//! same information as text (one character per time bin) and as CSV for
+//! external plotting.
+
+use std::fmt::Write as _;
+
+/// One traced event on a processor.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Event {
+    pub t0: f64,
+    pub t1: f64,
+    pub kind: EventKind,
+}
+
+/// Trace event kinds.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EventKind {
+    /// Local computation.
+    Compute,
+    /// Send overhead interval.
+    Send { to: usize, bytes: u64 },
+    /// Receive that completed without waiting.
+    Recv { from: usize, bytes: u64 },
+    /// Receive that stalled waiting for the message to arrive.
+    RecvWait { from: usize, bytes: u64 },
+    /// Waiting in a barrier.
+    Barrier,
+    /// Named phase marker (zero-width).
+    Phase(String),
+}
+
+/// The event log of one processor.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    pub rank: usize,
+    pub events: Vec<Event>,
+}
+
+impl Trace {
+    pub fn new(rank: usize) -> Self {
+        Trace { rank, events: Vec::new() }
+    }
+
+    pub fn push(&mut self, e: Event) {
+        self.events.push(e);
+    }
+
+    /// Total busy (compute) seconds.
+    pub fn busy(&self) -> f64 {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Compute))
+            .map(|e| e.t1 - e.t0)
+            .sum()
+    }
+
+    /// Total seconds stalled in receives/barriers.
+    pub fn stalled(&self) -> f64 {
+        self.events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::RecvWait { .. } | EventKind::Barrier))
+            .map(|e| e.t1 - e.t0)
+            .sum()
+    }
+
+    /// End time of the last event.
+    pub fn end(&self) -> f64 {
+        self.events.iter().map(|e| e.t1).fold(0.0, f64::max)
+    }
+}
+
+/// Render a textual space-time diagram of several traces over
+/// `[t_start, t_end]`, `width` characters wide.
+///
+/// Legend: `#` compute, `s` send overhead, `r` receive, `~` waiting on a
+/// message, `|` barrier wait, `.` idle.
+pub fn render_spacetime(traces: &[Trace], t_start: f64, t_end: f64, width: usize) -> String {
+    assert!(t_end > t_start && width > 0);
+    let dt = (t_end - t_start) / width as f64;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "space-time [{:.4}s .. {:.4}s], {} procs, {:.2} ms/char",
+        t_start,
+        t_end,
+        traces.len(),
+        dt * 1e3
+    );
+    let _ = writeln!(out, "legend: '#'=compute  's'=send  'r'=recv  '~'=recv wait  '|'=barrier  '.'=idle");
+    for tr in traces {
+        let mut row = vec![b'.'; width];
+        for e in &tr.events {
+            let (c, priority) = match e.kind {
+                EventKind::Compute => (b'#', 1u8),
+                EventKind::Send { .. } => (b's', 3),
+                EventKind::Recv { .. } => (b'r', 3),
+                EventKind::RecvWait { .. } => (b'~', 2),
+                EventKind::Barrier => (b'|', 2),
+                EventKind::Phase(_) => continue,
+            };
+            if e.t1 <= t_start || e.t0 >= t_end {
+                continue;
+            }
+            let b0 = (((e.t0.max(t_start) - t_start) / dt) as usize).min(width - 1);
+            let b1 = (((e.t1.min(t_end) - t_start) / dt).ceil() as usize).clamp(b0 + 1, width);
+            for slot in &mut row[b0..b1] {
+                let cur_pri = match *slot {
+                    b'.' => 0,
+                    b'#' => 1,
+                    b'~' | b'|' => 2,
+                    _ => 3,
+                };
+                if priority > cur_pri {
+                    *slot = c;
+                }
+            }
+        }
+        let _ = writeln!(out, "p{:<3} {}", tr.rank, String::from_utf8(row).unwrap());
+    }
+    out
+}
+
+/// Export traces as CSV: `rank,t0,t1,kind,peer,bytes`.
+pub fn to_csv(traces: &[Trace]) -> String {
+    let mut out = String::from("rank,t0,t1,kind,peer,bytes\n");
+    for tr in traces {
+        for e in &tr.events {
+            let (kind, peer, bytes) = match &e.kind {
+                EventKind::Compute => ("compute", String::new(), 0),
+                EventKind::Send { to, bytes } => ("send", to.to_string(), *bytes),
+                EventKind::Recv { from, bytes } => ("recv", from.to_string(), *bytes),
+                EventKind::RecvWait { from, bytes } => ("recv_wait", from.to_string(), *bytes),
+                EventKind::Barrier => ("barrier", String::new(), 0),
+                EventKind::Phase(name) => ("phase", name.clone(), 0),
+            };
+            let _ = writeln!(out, "{},{:.9},{:.9},{},{},{}", tr.rank, e.t0, e.t1, kind, peer, bytes);
+        }
+    }
+    out
+}
+
+/// Summary line per processor: busy %, stalled %, end time.
+pub fn utilization_summary(traces: &[Trace]) -> String {
+    let total_end = traces.iter().map(|t| t.end()).fold(0.0, f64::max);
+    let mut out = String::new();
+    let _ = writeln!(out, "rank  busy%   wait%   end(s)");
+    for tr in traces {
+        let busy = if total_end > 0.0 { 100.0 * tr.busy() / total_end } else { 0.0 };
+        let wait = if total_end > 0.0 { 100.0 * tr.stalled() / total_end } else { 0.0 };
+        let _ = writeln!(out, "p{:<4} {:6.1}  {:6.1}  {:.4}", tr.rank, busy, wait, tr.end());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk_trace() -> Trace {
+        let mut t = Trace::new(0);
+        t.push(Event { t0: 0.0, t1: 4.0, kind: EventKind::Compute });
+        t.push(Event { t0: 4.0, t1: 5.0, kind: EventKind::Send { to: 1, bytes: 80 } });
+        t.push(Event { t0: 5.0, t1: 8.0, kind: EventKind::RecvWait { from: 1, bytes: 80 } });
+        t
+    }
+
+    #[test]
+    fn busy_and_stalled_accounting() {
+        let t = mk_trace();
+        assert_eq!(t.busy(), 4.0);
+        assert_eq!(t.stalled(), 3.0);
+        assert_eq!(t.end(), 8.0);
+    }
+
+    #[test]
+    fn spacetime_renders_rows() {
+        let t = mk_trace();
+        let s = render_spacetime(&[t], 0.0, 8.0, 8);
+        let row = s.lines().nth(2).unwrap();
+        assert!(row.starts_with("p0"));
+        let cells = &row[5..];
+        assert_eq!(cells, "####s~~~");
+    }
+
+    #[test]
+    fn spacetime_priority_comm_over_compute() {
+        let mut t = Trace::new(0);
+        t.push(Event { t0: 0.0, t1: 8.0, kind: EventKind::Compute });
+        t.push(Event { t0: 3.0, t1: 4.0, kind: EventKind::Send { to: 1, bytes: 8 } });
+        let s = render_spacetime(&[t], 0.0, 8.0, 8);
+        let row = s.lines().nth(2).unwrap();
+        assert_eq!(&row[5..], "###s####");
+    }
+
+    #[test]
+    fn csv_has_all_rows() {
+        let t = mk_trace();
+        let csv = to_csv(&[t]);
+        assert_eq!(csv.lines().count(), 4); // header + 3 events
+        assert!(csv.contains("recv_wait"));
+    }
+
+    #[test]
+    fn utilization_summary_format() {
+        let s = utilization_summary(&[mk_trace()]);
+        assert!(s.contains("p0"));
+        assert!(s.contains("50.0")); // busy 4/8
+    }
+}

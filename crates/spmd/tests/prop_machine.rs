@@ -1,0 +1,122 @@
+//! Property tests for the virtual machine: determinism and clock-model
+//! invariants under randomized communication schedules.
+
+use dhpf_spmd::machine::{Machine, MachineConfig};
+use dhpf_spmd::topo::MultiPartition;
+use proptest::prelude::*;
+
+fn cfg(n: usize) -> MachineConfig {
+    MachineConfig {
+        nprocs: n,
+        seconds_per_flop: 1.0,
+        latency: 7.0,
+        byte_time: 0.25,
+        send_overhead: 1.5,
+        recv_overhead: 0.5,
+        trace: true,
+    }
+}
+
+/// A random SPMD schedule: per round, each proc does some work, then a
+/// ring exchange with random payload.
+fn schedule() -> impl Strategy<Value = (usize, Vec<(u32, u8)>)> {
+    (2usize..6, proptest::collection::vec((0u32..2000, 1u8..32), 1..8))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn runs_are_deterministic((n, rounds) in schedule()) {
+        let run = |rounds: Vec<(u32, u8)>| {
+            Machine::run(cfg(n), move |p| {
+                let next = (p.rank() + 1) % p.nprocs();
+                let prev = (p.rank() + p.nprocs() - 1) % p.nprocs();
+                for (tag, (work, len)) in rounds.iter().enumerate() {
+                    p.work(*work as f64 * (p.rank() as f64 + 1.0));
+                    p.send(next, tag as u64, vec![1.0; *len as usize]);
+                    p.recv(prev, tag as u64);
+                }
+            })
+        };
+        let a = run(rounds.clone());
+        let b = run(rounds);
+        prop_assert_eq!(a.proc_times, b.proc_times);
+        prop_assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn clocks_are_monotone_in_work((n, rounds) in schedule()) {
+        // doubling every compute step can never make any proc finish earlier
+        let run = |scale: f64, rounds: &[(u32, u8)]| {
+            Machine::run(cfg(n), move |p| {
+                let next = (p.rank() + 1) % p.nprocs();
+                let prev = (p.rank() + p.nprocs() - 1) % p.nprocs();
+                for (tag, (work, len)) in rounds.iter().enumerate() {
+                    p.work(*work as f64 * scale);
+                    p.send(next, tag as u64, vec![0.0; *len as usize]);
+                    p.recv(prev, tag as u64);
+                }
+            })
+        };
+        let base = run(1.0, &rounds);
+        let heavy = run(2.0, &rounds);
+        prop_assert!(heavy.virtual_time >= base.virtual_time);
+        for (a, b) in base.proc_times.iter().zip(&heavy.proc_times) {
+            prop_assert!(b + 1e-9 >= *a);
+        }
+    }
+
+    #[test]
+    fn message_count_matches_schedule((n, rounds) in schedule()) {
+        let r = Machine::run(cfg(n), |p| {
+            let next = (p.rank() + 1) % p.nprocs();
+            let prev = (p.rank() + p.nprocs() - 1) % p.nprocs();
+            for (tag, (_, len)) in rounds.iter().enumerate() {
+                p.send(next, tag as u64, vec![0.0; *len as usize]);
+                p.recv(prev, tag as u64);
+            }
+        });
+        prop_assert_eq!(r.stats.messages, (n * rounds.len()) as u64);
+        let bytes: u64 = rounds.iter().map(|(_, l)| *l as u64 * 8).sum();
+        prop_assert_eq!(r.stats.bytes, bytes * n as u64);
+    }
+
+    #[test]
+    fn traces_tile_the_timeline((n, rounds) in schedule()) {
+        // every traced event has t1 >= t0 and events on one proc are
+        // non-overlapping in time order
+        let r = Machine::run(cfg(n), |p| {
+            let next = (p.rank() + 1) % p.nprocs();
+            let prev = (p.rank() + p.nprocs() - 1) % p.nprocs();
+            for (tag, (work, len)) in rounds.iter().enumerate() {
+                p.work(*work as f64);
+                p.send(next, tag as u64, vec![0.0; *len as usize]);
+                p.recv(prev, tag as u64);
+            }
+        });
+        for tr in &r.traces {
+            let mut last_end = 0.0f64;
+            for e in &tr.events {
+                prop_assert!(e.t1 + 1e-12 >= e.t0);
+                prop_assert!(e.t0 + 1e-9 >= last_end,
+                    "overlapping events on p{}: {:?}", tr.rank, e);
+                last_end = e.t1.max(last_end);
+            }
+        }
+    }
+
+    #[test]
+    fn multipartition_owner_is_consistent(q in 1usize..7, c1 in 0usize..7, c2 in 0usize..7, c3 in 0usize..7) {
+        let mp = MultiPartition::new(q * q).unwrap();
+        let cell = [c1 % q, c2 % q, c3 % q];
+        let owner = mp.owner(cell);
+        prop_assert!(owner < q * q);
+        prop_assert!(mp.cells(owner).contains(&cell));
+        // the active cell at each stage really has the stage coordinate
+        for axis in 0..3 {
+            let c = mp.active_cell(owner, axis, cell[axis]);
+            prop_assert_eq!(mp.owner(c), owner);
+        }
+    }
+}

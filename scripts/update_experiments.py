@@ -1,0 +1,31 @@
+#!/usr/bin/env python3
+"""Embed the measured results (results/*.txt) into EXPERIMENTS.md.
+
+Regenerate with:
+    cargo run --release -p dhpf-bench --bin table_sp  > results/table_sp.txt
+    cargo run --release -p dhpf-bench --bin table_bt  > results/table_bt.txt
+    cargo run --release -p dhpf-bench --bin ablation  > results/ablation.txt
+    python3 scripts/update_experiments.py
+"""
+import pathlib
+
+root = pathlib.Path(__file__).resolve().parent.parent
+exp = root / "EXPERIMENTS.md"
+text = exp.read_text()
+
+
+def block(path):
+    body = (root / "results" / path).read_text().strip()
+    return f"```text\n{body}\n```"
+
+
+for marker, path in [
+    ("<!-- TABLE_SP -->", "table_sp.txt"),
+    ("<!-- TABLE_BT -->", "table_bt.txt"),
+    ("<!-- ABLATION -->", "ablation.txt"),
+]:
+    if marker in text:
+        text = text.replace(marker, block(path))
+
+exp.write_text(text)
+print("EXPERIMENTS.md updated")

@@ -1,0 +1,98 @@
+//! Workspace integration tests: the full pipeline (parse → analyze →
+//! optimize → plan → codegen → simulate) on the NAS benchmarks, verified
+//! against the independent serial interpreter.
+
+use dhpf::prelude::*;
+
+fn max_delta(a: &dhpf::core::exec::serial::ArrayValue, b: &dhpf::core::exec::serial::ArrayValue) -> f64 {
+    a.data.iter().zip(&b.data).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+}
+
+#[test]
+fn sp_all_four_versions_agree() {
+    let class = Class::S;
+    let serial = dhpf::nas::sp::run_serial_reference(class);
+
+    // dHPF-compiled on a 2x2 grid
+    let compiled = dhpf::nas::sp::run_dhpf(class, 4, MachineConfig::sp2(4));
+    assert!(max_delta(&serial.arrays["u"], &compiled.arrays["u"]) < 1e-9);
+
+    // hand-written multipartitioning
+    let hand = dhpf::nas::sp::multipart::run(class, 4, MachineConfig::sp2(4)).unwrap();
+    for k in 1..=class.n() as i64 {
+        for j in 1..=class.n() as i64 {
+            for i in 1..=class.n() as i64 {
+                for m in 1..=5i64 {
+                    let s = serial.arrays["u"].get(&[m, i, j, k]);
+                    let h = hand.u.get(m as usize, i as usize, j as usize, k as usize);
+                    assert!((s - h).abs() < 1e-9, "u({m},{i},{j},{k})");
+                }
+            }
+        }
+    }
+
+    // transpose-based
+    let pgi = dhpf::nas::sp::transpose::run(class, 4, MachineConfig::sp2(4)).unwrap();
+    let s0 = serial.arrays["u"].get(&[1, 3, 3, 3]);
+    let p0 = pgi.u.get(1, 3, 3, 3);
+    assert!((s0 - p0).abs() < 1e-9);
+}
+
+#[test]
+fn bt_compiled_matches_serial_at_multiple_counts() {
+    let class = Class::S;
+    let serial = dhpf::nas::bt::run_serial_reference(class);
+    for nprocs in [1usize, 2, 4] {
+        let r = dhpf::nas::bt::run_dhpf(class, nprocs, MachineConfig::sp2(nprocs));
+        let d = max_delta(&serial.arrays["u"], &r.arrays["u"]);
+        assert!(d < 1e-9, "BT at {nprocs} procs: worst delta {d:.3e}");
+    }
+}
+
+#[test]
+fn compiled_timing_is_deterministic() {
+    let class = Class::S;
+    let a = dhpf::nas::sp::run_dhpf(class, 4, MachineConfig::sp2(4));
+    let b = dhpf::nas::sp::run_dhpf(class, 4, MachineConfig::sp2(4));
+    assert_eq!(a.run.virtual_time, b.run.virtual_time, "virtual time must not depend on host scheduling");
+    assert_eq!(a.run.stats.messages, b.run.stats.messages);
+    assert_eq!(a.run.stats.bytes, b.run.stats.bytes);
+}
+
+#[test]
+fn hand_multipart_beats_compiled_at_scale() {
+    // the paper's headline shape: multipartitioning is the gold standard
+    let class = Class::W;
+    let hand = dhpf::nas::sp::multipart::run(class, 4, MachineConfig::sp2(4)).unwrap();
+    let comp = dhpf::nas::sp::run_dhpf(class, 4, MachineConfig::sp2(4));
+    assert!(
+        hand.run.virtual_time <= comp.run.virtual_time * 1.05,
+        "hand {:.4}s vs compiled {:.4}s",
+        hand.run.virtual_time,
+        comp.run.virtual_time
+    );
+}
+
+#[test]
+fn quickstart_program_compiles_and_verifies() {
+    let src = "
+      program t
+      parameter (n = 16)
+      integer i
+      double precision a(n), b(n)
+!hpf$ processors p(2)
+!hpf$ distribute (block) onto p :: a, b
+      do i = 1, n
+         a(i) = i * i * 1.0d0
+      enddo
+      do i = 2, n - 1
+         b(i) = a(i - 1) + a(i + 1)
+      enddo
+      end
+";
+    let program = parse(src).unwrap();
+    let serial = run_serial(&program, &Default::default()).unwrap();
+    let compiled = compile(&program, &CompileOptions::new()).unwrap();
+    let r = run_node_program(&compiled.program, MachineConfig::sp2(2)).unwrap();
+    assert!(max_delta(&serial.arrays["b"], &r.arrays["b"]) < 1e-12);
+}

@@ -1,0 +1,99 @@
+//! Properties of the virtual machine's cost model that the paper's
+//! measurements depend on.
+
+use dhpf::spmd::machine::{Machine, MachineConfig};
+use dhpf::spmd::topo::MultiPartition;
+
+#[test]
+fn latency_dominates_small_messages() {
+    // two cost-model sanity checks: one big message beats many small
+    // ones of the same total volume (the premise behind communication
+    // vectorization, §2)
+    let run = |pieces: usize| {
+        Machine::run(MachineConfig::sp2(2), move |p| {
+            if p.rank() == 0 {
+                let chunk = 1024 / pieces;
+                for i in 0..pieces {
+                    p.send(1, i as u64, vec![0.0; chunk]);
+                }
+            } else {
+                for i in 0..pieces {
+                    p.recv(0, i as u64);
+                }
+            }
+        })
+        .virtual_time
+    };
+    let one = run(1);
+    let many = run(64);
+    // non-blocking sends overlap their latencies, so the penalty is the
+    // per-message CPU overhead: still well above the single-message cost
+    assert!(many > 1.5 * one, "64 messages {many:.6}s vs 1 message {one:.6}s");
+}
+
+#[test]
+fn pipeline_fills_with_strips() {
+    // finer strips start downstream processors earlier — the coarse-grain
+    // pipelining trade-off of §8.1
+    let chain = |strips: usize| {
+        Machine::run(MachineConfig::sp2(4), move |p| {
+            let work_total = 4.0e6;
+            for s in 0..strips {
+                if p.rank() > 0 {
+                    p.recv(p.rank() - 1, s as u64);
+                }
+                p.work(work_total / strips as f64);
+                if p.rank() + 1 < p.nprocs() {
+                    p.send(p.rank() + 1, s as u64, vec![0.0; 128 / strips]);
+                }
+            }
+        })
+        .virtual_time
+    };
+    let coarse = chain(1);
+    let fine = chain(8);
+    assert!(fine < coarse, "8 strips {fine:.4}s vs 1 strip {coarse:.4}s");
+}
+
+#[test]
+fn multipartition_balances_sweeps() {
+    // every processor active at every sweep stage: simulate a 3-stage
+    // sweep on 9 procs and confirm all finish simultaneously
+    let mp = MultiPartition::new(9).unwrap();
+    let r = Machine::run(MachineConfig::sp2(9), move |p| {
+        for stage in 0..mp.q {
+            let c = mp.active_cell(p.rank(), 0, stage);
+            assert_eq!(c[0], stage);
+            p.work(1.0e5); // same work per stage on every proc
+            p.barrier();
+        }
+    });
+    let spread = r
+        .proc_times
+        .iter()
+        .fold((f64::MAX, f64::MIN), |(lo, hi), &t| (lo.min(t), hi.max(t)));
+    assert!(
+        (spread.1 - spread.0) / spread.1 < 1e-9,
+        "perfect balance expected: {:?}",
+        r.proc_times
+    );
+}
+
+#[test]
+fn virtual_time_independent_of_host_timing() {
+    let run = || {
+        Machine::run(MachineConfig::sp2(8), |p| {
+            let next = (p.rank() + 1) % p.nprocs();
+            let prev = (p.rank() + p.nprocs() - 1) % p.nprocs();
+            for round in 0..20 {
+                p.work((p.rank() as f64 + 1.0) * 100.0);
+                p.send(next, round, vec![p.rank() as f64; 8]);
+                p.recv(prev, round);
+            }
+        })
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.proc_times, b.proc_times);
+    assert_eq!(a.stats, b.stats);
+}
