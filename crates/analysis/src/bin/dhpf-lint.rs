@@ -1,0 +1,130 @@
+//! `dhpf-lint` — lint (and optionally verify) HPF source files.
+//!
+//! ```text
+//! dhpf-lint [--json] [--verify] [--bind name=value]... FILE.f [FILE.f ...]
+//! ```
+//!
+//! Lints always run. With `--verify`, files containing a main program
+//! and a processor grid are additionally compiled and their
+//! communication plans are proven covered by the independent verifier.
+//! Exit status is 1 when any error-severity finding (or a parse/compile
+//! failure) is reported, 0 otherwise.
+
+use dhpf_analysis::diag::{Finding, Report, Severity};
+use dhpf_analysis::{check_compiled_races, lint_compiled, lint_source, verify_compiled};
+use dhpf_core::driver::{compile, CompileOptions};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+struct Args {
+    files: Vec<String>,
+    json: bool,
+    verify: bool,
+    bindings: BTreeMap<String, i64>,
+}
+
+fn usage() -> ! {
+    eprintln!("usage: dhpf-lint [--json] [--verify] [--bind name=value]... FILE.f [FILE.f ...]");
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        files: Vec::new(),
+        json: false,
+        verify: false,
+        bindings: BTreeMap::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => args.json = true,
+            "--verify" => args.verify = true,
+            "--bind" => {
+                let Some(kv) = it.next() else { usage() };
+                let Some((k, v)) = kv.split_once('=') else {
+                    usage()
+                };
+                let Ok(v) = v.parse::<i64>() else { usage() };
+                args.bindings.insert(k.to_string(), v);
+            }
+            "--help" | "-h" => usage(),
+            f if !f.starts_with('-') => args.files.push(f.to_string()),
+            _ => usage(),
+        }
+    }
+    if args.files.is_empty() {
+        usage();
+    }
+    args
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    let mut failed = false;
+    for file in &args.files {
+        let mut report = Report::new();
+        let source = match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{file}: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match dhpf_fortran::parse(&source) {
+            Err(diags) => {
+                for d in diags {
+                    let sev = match d.severity {
+                        dhpf_fortran::span::Severity::Error => Severity::Error,
+                        dhpf_fortran::span::Severity::Warning => Severity::Warning,
+                    };
+                    let mut f = Finding::new("parse", sev, "", d.message.clone());
+                    f.span = Some(d.span);
+                    report.push(f);
+                }
+            }
+            Ok(program) => {
+                report.extend(lint_source(&program, &args.bindings));
+                if args.verify {
+                    let has_grid = program.units.iter().any(|u| !u.hpf.processors.is_empty());
+                    if program.main().is_some() && has_grid {
+                        let mut opts = CompileOptions::new();
+                        opts.bindings = args.bindings.clone();
+                        match compile(&program, &opts) {
+                            Ok(compiled) => {
+                                report.extend(verify_compiled(&compiled));
+                                report.extend(check_compiled_races(&compiled));
+                                report.extend(lint_compiled(&compiled));
+                            }
+                            Err(e) => {
+                                report.push(Finding::new(
+                                    "compile",
+                                    Severity::Error,
+                                    "",
+                                    format!("compilation failed: {e}"),
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if args.json {
+            println!(
+                "{{\"file\":\"{}\",\"findings\":{}}}",
+                file,
+                report.render_json()
+            );
+        } else {
+            println!("== {file}");
+            print!("{}", report.render_human(Some(&source)));
+        }
+        failed |= report.error_count() > 0;
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

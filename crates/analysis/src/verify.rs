@@ -1,0 +1,515 @@
+//! Independent communication-coverage verifier.
+//!
+//! The planner in `dhpf_core::comm` *derives* each nest's exchanges; this
+//! module *re-derives* every statement's non-local data set from first
+//! principles — `Cp::iteration_set` images through the subscript maps
+//! (`avail::accessed_set`), per processor — and proves each one is
+//! covered by the union of
+//!
+//! 1. the nest's scheduled pre-exchanges delivered to that processor,
+//! 2. values the processor itself produces earlier in the availability
+//!    scope (the §7 rule, which folds the §4.1/§4.2 partial-replication
+//!    optimizations into one uniform test), and
+//! 3. planes carried by the sweep schedule of a pipelined nest.
+//!
+//! Symmetrically, every non-owner write must reach its owner through a
+//! scheduled write-back unless the owner redundantly computes the same
+//! elements. Any residue is a CONFIRMED miscompile: the generated node
+//! program would read stale ghost data (or leave an owner stale), and
+//! the finding names the offending statement span.
+//!
+//! The verifier shares the *set machinery* with the compiler but none of
+//! its planning logic: coverage is established by exact `iset`
+//! subtraction against the plan the compiler actually emitted, so a
+//! dropped or mis-addressed message cannot hide.
+
+use crate::diag::{Finding, Report, Severity};
+use dhpf_core::avail::{accessed_set, nest_bounds};
+use dhpf_core::comm::{NestPlan, PipeSchedule, Region};
+use dhpf_core::cp::{Cp, SubTerm};
+use dhpf_core::distrib::ProcGrid;
+use dhpf_core::driver::{Compiled, UnitAnalysis};
+use dhpf_depend::dep::{analyze_loop_deps, DepKind, Dependence};
+use dhpf_depend::loops::UnitLoops;
+use dhpf_depend::refs::{RefInfo, UnitRefs};
+use dhpf_depend::usedef;
+use dhpf_fortran::ast::{ProgramUnit, StmtId};
+use dhpf_fortran::span::Span;
+use dhpf_fortran::symtab;
+use dhpf_iset::enumerate::bounding_box;
+use dhpf_iset::Set;
+use std::collections::BTreeMap;
+
+/// Verify every compiled unit of a program. A clean report means every
+/// non-local read and every non-owner write in every planned nest is
+/// covered by the emitted communication plan.
+pub fn verify_compiled(compiled: &Compiled) -> Report {
+    let mut out = Report::new();
+    let (tabs, _) = symtab::resolve(&compiled.transformed);
+    for (uname, ua) in &compiled.analyses {
+        let Some(unit) = compiled.transformed.unit(uname) else {
+            continue;
+        };
+        let tab = tabs.get(uname).cloned().unwrap_or_default();
+        let loops = UnitLoops::build(unit);
+        let refs = UnitRefs::build(unit, &tab);
+        verify_unit(unit, ua, &loops, &refs, &mut out);
+    }
+    out
+}
+
+/// Verify one unit's nests against its captured analysis artifacts.
+pub fn verify_unit(
+    unit: &ProgramUnit,
+    ua: &UnitAnalysis,
+    loops: &UnitLoops,
+    refs: &UnitRefs,
+    out: &mut Report,
+) {
+    let Some(grid) = ua.env.grid.clone() else {
+        return;
+    };
+    let spans = span_map(unit);
+    for &nest in &ua.nests {
+        let Some(plan) = ua.plans.get(&nest) else {
+            continue;
+        };
+        let scope = ua.nest_scope.get(&nest).copied().unwrap_or(nest);
+        let cx = NestCx {
+            unit_name: &unit.name,
+            ua,
+            loops,
+            refs,
+            grid: &grid,
+            spans: &spans,
+            nest,
+            scope,
+            plan,
+        };
+        cx.check_reads(out);
+        cx.check_writebacks(out);
+    }
+}
+
+struct NestCx<'a> {
+    unit_name: &'a str,
+    ua: &'a UnitAnalysis,
+    loops: &'a UnitLoops,
+    refs: &'a UnitRefs,
+    grid: &'a ProcGrid,
+    spans: &'a BTreeMap<StmtId, Span>,
+    nest: StmtId,
+    scope: StmtId,
+    plan: &'a NestPlan,
+}
+
+impl NestCx<'_> {
+    fn sweep(&self) -> Option<&PipeSchedule> {
+        match self.plan {
+            NestPlan::Pipelined { schedule, .. } => Some(schedule),
+            NestPlan::Parallel { .. } => None,
+        }
+    }
+
+    /// Every non-local read must be covered by pre-exchanges, earlier
+    /// same-processor writes, or the pipeline.
+    fn check_reads(&self, out: &mut Report) {
+        let ud = usedef::build(self.scope, self.loops, self.refs);
+        let scope_deps: Vec<Dependence> = analyze_loop_deps(self.scope, self.loops, self.refs);
+        let nprocs = self.grid.nprocs() as usize;
+
+        for stmt in self.loops.stmts_in(self.nest) {
+            let Some(cp) = self.ua.cps.get(&stmt) else {
+                continue;
+            };
+            for r in self.refs.of_stmt(stmt) {
+                if r.is_write || r.is_scalar {
+                    continue;
+                }
+                let Some(dist) = self.ua.env.dist_of(&r.array) else {
+                    continue;
+                };
+                if !dist.is_distributed() || r.subs.iter().any(|s| s.is_none()) {
+                    continue; // non-affine: flagged by the lints, rejected by the planner
+                }
+                if let Some(sch) = self.sweep() {
+                    if behind_read(sch, self.nest, self.loops, r, cp) {
+                        continue; // the sweep schedule carries behind-planes
+                    }
+                }
+                let Some(nest_r) = nest_bounds(r.stmt, self.loops) else {
+                    continue;
+                };
+                // same-processor availability uses the lexically-last
+                // preceding write with a flow dependence — the §7 rule
+                let pred = ud
+                    .last_write_before
+                    .get(&r.id)
+                    .and_then(|w| self.refs.by_id(*w))
+                    .filter(|w| {
+                        scope_deps.iter().any(|d| {
+                            d.kind == DepKind::Flow && d.src_ref == w.id && d.dst_ref == r.id
+                        })
+                    });
+                let space = elem_space(r.subs.len());
+                let anyowned = (0..nprocs).fold(Set::empty(&space), |acc, p| {
+                    acc.union(&dist.owned_set(&self.grid.coords(p as i64)))
+                });
+                let mut bad_ranks: Vec<(usize, String)> = Vec::new();
+                for rank in 0..nprocs {
+                    let coords = self.grid.coords(rank as i64);
+                    let Some(read_data) = accessed_set(r, cp, &nest_r, &self.ua.env, &coords)
+                    else {
+                        continue;
+                    };
+                    let owned = dist.owned_set(&coords);
+                    let mut uncovered = read_data.subtract(&owned).intersect(&anyowned);
+                    if uncovered.is_empty() {
+                        continue;
+                    }
+                    if let Some(w) = pred {
+                        if let Some(nw) = nest_bounds(w.stmt, self.loops) {
+                            let wcp = self.ua.cps.get(&w.stmt).cloned().unwrap_or_default();
+                            if let Some(wd) = accessed_set(w, &wcp, &nw, &self.ua.env, &coords) {
+                                uncovered = uncovered.subtract(&wd);
+                            }
+                        }
+                    }
+                    for m in self.plan.pre() {
+                        if m.to == rank && m.array == r.array && m.region.lo.len() == r.subs.len() {
+                            uncovered = uncovered.subtract(&region_set(&space, &m.region));
+                        }
+                    }
+                    if !uncovered.is_empty() {
+                        bad_ranks.push((rank, describe(&uncovered)));
+                    }
+                }
+                if !bad_ranks.is_empty() {
+                    let mut f = Finding::new(
+                        "comm-coverage",
+                        Severity::Error,
+                        self.unit_name,
+                        format!(
+                            "CONFIRMED: read of `{}` accesses non-local data covered by \
+                             no pre-exchange, preceding local write, or pipeline plane",
+                            r.array
+                        ),
+                    )
+                    .at(stmt, self.spans.get(&stmt).copied());
+                    for (rank, elems) in bad_ranks {
+                        f = f.note(format!("processor {rank} reads stale {elems}"));
+                    }
+                    out.push(f);
+                }
+            }
+        }
+    }
+
+    /// Every non-owner write must reach the owner through a write-back
+    /// unless the owner redundantly computes the same elements (or the
+    /// pipeline forwards the planes of a swept array).
+    fn check_writebacks(&self, out: &mut Report) {
+        let nprocs = self.grid.nprocs() as usize;
+        for stmt in self.loops.stmts_in(self.nest) {
+            let Some(cp) = self.ua.cps.get(&stmt) else {
+                continue;
+            };
+            for w in self.refs.of_stmt(stmt) {
+                if !w.is_write || w.is_scalar {
+                    continue;
+                }
+                let Some(dist) = self.ua.env.dist_of(&w.array) else {
+                    continue;
+                };
+                if !dist.is_distributed() || w.subs.iter().any(|s| s.is_none()) {
+                    continue;
+                }
+                if let Some(sch) = self.sweep() {
+                    if sch.arrays.iter().any(|(a, _)| a == &w.array) {
+                        continue; // swept planes travel with the pipeline
+                    }
+                }
+                let Some(nw) = nest_bounds(w.stmt, self.loops) else {
+                    continue;
+                };
+                let space = elem_space(w.subs.len());
+                let mut bad: Vec<(usize, usize, String)> = Vec::new();
+                for rank in 0..nprocs {
+                    let coords = self.grid.coords(rank as i64);
+                    let Some(written) = accessed_set(w, cp, &nw, &self.ua.env, &coords) else {
+                        continue;
+                    };
+                    let nonowned = written.subtract(&dist.owned_set(&coords));
+                    if nonowned.is_empty() {
+                        continue;
+                    }
+                    for orank in 0..nprocs {
+                        if orank == rank {
+                            continue;
+                        }
+                        let oc = self.grid.coords(orank as i64);
+                        let oowned = dist.owned_set(&oc);
+                        let mut piece = nonowned.intersect(&oowned);
+                        if piece.is_empty() {
+                            continue;
+                        }
+                        if let Some(oset) = accessed_set(w, cp, &nw, &self.ua.env, &oc) {
+                            piece = piece.subtract(&oset.intersect(&oowned));
+                        }
+                        for m in self.plan.post() {
+                            if m.from == rank
+                                && m.to == orank
+                                && m.array == w.array
+                                && m.region.lo.len() == w.subs.len()
+                            {
+                                piece = piece.subtract(&region_set(&space, &m.region));
+                            }
+                        }
+                        if !piece.is_empty() {
+                            bad.push((rank, orank, describe(&piece)));
+                        }
+                    }
+                }
+                if !bad.is_empty() {
+                    let mut f = Finding::new(
+                        "comm-coverage",
+                        Severity::Error,
+                        self.unit_name,
+                        format!(
+                            "CONFIRMED: non-owner write of `{}` never reaches the owner \
+                             (no write-back, owner does not compute it)",
+                            w.array
+                        ),
+                    )
+                    .at(stmt, self.spans.get(&stmt).copied());
+                    for (rank, orank, elems) in bad {
+                        f = f.note(format!(
+                            "processor {rank} writes {elems} owned by processor {orank}"
+                        ));
+                    }
+                    out.push(f);
+                }
+            }
+        }
+    }
+}
+
+/// Mirror of the planner's pipeline exemption: a read of a swept array
+/// whose subscript on the swept dimension trails the CP's subscript
+/// (against the sweep direction) is delivered by the sweep schedule.
+fn behind_read(sch: &PipeSchedule, nest: StmtId, loops: &UnitLoops, r: &RefInfo, cp: &Cp) -> bool {
+    let Some((_, dm)) = sch.arrays.iter().find(|(a, _)| a == &r.array) else {
+        return false;
+    };
+    let Some(Some(sub)) = r.subs.get(*dm) else {
+        return false;
+    };
+    // sweep loop variable: level `sweep_level` of the single-chain nest
+    let mut nest_ids = vec![nest];
+    loop {
+        let last = *nest_ids.last().unwrap();
+        match loops.loop_body.get(&last) {
+            Some(body) if body.len() == 1 && loops.loops.contains_key(&body[0]) => {
+                nest_ids.push(body[0]);
+            }
+            _ => break,
+        }
+    }
+    let Some(var) = nest_ids
+        .get(sch.sweep_level)
+        .map(|id| loops.loops[id].var.clone())
+    else {
+        return false;
+    };
+    if sub.coeff(&var) == 0 {
+        return false;
+    }
+    cp.terms.iter().any(|t| {
+        matches!(
+            t.subs.get(*dm),
+            Some(SubTerm::Affine(tsub)) if {
+                let d = sub.clone() - tsub.clone();
+                d.is_constant()
+                    && (if sch.forward { -d.constant() } else { d.constant() }) > 0
+            }
+        )
+    })
+}
+
+/// The element space an `accessed_set` image lives in: `e0 .. e{n-1}`.
+fn elem_space(ndims: usize) -> Vec<String> {
+    (0..ndims).map(|d| format!("e{d}")).collect()
+}
+
+fn region_set(space: &[String], r: &Region) -> Set {
+    Set::rect(space, &r.lo, &r.hi)
+}
+
+/// Human description of an uncovered element set (its bounding box).
+fn describe(s: &Set) -> String {
+    match bounding_box(s, &|_| None) {
+        Some(bb) => {
+            let dims: Vec<String> = bb.iter().map(|(lo, hi)| format!("{lo}..{hi}")).collect();
+            format!("elements ({})", dims.join(", "))
+        }
+        None => "elements (unbounded set)".to_string(),
+    }
+}
+
+fn span_map(unit: &ProgramUnit) -> BTreeMap<StmtId, Span> {
+    let mut out = BTreeMap::new();
+    unit.for_each_stmt(&mut |s| {
+        out.insert(s.id, s.span);
+    });
+    out
+}
+
+/// Convenience for tests: verify and assert-format in one step.
+pub fn assert_clean(compiled: &Compiled) {
+    let report = verify_compiled(compiled);
+    assert!(
+        report.is_clean(),
+        "verifier findings:\n{}",
+        report.render_human(None)
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dhpf_core::comm::Msg;
+    use dhpf_core::driver::{compile, CompileOptions};
+    use dhpf_fortran::parse;
+
+    const STENCIL: &str = "
+      program st
+      parameter (n = 16)
+      integer i
+      double precision a(n), b(n)
+!hpf$ processors p(4)
+!hpf$ distribute (block) onto p :: a, b
+      do i = 1, n
+         b(i) = i * 1.0d0
+      enddo
+      do i = 2, n - 1
+         a(i) = b(i - 1) + b(i + 1)
+      enddo
+      end
+";
+
+    fn compile_stencil() -> Compiled {
+        let p = parse(STENCIL).unwrap();
+        compile(&p, &CompileOptions::new()).unwrap()
+    }
+
+    #[test]
+    fn clean_stencil_verifies() {
+        assert_clean(&compile_stencil());
+    }
+
+    #[test]
+    fn dropped_exchange_is_flagged_at_the_reading_statement() {
+        let mut compiled = compile_stencil();
+        let ua = compiled.analyses.get_mut("st").unwrap();
+        // drop one boundary exchange of `b`
+        let (nest, msg) = {
+            let (nest, plan) = ua
+                .plans
+                .iter()
+                .find(|(_, p)| !p.pre().is_empty())
+                .expect("a nest with pre-exchanges");
+            (*nest, plan.pre()[0].clone())
+        };
+        match ua.plans.get_mut(&nest).unwrap() {
+            NestPlan::Parallel { pre, .. } | NestPlan::Pipelined { pre, .. } => {
+                pre.remove(0);
+            }
+        }
+        let report = verify_compiled(&compiled);
+        assert_eq!(report.error_count(), 1, "{}", report.render_human(None));
+        let f = &report.findings[0];
+        assert_eq!(f.code, "comm-coverage");
+        assert!(f.message.contains("`b`"), "{}", f.message);
+        assert!(
+            f.notes
+                .iter()
+                .any(|n| n.contains(&format!("processor {}", msg.to))),
+            "{:?}",
+            f.notes
+        );
+        // the anchor is the reading statement inside the flagged nest
+        let stmt = f.stmt.expect("anchored");
+        let p = parse(STENCIL).unwrap();
+        let unit = &p.units[0];
+        let loops = UnitLoops::build(unit);
+        assert!(loops.stmts_in(nest).contains(&stmt));
+        let _ = msg;
+    }
+
+    #[test]
+    fn misaddressed_exchange_is_flagged() {
+        let mut compiled = compile_stencil();
+        let ua = compiled.analyses.get_mut("st").unwrap();
+        let nest = *ua
+            .plans
+            .iter()
+            .find(|(_, p)| !p.pre().is_empty())
+            .map(|(n, _)| n)
+            .unwrap();
+        match ua.plans.get_mut(&nest).unwrap() {
+            NestPlan::Parallel { pre, .. } | NestPlan::Pipelined { pre, .. } => {
+                // shift the region one element: the boundary cell is
+                // still missing even though a message exists
+                pre[0].region.lo[0] -= 1;
+                pre[0].region.hi[0] -= 1;
+            }
+        }
+        let report = verify_compiled(&compiled);
+        assert!(report.error_count() >= 1, "{}", report.render_human(None));
+    }
+
+    #[test]
+    fn forged_writeback_gap_is_flagged() {
+        // the shared CP makes a(i+1) a non-owner write at block
+        // boundaries, producing write-backs; deleting one must be caught
+        let src = "
+      program wb
+      parameter (n = 16)
+      integer i
+      double precision a(n), b(n), c(n)
+!hpf$ processors p(4)
+!hpf$ distribute (block) onto p :: a, b, c
+      do i = 1, n
+         b(i) = i * 1.0d0
+      enddo
+      do i = 1, n - 1
+         c(i) = b(i) + 1.0d0
+         a(i + 1) = c(i) * 2.0d0
+      enddo
+      end
+";
+        let p = parse(src).unwrap();
+        let mut compiled = compile(&p, &CompileOptions::new()).unwrap();
+        assert_clean(&compiled);
+        let ua = compiled.analyses.get_mut("wb").unwrap();
+        let mut dropped: Option<Msg> = None;
+        for plan in ua.plans.values_mut() {
+            match plan {
+                NestPlan::Parallel { post, .. } | NestPlan::Pipelined { post, .. } => {
+                    if !post.is_empty() {
+                        dropped = Some(post.remove(0));
+                        break;
+                    }
+                }
+            }
+        }
+        let dropped = dropped.expect("a write-back to drop");
+        let report = verify_compiled(&compiled);
+        assert!(report.error_count() >= 1, "{}", report.render_human(None));
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.message.contains("non-owner write")
+                && f.message.contains(&format!("`{}`", dropped.array))));
+    }
+}

@@ -1,0 +1,164 @@
+//! Golden and mutation tests of the comm-coverage verifier against the
+//! full NAS SP/BT dHPF pipelines (class S).
+//!
+//! Golden: the verifier and race checker must report *nothing* on clean
+//! compiler output — any finding here is a verifier false positive (or a
+//! real miscompile, which tier-1 numerical tests would also catch).
+//!
+//! Mutation: dropping a single pre-exchange from a nest plan must be
+//! caught, and the findings must point at reads of exactly the dropped
+//! array in the mutated unit. Restoring the message must restore a
+//! clean report.
+
+use dhpf_analysis::{check_compiled_races, check_traces, verify_compiled};
+use dhpf_core::comm::{Msg, NestPlan};
+use dhpf_core::driver::Compiled;
+use dhpf_iset::set::Set;
+use dhpf_nas::Class;
+use dhpf_spmd::machine::MachineConfig;
+
+fn region_set(m: &Msg) -> Set {
+    let space: Vec<String> = (0..m.region.lo.len()).map(|d| format!("e{d}")).collect();
+    Set::rect(&space, &m.region.lo, &m.region.hi)
+}
+
+/// Find a pre-exchange whose region is not covered by the union of the
+/// other pre-exchanges to the same (receiver, array) in the same plan —
+/// dropping it must leave some element of the receiver's ghost region
+/// unfilled.
+fn pick_droppable(compiled: &Compiled) -> Option<(String, dhpf_fortran::ast::StmtId, usize)> {
+    for (uname, ua) in &compiled.analyses {
+        for (&nest, plan) in &ua.plans {
+            let pre = plan.pre();
+            for (i, m) in pre.iter().enumerate() {
+                let mut residue = region_set(m);
+                for (j, o) in pre.iter().enumerate() {
+                    if j == i
+                        || o.to != m.to
+                        || o.array != m.array
+                        || o.region.lo.len() != m.region.lo.len()
+                    {
+                        continue;
+                    }
+                    residue = residue.subtract(&region_set(o));
+                }
+                if !residue.is_empty() {
+                    return Some((uname.clone(), nest, i));
+                }
+            }
+        }
+    }
+    None
+}
+
+fn drop_pre_msg(
+    compiled: &mut Compiled,
+    unit: &str,
+    nest: dhpf_fortran::ast::StmtId,
+    i: usize,
+) -> Msg {
+    let plan = compiled
+        .analyses
+        .get_mut(unit)
+        .expect("mutated unit")
+        .plans
+        .get_mut(&nest)
+        .expect("mutated nest");
+    match plan {
+        NestPlan::Parallel { pre, .. } | NestPlan::Pipelined { pre, .. } => pre.remove(i),
+    }
+}
+
+#[test]
+fn sp_class_s_verifies_clean() {
+    let compiled = dhpf_nas::sp::compile_dhpf(Class::S, 4, None);
+    let r = verify_compiled(&compiled);
+    assert!(
+        r.is_clean(),
+        "SP verifier false positives:\n{}",
+        r.render_human(None)
+    );
+    let races = check_compiled_races(&compiled);
+    assert!(
+        races.is_clean(),
+        "SP ghost races:\n{}",
+        races.render_human(None)
+    );
+}
+
+#[test]
+fn bt_class_s_verifies_clean() {
+    let compiled = dhpf_nas::bt::compile_dhpf(Class::S, 4, None);
+    let r = verify_compiled(&compiled);
+    assert!(
+        r.is_clean(),
+        "BT verifier false positives:\n{}",
+        r.render_human(None)
+    );
+    let races = check_compiled_races(&compiled);
+    assert!(
+        races.is_clean(),
+        "BT ghost races:\n{}",
+        races.render_human(None)
+    );
+}
+
+#[test]
+fn sp_class_s_traces_are_consistent() {
+    let res = dhpf_nas::sp::run_dhpf(Class::S, 4, MachineConfig::sp2(4).with_trace());
+    let r = check_traces(&res.run.traces);
+    assert!(
+        r.error_count() == 0,
+        "SP trace inconsistencies:\n{}",
+        r.render_human(None)
+    );
+}
+
+#[test]
+fn dropped_sp_exchange_is_caught() {
+    let clean = dhpf_nas::sp::compile_dhpf(Class::S, 4, None);
+    let mut mutated = dhpf_nas::sp::compile_dhpf(Class::S, 4, None);
+    let (unit, nest, i) =
+        pick_droppable(&clean).expect("SP plans contain a non-redundant pre-exchange");
+    let dropped = drop_pre_msg(&mut mutated, &unit, nest, i);
+
+    let r = verify_compiled(&mutated);
+    assert!(
+        r.error_count() > 0,
+        "verifier missed the dropped exchange {dropped:?} in `{unit}`"
+    );
+    for f in &r.findings {
+        assert_eq!(f.code, "comm-coverage", "{}", r.render_human(None));
+        assert_eq!(f.unit, unit, "finding escaped the mutated unit");
+        assert!(
+            f.message.contains(&format!("`{}`", dropped.array)),
+            "finding does not name the dropped array `{}`: {}",
+            dropped.array,
+            f.message
+        );
+        assert!(f.stmt.is_some(), "finding not anchored to a statement");
+    }
+
+    // restoring the message restores a clean report
+    let restored = verify_compiled(&clean);
+    assert!(restored.is_clean(), "{}", restored.render_human(None));
+}
+
+#[test]
+fn dropped_bt_exchange_is_caught() {
+    let clean = dhpf_nas::bt::compile_dhpf(Class::S, 4, None);
+    let mut mutated = dhpf_nas::bt::compile_dhpf(Class::S, 4, None);
+    let (unit, nest, i) =
+        pick_droppable(&clean).expect("BT plans contain a non-redundant pre-exchange");
+    let dropped = drop_pre_msg(&mut mutated, &unit, nest, i);
+
+    let r = verify_compiled(&mutated);
+    assert!(
+        r.error_count() > 0,
+        "verifier missed the dropped exchange {dropped:?} in `{unit}`"
+    );
+    assert!(r
+        .findings
+        .iter()
+        .all(|f| f.code == "comm-coverage" && f.unit == unit));
+}

@@ -55,5 +55,11 @@ fn bench_machine(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_iset, bench_frontend, bench_compile, bench_machine);
+criterion_group!(
+    benches,
+    bench_iset,
+    bench_frontend,
+    bench_compile,
+    bench_machine
+);
 criterion_main!(benches);

@@ -10,14 +10,44 @@ fn main() {
     let class = Class::W;
     let configs: Vec<(&str, OptFlags)> = vec![
         ("all-on", OptFlags::default()),
-        ("no-privatizable-cp (§4.1)", OptFlags { privatizable_cp: false, ..Default::default() }),
-        ("no-localize (§4.2)", OptFlags { localize: false, ..Default::default() }),
-        ("no-loop-distribution (§5)", OptFlags { loop_distribution: false, ..Default::default() }),
-        ("no-data-availability (§7)", OptFlags { data_availability: false, ..Default::default() }),
+        (
+            "no-privatizable-cp (§4.1)",
+            OptFlags {
+                privatizable_cp: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "no-localize (§4.2)",
+            OptFlags {
+                localize: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "no-loop-distribution (§5)",
+            OptFlags {
+                loop_distribution: false,
+                ..Default::default()
+            },
+        ),
+        (
+            "no-data-availability (§7)",
+            OptFlags {
+                data_availability: false,
+                ..Default::default()
+            },
+        ),
     ];
-    println!("SP class {} on {} procs — dHPF optimization ablation\n", class.name(), nprocs);
-    println!("{:<28} {:>10} {:>12} {:>12} {:>8} {:>8}",
-        "configuration", "time (s)", "messages", "bytes", "availOK", "replOK");
+    println!(
+        "SP class {} on {} procs — dHPF optimization ablation\n",
+        class.name(),
+        nprocs
+    );
+    println!(
+        "{:<28} {:>10} {:>12} {:>12} {:>8} {:>8}",
+        "configuration", "time (s)", "messages", "bytes", "availOK", "replOK"
+    );
     for (name, flags) in configs {
         let compiled = sp::compile_dhpf(class, nprocs, Some(flags));
         let r = run_node_program(&compiled.program, MachineConfig::sp2(nprocs)).expect("run");
@@ -35,10 +65,17 @@ fn main() {
     // §8.1 / conclusions: pipeline granularity selection. The paper
     // applies ONE uniform granularity and names per-pipeline selection
     // as future work; the sweep below is the data that motivates it.
-    println!("
+    println!(
+        "
 coarse-grain pipelining granularity sweep (SP class {}, {} procs)
-", class.name(), nprocs);
-    println!("{:<12} {:>10} {:>12}", "granularity", "time (s)", "messages");
+",
+        class.name(),
+        nprocs
+    );
+    println!(
+        "{:<12} {:>10} {:>12}",
+        "granularity", "time (s)", "messages"
+    );
     let mut best = (i64::MAX, f64::MAX);
     for g in [1i64, 2, 4, 8, 16, 1_000_000] {
         let mut opts = dhpf_core::driver::CompileOptions::new();
@@ -46,12 +83,22 @@ coarse-grain pipelining granularity sweep (SP class {}, {} procs)
         opts.granularity = g;
         let compiled = dhpf_core::driver::compile(&sp::parse(), &opts).expect("compile");
         let r = run_node_program(&compiled.program, MachineConfig::sp2(nprocs)).expect("run");
-        let label = if g >= 1_000_000 { "whole-block".to_string() } else { g.to_string() };
-        println!("{:<12} {:>10.4} {:>12}", label, r.run.virtual_time, r.run.stats.messages);
+        let label = if g >= 1_000_000 {
+            "whole-block".to_string()
+        } else {
+            g.to_string()
+        };
+        println!(
+            "{:<12} {:>10.4} {:>12}",
+            label, r.run.virtual_time, r.run.stats.messages
+        );
         if r.run.virtual_time < best.1 {
             best = (g, r.run.virtual_time);
         }
     }
-    println!("
-best uniform granularity here: {} ({:.4}s)", best.0, best.1);
+    println!(
+        "
+best uniform granularity here: {} ({:.4}s)",
+        best.0, best.1
+    );
 }

@@ -6,8 +6,10 @@ use dhpf_nas::Class;
 
 fn main() {
     let verbose = std::env::args().any(|a| a == "--listing");
-    println!("{:<6} {:>5} {:>10} {:>10} {:>12} {:>10} {:>14}",
-        "bench", "procs", "exchanges", "messages", "elements", "pipelines", "guarded/stmts");
+    println!(
+        "{:<6} {:>5} {:>10} {:>10} {:>12} {:>10} {:>14}",
+        "bench", "procs", "exchanges", "messages", "elements", "pipelines", "guarded/stmts"
+    );
     type CompileFn = fn(Class, usize) -> dhpf_core::driver::Compiled;
     let sp_compile: CompileFn = |c, p| dhpf_nas::sp::compile_dhpf(c, p, None);
     let bt_compile: CompileFn = |c, p| dhpf_nas::bt::compile_dhpf(c, p, None);
@@ -17,8 +19,14 @@ fn main() {
             let st = plan_stats(&compiled.program);
             println!(
                 "{:<6} {:>5} {:>10} {:>10} {:>12} {:>10} {:>9}/{}",
-                name, procs, st.exchanges, st.exchange_messages, st.exchange_elements,
-                st.pipelines, st.guarded_statements, st.statements
+                name,
+                procs,
+                st.exchanges,
+                st.exchange_messages,
+                st.exchange_elements,
+                st.pipelines,
+                st.guarded_statements,
+                st.statements
             );
             if verbose && procs == 4 {
                 println!("{}", dhpf_core::codegen::emit::listing(&compiled.program));

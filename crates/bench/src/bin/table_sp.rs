@@ -4,16 +4,28 @@ use dhpf_nas::Class;
 
 fn main() {
     let fast = std::env::args().any(|a| a == "--fast");
-    let classes: Vec<Class> = if fast { vec![Class::W] } else { vec![Class::A, Class::B] };
-    let procs: Vec<usize> =
-        if fast { vec![1, 4, 9] } else { vec![1, 2, 4, 8, 9, 16, 25, 32] };
+    let classes: Vec<Class> = if fast {
+        vec![Class::W]
+    } else {
+        vec![Class::A, Class::B]
+    };
+    let procs: Vec<usize> = if fast {
+        vec![1, 4, 9]
+    } else {
+        vec![1, 2, 4, 8, 9, 16, 25, 32]
+    };
     let mut results = Vec::new();
     for &c in &classes {
         for &p in &procs {
             for v in ["hand", "dhpf", "pgi"] {
                 if let Some((m, _)) = run_version(Bench::Sp, v, c, p, false) {
-                    eprintln!("SP {v} class {} P={p}: {:.4}s  msgs={} bytes={}",
-                        c.name(), m.time, m.messages, m.bytes);
+                    eprintln!(
+                        "SP {v} class {} P={p}: {:.4}s  msgs={} bytes={}",
+                        c.name(),
+                        m.time,
+                        m.messages,
+                        m.bytes
+                    );
                     results.push(m);
                 }
             }

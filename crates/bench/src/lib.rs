@@ -61,32 +61,69 @@ pub fn run_version(
     let (time, messages, bytes, traces) = match (bench, version) {
         (Bench::Sp, "dhpf") => {
             let r = dhpf_nas::sp::run_dhpf(class, nprocs, machine);
-            (r.run.virtual_time, r.run.stats.messages, r.run.stats.bytes, r.run.traces)
+            (
+                r.run.virtual_time,
+                r.run.stats.messages,
+                r.run.stats.bytes,
+                r.run.traces,
+            )
         }
         (Bench::Bt, "dhpf") => {
             let r = dhpf_nas::bt::run_dhpf(class, nprocs, machine);
-            (r.run.virtual_time, r.run.stats.messages, r.run.stats.bytes, r.run.traces)
+            (
+                r.run.virtual_time,
+                r.run.stats.messages,
+                r.run.stats.bytes,
+                r.run.traces,
+            )
         }
         (Bench::Sp, "hand") => {
             let r = dhpf_nas::sp::multipart::run(class, nprocs, machine)?;
-            (r.run.virtual_time, r.run.stats.messages, r.run.stats.bytes, r.run.traces)
+            (
+                r.run.virtual_time,
+                r.run.stats.messages,
+                r.run.stats.bytes,
+                r.run.traces,
+            )
         }
         (Bench::Bt, "hand") => {
             let r = dhpf_nas::bt::multipart::run(class, nprocs, machine)?;
-            (r.run.virtual_time, r.run.stats.messages, r.run.stats.bytes, r.run.traces)
+            (
+                r.run.virtual_time,
+                r.run.stats.messages,
+                r.run.stats.bytes,
+                r.run.traces,
+            )
         }
         (Bench::Sp, "pgi") => {
             let r = dhpf_nas::sp::transpose::run(class, nprocs, machine)?;
-            (r.run.virtual_time, r.run.stats.messages, r.run.stats.bytes, r.run.traces)
+            (
+                r.run.virtual_time,
+                r.run.stats.messages,
+                r.run.stats.bytes,
+                r.run.traces,
+            )
         }
         (Bench::Bt, "pgi") => {
             let r = dhpf_nas::bt::transpose::run(class, nprocs, machine)?;
-            (r.run.virtual_time, r.run.stats.messages, r.run.stats.bytes, r.run.traces)
+            (
+                r.run.virtual_time,
+                r.run.stats.messages,
+                r.run.stats.bytes,
+                r.run.traces,
+            )
         }
         _ => return None,
     };
     Some((
-        Measurement { version, class, nprocs, time, messages, bytes },
+        Measurement {
+            version,
+            class,
+            nprocs,
+            time,
+            messages,
+            bytes,
+        },
         traces,
     ))
 }
@@ -111,9 +148,17 @@ pub fn print_table(bench: Bench, rows: &[usize], classes: &[Class], results: &[M
         .collect();
     let serial_equiv = |c: Class| base.iter().find(|(bc, _, _)| *bc == c).map(|(_, t, _)| *t);
 
-    println!("\n=== Table: {} — execution time (virtual s), relative speedup, relative efficiency ===", bench.name());
-    println!("(speedups relative to the smallest hand-written run, assumed perfect, as in the paper)\n");
-    let chdr: Vec<String> = classes.iter().map(|c| format!("Class {}", c.name())).collect();
+    println!(
+        "\n=== Table: {} — execution time (virtual s), relative speedup, relative efficiency ===",
+        bench.name()
+    );
+    println!(
+        "(speedups relative to the smallest hand-written run, assumed perfect, as in the paper)\n"
+    );
+    let chdr: Vec<String> = classes
+        .iter()
+        .map(|c| format!("Class {}", c.name()))
+        .collect();
     println!(
         "{:>6} | {:^29} | {:^29} | {:^29} | {:^21} | {:^21}",
         "procs",

@@ -21,10 +21,7 @@ use dhpf_iset::{LinExpr, Map, Set};
 
 /// The `(var, lo, hi)` bound list of the loops enclosing `stmt`,
 /// outermost first. `None` if some bound is non-affine.
-pub fn nest_bounds(
-    stmt: StmtId,
-    loops: &UnitLoops,
-) -> Option<Vec<(String, LinExpr, LinExpr)>> {
+pub fn nest_bounds(stmt: StmtId, loops: &UnitLoops) -> Option<Vec<(String, LinExpr, LinExpr)>> {
     let nest = loops.nest_of.get(&stmt)?;
     nest.iter()
         .map(|lid| {
@@ -79,13 +76,19 @@ pub fn read_available(
     env: &DistEnv,
 ) -> Availability {
     debug_assert_eq!(read.array, write.array);
-    let Some(dist) = env.dist_of(&read.array) else { return Availability::NotAvailable };
+    let Some(dist) = env.dist_of(&read.array) else {
+        return Availability::NotAvailable;
+    };
     if !dist.is_distributed() {
         return Availability::Available; // serial data is everywhere
     }
-    let Some(grid) = env.grid.as_ref() else { return Availability::NotAvailable };
-    let (Some(nest_r), Some(nest_w)) = (nest_bounds(read.stmt, loops), nest_bounds(write.stmt, loops))
-    else {
+    let Some(grid) = env.grid.as_ref() else {
+        return Availability::NotAvailable;
+    };
+    let (Some(nest_r), Some(nest_w)) = (
+        nest_bounds(read.stmt, loops),
+        nest_bounds(write.stmt, loops),
+    ) else {
         return Availability::NotAvailable;
     };
 
@@ -155,7 +158,10 @@ mod tests {
 
     fn on_home_j(env: &DistEnv) -> Cp {
         let _ = env;
-        Cp::single(CpTerm::on_home("lhs", vec![LinExpr::var("i"), LinExpr::var("j")]))
+        Cp::single(CpTerm::on_home(
+            "lhs",
+            vec![LinExpr::var("i"), LinExpr::var("j")],
+        ))
     }
 
     #[test]

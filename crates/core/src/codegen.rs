@@ -31,7 +31,10 @@ pub struct CIdx {
 
 impl CIdx {
     pub fn cst(v: i64) -> Self {
-        CIdx { terms: vec![], cst: v }
+        CIdx {
+            terms: vec![],
+            cst: v,
+        }
     }
 
     #[inline]
@@ -53,7 +56,10 @@ pub enum CExpr {
     /// Float scalar slot.
     LoadF(usize),
     /// Array element load (local array slot).
-    Load { arr: usize, subs: Vec<CIdx> },
+    Load {
+        arr: usize,
+        subs: Vec<CIdx>,
+    },
     Bin(BinOp, Box<CExpr>, Box<CExpr>),
     Neg(Box<CExpr>),
     /// Intrinsic call (name index into [`INTRINSIC_NAMES`]).
@@ -61,8 +67,9 @@ pub enum CExpr {
 }
 
 /// Names corresponding to `CExpr::Intr` indices.
-pub const INTRINSIC_NAMES: &[&str] =
-    &["min", "max", "abs", "mod", "sqrt", "exp", "dble", "int", "sin", "cos", "sign"];
+pub const INTRINSIC_NAMES: &[&str] = &[
+    "min", "max", "abs", "mod", "sqrt", "exp", "dble", "int", "sin", "cos", "sign",
+];
 
 /// One ownership-test atom of a CP guard, resolved per processor at run
 /// time through the frame's local→global array binding.
@@ -71,7 +78,12 @@ pub enum GuardAtom {
     /// `owned_lo ≤ sub ≤ owned_hi` on dimension `dim` of local array `arr`.
     In { arr: usize, dim: usize, sub: CIdx },
     /// Range-overlap: `hi ≥ owned_lo ∧ lo ≤ owned_hi`.
-    Overlap { arr: usize, dim: usize, lo: CIdx, hi: CIdx },
+    Overlap {
+        arr: usize,
+        dim: usize,
+        lo: CIdx,
+        hi: CIdx,
+    },
 }
 
 /// A compiled CP: OR over terms of AND over atoms. `None` on a statement
@@ -114,15 +126,44 @@ pub struct PipeArray {
 /// Node-program operations.
 #[derive(Clone, Debug)]
 pub enum NodeOp {
-    Loop { var: usize, lo: CIdx, hi: CIdx, step: i64, body: Vec<NodeOp> },
+    Loop {
+        var: usize,
+        lo: CIdx,
+        hi: CIdx,
+        step: i64,
+        body: Vec<NodeOp>,
+    },
     /// Array assignment, CP-guarded.
-    Assign { guard: Option<Guard>, arr: usize, subs: Vec<CIdx>, value: CExpr, flops: u64 },
+    Assign {
+        guard: Option<Guard>,
+        arr: usize,
+        subs: Vec<CIdx>,
+        value: CExpr,
+        flops: u64,
+    },
     /// Float scalar assignment.
-    AssignF { guard: Option<Guard>, slot: usize, value: CExpr, flops: u64 },
+    AssignF {
+        guard: Option<Guard>,
+        slot: usize,
+        value: CExpr,
+        flops: u64,
+    },
     /// Integer scalar assignment (value truncated).
-    AssignI { guard: Option<Guard>, slot: usize, value: CExpr, flops: u64 },
-    If { arms: Vec<(Option<CExpr>, Vec<NodeOp>)> },
-    Call { unit: usize, int_args: Vec<(usize, CExpr)>, float_args: Vec<(usize, CExpr)>, array_args: Vec<(usize, usize)> },
+    AssignI {
+        guard: Option<Guard>,
+        slot: usize,
+        value: CExpr,
+        flops: u64,
+    },
+    If {
+        arms: Vec<(Option<CExpr>, Vec<NodeOp>)>,
+    },
+    Call {
+        unit: usize,
+        int_args: Vec<(usize, CExpr)>,
+        float_args: Vec<(usize, CExpr)>,
+        array_args: Vec<(usize, usize)>,
+    },
     /// Vectorized exchange (ghost updates or write-backs).
     Exchange { msgs: Vec<CMsg>, tag: u64 },
     /// Coarse-grain pipelined wavefront nest.
@@ -243,7 +284,12 @@ impl GlobalRegistry {
         }
         let ghost = vec![0; bounds.len()];
         let idx = self.arrays.len();
-        self.arrays.push(GlobalArray { name: key.clone(), bounds, dist, ghost });
+        self.arrays.push(GlobalArray {
+            name: key.clone(),
+            bounds,
+            dist,
+            ghost,
+        });
         self.by_name.insert(key, idx);
         idx
     }
@@ -337,7 +383,10 @@ impl<'a> UnitCx<'a> {
                 continue;
             }
             if !is_integer_name(v, &self.unit.decls) {
-                return err(format!("non-integer `{v}` in subscript in {}", self.unit.name));
+                return err(format!(
+                    "non-integer `{v}` in subscript in {}",
+                    self.unit.name
+                ));
             }
             let slot = self.int_slot(v);
             out.terms.push((slot, c));
@@ -384,21 +433,22 @@ impl<'a> UnitCx<'a> {
                         .iter()
                         .position(|n| *n == r.name)
                         .ok_or_else(|| CodegenError(format!("intrinsic `{}`", r.name)))?;
-                    let args: CgResult<Vec<CExpr>> =
-                        r.subs.iter().map(|a| self.cexpr(a)).collect();
+                    let args: CgResult<Vec<CExpr>> = r.subs.iter().map(|a| self.cexpr(a)).collect();
                     CExpr::Intr(idx, args?)
                 } else if r.subs.is_empty() {
                     if let Some(k) = self.const_of(&r.name) {
                         CExpr::Const(k as f64)
                     } else if is_integer_name(&r.name, &self.unit.decls) {
-                        CExpr::Int(CIdx { terms: vec![(self.int_slot(&r.name), 1)], cst: 0 })
+                        CExpr::Int(CIdx {
+                            terms: vec![(self.int_slot(&r.name), 1)],
+                            cst: 0,
+                        })
                     } else {
                         CExpr::LoadF(self.float_slot(&r.name))
                     }
                 } else {
                     let arr = self.array_slot(&r.name);
-                    let subs: CgResult<Vec<CIdx>> =
-                        r.subs.iter().map(|s| self.cidx(s)).collect();
+                    let subs: CgResult<Vec<CIdx>> = r.subs.iter().map(|s| self.cidx(s)).collect();
                     CExpr::Load { arr, subs: subs? }
                 }
             }
@@ -428,7 +478,11 @@ impl<'a> UnitCx<'a> {
                 }
                 match t.subs.get(dim) {
                     Some(SubTerm::Affine(e)) => {
-                        atoms.push(GuardAtom::In { arr, dim, sub: self.cidx_of_lin(e)? });
+                        atoms.push(GuardAtom::In {
+                            arr,
+                            dim,
+                            sub: self.cidx_of_lin(e)?,
+                        });
                     }
                     Some(SubTerm::Range(a, b)) => {
                         atoms.push(GuardAtom::Overlap {
@@ -486,9 +540,8 @@ impl<'a> UnitCx<'a> {
     fn eval_const(&self, e: &Expr) -> CgResult<i64> {
         let lin = affine(e, &self.unit.decls)
             .ok_or_else(|| CodegenError(format!("non-affine extent in {}", self.unit.name)))?;
-        lin.eval(&|v| self.bindings.get(v).copied()).ok_or_else(|| {
-            CodegenError(format!("unbound extent `{lin}` in {}", self.unit.name))
-        })
+        lin.eval(&|v| self.bindings.get(v).copied())
+            .ok_or_else(|| CodegenError(format!("unbound extent `{lin}` in {}", self.unit.name)))
     }
 
     /// Resolve the global binding table for local array slots.
@@ -599,22 +652,44 @@ impl<'a> UnitCx<'a> {
                 if lhs.subs.is_empty() {
                     if is_integer_name(&lhs.name, &self.unit.decls) {
                         let slot = self.int_slot(&lhs.name);
-                        ops.push(NodeOp::AssignI { guard, slot, value, flops });
+                        ops.push(NodeOp::AssignI {
+                            guard,
+                            slot,
+                            value,
+                            flops,
+                        });
                     } else {
                         let slot = self.float_slot(&lhs.name);
-                        ops.push(NodeOp::AssignF { guard, slot, value, flops });
+                        ops.push(NodeOp::AssignF {
+                            guard,
+                            slot,
+                            value,
+                            flops,
+                        });
                     }
                 } else {
                     // ghost widening for replicated writes: |const shift|
                     self.widen_for_write(lhs, self.cps.get(&s.id))?;
                     let arr = self.array_slot(&lhs.name);
-                    let subs: CgResult<Vec<CIdx>> =
-                        lhs.subs.iter().map(|e| self.cidx(e)).collect();
-                    ops.push(NodeOp::Assign { guard, arr, subs: subs?, value, flops });
+                    let subs: CgResult<Vec<CIdx>> = lhs.subs.iter().map(|e| self.cidx(e)).collect();
+                    ops.push(NodeOp::Assign {
+                        guard,
+                        arr,
+                        subs: subs?,
+                        value,
+                        flops,
+                    });
                 }
                 Ok(())
             }
-            StmtKind::Do { var, lo, hi, step, body, .. } => {
+            StmtKind::Do {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+                ..
+            } => {
                 // communication plan attached?
                 if let Some(plan) = self.plans.get(&s.id) {
                     return self.compile_planned_nest(s, plan.clone(), unit_index, units, ops);
@@ -633,7 +708,13 @@ impl<'a> UnitCx<'a> {
                     }
                 };
                 let inner = self.compile_body(body, unit_index, units)?;
-                ops.push(NodeOp::Loop { var: var_slot, lo, hi, step, body: inner });
+                ops.push(NodeOp::Loop {
+                    var: var_slot,
+                    lo,
+                    hi,
+                    step,
+                    body: inner,
+                });
                 Ok(())
             }
             StmtKind::If { arms } => {
@@ -679,7 +760,12 @@ impl<'a> UnitCx<'a> {
                         float_args.push((pos, self.cexpr(actual)?));
                     }
                 }
-                ops.push(NodeOp::Call { unit, int_args, float_args, array_args });
+                ops.push(NodeOp::Call {
+                    unit,
+                    int_args,
+                    float_args,
+                    array_args,
+                });
                 Ok(())
             }
             StmtKind::Return => {
@@ -695,18 +781,24 @@ impl<'a> UnitCx<'a> {
     /// variable, and (b) partial replication — the CP's union terms place
     /// the writer up to |lhs_sub − term_sub| cells across the boundary.
     fn widen_for_write(&mut self, lhs: &ast::ArrayRef, cp: Option<&Cp>) -> CgResult<()> {
-        let Some(dist) = self.env.dist_of(&lhs.name).cloned() else { return Ok(()) };
+        let Some(dist) = self.env.dist_of(&lhs.name).cloned() else {
+            return Ok(());
+        };
         if !dist.is_distributed() {
             return Ok(());
         }
-        let Some(g) = self.global_of_name(&lhs.name) else { return Ok(()) };
+        let Some(g) = self.global_of_name(&lhs.name) else {
+            return Ok(());
+        };
         for (dim, m) in dist.dims.iter().enumerate() {
-            let crate::distrib::DimMap::Block { pdim, .. } = m else { continue };
-            let Some(lhs_lin) = affine(&lhs.subs[dim], &self.unit.decls) else { continue };
+            let crate::distrib::DimMap::Block { pdim, .. } = m else {
+                continue;
+            };
+            let Some(lhs_lin) = affine(&lhs.subs[dim], &self.unit.decls) else {
+                continue;
+            };
             // (a) constant shift off a single unit-coefficient variable
-            if lhs_lin.num_vars() == 1
-                && lhs_lin.terms().next().map(|(_, c)| c.abs()) == Some(1)
-            {
+            if lhs_lin.num_vars() == 1 && lhs_lin.terms().next().map(|(_, c)| c.abs()) == Some(1) {
                 let shift = lhs_lin.constant().unsigned_abs() as usize;
                 if shift > 0 {
                     self.globals.need_ghost(g, dim, shift);
@@ -715,7 +807,9 @@ impl<'a> UnitCx<'a> {
             // (b) CP union terms shifted relative to the LHS subscript
             if let Some(cp) = cp {
                 for t in &cp.terms {
-                    let Some(tdist) = self.env.dist_of(&t.array) else { continue };
+                    let Some(tdist) = self.env.dist_of(&t.array) else {
+                        continue;
+                    };
                     // match the term's dimension by processor-grid dim
                     for (td, tm) in tdist.dims.iter().enumerate() {
                         let crate::distrib::DimMap::Block { pdim: tp, .. } = tm else {
@@ -758,7 +852,15 @@ impl<'a> UnitCx<'a> {
         match &plan {
             NestPlan::Parallel { .. } => {
                 // plain nest with guards
-                let StmtKind::Do { var, lo, hi, step, body, .. } = &s.kind else {
+                let StmtKind::Do {
+                    var,
+                    lo,
+                    hi,
+                    step,
+                    body,
+                    ..
+                } = &s.kind
+                else {
                     return err("plan attached to non-loop");
                 };
                 let var_slot = self.int_slot(var);
@@ -769,7 +871,13 @@ impl<'a> UnitCx<'a> {
                     Some(e) => self.cidx(e)?.cst,
                 };
                 let inner = self.compile_body(body, unit_index, units)?;
-                ops.push(NodeOp::Loop { var: var_slot, lo, hi, step, body: inner });
+                ops.push(NodeOp::Loop {
+                    var: var_slot,
+                    lo,
+                    hi,
+                    step,
+                    body: inner,
+                });
             }
             NestPlan::Pipelined { schedule, .. } => {
                 self.compile_pipeline(s, schedule, unit_index, units, ops)?;
@@ -797,7 +905,15 @@ impl<'a> UnitCx<'a> {
         let mut cur = s;
         let body_ref: &[Stmt];
         loop {
-            let StmtKind::Do { var, lo, hi, step, body, .. } = &cur.kind else {
+            let StmtKind::Do {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+                ..
+            } = &cur.kind
+            else {
                 return err("pipeline nest is not a loop chain");
             };
             let step_v = match step {
@@ -832,10 +948,14 @@ impl<'a> UnitCx<'a> {
         let mut arrays = Vec::new();
         for (name, dim) in &schedule.arrays {
             let arr = self.array_slot(name);
-            let strip_dim = strip_var_name.as_ref().and_then(|sv| {
-                self.find_strip_dim(name, sv)
+            let strip_dim = strip_var_name
+                .as_ref()
+                .and_then(|sv| self.find_strip_dim(name, sv));
+            arrays.push(PipeArray {
+                arr,
+                dim: *dim,
+                strip_dim,
             });
-            arrays.push(PipeArray { arr, dim: *dim, strip_dim });
             // ghost for read-behind on the low side / write-ahead high
             // side; at least one plane — the interpreter always moves one
             // boundary plane per hop even when both depths degenerate to 0
@@ -894,7 +1014,9 @@ impl<'a> UnitCx<'a> {
                     self.array_slots.get(f).copied().unwrap_or(usize::MAX),
                 ));
             } else if is_integer_name(f, &self.unit.decls) {
-                formals.push(FormalSlot::Int(self.int_slots.get(f).copied().unwrap_or(usize::MAX)));
+                formals.push(FormalSlot::Int(
+                    self.int_slots.get(f).copied().unwrap_or(usize::MAX),
+                ));
             } else {
                 formals.push(FormalSlot::Float(
                     self.float_slots.get(f).copied().unwrap_or(usize::MAX),
@@ -920,7 +1042,10 @@ mod tests {
 
     #[test]
     fn cidx_eval() {
-        let c = CIdx { terms: vec![(0, 2), (1, -1)], cst: 5 };
+        let c = CIdx {
+            terms: vec![(0, 2), (1, -1)],
+            cst: 5,
+        };
         assert_eq!(c.eval(&[3, 4]), 2 * 3 - 4 + 5);
         assert_eq!(CIdx::cst(-2).eval(&[]), -2);
     }

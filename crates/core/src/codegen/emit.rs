@@ -21,7 +21,12 @@ pub fn listing(prog: &NodeProgram) -> String {
             ga.name,
             ga.bounds,
             ga.ghost,
-            if ga.dist.as_ref().map(|d| d.is_distributed()).unwrap_or(false) {
+            if ga
+                .dist
+                .as_ref()
+                .map(|d| d.is_distributed())
+                .unwrap_or(false)
+            {
                 "distributed"
             } else {
                 "serial"
@@ -29,7 +34,11 @@ pub fn listing(prog: &NodeProgram) -> String {
         );
     }
     for u in &prog.units {
-        let _ = writeln!(out, "unit {} ({} ints, {} floats):", u.name, u.n_ints, u.n_floats);
+        let _ = writeln!(
+            out,
+            "unit {} ({} ints, {} floats):",
+            u.name, u.n_ints, u.n_floats
+        );
         emit_ops(&u.ops, u, 1, &mut out);
     }
     out
@@ -44,12 +53,24 @@ fn ind(depth: usize, out: &mut String) {
 fn emit_ops(ops: &[NodeOp], u: &CompiledUnit, depth: usize, out: &mut String) {
     for op in ops {
         match op {
-            NodeOp::Loop { var, lo, hi, step, body } => {
+            NodeOp::Loop {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+            } => {
                 ind(depth, out);
                 let _ = writeln!(out, "do i{var} = {lo:?}, {hi:?}, {step}");
                 emit_ops(body, u, depth + 1, out);
             }
-            NodeOp::Assign { guard, arr, subs, flops, .. } => {
+            NodeOp::Assign {
+                guard,
+                arr,
+                subs,
+                flops,
+                ..
+            } => {
                 ind(depth, out);
                 let g = guard
                     .as_ref()
@@ -59,10 +80,15 @@ fn emit_ops(ops: &[NodeOp], u: &CompiledUnit, depth: usize, out: &mut String) {
                     out,
                     "{}({}) = … ; {flops} flops{g}",
                     u.array_names[*arr],
-                    subs.iter().map(|s| format!("{s:?}")).collect::<Vec<_>>().join(", ")
+                    subs.iter()
+                        .map(|s| format!("{s:?}"))
+                        .collect::<Vec<_>>()
+                        .join(", ")
                 );
             }
-            NodeOp::AssignF { slot, flops, guard, .. } => {
+            NodeOp::AssignF {
+                slot, flops, guard, ..
+            } => {
                 ind(depth, out);
                 let g = guard.as_ref().map(|_| " guarded").unwrap_or_default();
                 let _ = writeln!(out, "f{slot} = … ; {flops} flops{g}");
@@ -94,7 +120,11 @@ fn emit_ops(ops: &[NodeOp], u: &CompiledUnit, depth: usize, out: &mut String) {
                             .product::<usize>()
                     })
                     .sum();
-                let _ = writeln!(out, "exchange tag {tag}: {} messages, {vol} elements", msgs.len());
+                let _ = writeln!(
+                    out,
+                    "exchange tag {tag}: {} messages, {vol} elements",
+                    msgs.len()
+                );
                 for m in msgs {
                     ind(depth + 1, out);
                     let _ = writeln!(
@@ -118,8 +148,10 @@ fn emit_ops(ops: &[NodeOp], u: &CompiledUnit, depth: usize, out: &mut String) {
                 ..
             } => {
                 ind(depth, out);
-                let names: Vec<&str> =
-                    arrays.iter().map(|a| u.array_names[a.arr].as_str()).collect();
+                let names: Vec<&str> = arrays
+                    .iter()
+                    .map(|a| u.array_names[a.arr].as_str())
+                    .collect();
                 let _ = writeln!(
                     out,
                     "pipeline tag {tag}: sweep level {sweep_level} ({}) over pdim {pdim}, \
@@ -234,7 +266,9 @@ mod tests {
       enddo
       end
 ";
-        compile(&parse(src).unwrap(), &CompileOptions::new()).unwrap().program
+        compile(&parse(src).unwrap(), &CompileOptions::new())
+            .unwrap()
+            .program
     }
 
     #[test]
@@ -273,7 +307,9 @@ mod tests {
       enddo
       end
 ";
-        let prog = compile(&parse(src).unwrap(), &CompileOptions::new()).unwrap().program;
+        let prog = compile(&parse(src).unwrap(), &CompileOptions::new())
+            .unwrap()
+            .program;
         let text = listing(&prog);
         assert!(text.contains("pipeline tag"), "{text}");
         assert!(text.contains("forward"), "{text}");

@@ -51,8 +51,18 @@ impl Region {
     /// Intersection with another region.
     pub fn intersect(&self, other: &Region) -> Region {
         Region {
-            lo: self.lo.iter().zip(&other.lo).map(|(a, b)| *a.max(b)).collect(),
-            hi: self.hi.iter().zip(&other.hi).map(|(a, b)| *a.min(b)).collect(),
+            lo: self
+                .lo
+                .iter()
+                .zip(&other.lo)
+                .map(|(a, b)| *a.max(b))
+                .collect(),
+            hi: self
+                .hi
+                .iter()
+                .zip(&other.hi)
+                .map(|(a, b)| *a.min(b))
+                .collect(),
         }
     }
 }
@@ -92,8 +102,15 @@ pub struct PipeSchedule {
 /// Communication plan for one top-level nest.
 #[derive(Clone, Debug)]
 pub enum NestPlan {
-    Parallel { pre: Vec<Msg>, post: Vec<Msg> },
-    Pipelined { pre: Vec<Msg>, post: Vec<Msg>, schedule: PipeSchedule },
+    Parallel {
+        pre: Vec<Msg>,
+        post: Vec<Msg>,
+    },
+    Pipelined {
+        pre: Vec<Msg>,
+        post: Vec<Msg>,
+        schedule: PipeSchedule,
+    },
 }
 
 impl NestPlan {
@@ -133,7 +150,10 @@ pub struct CommOptions {
 
 impl Default for CommOptions {
     fn default() -> Self {
-        CommOptions { data_availability: true, granularity: 4 }
+        CommOptions {
+            data_availability: true,
+            granularity: 4,
+        }
     }
 }
 
@@ -150,6 +170,7 @@ pub struct CommReport {
 }
 
 /// Build the communication plan for the top-level loop `loop_id`.
+#[allow(clippy::too_many_arguments)]
 pub fn plan_nest(
     loop_id: StmtId,
     loops: &UnitLoops,
@@ -160,7 +181,9 @@ pub fn plan_nest(
     opts: &CommOptions,
     report: &mut CommReport,
 ) -> Result<NestPlan, CommError> {
-    plan_nest_scoped(loop_id, loop_id, None, loops, refs, deps, cps, env, opts, report)
+    plan_nest_scoped(
+        loop_id, loop_id, None, loops, refs, deps, cps, env, opts, report,
+    )
 }
 
 /// Like [`plan_nest`], but preceding writes for the availability rule
@@ -181,8 +204,10 @@ pub fn plan_nest_scoped(
     opts: &CommOptions,
     report: &mut CommReport,
 ) -> Result<NestPlan, CommError> {
-    let grid =
-        env.grid.clone().ok_or_else(|| CommError("no processor grid declared".into()))?;
+    let grid = env
+        .grid
+        .clone()
+        .ok_or_else(|| CommError("no processor grid declared".into()))?;
     let nprocs = grid.nprocs() as usize;
     let ud = usedef::build(scope, loops, refs);
     let flow_deps = scope_deps.unwrap_or(deps);
@@ -197,7 +222,9 @@ pub fn plan_nest_scoped(
             if r.is_write || r.is_scalar {
                 continue;
             }
-            let Some(dist) = env.dist_of(&r.array) else { continue };
+            let Some(dist) = env.dist_of(&r.array) else {
+                continue;
+            };
             if !dist.is_distributed() {
                 continue;
             }
@@ -219,8 +246,9 @@ pub fn plan_nest_scoped(
                             loop {
                                 let last = *nest_ids.last().unwrap();
                                 match loops.loop_body.get(&last) {
-                                    Some(body) if body.len() == 1
-                                        && loops.loops.contains_key(&body[0]) =>
+                                    Some(body)
+                                        if body.len() == 1
+                                            && loops.loops.contains_key(&body[0]) =>
                                     {
                                         nest_ids.push(body[0]);
                                     }
@@ -261,9 +289,9 @@ pub fn plan_nest_scoped(
                 .filter(|w| {
                     // require an actual flow dependence (production precedes
                     // consumption) before trusting coverage
-                    flow_deps.iter().any(|d| {
-                        d.kind == DepKind::Flow && d.src_ref == w.id && d.dst_ref == r.id
-                    })
+                    flow_deps
+                        .iter()
+                        .any(|d| d.kind == DepKind::Flow && d.src_ref == w.id && d.dst_ref == r.id)
                 });
             // staleness check first (it must run even when availability
             // would eliminate the communication): any part of the read a
@@ -374,7 +402,11 @@ pub fn plan_nest_scoped(
     match sweep {
         Some(mut schedule) => {
             schedule.granularity = opts.granularity;
-            Ok(NestPlan::Pipelined { pre, post, schedule })
+            Ok(NestPlan::Pipelined {
+                pre,
+                post,
+                schedule,
+            })
         }
         None => Ok(NestPlan::Parallel { pre, post }),
     }
@@ -400,7 +432,9 @@ fn build_writebacks(
             if !w.is_write || w.is_scalar {
                 continue;
             }
-            let Some(dist) = env.dist_of(&w.array) else { continue };
+            let Some(dist) = env.dist_of(&w.array) else {
+                continue;
+            };
             if !dist.is_distributed() {
                 continue;
             }
@@ -429,7 +463,7 @@ fn build_writebacks(
                 if nonowned.is_empty() {
                     continue;
                 }
-                for orank in 0..nprocs {
+                for (orank, oself) in owner_self.iter().enumerate() {
                     if orank == rank {
                         continue;
                     }
@@ -440,7 +474,7 @@ fn build_writebacks(
                         continue;
                     }
                     // owner computes these itself? then no write-back
-                    if let Some(selfset) = &owner_self[orank] {
+                    if let Some(selfset) = oself {
                         let before = piece.clone();
                         piece = piece.subtract(selfset);
                         if piece.is_empty() && !before.is_empty() {
@@ -514,8 +548,10 @@ fn try_merge(a: &Region, b: &Region) -> Option<Region> {
         }
         diff_dim = Some(d);
     }
-    let Some(d) = diff_dim else { return Some(a.clone()) }; // identical
-    // mergeable if the ranges overlap or abut
+    let Some(d) = diff_dim else {
+        return Some(a.clone());
+    }; // identical
+       // mergeable if the ranges overlap or abut
     if a.hi[d] + 1 >= b.lo[d] && b.hi[d] + 1 >= a.lo[d] {
         let mut m = a.clone();
         m.lo[d] = a.lo[d].min(b.lo[d]);
@@ -550,7 +586,12 @@ fn push_msgs(
             continue;
         }
         for region in regions_of(&piece) {
-            out.push(Msg { from: orank, to: receiver, array: array.to_string(), region });
+            out.push(Msg {
+                from: orank,
+                to: receiver,
+                array: array.to_string(),
+                region,
+            });
         }
     }
 }
@@ -558,9 +599,9 @@ fn push_msgs(
 /// Deduplicate and merge messages between identical endpoints.
 fn coalesce(msgs: &mut Vec<Msg>) {
     msgs.sort_by(|a, b| {
-        (a.from, a.to, &a.array).cmp(&(b.from, b.to, &b.array)).then_with(|| {
-            a.region.lo.cmp(&b.region.lo)
-        })
+        (a.from, a.to, &a.array)
+            .cmp(&(b.from, b.to, &b.array))
+            .then_with(|| a.region.lo.cmp(&b.region.lo))
     });
     msgs.dedup();
     // merge regions per endpoint pair
@@ -599,8 +640,11 @@ fn detect_sweep(
     loop {
         let last = *nest.last().unwrap();
         let body = loops.loop_body.get(&last)?;
-        let inner: Vec<StmtId> =
-            body.iter().filter(|s| loops.loops.contains_key(s)).cloned().collect();
+        let inner: Vec<StmtId> = body
+            .iter()
+            .filter(|s| loops.loops.contains_key(s))
+            .cloned()
+            .collect();
         if inner.len() == 1 && body.len() == 1 {
             nest.push(inner[0]);
         } else {
@@ -622,15 +666,21 @@ fn detect_sweep(
         }
         let info = &loops.loops[&nest[level]];
         let var = info.var.clone();
-        let Some(dist) = env.dist_of(&d.array) else { continue };
+        let Some(dist) = env.dist_of(&d.array) else {
+            continue;
+        };
         if !dist.is_distributed() {
             continue;
         }
         // does `var` subscript a distributed dim of this array?
         let src = refs.by_id(d.src_ref)?;
         for (dim, m) in dist.dims.iter().enumerate() {
-            let DimMap::Block { pdim, .. } = m else { continue };
-            let Some(Some(sub)) = src.subs.get(dim) else { continue };
+            let DimMap::Block { pdim, .. } = m else {
+                continue;
+            };
+            let Some(Some(sub)) = src.subs.get(dim) else {
+                continue;
+            };
             if sub.coeff(&var) == 0 {
                 continue;
             }
@@ -653,9 +703,13 @@ fn detect_sweep(
             if !w.is_write || w.is_scalar {
                 continue;
             }
-            let Some(d2) = env.dist_of(&w.array) else { continue };
+            let Some(d2) = env.dist_of(&w.array) else {
+                continue;
+            };
             for (dm, m) in d2.dims.iter().enumerate() {
-                let DimMap::Block { pdim: p2, .. } = m else { continue };
+                let DimMap::Block { pdim: p2, .. } = m else {
+                    continue;
+                };
                 if *p2 != pdim {
                     continue;
                 }
@@ -677,8 +731,12 @@ fn detect_sweep(
             if r.is_write {
                 continue;
             }
-            let Some((_, dm)) = arrays.iter().find(|(a, _)| a == &r.array) else { continue };
-            let Some(Some(sub)) = r.subs.get(*dm) else { continue };
+            let Some((_, dm)) = arrays.iter().find(|(a, _)| a == &r.array) else {
+                continue;
+            };
+            let Some(Some(sub)) = r.subs.get(*dm) else {
+                continue;
+            };
             if sub.coeff(&sweep_var) == 0 {
                 continue;
             }
@@ -700,8 +758,11 @@ fn detect_sweep(
     }
     // strip loop: must enclose the sweep loop (outside it) and carry no
     // dependence of its own
-    let strip_level = (0..level)
-        .find(|l| !deps.iter().any(|d| d.level == Some(*l) && d.kind == DepKind::Flow));
+    let strip_level = (0..level).find(|l| {
+        !deps
+            .iter()
+            .any(|d| d.level == Some(*l) && d.kind == DepKind::Flow)
+    });
     Some(PipeSchedule {
         sweep_level: level,
         forward,
@@ -731,7 +792,9 @@ fn write_depth(
             if !w.is_write || w.array != array {
                 continue;
             }
-            let Some(Some(sub)) = w.subs.get(dim) else { continue };
+            let Some(Some(sub)) = w.subs.get(dim) else {
+                continue;
+            };
             if sub.coeff(var) == 0 {
                 continue;
             }
@@ -763,7 +826,16 @@ mod tests {
     use dhpf_fortran::parse;
     use dhpf_iset::LinExpr;
 
-    fn setup(src: &str) -> (UnitLoops, UnitRefs, DistEnv, Vec<Dependence>, CpAssignment, StmtId) {
+    fn setup(
+        src: &str,
+    ) -> (
+        UnitLoops,
+        UnitRefs,
+        DistEnv,
+        Vec<Dependence>,
+        CpAssignment,
+        StmtId,
+    ) {
         let p = parse(src).expect("parse");
         let name = p.units[0].name.clone();
         let (loops, refs, _) = analyze_unit(&p, &name).expect("analyze");
@@ -811,7 +883,9 @@ mod tests {
             &mut report,
         )
         .expect("plan");
-        let NestPlan::Parallel { pre, post } = plan else { panic!("expected parallel") };
+        let NestPlan::Parallel { pre, post } = plan else {
+            panic!("expected parallel")
+        };
         // interior boundaries: 3 boundaries × 2 directions = 6 messages,
         // one element each
         assert_eq!(pre.len(), 6, "{pre:?}");
@@ -863,25 +937,44 @@ mod tests {
         let mut cps = select_for_loop(&stmts, &CpAssignment::new(), &refs, &env);
         // manually install the §4.2 partial-replication CP on b's def
         let b_def = refs.of_array("b").into_iter().find(|r| r.is_write).unwrap();
-        cps.insert(b_def.stmt, Cp {
-            terms: vec![
-                CpTerm::on_home("b", vec![LinExpr::var("i")]),
-                CpTerm::on_home("a", vec![LinExpr::var("i") + 1]),
-                CpTerm::on_home("a", vec![LinExpr::var("i") - 1]),
-            ],
-        });
+        cps.insert(
+            b_def.stmt,
+            Cp {
+                terms: vec![
+                    CpTerm::on_home("b", vec![LinExpr::var("i")]),
+                    CpTerm::on_home("a", vec![LinExpr::var("i") + 1]),
+                    CpTerm::on_home("a", vec![LinExpr::var("i") - 1]),
+                ],
+            },
+        );
         let mut report = CommReport::default();
-        let plan = plan_nest(outer, &loops, &refs, &deps, &cps, &env,
-            &CommOptions::default(), &mut report).expect("plan");
+        let plan = plan_nest(
+            outer,
+            &loops,
+            &refs,
+            &deps,
+            &cps,
+            &env,
+            &CommOptions::default(),
+            &mut report,
+        )
+        .expect("plan");
         // reads of b are now covered by the replicated writes: no b
         // messages at all; u is read aligned (u(i) under b(i)-homed CP
         // extended) — only u's boundary cells may move
         let b_msgs: Vec<&Msg> = plan.pre().iter().filter(|m| m.array == "b").collect();
-        assert!(b_msgs.is_empty(), "partial replication must kill b comm: {b_msgs:?}");
+        assert!(
+            b_msgs.is_empty(),
+            "partial replication must kill b comm: {b_msgs:?}"
+        );
         assert!(report.reads_eliminated_by_availability >= 2);
         // and the boundary writes of b need no write-back (owner computes
         // them too)
-        assert!(plan.post().iter().all(|m| m.array != "b"), "{:?}", plan.post());
+        assert!(
+            plan.post().iter().all(|m| m.array != "b"),
+            "{:?}",
+            plan.post()
+        );
     }
 
     /// Wavefront: recurrence along distributed j.
@@ -904,9 +997,20 @@ mod tests {
     fn sweep_detected_and_scheduled() {
         let (loops, refs, env, deps, cps, outer) = setup(SWEEP);
         let mut report = CommReport::default();
-        let plan = plan_nest(outer, &loops, &refs, &deps, &cps, &env,
-            &CommOptions { granularity: 2, data_availability: true }, &mut report)
-            .expect("plan");
+        let plan = plan_nest(
+            outer,
+            &loops,
+            &refs,
+            &deps,
+            &cps,
+            &env,
+            &CommOptions {
+                granularity: 2,
+                data_availability: true,
+            },
+            &mut report,
+        )
+        .expect("plan");
         let NestPlan::Pipelined { schedule, pre, .. } = plan else {
             panic!("expected pipelined")
         };
@@ -928,15 +1032,40 @@ mod tests {
 
     #[test]
     fn region_merge_and_coalesce() {
-        let a = Region { lo: vec![1, 1], hi: vec![4, 1] };
-        let b = Region { lo: vec![1, 2], hi: vec![4, 2] };
+        let a = Region {
+            lo: vec![1, 1],
+            hi: vec![4, 1],
+        };
+        let b = Region {
+            lo: vec![1, 2],
+            hi: vec![4, 2],
+        };
         let m = try_merge(&a, &b).unwrap();
-        assert_eq!(m, Region { lo: vec![1, 1], hi: vec![4, 2] });
-        let c = Region { lo: vec![1, 4], hi: vec![4, 4] };
+        assert_eq!(
+            m,
+            Region {
+                lo: vec![1, 1],
+                hi: vec![4, 2]
+            }
+        );
+        let c = Region {
+            lo: vec![1, 4],
+            hi: vec![4, 4],
+        };
         assert!(try_merge(&a, &c).is_none());
         let mut msgs = vec![
-            Msg { from: 0, to: 1, array: "x".into(), region: a },
-            Msg { from: 0, to: 1, array: "x".into(), region: b },
+            Msg {
+                from: 0,
+                to: 1,
+                array: "x".into(),
+                region: a,
+            },
+            Msg {
+                from: 0,
+                to: 1,
+                array: "x".into(),
+                region: b,
+            },
         ];
         coalesce(&mut msgs);
         assert_eq!(msgs.len(), 1);
@@ -976,18 +1105,32 @@ mod tests {
         let stmts = assignments_in(outer, &loops, &refs);
         let mut cps = select_for_loop(&stmts, &CpAssignment::new(), &refs, &env);
         let b_def = refs.of_array("b").into_iter().find(|r| r.is_write).unwrap();
-        cps.insert(b_def.stmt, Cp {
-            terms: vec![
-                CpTerm::on_home("b", vec![LinExpr::var("i")]),
-                CpTerm::on_home("a", vec![LinExpr::var("i") + 1]),
-                CpTerm::on_home("a", vec![LinExpr::var("i") - 1]),
-            ],
-        });
+        cps.insert(
+            b_def.stmt,
+            Cp {
+                terms: vec![
+                    CpTerm::on_home("b", vec![LinExpr::var("i")]),
+                    CpTerm::on_home("a", vec![LinExpr::var("i") + 1]),
+                    CpTerm::on_home("a", vec![LinExpr::var("i") - 1]),
+                ],
+            },
+        );
         let run = |avail: bool| {
             let mut report = CommReport::default();
-            let plan = plan_nest(outer, &loops, &refs, &deps, &cps, &env,
-                &CommOptions { data_availability: avail, granularity: 4 }, &mut report)
-                .expect("plan");
+            let plan = plan_nest(
+                outer,
+                &loops,
+                &refs,
+                &deps,
+                &cps,
+                &env,
+                &CommOptions {
+                    data_availability: avail,
+                    granularity: 4,
+                },
+                &mut report,
+            )
+            .expect("plan");
             (plan.pre().len(), report)
         };
         let (with_avail, r1) = run(true);

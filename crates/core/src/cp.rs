@@ -60,7 +60,10 @@ pub struct CpTerm {
 
 impl CpTerm {
     pub fn on_home(array: &str, subs: Vec<LinExpr>) -> Self {
-        CpTerm { array: array.to_string(), subs: subs.into_iter().map(SubTerm::Affine).collect() }
+        CpTerm {
+            array: array.to_string(),
+            subs: subs.into_iter().map(SubTerm::Affine).collect(),
+        }
     }
 
     /// Constraints on the loop variables for "processor `coords`
@@ -103,11 +106,21 @@ impl CpTerm {
         }
         let mut parts = Vec::new();
         for (d, m) in dist.dims.iter().enumerate() {
-            if let DimMap::Block { pdim, block, align_offset, .. } = m {
+            if let DimMap::Block {
+                pdim,
+                block,
+                align_offset,
+                ..
+            } = m
+            {
                 let sub = match self.subs.get(d)? {
                     SubTerm::Affine(e) => (e.clone() + *align_offset).to_string(),
                     SubTerm::Range(a, b) => {
-                        format!("{}:{}", a.clone() + *align_offset, b.clone() + *align_offset)
+                        format!(
+                            "{}:{}",
+                            a.clone() + *align_offset,
+                            b.clone() + *align_offset
+                        )
                     }
                 };
                 parts.push(format!("p{pdim}b{block}@{sub}"));
@@ -172,7 +185,12 @@ impl Cp {
     /// loop nest's iteration space this processor executes.
     ///
     /// `nest` lists `(var, lo, hi)` (affine, inclusive) outermost-first.
-    pub fn iteration_set(&self, nest: &[(String, LinExpr, LinExpr)], env: &DistEnv, coords: &[i64]) -> Set {
+    pub fn iteration_set(
+        &self,
+        nest: &[(String, LinExpr, LinExpr)],
+        env: &DistEnv,
+        coords: &[i64],
+    ) -> Set {
         let space: Vec<String> = nest.iter().map(|(v, _, _)| v.clone()).collect();
         let bounds: Vec<Constraint> = nest
             .iter()
@@ -213,7 +231,9 @@ impl Cp {
             return true;
         }
         self.terms.iter().any(|t| {
-            let Some(dist) = env.dist_of(&t.array) else { return true };
+            let Some(dist) = env.dist_of(&t.array) else {
+                return true;
+            };
             if !dist.is_distributed() {
                 return true;
             }
@@ -227,8 +247,11 @@ impl Cp {
         if self.is_replicated() {
             return "*".to_string();
         }
-        let mut keys: Vec<String> =
-            self.terms.iter().map(|t| t.partition_key(env).unwrap_or_else(|| "*".into())).collect();
+        let mut keys: Vec<String> = self
+            .terms
+            .iter()
+            .map(|t| t.partition_key(env).unwrap_or_else(|| "*".into()))
+            .collect();
         keys.sort();
         keys.dedup();
         keys.join("|")
@@ -243,8 +266,12 @@ fn term_owned(
 ) -> bool {
     for (d, m) in dist.dims.iter().enumerate() {
         if let DimMap::Block { .. } = m {
-            let Some((lo, hi)) = dist.owned_range(d, coords) else { return false };
-            let Some(sub) = t.subs.get(d) else { return false };
+            let Some((lo, hi)) = dist.owned_range(d, coords) else {
+                return false;
+            };
+            let Some(sub) = t.subs.get(d) else {
+                return false;
+            };
             let ok = match sub {
                 SubTerm::Affine(e) => match e.eval(ivals) {
                     Some(v) => v >= lo && v <= hi,
@@ -306,7 +333,10 @@ mod tests {
     #[test]
     fn owner_computes_iteration_set() {
         let env = env();
-        let cp = Cp::single(CpTerm::on_home("u", vec![LinExpr::var("i"), LinExpr::var("j")]));
+        let cp = Cp::single(CpTerm::on_home(
+            "u",
+            vec![LinExpr::var("i"), LinExpr::var("j")],
+        ));
         let s = cp.iteration_set(&nest(16), &env, &[0, 0]);
         assert!(s.contains(&[1, 1], &|_| None));
         assert!(s.contains(&[8, 8], &|_| None));
@@ -320,8 +350,10 @@ mod tests {
     fn shifted_cp_shifts_iterations() {
         let env = env();
         // ON_HOME u(i+1, j): proc (0,0) owns u rows 1..8 → executes i=0..7
-        let cp =
-            Cp::single(CpTerm::on_home("u", vec![LinExpr::var("i") + 1, LinExpr::var("j")]));
+        let cp = Cp::single(CpTerm::on_home(
+            "u",
+            vec![LinExpr::var("i") + 1, LinExpr::var("j")],
+        ));
         let s = cp.iteration_set(&nest(16), &env, &[0, 0]);
         assert!(s.contains(&[7, 3], &|_| None));
         assert!(!s.contains(&[8, 3], &|_| None)); // u(9,3) owned by (1,0)
@@ -368,7 +400,10 @@ mod tests {
         });
         let ivals = |v: &str| if v == "j" { Some(3) } else { None };
         assert!(cp.executes(&env, &[0, 0], &ivals));
-        assert!(cp.executes(&env, &[1, 0], &ivals), "range spans both row blocks");
+        assert!(
+            cp.executes(&env, &[1, 0], &ivals),
+            "range spans both row blocks"
+        );
         assert!(!cp.executes(&env, &[0, 1], &ivals), "j=3 not owned by pk=1");
     }
 

@@ -68,7 +68,12 @@ pub enum DimMap {
     /// `nproc` processors) with the given block size, after adding
     /// `align_offset` to the array index (from ALIGN): template index =
     /// array index + offset. The last processor absorbs any remainder.
-    Block { pdim: usize, block: i64, align_offset: i64, nproc: i64 },
+    Block {
+        pdim: usize,
+        block: i64,
+        align_offset: i64,
+        nproc: i64,
+    },
 }
 
 /// Concrete distribution of one array.
@@ -95,7 +100,13 @@ impl ArrayDist {
     pub fn owner(&self, idx: &[i64], grid: &ProcGrid) -> Vec<i64> {
         let mut coords = vec![0i64; grid.extents.len()];
         for (d, m) in self.dims.iter().enumerate() {
-            if let DimMap::Block { pdim, block, align_offset, .. } = m {
+            if let DimMap::Block {
+                pdim,
+                block,
+                align_offset,
+                ..
+            } = m
+            {
                 let t = idx[d] + align_offset - self.template_origin(d);
                 coords[*pdim] = (t / block).clamp(0, grid.extents[*pdim] - 1);
             }
@@ -119,7 +130,12 @@ impl ArrayDist {
         let (lb, ub) = self.bounds[d];
         match &self.dims[d] {
             DimMap::Serial => Some((lb, ub)),
-            DimMap::Block { pdim, block, align_offset, nproc } => {
+            DimMap::Block {
+                pdim,
+                block,
+                align_offset,
+                nproc,
+            } => {
                 let c = coords[*pdim];
                 let origin = self.template_origin(d);
                 let t_lo = origin + c * block;
@@ -137,7 +153,9 @@ impl ArrayDist {
 
     /// The full owned rectangle for a processor, or `None` if empty.
     pub fn owned_box(&self, coords: &[i64]) -> Option<Vec<(i64, i64)>> {
-        (0..self.rank()).map(|d| self.owned_range(d, coords)).collect()
+        (0..self.rank())
+            .map(|d| self.owned_range(d, coords))
+            .collect()
     }
 
     /// Owned data as an integer set over fresh dimension names `e0..` for
@@ -157,7 +175,11 @@ impl ArrayDist {
     /// Constraints expressing "processor `coords` owns element
     /// `(s₀,…,sₖ)`" where each `sᵢ` is an affine expression (over loop
     /// variables). Used to build CP iteration sets.
-    pub fn ownership_constraints(&self, subs: &[LinExpr], coords: &[i64]) -> Option<Vec<Constraint>> {
+    pub fn ownership_constraints(
+        &self,
+        subs: &[LinExpr],
+        coords: &[i64],
+    ) -> Option<Vec<Constraint>> {
         let mut cons = Vec::new();
         for (d, m) in self.dims.iter().enumerate() {
             if let DimMap::Block { .. } = m {
@@ -229,7 +251,10 @@ pub fn resolve(unit: &ProgramUnit, bindings: &BTreeMap<String, i64>) -> Result<D
         let lin = affine(e, &unit.decls)
             .ok_or_else(|| DistError(format!("non-affine extent in unit {}", unit.name)))?;
         lin.eval(&|v| bindings.get(v).copied()).ok_or_else(|| {
-            DistError(format!("unbound symbol in extent `{lin}` of unit {}", unit.name))
+            DistError(format!(
+                "unbound symbol in extent `{lin}` of unit {}",
+                unit.name
+            ))
         })
     };
 
@@ -238,10 +263,15 @@ pub fn resolve(unit: &ProgramUnit, bindings: &BTreeMap<String, i64>) -> Result<D
     // processors
     if let Some(p) = unit.hpf.processors.first() {
         let extents: Result<Vec<i64>, _> = p.extents.iter().map(&eval).collect();
-        env.grid = Some(ProcGrid { name: p.name.clone(), extents: extents? });
+        env.grid = Some(ProcGrid {
+            name: p.name.clone(),
+            extents: extents?,
+        });
     }
     if unit.hpf.processors.len() > 1 {
-        return Err(DistError("multiple PROCESSORS grids are not supported".into()));
+        return Err(DistError(
+            "multiple PROCESSORS grids are not supported".into(),
+        ));
     }
 
     // templates: name -> extents
@@ -309,7 +339,10 @@ pub fn resolve(unit: &ProgramUnit, bindings: &BTreeMap<String, i64>) -> Result<D
         let (formats_onto, align_map) = if let Some(f) = dist_formats.get(name) {
             (Some(f.clone()), None)
         } else if let Some((tname, dmap)) = aligns.get(name) {
-            (dist_formats.get(tname).cloned(), Some((tname.clone(), dmap.clone())))
+            (
+                dist_formats.get(tname).cloned(),
+                Some((tname.clone(), dmap.clone())),
+            )
         } else {
             (None, None)
         };
@@ -384,10 +417,21 @@ pub fn resolve(unit: &ProgramUnit, bindings: &BTreeMap<String, i64>) -> Result<D
                 }
                 DistFormat::Star => unreachable!(),
             };
-            dims[array_dim] =
-                DimMap::Block { pdim, block, align_offset: offset, nproc };
+            dims[array_dim] = DimMap::Block {
+                pdim,
+                block,
+                align_offset: offset,
+                nproc,
+            };
         }
-        env.arrays.insert(name.clone(), ArrayDist { array: name.clone(), dims, bounds });
+        env.arrays.insert(
+            name.clone(),
+            ArrayDist {
+                array: name.clone(),
+                dims,
+                bounds,
+            },
+        );
     }
 
     Ok(env)
@@ -400,8 +444,7 @@ mod tests {
 
     fn env_of(src: &str, binds: &[(&str, i64)]) -> DistEnv {
         let p = parse(src).expect("parse");
-        let b: BTreeMap<String, i64> =
-            binds.iter().map(|(k, v)| (k.to_string(), *v)).collect();
+        let b: BTreeMap<String, i64> = binds.iter().map(|(k, v)| (k.to_string(), *v)).collect();
         resolve(&p.units[0], &b).expect("resolve")
     }
 
@@ -417,7 +460,10 @@ mod tests {
 
     #[test]
     fn grid_rank_coords_roundtrip() {
-        let g = ProcGrid { name: "p".into(), extents: vec![3, 2] };
+        let g = ProcGrid {
+            name: "p".into(),
+            extents: vec![3, 2],
+        };
         for r in g.ranks() {
             assert_eq!(g.rank(&g.coords(r)), r);
         }
@@ -430,17 +476,44 @@ mod tests {
         let u = env.dist_of("u").unwrap();
         assert_eq!(u.rank(), 4);
         assert!(matches!(u.dims[0], DimMap::Serial));
-        assert!(matches!(u.dims[2], DimMap::Block { pdim: 0, block: 8, .. }));
-        assert!(matches!(u.dims[3], DimMap::Block { pdim: 1, block: 8, .. }));
+        assert!(matches!(
+            u.dims[2],
+            DimMap::Block {
+                pdim: 0,
+                block: 8,
+                ..
+            }
+        ));
+        assert!(matches!(
+            u.dims[3],
+            DimMap::Block {
+                pdim: 1,
+                block: 8,
+                ..
+            }
+        ));
 
         // ownership: j=1..8 on pj=0, 9..16 on pj=1
-        assert_eq!(u.owner(&[1, 1, 1, 1], env.grid.as_ref().unwrap()), vec![0, 0]);
-        assert_eq!(u.owner(&[1, 1, 9, 1], env.grid.as_ref().unwrap()), vec![1, 0]);
-        assert_eq!(u.owner(&[1, 1, 8, 16], env.grid.as_ref().unwrap()), vec![0, 1]);
+        assert_eq!(
+            u.owner(&[1, 1, 1, 1], env.grid.as_ref().unwrap()),
+            vec![0, 0]
+        );
+        assert_eq!(
+            u.owner(&[1, 1, 9, 1], env.grid.as_ref().unwrap()),
+            vec![1, 0]
+        );
+        assert_eq!(
+            u.owner(&[1, 1, 8, 16], env.grid.as_ref().unwrap()),
+            vec![0, 1]
+        );
 
         assert_eq!(u.owned_range(2, &[0, 0]), Some((1, 8)));
         assert_eq!(u.owned_range(2, &[1, 0]), Some((9, 16)));
-        assert_eq!(u.owned_range(1, &[1, 0]), Some((1, 16)), "serial dim fully owned");
+        assert_eq!(
+            u.owned_range(1, &[1, 0]),
+            Some((1, 16)),
+            "serial dim fully owned"
+        );
         let b = u.owned_box(&[1, 1]).unwrap();
         assert_eq!(b, vec![(1, 5), (1, 16), (9, 16), (9, 16)]);
     }
@@ -478,7 +551,10 @@ mod tests {
         assert_eq!(a.owned_range(0, &[2]), Some((9, 12)));
         // b(i) aligned with tm(i+1): b(0..3) on p0 (tm 1..4)
         assert_eq!(b.owned_range(0, &[0]), Some((0, 3)));
-        assert_eq!(b.owned_range(0, &[2]), Some((8, 13)).map(|(l, h)| (l, h.min(13))));
+        assert_eq!(
+            b.owned_range(0, &[2]),
+            Some((8, 13)).map(|(l, h)| (l, h.min(13)))
+        );
     }
 
     #[test]

@@ -75,7 +75,11 @@ pub struct CompileOptions {
 
 impl CompileOptions {
     pub fn new() -> Self {
-        CompileOptions { bindings: BTreeMap::new(), flags: OptFlags::default(), granularity: 4 }
+        CompileOptions {
+            bindings: BTreeMap::new(),
+            flags: OptFlags::default(),
+            granularity: 4,
+        }
     }
 
     pub fn bind(mut self, name: &str, value: i64) -> Self {
@@ -84,12 +88,35 @@ impl CompileOptions {
     }
 }
 
+/// Per-unit artifacts of the analysis pipeline, captured so an
+/// independent checker (the `dhpf-analysis` crate) can re-derive every
+/// non-local data set and prove the communication plan covers it.
+#[derive(Clone)]
+pub struct UnitAnalysis {
+    /// Resolved distributions for the unit.
+    pub env: DistEnv,
+    /// Final computation-partitioning assignment.
+    pub cps: CpAssignment,
+    /// Communication plan per planned nest.
+    pub plans: BTreeMap<StmtId, NestPlan>,
+    /// Planned nests in program order.
+    pub nests: Vec<StmtId>,
+    /// Nest → the transparent wrapper loop it was planned under (the
+    /// availability scope; absent means the nest is its own scope).
+    pub nest_scope: BTreeMap<StmtId, StmtId>,
+}
+
 /// A compiled program plus introspection data.
 pub struct Compiled {
     pub program: NodeProgram,
     pub report: CommReport,
     /// Per-unit CP assignment rendering (debugging / golden tests).
     pub cp_dump: BTreeMap<String, Vec<(StmtId, String)>>,
+    /// The program after inlining and loop distribution — the AST that
+    /// every `StmtId` in `analyses` refers to.
+    pub transformed: Program,
+    /// Per-unit analysis artifacts, keyed by unit name.
+    pub analyses: BTreeMap<String, UnitAnalysis>,
 }
 
 /// Compilation errors.
@@ -133,7 +160,10 @@ pub fn compile(program: &Program, opts: &CompileOptions) -> Result<Compiled, Com
 
     // ---- semantic checks ---------------------------------------------------
     let (_tabs, diags) = symtab::resolve(&program);
-    if diags.iter().any(|d| matches!(d.severity, dhpf_fortran::span::Severity::Error)) {
+    if diags
+        .iter()
+        .any(|d| matches!(d.severity, dhpf_fortran::span::Severity::Error))
+    {
         return Err(CompileError::Semantic(diags));
     }
 
@@ -158,6 +188,7 @@ pub fn compile(program: &Program, opts: &CompileOptions) -> Result<Compiled, Com
     let mut unit_envs: BTreeMap<String, DistEnv> = BTreeMap::new();
     let mut unit_cps: BTreeMap<String, CpAssignment> = BTreeMap::new();
     let mut unit_plans: BTreeMap<String, BTreeMap<StmtId, NestPlan>> = BTreeMap::new();
+    let mut unit_nests: BTreeMap<String, (Vec<StmtId>, BTreeMap<StmtId, StmtId>)> = BTreeMap::new();
     let mut report = CommReport::default();
 
     for uname in &order {
@@ -221,7 +252,9 @@ pub fn compile(program: &Program, opts: &CompileOptions) -> Result<Compiled, Com
             let mut nests: Vec<StmtId> = Vec::new();
             let mut nest_scope: BTreeMap<StmtId, StmtId> = BTreeMap::new();
             for s in &unit.body {
-                let StmtKind::Do { lo, hi, body, .. } = &s.kind else { continue };
+                let StmtKind::Do { lo, hi, body, .. } = &s.kind else {
+                    continue;
+                };
                 if !is_compute_nest(s) {
                     continue;
                 }
@@ -245,9 +278,7 @@ pub fn compile(program: &Program, opts: &CompileOptions) -> Result<Compiled, Com
                 s.walk(&mut |st| {
                     st.for_each_ref(&mut |r, _| {
                         for sub in &r.subs {
-                            if let Some(lin) =
-                                dhpf_fortran::subscript::affine(sub, &unit.decls)
-                            {
+                            if let Some(lin) = dhpf_fortran::subscript::affine(sub, &unit.decls) {
                                 if lin.mentions(&var_name) {
                                     var_subscripts = true;
                                 }
@@ -307,8 +338,7 @@ pub fn compile(program: &Program, opts: &CompileOptions) -> Result<Compiled, Com
             }
 
             // ---- CP selection ---------------------------------------------
-            let mut assignment: CpAssignment =
-                fixed_cps.get(uname).cloned().unwrap_or_default();
+            let mut assignment: CpAssignment = fixed_cps.get(uname).cloned().unwrap_or_default();
             for &nest in &nests {
                 let deps = analyze_loop_deps(nest, &loops, &refs);
                 let stmts = select::assignments_in(nest, &loops, &refs);
@@ -318,7 +348,11 @@ pub fn compile(program: &Program, opts: &CompileOptions) -> Result<Compiled, Com
                     .loops
                     .values()
                     .flat_map(|l| {
-                        l.dir.new_vars.iter().chain(l.dir.localize_vars.iter()).cloned()
+                        l.dir
+                            .new_vars
+                            .iter()
+                            .chain(l.dir.localize_vars.iter())
+                            .cloned()
                     })
                     .collect();
                 let selectable: Vec<StmtId> = stmts
@@ -353,7 +387,6 @@ pub fn compile(program: &Program, opts: &CompileOptions) -> Result<Compiled, Com
                 for (id, cp) in sel {
                     assignment.insert(id, cp);
                 }
-
             }
 
             // §4.1 / §4.2 on every directive loop of the unit (a LOCALIZE
@@ -373,52 +406,52 @@ pub fn compile(program: &Program, opts: &CompileOptions) -> Result<Compiled, Com
                 // (rho_i consumed by the square/qs definitions in
                 // compute_rhs is the canonical case)
                 for _pass in 0..3 {
-                for dl in dir_loops.clone() {
-                    if opts.flags.privatizable_cp {
-                        propagate_new_cps(dl, &loops, &refs, &mut assignment);
-                    } else {
-                        // strawman: replicate NEW definitions
-                        for var in &loops.loops[&dl].dir.new_vars {
-                            for w in dhpf_depend::usedef::writes_of_var(dl, var, &loops, &refs)
-                            {
-                                assignment.insert(w.stmt, Cp::replicated());
+                    for dl in dir_loops.clone() {
+                        if opts.flags.privatizable_cp {
+                            propagate_new_cps(dl, &loops, &refs, &mut assignment);
+                        } else {
+                            // strawman: replicate NEW definitions
+                            for var in &loops.loops[&dl].dir.new_vars {
+                                for w in dhpf_depend::usedef::writes_of_var(dl, var, &loops, &refs)
+                                {
+                                    assignment.insert(w.stmt, Cp::replicated());
+                                }
                             }
                         }
-                    }
-                    if opts.flags.localize {
-                        apply_localize(dl, &loops, &refs, &mut assignment);
-                    } else {
-                        for var in &loops.loops[&dl].dir.localize_vars {
-                            for w in dhpf_depend::usedef::writes_of_var(dl, var, &loops, &refs)
-                            {
-                                let subs: Option<Vec<_>> = w.subs.iter().cloned().collect();
-                                if let Some(subs) = subs {
-                                    assignment.insert(
-                                        w.stmt,
-                                        Cp::single(crate::cp::CpTerm::on_home(var, subs)),
-                                    );
+                        if opts.flags.localize {
+                            apply_localize(dl, &loops, &refs, &mut assignment);
+                        } else {
+                            for var in &loops.loops[&dl].dir.localize_vars {
+                                for w in dhpf_depend::usedef::writes_of_var(dl, var, &loops, &refs)
+                                {
+                                    let subs: Option<Vec<_>> = w.subs.iter().cloned().collect();
+                                    if let Some(subs) = subs {
+                                        assignment.insert(
+                                            w.stmt,
+                                            Cp::single(crate::cp::CpTerm::on_home(var, subs)),
+                                        );
+                                    }
                                 }
                             }
                         }
                     }
-                }
                 }
             }
 
             // owner-computes for any remaining top-level assignments
             for s in &unit.body {
                 if let StmtKind::Assign { .. } = &s.kind {
-                    if !assignment.contains_key(&s.id) {
-                        if let Some(w) = refs.write_of(s.id) {
-                            if env.dist_of(&w.array).map(|d| d.is_distributed()).unwrap_or(false)
-                            {
-                                let subs: Option<Vec<_>> = w.subs.iter().cloned().collect();
-                                if let Some(subs) = subs {
-                                    assignment.insert(
-                                        s.id,
-                                        Cp::single(crate::cp::CpTerm::on_home(&w.array, subs)),
-                                    );
-                                }
+                    if let Some(w) = refs.write_of(s.id) {
+                        if env
+                            .dist_of(&w.array)
+                            .map(|d| d.is_distributed())
+                            .unwrap_or(false)
+                        {
+                            let subs: Option<Vec<_>> = w.subs.iter().cloned().collect();
+                            if let Some(subs) = subs {
+                                assignment.entry(s.id).or_insert_with(|| {
+                                    Cp::single(crate::cp::CpTerm::on_home(&w.array, subs))
+                                });
                             }
                         }
                     }
@@ -435,8 +468,8 @@ pub fn compile(program: &Program, opts: &CompileOptions) -> Result<Compiled, Com
                 for &nest in &nests {
                     let deps = analyze_loop_deps(nest, &loops, &refs);
                     let scope = nest_scope.get(&nest).copied().unwrap_or(nest);
-                    let scope_deps = (scope != nest)
-                        .then(|| analyze_loop_deps(scope, &loops, &refs));
+                    let scope_deps =
+                        (scope != nest).then(|| analyze_loop_deps(scope, &loops, &refs));
                     let plan = crate::comm::plan_nest_scoped(
                         nest,
                         scope,
@@ -462,6 +495,7 @@ pub fn compile(program: &Program, opts: &CompileOptions) -> Result<Compiled, Com
             unit_envs.insert(uname.clone(), env);
             unit_cps.insert(uname.clone(), assignment);
             unit_plans.insert(uname.clone(), plans);
+            unit_nests.insert(uname.clone(), (nests, nest_scope));
             break;
         }
     }
@@ -479,8 +513,12 @@ pub fn compile(program: &Program, opts: &CompileOptions) -> Result<Compiled, Com
 
     let mut globals = GlobalRegistry::default();
     let unit_refs: Vec<&ProgramUnit> = program.units.iter().collect();
-    let unit_index: BTreeMap<String, usize> =
-        program.units.iter().enumerate().map(|(i, u)| (u.name.clone(), i)).collect();
+    let unit_index: BTreeMap<String, usize> = program
+        .units
+        .iter()
+        .enumerate()
+        .map(|(i, u)| (u.name.clone(), i))
+        .collect();
 
     // register arrays for every unit first (so cross-unit commons exist)
     for u in &program.units {
@@ -497,11 +535,19 @@ pub fn compile(program: &Program, opts: &CompileOptions) -> Result<Compiled, Com
         let env = unit_envs.get(&u.name).cloned().unwrap_or_default();
         let cps = unit_cps.get(&u.name).cloned().unwrap_or_default();
         let plans = unit_plans.get(&u.name).cloned().unwrap_or_default();
-        let mut cx =
-            UnitCx::new(u, &env, &cps, &plans, &opts.bindings, &mut globals, tag_base);
+        let mut cx = UnitCx::new(
+            u,
+            &env,
+            &cps,
+            &plans,
+            &opts.bindings,
+            &mut globals,
+            tag_base,
+        );
         cx.register_arrays().map_err(CompileError::Codegen)?;
-        let ops =
-            cx.compile_body(&u.body, &unit_index, &unit_refs).map_err(CompileError::Codegen)?;
+        let ops = cx
+            .compile_body(&u.body, &unit_index, &unit_refs)
+            .map_err(CompileError::Codegen)?;
         tag_base = cx.final_tag() + 16;
         units.push(cx.finish(ops));
     }
@@ -509,7 +555,27 @@ pub fn compile(program: &Program, opts: &CompileOptions) -> Result<Compiled, Com
     let cp_dump: BTreeMap<String, Vec<(StmtId, String)>> = unit_cps
         .iter()
         .map(|(u, cps)| {
-            (u.clone(), cps.iter().map(|(id, cp)| (*id, cp.to_string())).collect())
+            (
+                u.clone(),
+                cps.iter().map(|(id, cp)| (*id, cp.to_string())).collect(),
+            )
+        })
+        .collect();
+
+    let analyses: BTreeMap<String, UnitAnalysis> = unit_envs
+        .iter()
+        .map(|(u, env)| {
+            let (nests, nest_scope) = unit_nests.remove(u).unwrap_or_default();
+            (
+                u.clone(),
+                UnitAnalysis {
+                    env: env.clone(),
+                    cps: unit_cps.get(u).cloned().unwrap_or_default(),
+                    plans: unit_plans.get(u).cloned().unwrap_or_default(),
+                    nests,
+                    nest_scope,
+                },
+            )
         })
         .collect();
 
@@ -524,6 +590,8 @@ pub fn compile(program: &Program, opts: &CompileOptions) -> Result<Compiled, Com
         },
         report,
         cp_dump,
+        transformed: program,
+        analyses,
     })
 }
 
@@ -702,7 +770,9 @@ fn should_inline(s: &Stmt, loop_depth: usize) -> bool {
     if loop_depth == 0 {
         return false;
     }
-    let StmtKind::Call { args, .. } = &s.kind else { return false };
+    let StmtKind::Call { args, .. } = &s.kind else {
+        return false;
+    };
     args.iter().any(|a| match a {
         Expr::Ref(r) => !r.subs.is_empty() || r.name.len() <= 2, // index-like scalar
         Expr::Bin(..) | Expr::Un(..) => true,
@@ -735,7 +805,10 @@ fn inline_body(
 ) -> Result<Vec<Stmt>, CompileError> {
     let formals = callee.args();
     if formals.len() != args.len() {
-        return Err(CompileError::Other(format!("arity mismatch inlining {}", callee.name)));
+        return Err(CompileError::Other(format!(
+            "arity mismatch inlining {}",
+            callee.name
+        )));
     }
     // substitution map: formal name → expression; array formals → rename
     let mut subst: BTreeMap<String, Expr> = BTreeMap::new();
@@ -815,12 +888,24 @@ fn clone_stmt(
             lhs: clone_ref(lhs, subst, rename, next_ref),
             rhs: clone_expr(rhs, subst, rename, next_ref),
         },
-        StmtKind::Do { var, lo, hi, step, body, dir } => StmtKind::Do {
+        StmtKind::Do {
+            var,
+            lo,
+            hi,
+            step,
+            body,
+            dir,
+        } => StmtKind::Do {
             var: rename.get(var).cloned().unwrap_or_else(|| var.clone()),
             lo: clone_expr(lo, subst, rename, next_ref),
             hi: clone_expr(hi, subst, rename, next_ref),
-            step: step.as_ref().map(|e| clone_expr(e, subst, rename, next_ref)),
-            body: body.iter().map(|b| clone_stmt(b, subst, rename, next_stmt, next_ref)).collect(),
+            step: step
+                .as_ref()
+                .map(|e| clone_expr(e, subst, rename, next_ref)),
+            body: body
+                .iter()
+                .map(|b| clone_stmt(b, subst, rename, next_stmt, next_ref))
+                .collect(),
             dir: dir.clone(),
         },
         StmtKind::If { arms } => StmtKind::If {
@@ -836,9 +921,16 @@ fn clone_stmt(
                 })
                 .collect(),
         },
-        StmtKind::Call { name, args, arg_refs } => StmtKind::Call {
+        StmtKind::Call {
+            name,
+            args,
+            arg_refs,
+        } => StmtKind::Call {
             name: name.clone(),
-            args: args.iter().map(|a| clone_expr(a, subst, rename, next_ref)).collect(),
+            args: args
+                .iter()
+                .map(|a| clone_expr(a, subst, rename, next_ref))
+                .collect(),
             arg_refs: arg_refs.clone(),
         },
         StmtKind::Return => StmtKind::Continue, // a RETURN inside an
@@ -846,7 +938,12 @@ fn clone_stmt(
         // plain fall-through, so a mid-body return becomes a no-op marker
         StmtKind::Continue => StmtKind::Continue,
     };
-    Stmt { id, span: s.span, kind, label: s.label }
+    Stmt {
+        id,
+        span: s.span,
+        kind,
+        label: s.label,
+    }
 }
 
 fn clone_ref(
@@ -857,11 +954,18 @@ fn clone_ref(
 ) -> ArrayRef {
     let id = RefId(*next_ref);
     *next_ref += 1;
-    let name = rename.get(&r.name).cloned().unwrap_or_else(|| r.name.clone());
+    let name = rename
+        .get(&r.name)
+        .cloned()
+        .unwrap_or_else(|| r.name.clone());
     ArrayRef {
         id,
         name,
-        subs: r.subs.iter().map(|e| clone_expr(e, subst, rename, next_ref)).collect(),
+        subs: r
+            .subs
+            .iter()
+            .map(|e| clone_expr(e, subst, rename, next_ref))
+            .collect(),
         span: r.span,
     }
 }
@@ -884,9 +988,7 @@ fn clone_expr(
             Box::new(clone_expr(b, subst, rename, next_ref)),
             *sp,
         ),
-        Expr::Un(op, a, sp) => {
-            Expr::Un(*op, Box::new(clone_expr(a, subst, rename, next_ref)), *sp)
-        }
+        Expr::Un(op, a, sp) => Expr::Un(*op, Box::new(clone_expr(a, subst, rename, next_ref)), *sp),
         other => other.clone(),
     }
 }
@@ -926,9 +1028,13 @@ fn distribute_in_unit(
     next_stmt: &mut u32,
 ) -> bool {
     // find the deepest loop containing both ends of the first pair
-    let Some((a, b)) = marked.first() else { return false };
+    let Some((a, b)) = marked.first() else {
+        return false;
+    };
     let common = loops.common_loops(*a, *b);
-    let Some(&target) = common.last() else { return false };
+    let Some(&target) = common.last() else {
+        return false;
+    };
     if !(target == nest || loops.stmts_in(nest).contains(&target)) {
         return false;
     }
@@ -951,14 +1057,24 @@ fn rewrite_distribute(
 ) -> bool {
     for i in 0..body.len() {
         if body[i].id == target {
-            let StmtKind::Do { var, lo, hi, step, body: inner, dir } = body[i].kind.clone()
+            let StmtKind::Do {
+                var,
+                lo,
+                hi,
+                step,
+                body: inner,
+                dir,
+            } = body[i].kind.clone()
             else {
                 return false;
             };
             let mut replacements = Vec::new();
             for part in parts {
-                let part_body: Vec<Stmt> =
-                    inner.iter().filter(|s| part.contains(&s.id)).cloned().collect();
+                let part_body: Vec<Stmt> = inner
+                    .iter()
+                    .filter(|s| part.contains(&s.id))
+                    .cloned()
+                    .collect();
                 if part_body.is_empty() {
                     continue;
                 }
@@ -981,6 +1097,8 @@ fn rewrite_distribute(
             body.splice(i..=i, replacements);
             return true;
         }
+        // (a match guard would read better, but guards cannot mutate `inner`)
+        #[allow(clippy::collapsible_match)]
         match &mut body[i].kind {
             StmtKind::Do { body: inner, .. } => {
                 if rewrite_distribute(inner, target, parts, next_stmt) {
@@ -1024,13 +1142,15 @@ mod tests {
         let serial = run_serial(&p, &opts.bindings).expect("serial run");
         let compiled = compile(&p, &opts).unwrap_or_else(|e| panic!("compile: {e}"));
         assert_eq!(compiled.program.grid.nprocs() as usize, nprocs, "grid size");
-        let result = run_node_program(&compiled.program, MachineConfig::sp2(nprocs))
-            .expect("parallel run");
+        let result =
+            run_node_program(&compiled.program, MachineConfig::sp2(nprocs)).expect("parallel run");
         for (name, sa) in &serial.arrays {
             if private.iter().any(|v| v == name) {
                 continue;
             }
-            let Some(pa) = result.arrays.get(name) else { continue };
+            let Some(pa) = result.arrays.get(name) else {
+                continue;
+            };
             assert_eq!(sa.lo, pa.lo, "{name} bounds");
             for (i, (x, y)) in sa.data.iter().zip(&pa.data).enumerate() {
                 assert!(
@@ -1231,12 +1351,16 @@ mod tests {
     #[test]
     fn pipelined_sweep_matches_serial() {
         let r = verify(SWEEP, 4, CompileOptions::new());
-        assert!(r.run.stats.messages >= 3, "pipeline must hand off between procs");
+        assert!(
+            r.run.stats.messages >= 3,
+            "pipeline must hand off between procs"
+        );
     }
 
     #[test]
     fn backward_sweep_matches_serial() {
-        let src = SWEEP.replace("do j = 2, n\n", "do j = n - 1, 1, -1\n")
+        let src = SWEEP
+            .replace("do j = 2, n\n", "do j = n - 1, 1, -1\n")
             .replace("lhs(i, j - 1)", "lhs(i, j + 1)");
         verify(&src, 4, CompileOptions::new());
     }
@@ -1279,7 +1403,10 @@ mod tests {
 
     #[test]
     fn timestep_driver_loop_with_calls() {
-        let src = CALLS.replace("      call smooth\n", "      do it = 1, 3\n         call smooth\n      enddo\n");
+        let src = CALLS.replace(
+            "      call smooth\n",
+            "      do it = 1, 3\n         call smooth\n      enddo\n",
+        );
         verify(&src, 4, CompileOptions::new());
     }
 }
@@ -1353,7 +1480,10 @@ mod distribution_tests {
         }
         let n_compiled = count_loops(&compiled.program.units[0].ops);
         // source has 4 loops (2 nests × 2 levels); the split adds one
-        assert!(n_compiled >= 5, "expected a distributed loop, got {n_compiled} loops");
+        assert!(
+            n_compiled >= 5,
+            "expected a distributed loop, got {n_compiled} loops"
+        );
     }
 
     #[test]
@@ -1372,8 +1502,7 @@ mod distribution_tests {
             Err(other) => panic!("unexpected error {other}"),
             Ok(compiled) => {
                 let serial = run_serial(&p, &Default::default()).unwrap();
-                let r = run_node_program(&compiled.program, MachineConfig::sp2(2))
-                    .unwrap();
+                let r = run_node_program(&compiled.program, MachineConfig::sp2(2)).unwrap();
                 for name in ["a", "f", "h"] {
                     let s = &serial.arrays[name];
                     let q = &r.arrays[name];
@@ -1416,8 +1545,7 @@ mod distribution_tests {
             Err(other) => panic!("unexpected error {other}"),
             Ok(compiled) => {
                 let serial = run_serial(&p, &Default::default()).unwrap();
-                let r = run_node_program(&compiled.program, MachineConfig::sp2(2))
-                    .unwrap();
+                let r = run_node_program(&compiled.program, MachineConfig::sp2(2)).unwrap();
                 let s = &serial.arrays["h"];
                 let q = &r.arrays["h"];
                 for (i, (x, y)) in s.data.iter().zip(&q.data).enumerate() {

@@ -3,15 +3,15 @@
 //! processor, with real numerics and virtual-time charging.
 
 use crate::codegen::{
-    CExpr, CMsg, CompiledUnit, FormalSlot, Guard, GuardAtom, NodeOp, NodeProgram,
-    PipeArray, PipeLevel, INTRINSIC_NAMES,
+    CExpr, CMsg, CompiledUnit, FormalSlot, Guard, GuardAtom, NodeOp, NodeProgram, PipeArray,
+    PipeLevel, INTRINSIC_NAMES,
 };
 use crate::exec::serial::{eval_intrinsic, ArrayValue};
 use dhpf_fortran::ast::BinOp;
 use dhpf_spmd::array::LocalArray;
 use dhpf_spmd::machine::{Machine, MachineConfig, Proc, RunResult};
-use parking_lot::Mutex;
 use std::collections::BTreeMap;
+use std::sync::Mutex;
 
 /// Execution error (configuration level; runtime violations panic with
 /// context, which the harness reports as a failed run).
@@ -55,11 +55,11 @@ pub fn run_node_program(
         let mut frame = Frame::new(main);
         st.bind_static_arrays(main, &mut frame);
         st.exec_ops(proc, main, &main.ops, &mut frame);
-        finals.lock().insert(proc.rank(), st.storage);
+        finals.lock().unwrap().insert(proc.rank(), st.storage);
     });
 
     // stitch global arrays back together
-    let finals = finals.into_inner();
+    let finals = finals.into_inner().unwrap();
     let mut arrays = BTreeMap::new();
     for (g, ga) in prog.arrays.iter().enumerate() {
         let lo: Vec<i64> = ga.bounds.iter().map(|b| b.0).collect();
@@ -74,7 +74,9 @@ pub fn run_node_program(
             Some(dist) => {
                 for (rank, storage) in &finals {
                     let coords = prog.grid.coords(*rank as i64);
-                    let Some(owned) = dist.owned_box(&coords) else { continue };
+                    let Some(owned) = dist.owned_box(&coords) else {
+                        continue;
+                    };
                     if let Some(local) = &storage[g] {
                         let olo: Vec<i64> = owned.iter().map(|b| b.0).collect();
                         let ohi: Vec<i64> = owned.iter().map(|b| b.1).collect();
@@ -87,8 +89,11 @@ pub fn run_node_program(
     }
     // alias unit-qualified names ("main::a") by their bare name when
     // unambiguous, so callers can look up `arrays["a"]`
-    let qualified: Vec<String> =
-        arrays.keys().filter(|k| k.contains("::")).cloned().collect();
+    let qualified: Vec<String> = arrays
+        .keys()
+        .filter(|k| k.contains("::"))
+        .cloned()
+        .collect();
     for q in qualified {
         let bare = q.split("::").last().unwrap().to_string();
         if !arrays.contains_key(&bare) {
@@ -136,7 +141,11 @@ impl Frame {
             .iter()
             .map(|g| g.unwrap_or(usize::MAX))
             .collect();
-        Frame { ints: vec![0; unit.n_ints], floats: vec![0.0; unit.n_floats], arrays }
+        Frame {
+            ints: vec![0; unit.n_ints],
+            floats: vec![0.0; unit.n_floats],
+            arrays,
+        }
     }
 }
 
@@ -178,7 +187,13 @@ impl<'p> ProcState<'p> {
                 },
             }
         }
-        ProcState { prog, rank, coords, storage, owned }
+        ProcState {
+            prog,
+            rank,
+            coords,
+            storage,
+            owned,
+        }
     }
 
     fn bind_static_arrays(&self, _unit: &CompiledUnit, _frame: &mut Frame) {
@@ -219,9 +234,9 @@ impl<'p> ProcState<'p> {
             CExpr::LoadF(slot) => frame.floats[*slot],
             CExpr::Load { arr, subs } => {
                 let g = frame.arrays[*arr];
-                let local = self.storage[g]
-                    .as_ref()
-                    .unwrap_or_else(|| panic!("read of unowned array {}", self.prog.arrays[g].name));
+                let local = self.storage[g].as_ref().unwrap_or_else(|| {
+                    panic!("read of unowned array {}", self.prog.arrays[g].name)
+                });
                 let idx: Vec<i64> = subs.iter().map(|s| s.eval(&frame.ints)).collect();
                 debug_assert!(
                     local.in_window(&idx),
@@ -259,8 +274,7 @@ impl<'p> ProcState<'p> {
             CExpr::Neg(a) => -self.eval(a, frame),
             CExpr::Intr(idx, args) => {
                 let vals: Vec<f64> = args.iter().map(|a| self.eval(a, frame)).collect();
-                eval_intrinsic(INTRINSIC_NAMES[*idx], &vals)
-                    .unwrap_or_else(|e| panic!("{e}"))
+                eval_intrinsic(INTRINSIC_NAMES[*idx], &vals).unwrap_or_else(|e| panic!("{e}"))
             }
         }
     }
@@ -285,7 +299,13 @@ impl<'p> ProcState<'p> {
         frame: &mut Frame,
     ) {
         match op {
-            NodeOp::Loop { var, lo, hi, step, body } => {
+            NodeOp::Loop {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+            } => {
                 let lo = lo.eval(&frame.ints);
                 let hi = hi.eval(&frame.ints);
                 let step = *step;
@@ -296,7 +316,13 @@ impl<'p> ProcState<'p> {
                     v += step;
                 }
             }
-            NodeOp::Assign { guard, arr, subs, value, flops } => {
+            NodeOp::Assign {
+                guard,
+                arr,
+                subs,
+                value,
+                flops,
+            } => {
                 if !self.guard_passes(guard, frame) {
                     return;
                 }
@@ -317,14 +343,24 @@ impl<'p> ProcState<'p> {
                 local.set(&idx, v);
                 proc.work(*flops as f64);
             }
-            NodeOp::AssignF { guard, slot, value, flops } => {
+            NodeOp::AssignF {
+                guard,
+                slot,
+                value,
+                flops,
+            } => {
                 if !self.guard_passes(guard, frame) {
                     return;
                 }
                 frame.floats[*slot] = self.eval(value, frame);
                 proc.work(*flops as f64);
             }
-            NodeOp::AssignI { guard, slot, value, flops } => {
+            NodeOp::AssignI {
+                guard,
+                slot,
+                value,
+                flops,
+            } => {
                 if !self.guard_passes(guard, frame) {
                     return;
                 }
@@ -343,7 +379,12 @@ impl<'p> ProcState<'p> {
                     }
                 }
             }
-            NodeOp::Call { unit: u, int_args, float_args, array_args } => {
+            NodeOp::Call {
+                unit: u,
+                int_args,
+                float_args,
+                array_args,
+            } => {
                 let callee = &self.prog.units[*u];
                 let mut f2 = Frame::new(callee);
                 for (pos, e) in int_args {
@@ -510,8 +551,15 @@ impl<'p> ProcState<'p> {
             // receive the predecessor's boundary for this strip
             if let Some(p) = pred {
                 for pa in arrays {
-                    let region = self.pipe_region(frame, pa, true, dir, rd, wd, strip_level
-                        .map(|_| (chunk_lo, chunk_hi)));
+                    let region = self.pipe_region(
+                        frame,
+                        pa,
+                        true,
+                        dir,
+                        rd,
+                        wd,
+                        strip_level.map(|_| (chunk_lo, chunk_hi)),
+                    );
                     let buf = proc.recv(p, tag);
                     if let Some((lo, hi)) = region {
                         let g = frame.arrays[pa.arr];
@@ -532,12 +580,29 @@ impl<'p> ProcState<'p> {
                 }
             }
             // execute the nest with the strip restricted
-            self.run_pipe_nest(proc, unit, frame, levels, body, 0, strip_level, (chunk_lo, chunk_hi), sweep_level);
+            self.run_pipe_nest(
+                proc,
+                unit,
+                frame,
+                levels,
+                body,
+                0,
+                strip_level,
+                (chunk_lo, chunk_hi),
+                sweep_level,
+            );
             // forward my boundary to the successor
             if let Some(s) = succ {
                 for pa in arrays {
-                    let region = self.pipe_region(frame, pa, false, dir, rd, wd, strip_level
-                        .map(|_| (chunk_lo, chunk_hi)));
+                    let region = self.pipe_region(
+                        frame,
+                        pa,
+                        false,
+                        dir,
+                        rd,
+                        wd,
+                        strip_level.map(|_| (chunk_lo, chunk_hi)),
+                    );
                     let buf = match &region {
                         Some((lo, hi)) => {
                             let g = frame.arrays[pa.arr];
@@ -557,6 +622,7 @@ impl<'p> ProcState<'p> {
     /// Boundary region for a pipeline transfer. `recv = true` computes
     /// the region arriving from the predecessor; `false` the region sent
     /// to the successor. Returns `None` if this proc owns nothing.
+    #[allow(clippy::too_many_arguments)]
     fn pipe_region(
         &self,
         frame: &Frame,
@@ -586,8 +652,14 @@ impl<'p> ProcState<'p> {
                     (true, false) => (mhi - wd + 1, mhi + rd),
                     (false, false) => (mlo - wd, mlo + rd - 1),
                 };
-                lo.push(a.max(ga.bounds[d].0 - ga.ghost[d] as i64).max(local.alloc_lo()[d]));
-                hi.push(b.min(ga.bounds[d].1 + ga.ghost[d] as i64).min(local.alloc_hi()[d]));
+                lo.push(
+                    a.max(ga.bounds[d].0 - ga.ghost[d] as i64)
+                        .max(local.alloc_lo()[d]),
+                );
+                hi.push(
+                    b.min(ga.bounds[d].1 + ga.ghost[d] as i64)
+                        .min(local.alloc_hi()[d]),
+                );
             } else if Some(d) == pa.strip_dim {
                 let (slo, shi) = strip.unwrap_or(self.owned[g][d]);
                 lo.push(slo.max(local.alloc_lo()[d]));
@@ -631,7 +703,17 @@ impl<'p> ProcState<'p> {
         let mut v = lo;
         while (step > 0 && v <= hi) || (step < 0 && v >= hi) {
             frame.ints[lv.var] = v;
-            self.run_pipe_nest(proc, unit, frame, levels, body, depth + 1, strip_level, chunk, _sweep_level);
+            self.run_pipe_nest(
+                proc,
+                unit,
+                frame,
+                levels,
+                body,
+                depth + 1,
+                strip_level,
+                chunk,
+                _sweep_level,
+            );
             v += step;
         }
     }

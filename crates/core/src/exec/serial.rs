@@ -21,7 +21,12 @@ impl ArrayValue {
             strides.push(acc);
             acc *= (h - l + 1).max(0) as usize;
         }
-        ArrayValue { data: vec![0.0; acc], lo, hi, strides }
+        ArrayValue {
+            data: vec![0.0; acc],
+            lo,
+            hi,
+            strides,
+        }
     }
 
     #[inline]
@@ -133,7 +138,8 @@ pub fn run_serial(
         ..Default::default()
     };
     for (name, idx) in &frame.arrays {
-        out.arrays.insert(name.clone(), interp.storage[*idx].clone());
+        out.arrays
+            .insert(name.clone(), interp.storage[*idx].clone());
     }
     for (name, v) in &frame.floats {
         out.scalars.insert(name.clone(), *v);
@@ -150,7 +156,12 @@ enum Flow {
 }
 
 impl<'p> Interp<'p> {
-    fn eval_extent(&self, e: &Expr, unit: &ProgramUnit, frame: Option<&Frame>) -> Result<i64, RunError> {
+    fn eval_extent(
+        &self,
+        e: &Expr,
+        unit: &ProgramUnit,
+        frame: Option<&Frame>,
+    ) -> Result<i64, RunError> {
         // extents may reference parameters, bindings, or (for callee
         // declarations) integer dummy arguments
         let lin = dhpf_fortran::subscript::affine(e, &unit.decls)
@@ -184,8 +195,12 @@ impl<'p> Interp<'p> {
             }
         }
         // commons: the set of names in common blocks
-        let common_names: Vec<&String> =
-            unit.decls.commons.iter().flat_map(|(_, names)| names.iter()).collect();
+        let common_names: Vec<&String> = unit
+            .decls
+            .commons
+            .iter()
+            .flat_map(|(_, names)| names.iter())
+            .collect();
         for (name, decl) in &unit.decls.vars {
             if decl.rank() == 0 {
                 continue;
@@ -243,7 +258,14 @@ impl<'p> Interp<'p> {
                 self.store(lhs, value, frame)?;
                 Ok(Flow::Normal)
             }
-            StmtKind::Do { var, lo, hi, step, body, .. } => {
+            StmtKind::Do {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+                ..
+            } => {
                 let lo = self.eval(lo, frame)? as i64;
                 let hi = self.eval(hi, frame)? as i64;
                 let step = match step {
@@ -345,8 +367,11 @@ impl<'p> Interp<'p> {
             }
             return Ok(());
         }
-        let idx: Result<Vec<i64>, _> =
-            lhs.subs.iter().map(|e| self.eval(e, frame).map(|v| v as i64)).collect();
+        let idx: Result<Vec<i64>, _> = lhs
+            .subs
+            .iter()
+            .map(|e| self.eval(e, frame).map(|v| v as i64))
+            .collect();
         let idx = idx?;
         let aidx = *frame
             .arrays
@@ -371,7 +396,11 @@ impl<'p> Interp<'p> {
             Expr::Real(v, _) => Ok(*v),
             Expr::Logical(b, _) => Ok(if *b { 1.0 } else { 0.0 }),
             Expr::Un(UnOp::Neg, a, _) => Ok(-self.eval(a, frame)?),
-            Expr::Un(UnOp::Not, a, _) => Ok(if self.eval(a, frame)? == 0.0 { 1.0 } else { 0.0 }),
+            Expr::Un(UnOp::Not, a, _) => Ok(if self.eval(a, frame)? == 0.0 {
+                1.0
+            } else {
+                0.0
+            }),
             Expr::Bin(op, a, b, _) => {
                 let x = self.eval(a, frame)?;
                 // short-circuit logicals
@@ -404,8 +433,7 @@ impl<'p> Interp<'p> {
     fn eval_ref(&mut self, r: &ArrayRef, frame: &mut Frame<'p>) -> Result<f64, RunError> {
         // intrinsics
         if is_intrinsic(&r.name) && !frame.arrays.contains_key(&r.name) {
-            let vals: Result<Vec<f64>, _> =
-                r.subs.iter().map(|a| self.eval(a, frame)).collect();
+            let vals: Result<Vec<f64>, _> = r.subs.iter().map(|a| self.eval(a, frame)).collect();
             let vals = vals?;
             return eval_intrinsic(&r.name, &vals);
         }
@@ -425,8 +453,11 @@ impl<'p> Interp<'p> {
             // uninitialized scalar: Fortran would be undefined; we use 0
             return Ok(0.0);
         }
-        let idx: Result<Vec<i64>, _> =
-            r.subs.iter().map(|e| self.eval(e, frame).map(|v| v as i64)).collect();
+        let idx: Result<Vec<i64>, _> = r
+            .subs
+            .iter()
+            .map(|e| self.eval(e, frame).map(|v| v as i64))
+            .collect();
         let idx = idx?;
         let aidx = *frame
             .arrays
@@ -449,7 +480,10 @@ impl<'p> Interp<'p> {
 pub fn eval_intrinsic(name: &str, args: &[f64]) -> Result<f64, RunError> {
     let need = |n: usize| -> Result<(), RunError> {
         if args.len() < n {
-            Err(RunError(format!("intrinsic {name} needs {n} args, got {}", args.len())))
+            Err(RunError(format!(
+                "intrinsic {name} needs {n} args, got {}",
+                args.len()
+            )))
         } else {
             Ok(())
         }
@@ -515,8 +549,7 @@ mod tests {
 
     #[test]
     fn simple_loop_fills_array() {
-        let r = run(
-            "
+        let r = run("
       program t
       parameter (n = 5)
       double precision a(n)
@@ -524,8 +557,7 @@ mod tests {
          a(i) = i * 2.0
       enddo
       end
-",
-        );
+");
         let a = &r.arrays["a"];
         assert_eq!(a.get(&[1]), 2.0);
         assert_eq!(a.get(&[5]), 10.0);
@@ -534,8 +566,7 @@ mod tests {
 
     #[test]
     fn nested_loops_and_stencil() {
-        let r = run(
-            "
+        let r = run("
       program t
       parameter (n = 4)
       double precision a(n, n), b(n, n)
@@ -550,8 +581,7 @@ mod tests {
          enddo
       enddo
       end
-",
-        );
+");
         let b = &r.arrays["b"];
         assert_eq!(b.get(&[2, 2]), (21.0 + 23.0) / 2.0);
         assert_eq!(b.get(&[1, 1]), 0.0);
@@ -559,8 +589,7 @@ mod tests {
 
     #[test]
     fn call_with_array_and_scalar_args() {
-        let r = run(
-            "
+        let r = run("
       program t
       parameter (n = 4)
       double precision u(n)
@@ -577,15 +606,13 @@ mod tests {
          a(i) = a(i) * factor
       enddo
       end
-",
-        );
+");
         assert_eq!(r.arrays["u"].get(&[4]), 3.0);
     }
 
     #[test]
     fn common_block_shares_storage() {
-        let r = run(
-            "
+        let r = run("
       program t
       parameter (n = 3)
       double precision u(n)
@@ -602,16 +629,14 @@ mod tests {
          u(i) = i * 1.0
       enddo
       end
-",
-        );
+");
         assert_eq!(r.arrays["u"].get(&[2]), 2.0);
         assert_eq!(r.scalars["x"], 2.0);
     }
 
     #[test]
     fn if_elseif_else_and_logical_ops() {
-        let r = run(
-            "
+        let r = run("
       program t
       x = 5.0
       if (x .lt. 3.0) then
@@ -622,27 +647,23 @@ mod tests {
          y = 3.0
       endif
       end
-",
-        );
+");
         assert_eq!(r.scalars["y"], 2.0);
     }
 
     #[test]
     fn intrinsics_work() {
-        let r = run(
-            "
+        let r = run("
       program t
       x = sqrt(16.0d0) + max(1.0d0, 2.0d0, 3.0d0) + mod(7.0d0, 4.0d0) + abs(-2.0d0)
       end
-",
-        );
+");
         assert_eq!(r.scalars["x"], 4.0 + 3.0 + 3.0 + 2.0);
     }
 
     #[test]
     fn backward_loop_and_labeled_do() {
-        let r = run(
-            "
+        let r = run("
       program t
       parameter (n = 4)
       double precision a(0:n)
@@ -651,40 +672,35 @@ mod tests {
          a(i) = a(i + 1) * 2.0
  10   continue
       end
-",
-        );
+");
         assert_eq!(r.arrays["a"].get(&[0]), 16.0);
     }
 
     #[test]
     fn integer_implicit_typing() {
         // k is integer by the implicit i–n rule: 2.9 truncates to 2
-        let r = run(
-            "
+        let r = run("
       program t
       parameter (n = 4)
       double precision a(n)
       k = 2.9
       a(k) = 7.0
       end
-",
-        );
+");
         assert_eq!(r.arrays["a"].get(&[2]), 7.0);
         assert_eq!(r.scalars["k"], 2.0);
     }
 
     #[test]
     fn integer_truncation_in_subscripts() {
-        let r = run(
-            "
+        let r = run("
       program t
       parameter (n = 4)
       double precision a(n)
       k = 2
       a(k + 1) = 7.0
       end
-",
-        );
+");
         assert_eq!(r.arrays["a"].get(&[3]), 7.0);
     }
 
@@ -705,8 +721,7 @@ mod tests {
 
     #[test]
     fn return_exits_subroutine() {
-        let r = run(
-            "
+        let r = run("
       program t
       double precision a(2)
       call f(a)
@@ -718,16 +733,14 @@ mod tests {
       return
       a(2) = 1.0
       end
-",
-        );
+");
         assert_eq!(r.arrays["a"].get(&[1]), 1.0);
         assert_eq!(r.arrays["a"].get(&[2]), 0.0);
     }
 
     #[test]
     fn flops_by_unit_tracked() {
-        let r = run(
-            "
+        let r = run("
       program t
       double precision a(4)
       call g(a)
@@ -739,8 +752,7 @@ mod tests {
          a(i) = i * 2.0 + 1.0
       enddo
       end
-",
-        );
+");
         assert!(r.flops_by_unit["g"] > 0);
         assert!(!r.flops_by_unit.contains_key("t") || r.flops_by_unit["t"] == 0);
     }

@@ -36,11 +36,16 @@ pub fn entry_cp(
     let mut stmts: Vec<_> = assignment.iter().collect();
     stmts.sort_by_key(|(s, _)| **s);
     for (stmt, cp) in stmts {
-        let Some(w) = refs.write_of(*stmt) else { continue };
+        let Some(w) = refs.write_of(*stmt) else {
+            continue;
+        };
         if !args.contains(&w.array) {
             continue;
         }
-        let distributed = env.dist_of(&w.array).map(|d| d.is_distributed()).unwrap_or(false);
+        let distributed = env
+            .dist_of(&w.array)
+            .map(|d| d.is_distributed())
+            .unwrap_or(false);
         if distributed && !cp.is_replicated() {
             best = Some(cp.clone());
         }
@@ -103,7 +108,10 @@ pub fn translate_to_callsite(
                 s
             })
             .collect();
-        terms.push(CpTerm { array: actual_array.to_string(), subs });
+        terms.push(CpTerm {
+            array: actual_array.to_string(),
+            subs,
+        });
     }
     Some(Cp { terms })
 }
@@ -201,7 +209,12 @@ mod tests {
         let caller = p.unit("main").unwrap();
         let cp = Cp::single(CpTerm::on_home(
             "bvec",
-            vec![LinExpr::var("m"), LinExpr::var("i"), LinExpr::var("j"), LinExpr::var("k")],
+            vec![
+                LinExpr::var("m"),
+                LinExpr::var("i"),
+                LinExpr::var("j"),
+                LinExpr::var("k"),
+            ],
         ));
         // find the call args
         let mut call_args = None;
@@ -238,10 +251,14 @@ mod tests {
         });
         let cp = Cp::single(CpTerm::on_home(
             "bvec",
-            vec![LinExpr::var("m"), LinExpr::var("i"), LinExpr::var("j"), LinExpr::var("k")],
+            vec![
+                LinExpr::var("m"),
+                LinExpr::var("i"),
+                LinExpr::var("j"),
+                LinExpr::var("k"),
+            ],
         ));
-        let t =
-            translate_to_callsite(&cp, callee, &call_args.unwrap(), &p2.units[0]).unwrap();
+        let t = translate_to_callsite(&cp, callee, &call_args.unwrap(), &p2.units[0]).unwrap();
         assert_eq!(t.terms[0].to_string(), "ON_HOME rhs(m,i + 1,2,k)");
         let _ = caller;
     }
@@ -266,7 +283,12 @@ mod tests {
         let mut callee_units = BTreeMap::new();
         callee_units.insert("matvec_sub".to_string(), p.unit("matvec_sub").unwrap());
         let mut fixed = CpAssignment::new();
-        let n = restrict_call_sites(p.unit("main").unwrap(), &entry_cps, &callee_units, &mut fixed);
+        let n = restrict_call_sites(
+            p.unit("main").unwrap(),
+            &entry_cps,
+            &callee_units,
+            &mut fixed,
+        );
         assert_eq!(n, 1);
         let cp = fixed.values().next().unwrap();
         assert_eq!(cp.terms[0].array, "rhs");

@@ -44,4 +44,4 @@ pub mod loopdist;
 pub mod privat;
 pub mod select;
 
-pub use driver::{compile, CompileOptions, Compiled, OptFlags};
+pub use driver::{compile, CompileOptions, Compiled, OptFlags, UnitAnalysis};

@@ -45,14 +45,18 @@ pub fn apply_localize(
         for def in defs {
             // owner-computes term from the definition's own subscripts
             let owner_subs: Option<Vec<LinExpr>> = def.subs.iter().cloned().collect();
-            let Some(owner_subs) = owner_subs else { continue };
+            let Some(owner_subs) = owner_subs else {
+                continue;
+            };
             let mut cp = Cp::single(CpTerm::on_home(var, owner_subs));
             let mut replicated = false;
             for us in &uses {
                 if !loops.before(def.stmt, us.stmt) {
                     continue;
                 }
-                let Some(use_cp) = assignment.get(&us.stmt) else { continue };
+                let Some(use_cp) = assignment.get(&us.stmt) else {
+                    continue;
+                };
                 match translate_use_cp(def, us, use_cp, loops) {
                     None => {
                         replicated = true;
@@ -127,7 +131,9 @@ mod tests {
         let non_localized: Vec<StmtId> = stmts
             .iter()
             .filter(|s| {
-                refs.write_of(**s).map(|w| !local_vars.contains(&w.array)).unwrap_or(true)
+                refs.write_of(**s)
+                    .map(|w| !local_vars.contains(&w.array))
+                    .unwrap_or(true)
             })
             .cloned()
             .collect();
@@ -145,7 +151,10 @@ mod tests {
         // owner term + two translated stencil terms; i is serial so the
         // i±1 shifts do not change ownership along distributed dims but
         // the terms are still recorded
-        assert!(rendered.iter().any(|t| t.contains("rho_i(i,j,k)")), "{rendered:?}");
+        assert!(
+            rendered.iter().any(|t| t.contains("rho_i(i,j,k)")),
+            "{rendered:?}"
+        );
         assert!(rendered.iter().any(|t| t.contains("rhsv")), "{rendered:?}");
         assert!(cp.terms.len() >= 2, "{rendered:?}");
     }

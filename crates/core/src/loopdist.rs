@@ -46,7 +46,9 @@ struct Dsu {
 
 impl Dsu {
     fn new(n: usize) -> Self {
-        Dsu { parent: (0..n).collect() }
+        Dsu {
+            parent: (0..n).collect(),
+        }
     }
 
     fn find(&mut self, x: usize) -> usize {
@@ -75,8 +77,7 @@ pub fn group_statements(
     candidates: &BTreeMap<StmtId, Vec<Candidate>>,
     deps: &[Dependence],
 ) -> GroupingResult {
-    let index: BTreeMap<StmtId, usize> =
-        stmts.iter().enumerate().map(|(i, s)| (*s, i)).collect();
+    let index: BTreeMap<StmtId, usize> = stmts.iter().enumerate().map(|(i, s)| (*s, i)).collect();
     let mut dsu = Dsu::new(stmts.len());
     let mut keys: Vec<BTreeSet<String>> = stmts
         .iter()
@@ -104,7 +105,11 @@ pub fn group_statements(
         // impose no partition constraint: union without restricting
         let wild = |k: &BTreeSet<String>| k.is_empty() || k.contains("*");
         if wild(&keys[ra]) || wild(&keys[rb]) {
-            let keep = if wild(&keys[ra]) { keys[rb].clone() } else { keys[ra].clone() };
+            let keep = if wild(&keys[ra]) {
+                keys[rb].clone()
+            } else {
+                keys[ra].clone()
+            };
             dsu.union(ra, rb);
             let r = dsu.find(ra);
             keys[r] = keep;
@@ -228,7 +233,9 @@ pub fn partition_loop(
     // dependence edges between distinct children (execution order)
     let mut adj: Vec<Vec<usize>> = vec![Vec::new(); children.len()];
     for d in deps {
-        let (Some(a), Some(b)) = (child_of(d.src_stmt), child_of(d.dst_stmt)) else { continue };
+        let (Some(a), Some(b)) = (child_of(d.src_stmt), child_of(d.dst_stmt)) else {
+            continue;
+        };
         if a != b && !adj[a].contains(&b) {
             adj[a].push(b);
         }
@@ -247,7 +254,9 @@ pub fn partition_loop(
         .collect();
     let mut conflicts: BTreeSet<(usize, usize)> = BTreeSet::new();
     for (a, b) in marked {
-        let (Some(ca), Some(cb)) = (child_of(*a), child_of(*b)) else { continue };
+        let (Some(ca), Some(cb)) = (child_of(*a), child_of(*b)) else {
+            continue;
+        };
         let (sa, sb) = (scc_of[&ca], scc_of[&cb]);
         if sa != sb {
             conflicts.insert((sa.min(sb), sa.max(sb)));
@@ -260,9 +269,9 @@ pub fn partition_loop(
     let mut partitions: Vec<Vec<usize>> = Vec::new(); // of SCC indices
     let mut current: Vec<usize> = Vec::new();
     for si in 0..sccs.len() {
-        let clash = current.iter().any(|&prev| {
-            conflicts.contains(&(prev.min(si), prev.max(si)))
-        });
+        let clash = current
+            .iter()
+            .any(|&prev| conflicts.contains(&(prev.min(si), prev.max(si))));
         if clash && !current.is_empty() {
             partitions.push(std::mem::take(&mut current));
         }
@@ -296,7 +305,9 @@ pub fn assign_group_cps(
     let mut out = BTreeMap::new();
     for g in &grouping.groups {
         for s in &g.stmts {
-            let Some(cands) = candidates.get(s) else { continue };
+            let Some(cands) = candidates.get(s) else {
+                continue;
+            };
             let chosen = cands
                 .iter()
                 .find(|c| g.keys.contains(&c.key))
@@ -339,9 +350,9 @@ mod tests {
     use super::*;
     use crate::distrib::{resolve, DistEnv};
     use crate::select::candidates;
-    use dhpf_depend::refs::UnitRefs;
     use dhpf_depend::dep::analyze_loop_deps;
     use dhpf_depend::refs::analyze_unit;
+    use dhpf_depend::refs::UnitRefs;
     use dhpf_fortran::parse;
 
     /// A reduction of the paper's Figure 5.1 (y_solve of SP): statements
@@ -370,7 +381,14 @@ mod tests {
 
     fn setup(
         src: &str,
-    ) -> (UnitLoops, UnitRefs, DistEnv, Vec<Dependence>, Vec<StmtId>, StmtId) {
+    ) -> (
+        UnitLoops,
+        UnitRefs,
+        DistEnv,
+        Vec<Dependence>,
+        Vec<StmtId>,
+        StmtId,
+    ) {
         let p = parse(src).expect("parse");
         let name = p.units[0].name.clone();
         let (loops, refs, _) = analyze_unit(&p, &name).expect("analyze");
@@ -392,7 +410,10 @@ mod tests {
         refs: &UnitRefs,
         env: &DistEnv,
     ) -> BTreeMap<StmtId, Vec<Candidate>> {
-        stmts.iter().map(|s| (*s, candidates(*s, refs, env))).collect()
+        stmts
+            .iter()
+            .map(|s| (*s, candidates(*s, refs, env)))
+            .collect()
     }
 
     #[test]
@@ -400,7 +421,11 @@ mod tests {
         let (_loops, refs, env, deps, stmts, _outer) = setup(Y_SOLVE_OK);
         let cands = cands_for(&stmts, &refs, &env);
         let g = group_statements(&stmts, &cands, &deps);
-        assert!(g.marked.is_empty(), "no distribution needed: {:?}", g.marked);
+        assert!(
+            g.marked.is_empty(),
+            "no distribution needed: {:?}",
+            g.marked
+        );
         // the three lhs/rhs statements end up in one group (the scalar s1
         // statement has no partitioned candidates; its key set is empty
         // so it stays alone)

@@ -41,10 +41,15 @@ pub fn translate_use_cp(
     // loops enclosing the use but not the definition ("use-only")
     let common = loops.common_loops(def.stmt, us.stmt);
     let use_nest = loops.nest_of.get(&us.stmt).cloned().unwrap_or_default();
-    let use_only: Vec<StmtId> =
-        use_nest.iter().filter(|l| !common.contains(l)).cloned().collect();
-    let mut unsolved: Vec<String> =
-        use_only.iter().map(|l| loops.loops[l].var.clone()).collect();
+    let use_only: Vec<StmtId> = use_nest
+        .iter()
+        .filter(|l| !common.contains(l))
+        .cloned()
+        .collect();
+    let mut unsolved: Vec<String> = use_only
+        .iter()
+        .map(|l| loops.loops[l].var.clone())
+        .collect();
 
     // Step 1+2: solve use-only variables from subscript equations
     // g_k(use vars) = f_k(def vars), one variable at a time, requiring a
@@ -108,7 +113,10 @@ pub fn translate_use_cp(
             };
             // a range bound must not mention another (still symbolic)
             // use-only variable
-            if unsolved.iter().any(|u| u != x && (lo.mentions(u) || hi.mentions(u))) {
+            if unsolved
+                .iter()
+                .any(|u| u != x && (lo.mentions(u) || hi.mentions(u)))
+            {
                 ok = false;
                 break;
             }
@@ -126,7 +134,10 @@ pub fn translate_use_cp(
             }
         }
         if ok {
-            terms.push(CpTerm { array: term.array.clone(), subs });
+            terms.push(CpTerm {
+                array: term.array.clone(),
+                subs,
+            });
         }
     }
     Some(terms)
@@ -182,7 +193,9 @@ pub fn propagate_new_cps(
                 if !loops.before(def.stmt, us.stmt) {
                     continue;
                 }
-                let Some(use_cp) = assignment.get(&us.stmt) else { continue };
+                let Some(use_cp) = assignment.get(&us.stmt) else {
+                    continue;
+                };
                 match translate_use_cp(def, us, use_cp, loops) {
                     None => {
                         result = None; // replicated use ⇒ replicated def
@@ -257,12 +270,17 @@ mod tests {
             .unwrap();
         let stmts = assignments_in(outer, &loops, &refs);
         // select CPs for non-NEW statements only (the driver does the same)
-        let new_vars: Vec<String> =
-            loops.loops.values().flat_map(|l| l.dir.new_vars.clone()).collect();
+        let new_vars: Vec<String> = loops
+            .loops
+            .values()
+            .flat_map(|l| l.dir.new_vars.clone())
+            .collect();
         let non_new: Vec<StmtId> = stmts
             .iter()
             .filter(|s| {
-                refs.write_of(**s).map(|w| !new_vars.contains(&w.array)).unwrap_or(true)
+                refs.write_of(**s)
+                    .map(|w| !new_vars.contains(&w.array))
+                    .unwrap_or(true)
             })
             .cloned()
             .collect();
@@ -292,8 +310,14 @@ mod tests {
         // cv(j+1) → ON_HOME lhs(j-1, k, 2)
         assert_eq!(cp.terms.len(), 2, "{cp}");
         let rendered: Vec<String> = cp.terms.iter().map(|t| t.to_string()).collect();
-        assert!(rendered.iter().any(|t| t.contains("lhs(j + 1,k,2)")), "terms: {rendered:?}");
-        assert!(rendered.iter().any(|t| t.contains("lhs(j - 1,k,2)")), "terms: {rendered:?}");
+        assert!(
+            rendered.iter().any(|t| t.contains("lhs(j + 1,k,2)")),
+            "terms: {rendered:?}"
+        );
+        assert!(
+            rendered.iter().any(|t| t.contains("lhs(j - 1,k,2)")),
+            "terms: {rendered:?}"
+        );
     }
 
     #[test]
@@ -313,7 +337,10 @@ mod tests {
             })
         };
         assert!(at(32, 1, 0, 0));
-        assert!(at(32, 1, 1, 0), "boundary value replicated on right neighbor");
+        assert!(
+            at(32, 1, 1, 0),
+            "boundary value replicated on right neighbor"
+        );
         assert!(at(10, 1, 0, 0));
         assert!(!at(10, 1, 1, 0), "interior value not replicated");
         // k stays partitioned: k=1 belongs to pk=0 only

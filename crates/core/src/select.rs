@@ -33,7 +33,9 @@ pub fn candidates(stmt: StmtId, refs: &UnitRefs, env: &DistEnv) -> Vec<Candidate
     let mut stmt_refs: Vec<&RefInfo> = refs.of_stmt(stmt);
     stmt_refs.sort_by_key(|r| !r.is_write); // writes first
     for r in stmt_refs {
-        let Some(dist) = env.dist_of(&r.array) else { continue };
+        let Some(dist) = env.dist_of(&r.array) else {
+            continue;
+        };
         if !dist.is_distributed() {
             continue;
         }
@@ -58,11 +60,17 @@ pub fn candidates(stmt: StmtId, refs: &UnitRefs, env: &DistEnv) -> Vec<Candidate
         let term = CpTerm::on_home(&r.array, subs);
         let key = term.partition_key(env).unwrap_or_else(|| "*".into());
         if !out.iter().any(|c| c.key == key) {
-            out.push(Candidate { cp: Cp::single(term), key });
+            out.push(Candidate {
+                cp: Cp::single(term),
+                key,
+            });
         }
     }
     if out.is_empty() {
-        out.push(Candidate { cp: Cp::replicated(), key: "*".into() });
+        out.push(Candidate {
+            cp: Cp::replicated(),
+            key: "*".into(),
+        });
     }
     out
 }
@@ -83,7 +91,9 @@ pub fn stmt_cost(stmt: StmtId, cp: &Cp, refs: &UnitRefs, env: &DistEnv) -> f64 {
     const BETA: f64 = 0.01; // per element
     let mut cost = 0.0;
     for r in refs.of_stmt(stmt) {
-        let Some(dist) = env.dist_of(&r.array) else { continue };
+        let Some(dist) = env.dist_of(&r.array) else {
+            continue;
+        };
         if !dist.is_distributed() {
             continue;
         }
@@ -143,10 +153,14 @@ fn shift_against(r: &RefInfo, cp: &Cp, env: &DistEnv) -> Shift {
         // replicated execution: every processor reads the whole reference
         return Shift::General;
     }
-    let Some(dist) = env.dist_of(&r.array) else { return Shift::Aligned };
+    let Some(dist) = env.dist_of(&r.array) else {
+        return Shift::Aligned;
+    };
     let mut best: Option<Shift> = None;
     for term in &cp.terms {
-        let Some(tdist) = env.dist_of(&term.array) else { continue };
+        let Some(tdist) = env.dist_of(&term.array) else {
+            continue;
+        };
         if !env.same_partition(&r.array, &term.array) {
             continue;
         }
@@ -310,7 +324,13 @@ mod tests {
 
     fn setup(
         src: &str,
-    ) -> (dhpf_fortran::Program, UnitLoops, UnitRefs, DistEnv, Vec<StmtId>) {
+    ) -> (
+        dhpf_fortran::Program,
+        UnitLoops,
+        UnitRefs,
+        DistEnv,
+        Vec<StmtId>,
+    ) {
         let p = parse(src).expect("parse");
         let (loops, refs, _) = analyze_unit(&p, p.units[0].name.as_str()).expect("analyze");
         let env = resolve(&p.units[0], &BTreeMap::new()).expect("resolve");
@@ -416,8 +436,10 @@ mod tests {
     fn fixed_cp_respected() {
         let (_, _, refs, env, stmts) = setup(STENCIL);
         let mut fixed = CpAssignment::new();
-        let forced =
-            Cp::single(CpTerm::on_home("b", vec![LinExpr::var("i") + 1, LinExpr::var("j")]));
+        let forced = Cp::single(CpTerm::on_home(
+            "b",
+            vec![LinExpr::var("i") + 1, LinExpr::var("j")],
+        ));
         fixed.insert(stmts[0], forced.clone());
         let sel = select_for_loop(&stmts, &fixed, &refs, &env);
         assert_eq!(sel[&stmts[0]], forced);

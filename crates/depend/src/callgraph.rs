@@ -26,8 +26,7 @@ impl CallGraph {
     /// Build from a program. Calls to intrinsics or unknown names are
     /// ignored (the symbol checker reports the latter separately).
     pub fn build(program: &Program) -> Self {
-        let unit_names: BTreeSet<String> =
-            program.units.iter().map(|u| u.name.clone()).collect();
+        let unit_names: BTreeSet<String> = program.units.iter().map(|u| u.name.clone()).collect();
         let mut g = CallGraph {
             units: program.units.iter().map(|u| u.name.clone()).collect(),
             ..Default::default()

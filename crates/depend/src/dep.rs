@@ -53,11 +53,7 @@ impl Dependence {
 /// Analyze all dependences among statements inside `loop_id` (including
 /// nested statements), considering the common loops *from `loop_id`
 /// inward*. Level 0 is `loop_id` itself.
-pub fn analyze_loop_deps(
-    loop_id: StmtId,
-    loops: &UnitLoops,
-    refs: &UnitRefs,
-) -> Vec<Dependence> {
+pub fn analyze_loop_deps(loop_id: StmtId, loops: &UnitLoops, refs: &UnitRefs) -> Vec<Dependence> {
     let mut out = Vec::new();
     let body = loops.stmts_in(loop_id);
     // collect refs of interest grouped by array
@@ -177,9 +173,7 @@ fn test_pair(
     // --- loop-independent: all common vars equal; src lexically first ---
     // within one statement the RHS reads execute before the LHS write,
     // so the only same-statement loop-independent order is read → write
-    if loops.before(src.stmt, dst.stmt)
-        || (src.stmt == dst.stmt && !src.is_write && dst.is_write)
-    {
+    if loops.before(src.stmt, dst.stmt) || (src.stmt == dst.stmt && !src.is_write && dst.is_write) {
         let mut cons = base.clone();
         for l in 0..n_common {
             let i = common_offset + l;
@@ -202,7 +196,7 @@ fn test_pair(
     }
 
     // --- carried at each level ---
-    for l in 0..n_common {
+    for (l, cl) in common.iter().enumerate().take(n_common) {
         let mut cons = base.clone();
         for m in 0..l {
             let i = common_offset + m;
@@ -212,7 +206,7 @@ fn test_pair(
             ));
         }
         let i = common_offset + l;
-        let step = loops.loops[&common[l]].step;
+        let step = loops.loops[cl].step;
         let (sv, dv) = (LinExpr::var(&s_names[i].1), LinExpr::var(&d_names[i].1));
         if step >= 0 {
             cons.push(Constraint::ge(dv, sv + 1));
@@ -267,7 +261,9 @@ mod tests {
             .iter()
             .any(|d| d.kind == DepKind::Flow && d.level == Some(0) && d.array == "a"));
         // no loop-independent flow (a(i) then a(i-1) differ in same iter)
-        assert!(!deps.iter().any(|d| d.kind == DepKind::Flow && d.level.is_none()));
+        assert!(!deps
+            .iter()
+            .any(|d| d.kind == DepKind::Flow && d.level.is_none()));
     }
 
     #[test]
@@ -321,8 +317,12 @@ mod tests {
             "s",
         );
         // read a(i+1) in iteration i, written at iteration i+1: anti carried
-        assert!(deps.iter().any(|d| d.kind == DepKind::Anti && d.level == Some(0)));
-        assert!(!deps.iter().any(|d| d.kind == DepKind::Flow && d.level == Some(0)));
+        assert!(deps
+            .iter()
+            .any(|d| d.kind == DepKind::Anti && d.level == Some(0)));
+        assert!(!deps
+            .iter()
+            .any(|d| d.kind == DepKind::Flow && d.level == Some(0)));
     }
 
     #[test]
@@ -340,8 +340,12 @@ mod tests {
 ",
             "s",
         );
-        assert!(deps.iter().any(|d| d.kind == DepKind::Flow && d.level == Some(0)));
-        assert!(!deps.iter().any(|d| d.kind == DepKind::Flow && d.level == Some(1)));
+        assert!(deps
+            .iter()
+            .any(|d| d.kind == DepKind::Flow && d.level == Some(0)));
+        assert!(!deps
+            .iter()
+            .any(|d| d.kind == DepKind::Flow && d.level == Some(1)));
     }
 
     #[test]
@@ -358,7 +362,9 @@ mod tests {
             "s",
         );
         // read indices 11..15 never written (writes cover 1..5)
-        assert!(deps.iter().all(|d| d.array != "a" || d.kind == DepKind::Output));
+        assert!(deps
+            .iter()
+            .all(|d| d.array != "a" || d.kind == DepKind::Output));
     }
 
     #[test]
@@ -413,7 +419,9 @@ mod tests {
         );
         // backward sweep: a(i+1) was written in the *previous* iteration
         // (i+1 executes before i) → flow carried
-        assert!(deps.iter().any(|d| d.kind == DepKind::Flow && d.level == Some(0)));
+        assert!(deps
+            .iter()
+            .any(|d| d.kind == DepKind::Flow && d.level == Some(0)));
     }
 
     #[test]
@@ -429,6 +437,8 @@ mod tests {
 ",
             "s",
         );
-        assert!(deps.iter().any(|d| d.kind == DepKind::Output && d.level == Some(0)));
+        assert!(deps
+            .iter()
+            .any(|d| d.kind == DepKind::Output && d.level == Some(0)));
     }
 }

@@ -58,7 +58,11 @@ impl UnitLoops {
     pub fn common_loops(&self, a: StmtId, b: StmtId) -> Vec<StmtId> {
         let na = self.nest_of.get(&a).cloned().unwrap_or_default();
         let nb = self.nest_of.get(&b).cloned().unwrap_or_default();
-        na.iter().zip(nb.iter()).take_while(|(x, y)| x == y).map(|(x, _)| *x).collect()
+        na.iter()
+            .zip(nb.iter())
+            .take_while(|(x, y)| x == y)
+            .map(|(x, _)| *x)
+            .collect()
     }
 
     /// Is statement `a` lexically before `b`?
@@ -90,7 +94,14 @@ fn visit(
     *counter += 1;
     out.nest_of.insert(s.id, stack.clone());
     match &s.kind {
-        StmtKind::Do { var, lo, hi, step, body, dir } => {
+        StmtKind::Do {
+            var,
+            lo,
+            hi,
+            step,
+            body,
+            dir,
+        } => {
             let step_val = match step {
                 None => 1,
                 Some(e) => affine(e, &unit.decls)
@@ -110,7 +121,8 @@ fn visit(
                     depth: stack.len(),
                 },
             );
-            out.loop_body.insert(s.id, body.iter().map(|b| b.id).collect());
+            out.loop_body
+                .insert(s.id, body.iter().map(|b| b.id).collect());
             stack.push(s.id);
             for b in body {
                 visit(b, unit, out, counter, stack);

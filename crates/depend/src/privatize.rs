@@ -70,10 +70,7 @@ pub fn verify_one(
                 };
             }
             let covered = deps.iter().any(|d| {
-                d.array == var
-                    && d.kind == DepKind::Flow
-                    && d.level.is_none()
-                    && d.dst_ref == r.id
+                d.array == var && d.kind == DepKind::Flow && d.level.is_none() && d.dst_ref == r.id
             });
             if !covered {
                 return PrivatizationReport {
@@ -88,7 +85,12 @@ pub fn verify_one(
             }
         }
     }
-    PrivatizationReport { loop_id, var: var.to_string(), ok: true, reason: String::new() }
+    PrivatizationReport {
+        loop_id,
+        var: var.to_string(),
+        ok: true,
+        reason: String::new(),
+    }
 }
 
 #[cfg(test)]

@@ -75,12 +75,18 @@ impl UnitRefs {
 
     /// References to a given array/variable name.
     pub fn of_array(&self, name: &str) -> Vec<&RefInfo> {
-        self.by_array.get(name).map(|v| v.iter().map(|&i| &self.refs[i]).collect()).unwrap_or_default()
+        self.by_array
+            .get(name)
+            .map(|v| v.iter().map(|&i| &self.refs[i]).collect())
+            .unwrap_or_default()
     }
 
     /// References appearing in a given statement.
     pub fn of_stmt(&self, stmt: StmtId) -> Vec<&RefInfo> {
-        self.by_stmt.get(&stmt).map(|v| v.iter().map(|&i| &self.refs[i]).collect()).unwrap_or_default()
+        self.by_stmt
+            .get(&stmt)
+            .map(|v| v.iter().map(|&i| &self.refs[i]).collect())
+            .unwrap_or_default()
     }
 
     /// The written reference of a statement (assignment LHS), if any.
@@ -90,8 +96,12 @@ impl UnitRefs {
 
     /// All array names written anywhere in the unit.
     pub fn written_arrays(&self) -> Vec<&str> {
-        let mut names: Vec<&str> =
-            self.refs.iter().filter(|r| r.is_write).map(|r| r.array.as_str()).collect();
+        let mut names: Vec<&str> = self
+            .refs
+            .iter()
+            .filter(|r| r.is_write)
+            .map(|r| r.array.as_str())
+            .collect();
         names.sort();
         names.dedup();
         names
@@ -105,11 +115,18 @@ pub fn analyze_unit(
 ) -> Option<(crate::loops::UnitLoops, UnitRefs, SymbolTable)> {
     let unit = program.unit(unit_name)?;
     let (tabs, diags) = dhpf_fortran::symtab::resolve(program);
-    if diags.iter().any(|d| matches!(d.severity, dhpf_fortran::span::Severity::Error)) {
+    if diags
+        .iter()
+        .any(|d| matches!(d.severity, dhpf_fortran::span::Severity::Error))
+    {
         return None;
     }
     let tab = tabs.get(unit_name)?.clone();
-    Some((crate::loops::UnitLoops::build(unit), UnitRefs::build(unit, &tab), tab))
+    Some((
+        crate::loops::UnitLoops::build(unit),
+        UnitRefs::build(unit, &tab),
+        tab,
+    ))
 }
 
 #[cfg(test)]

@@ -58,7 +58,10 @@ pub fn build(loop_id: StmtId, loops: &UnitLoops, refs: &UnitRefs) -> UseDef {
         }
         if let Some(w) = best {
             out.last_write_before.insert(read.id, w.id);
-            out.uses_of_var.entry(read.array.clone()).or_default().push(read.id);
+            out.uses_of_var
+                .entry(read.array.clone())
+                .or_default()
+                .push(read.id);
         }
     }
     out
@@ -135,7 +138,10 @@ mod tests {
         let w = ud.last_write_before[&last_read.id];
         let winfo = refs.by_id(w).unwrap();
         let t_writes = writes_of_var(outer, "t", &loops, &refs);
-        let second_write = t_writes.iter().max_by_key(|r| loops.order[&r.stmt]).unwrap();
+        let second_write = t_writes
+            .iter()
+            .max_by_key(|r| loops.order[&r.stmt])
+            .unwrap();
         assert_eq!(winfo.id, second_write.id);
     }
 

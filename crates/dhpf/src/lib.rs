@@ -5,6 +5,7 @@
 //! analysis, the dHPF compiler, the virtual message-passing machine and
 //! the NAS SP/BT benchmarks. See the repository README for the map.
 
+pub use dhpf_analysis as analysis;
 pub use dhpf_core as core;
 pub use dhpf_depend as depend;
 pub use dhpf_fortran as fortran;
@@ -14,6 +15,7 @@ pub use dhpf_spmd as spmd;
 
 /// Everything a typical user needs.
 pub mod prelude {
+    pub use dhpf_analysis::{lint_compiled, lint_source, verify_compiled};
     pub use dhpf_core::driver::{compile, CompileOptions, OptFlags};
     pub use dhpf_core::exec::node::run_node_program;
     pub use dhpf_core::exec::serial::run_serial;

@@ -42,7 +42,9 @@ impl Program {
 
     /// The main program unit, if any.
     pub fn main(&self) -> Option<&ProgramUnit> {
-        self.units.iter().find(|u| matches!(u.kind, UnitKind::Program))
+        self.units
+            .iter()
+            .find(|u| matches!(u.kind, UnitKind::Program))
     }
 
     /// Visit every statement of every unit (pre-order).
@@ -252,7 +254,10 @@ pub enum BinOp {
 
 impl BinOp {
     pub fn is_arith(self) -> bool {
-        matches!(self, BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Pow)
+        matches!(
+            self,
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Pow
+        )
     }
 }
 
@@ -429,8 +434,9 @@ impl Stmt {
 
 /// Names of supported intrinsic functions (calls to these are evaluated
 /// inline by the interpreter and never treated as user procedures).
-pub const INTRINSICS: &[&str] =
-    &["min", "max", "abs", "mod", "sqrt", "exp", "dble", "int", "sin", "cos", "sign"];
+pub const INTRINSICS: &[&str] = &[
+    "min", "max", "abs", "mod", "sqrt", "exp", "dble", "int", "sin", "cos", "sign",
+];
 
 /// Is `name` an intrinsic function?
 pub fn is_intrinsic(name: &str) -> bool {
@@ -442,7 +448,12 @@ mod tests {
     use super::*;
 
     fn dummy_ref(id: u32, name: &str) -> ArrayRef {
-        ArrayRef { id: RefId(id), name: name.into(), subs: vec![], span: Span::default() }
+        ArrayRef {
+            id: RefId(id),
+            name: name.into(),
+            subs: vec![],
+            span: Span::default(),
+        }
     }
 
     #[test]

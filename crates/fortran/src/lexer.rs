@@ -29,7 +29,15 @@ struct Lexer<'s> {
 
 impl<'s> Lexer<'s> {
     fn new(src: &'s str) -> Self {
-        Lexer { src, bytes: src.as_bytes(), pos: 0, line: 1, toks: Vec::new(), diags: Vec::new(), in_directive: false }
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            toks: Vec::new(),
+            diags: Vec::new(),
+            in_directive: false,
+        }
     }
 
     fn run(mut self) -> (Vec<Token>, Vec<Diagnostic>) {
@@ -53,7 +61,10 @@ impl<'s> Lexer<'s> {
     }
 
     fn emit(&mut self, tok: Tok, start: usize, end: usize) {
-        self.toks.push(Token { tok, span: Span::new(start, end, self.line) });
+        self.toks.push(Token {
+            tok,
+            span: Span::new(start, end, self.line),
+        });
     }
 
     /// Lex one physical line (which may continue a logical line).
@@ -63,11 +74,17 @@ impl<'s> Lexer<'s> {
         let rest = &self.src[self.pos..];
         let trimmed = rest.trim_start_matches([' ', '\t']);
         let lower = trimmed.get(..6).unwrap_or(trimmed).to_ascii_lowercase();
-        let is_directive = lower.starts_with("!hpf$") || lower.starts_with("chpf$") || lower.starts_with("*hpf$");
+        let is_directive =
+            lower.starts_with("!hpf$") || lower.starts_with("chpf$") || lower.starts_with("*hpf$");
         // Classic fixed-form comment marker in column 1. To coexist with
         // free-form code we only honor it when the next character cannot
         // continue an identifier (so `call`/`common` at column 1 still lex).
-        let col1 = self.bytes.get(line_start).copied().unwrap_or(0).to_ascii_lowercase();
+        let col1 = self
+            .bytes
+            .get(line_start)
+            .copied()
+            .unwrap_or(0)
+            .to_ascii_lowercase();
         let col2 = self.bytes.get(line_start + 1).copied().unwrap_or(b'\n');
         let fixed_comment = (col1 == b'c' || col1 == b'*')
             && !col2.is_ascii_alphanumeric()
@@ -304,8 +321,12 @@ impl<'s> Lexer<'s> {
                 self.pos += 1;
             } else if matches!(c.to_ascii_lowercase(), b'd' | b'e') && !saw_exp {
                 let after = self.peek2();
-                if after.is_ascii_digit() || ((after == b'+' || after == b'-')
-                    && self.bytes.get(self.pos + 2).is_some_and(|b| b.is_ascii_digit()))
+                if after.is_ascii_digit()
+                    || ((after == b'+' || after == b'-')
+                        && self
+                            .bytes
+                            .get(self.pos + 2)
+                            .is_some_and(|b| b.is_ascii_digit()))
                 {
                     saw_exp = true;
                     saw_dot = true; // exponent implies real
@@ -324,7 +345,8 @@ impl<'s> Lexer<'s> {
             match norm.parse::<f64>() {
                 Ok(v) => self.emit(Tok::Real(v), start, self.pos),
                 Err(_) => {
-                    self.diags.push(Diagnostic::error(format!("bad real literal {text}"), span));
+                    self.diags
+                        .push(Diagnostic::error(format!("bad real literal {text}"), span));
                     self.emit(Tok::Real(0.0), start, self.pos);
                 }
             }
@@ -332,7 +354,10 @@ impl<'s> Lexer<'s> {
             match text.parse::<i64>() {
                 Ok(v) => self.emit(Tok::Int(v), start, self.pos),
                 Err(_) => {
-                    self.diags.push(Diagnostic::error(format!("bad integer literal {text}"), span));
+                    self.diags.push(Diagnostic::error(
+                        format!("bad integer literal {text}"),
+                        span,
+                    ));
                     self.emit(Tok::Int(0), start, self.pos);
                 }
             }
@@ -430,7 +455,7 @@ mod tests {
         let t = kinds("!hpf$ independent, new(cv)\nCHPF$ distribute t(block) onto p\n");
         let dcount = t.iter().filter(|t| matches!(t, Tok::HpfDirective)).count();
         assert_eq!(dcount, 2);
-        assert!(t.contains(&Tok::Ident("localize".into())) == false);
+        assert!(!t.contains(&Tok::Ident("localize".into())));
         assert!(t.contains(&Tok::Ident("new".into())));
         assert!(t.contains(&Tok::Ident("block".into())));
     }

@@ -18,7 +18,10 @@ pub fn parse_program(source: &str) -> Result<Program, Vec<Diagnostic>> {
     };
     let program = p.parse_units();
     diags.extend(p.diags);
-    if diags.iter().any(|d| matches!(d.severity, crate::span::Severity::Error)) {
+    if diags
+        .iter()
+        .any(|d| matches!(d.severity, crate::span::Severity::Error))
+    {
         Err(diags)
     } else {
         Ok(program)
@@ -122,7 +125,10 @@ impl Parser {
 
     fn end_stmt(&mut self) {
         if !self.eat(&Tok::Eos) && !self.at_eof() {
-            self.error(format!("expected end of statement, found `{}`", self.peek()));
+            self.error(format!(
+                "expected end of statement, found `{}`",
+                self.peek()
+            ));
             self.sync_to_eos();
         }
     }
@@ -227,16 +233,14 @@ impl Parser {
 
     fn parse_dummy_args(&mut self) -> Vec<String> {
         let mut args = Vec::new();
-        if self.eat(&Tok::LParen) {
-            if !self.eat(&Tok::RParen) {
-                loop {
-                    args.push(self.ident("dummy argument"));
-                    if !self.eat(&Tok::Comma) {
-                        break;
-                    }
+        if self.eat(&Tok::LParen) && !self.eat(&Tok::RParen) {
+            loop {
+                args.push(self.ident("dummy argument"));
+                if !self.eat(&Tok::Comma) {
+                    break;
                 }
-                self.expect(&Tok::RParen, "`)`");
             }
+            self.expect(&Tok::RParen, "`)`");
         }
         args
     }
@@ -278,7 +282,12 @@ impl Parser {
                         None => {
                             decls.vars.insert(
                                 name.clone(),
-                                VarDecl { name, ty: Ty::Double, dims, span },
+                                VarDecl {
+                                    name,
+                                    ty: Ty::Double,
+                                    dims,
+                                    span,
+                                },
                             );
                         }
                     }
@@ -348,8 +357,11 @@ impl Parser {
         loop {
             let span = self.peek_span();
             let name = self.ident("variable name");
-            let dims =
-                if matches!(self.peek(), Tok::LParen) { self.parse_dims() } else { Vec::new() };
+            let dims = if matches!(self.peek(), Tok::LParen) {
+                self.parse_dims()
+            } else {
+                Vec::new()
+            };
             decls
                 .vars
                 .entry(name.clone())
@@ -359,7 +371,12 @@ impl Parser {
                         v.dims = dims.clone();
                     }
                 })
-                .or_insert_with(|| VarDecl { name: name.clone(), ty, dims, span });
+                .or_insert_with(|| VarDecl {
+                    name: name.clone(),
+                    ty,
+                    dims,
+                    span,
+                });
             if !self.eat(&Tok::Comma) {
                 break;
             }
@@ -425,13 +442,21 @@ impl Parser {
             "processors" => {
                 let name = self.ident("processors name");
                 let extents = self.parse_paren_exprs();
-                unit.hpf.processors.push(ProcessorsDecl { name, extents, span });
+                unit.hpf.processors.push(ProcessorsDecl {
+                    name,
+                    extents,
+                    span,
+                });
                 self.end_stmt();
             }
             "template" => {
                 let name = self.ident("template name");
                 let extents = self.parse_paren_exprs();
-                unit.hpf.templates.push(TemplateDecl { name, extents, span });
+                unit.hpf.templates.push(TemplateDecl {
+                    name,
+                    extents,
+                    span,
+                });
                 self.end_stmt();
             }
             "align" => {
@@ -450,21 +475,28 @@ impl Parser {
                 }
                 let target = self.ident("align target");
                 let target_subs = self.parse_paren_exprs();
-                unit.hpf.aligns.push(AlignDecl { array, dummies, target, target_subs, span });
+                unit.hpf.aligns.push(AlignDecl {
+                    array,
+                    dummies,
+                    target,
+                    target_subs,
+                    span,
+                });
                 self.end_stmt();
             }
             "distribute" => {
                 // forms: DISTRIBUTE t(BLOCK, *) ONTO p
                 //        DISTRIBUTE (BLOCK, *) ONTO p :: a, b, c
                 let mut targets = Vec::new();
-                let formats;
-                if matches!(self.peek(), Tok::LParen) {
-                    formats = self.parse_dist_formats();
-                } else {
+                if !matches!(self.peek(), Tok::LParen) {
                     targets.push(self.ident("distribute target"));
-                    formats = self.parse_dist_formats();
                 }
-                let onto = if self.eat_kw("onto") { Some(self.ident("processors name")) } else { None };
+                let formats = self.parse_dist_formats();
+                let onto = if self.eat_kw("onto") {
+                    Some(self.ident("processors name"))
+                } else {
+                    None
+                };
                 // `:: a, b, c` tail
                 if self.eat(&Tok::Colon) {
                     self.expect(&Tok::Colon, "`::`");
@@ -478,7 +510,12 @@ impl Parser {
                 if targets.is_empty() {
                     self.error("DISTRIBUTE names no target");
                 }
-                unit.hpf.distributes.push(DistributeDecl { targets, formats, onto, span });
+                unit.hpf.distributes.push(DistributeDecl {
+                    targets,
+                    formats,
+                    onto,
+                    span,
+                });
                 self.end_stmt();
             }
             other => {
@@ -510,7 +547,10 @@ impl Parser {
             } else if self.eat_kw("cyclic") {
                 formats.push(DistFormat::Cyclic);
             } else {
-                self.error(format!("expected BLOCK, CYCLIC or `*`, found `{}`", self.peek()));
+                self.error(format!(
+                    "expected BLOCK, CYCLIC or `*`, found `{}`",
+                    self.peek()
+                ));
                 self.bump();
             }
             if !self.eat(&Tok::Comma) {
@@ -534,7 +574,10 @@ impl Parser {
             } else if self.eat_kw("localize") {
                 dir.localize_vars.extend(self.parse_paren_names());
             } else {
-                self.error(format!("unexpected token in loop directive: `{}`", self.peek()));
+                self.error(format!(
+                    "unexpected token in loop directive: `{}`",
+                    self.peek()
+                ));
                 self.sync_to_eos();
                 self.pending_dir = Some(dir);
                 return;
@@ -625,25 +668,27 @@ impl Parser {
             let name = self.ident("subroutine name");
             let mut args = Vec::new();
             let mut arg_refs = Vec::new();
-            if self.eat(&Tok::LParen) {
-                if !self.eat(&Tok::RParen) {
-                    loop {
-                        let e = self.parse_expr();
-                        let rid = match &e {
-                            Expr::Ref(r) => Some(r.id),
-                            _ => None,
-                        };
-                        args.push(e);
-                        arg_refs.push(rid);
-                        if !self.eat(&Tok::Comma) {
-                            break;
-                        }
+            if self.eat(&Tok::LParen) && !self.eat(&Tok::RParen) {
+                loop {
+                    let e = self.parse_expr();
+                    let rid = match &e {
+                        Expr::Ref(r) => Some(r.id),
+                        _ => None,
+                    };
+                    args.push(e);
+                    arg_refs.push(rid);
+                    if !self.eat(&Tok::Comma) {
+                        break;
                     }
-                    self.expect(&Tok::RParen, "`)`");
                 }
+                self.expect(&Tok::RParen, "`)`");
             }
             self.end_stmt();
-            StmtKind::Call { name, args, arg_refs }
+            StmtKind::Call {
+                name,
+                args,
+                arg_refs,
+            }
         } else if self.eat_kw("return") {
             self.end_stmt();
             StmtKind::Return
@@ -661,7 +706,12 @@ impl Parser {
             self.error(format!("expected statement, found `{}`", self.peek()));
             return None;
         };
-        Some(Stmt { id, span, kind, label })
+        Some(Stmt {
+            id,
+            span,
+            kind,
+            label,
+        })
     }
 
     fn parse_do(&mut self, decls: &Decls) -> Option<StmtKind> {
@@ -680,7 +730,11 @@ impl Parser {
         let lo = self.parse_expr();
         self.expect(&Tok::Comma, "`,`");
         let hi = self.parse_expr();
-        let step = if self.eat(&Tok::Comma) { Some(self.parse_expr()) } else { None };
+        let step = if self.eat(&Tok::Comma) {
+            Some(self.parse_expr())
+        } else {
+            None
+        };
         self.end_stmt();
         let body = if let Some(end_label) = end_label {
             // gather until statement labeled `end_label`
@@ -718,16 +772,21 @@ impl Parser {
             body
         } else {
             let body = self.parse_stmt_list(&[], decls);
-            if self.eat_kw("enddo") {
-                self.end_stmt();
-            } else if self.eat_kw("end") && self.eat_kw("do") {
+            if self.eat_kw("enddo") || (self.eat_kw("end") && self.eat_kw("do")) {
                 self.end_stmt();
             } else {
                 self.error("expected `enddo`");
             }
             body
         };
-        Some(StmtKind::Do { var, lo, hi, step, body, dir })
+        Some(StmtKind::Do {
+            var,
+            lo,
+            hi,
+            step,
+            body,
+            dir,
+        })
     }
 
     fn parse_if(&mut self, decls: &Decls) -> Option<StmtKind> {
@@ -742,11 +801,15 @@ impl Parser {
             loop {
                 let body = self.parse_stmt_list(&[], decls);
                 arms.push((current_cond.take(), body));
-                if self.eat_kw("elseif") || (self.at_kw("else") && matches!(self.peek2(), Tok::Ident(s) if s == "if") && {
-                    self.bump();
-                    self.bump();
-                    true
-                }) {
+                if self.eat_kw("elseif")
+                    || (self.at_kw("else")
+                        && matches!(self.peek2(), Tok::Ident(s) if s == "if")
+                        && {
+                            self.bump();
+                            self.bump();
+                            true
+                        })
+                {
                     self.expect(&Tok::LParen, "`(`");
                     let c = self.parse_expr();
                     self.expect(&Tok::RParen, "`)`");
@@ -759,7 +822,7 @@ impl Parser {
                     self.end_stmt();
                     let body = self.parse_stmt_list(&[], decls);
                     arms.push((None, body));
-                    if !self.eat_kw("endif") && !(self.eat_kw("end") && self.eat_kw("if")) {
+                    if !(self.eat_kw("endif") || (self.eat_kw("end") && self.eat_kw("if"))) {
                         self.error("expected `endif`");
                     }
                     self.end_stmt();
@@ -776,7 +839,9 @@ impl Parser {
         } else {
             // logical if: `if (c) stmt`
             let inner = self.parse_stmt(None, decls)?;
-            Some(StmtKind::If { arms: vec![(Some(cond), vec![inner])] })
+            Some(StmtKind::If {
+                arms: vec![(Some(cond), vec![inner])],
+            })
         }
     }
 
@@ -787,19 +852,22 @@ impl Parser {
         let name = self.ident("identifier");
         let id = self.fresh_ref();
         let mut subs = Vec::new();
-        if self.eat(&Tok::LParen) {
-            if !self.eat(&Tok::RParen) {
-                loop {
-                    subs.push(self.parse_expr());
-                    if !self.eat(&Tok::Comma) {
-                        break;
-                    }
+        if self.eat(&Tok::LParen) && !self.eat(&Tok::RParen) {
+            loop {
+                subs.push(self.parse_expr());
+                if !self.eat(&Tok::Comma) {
+                    break;
                 }
-                self.expect(&Tok::RParen, "`)`");
             }
+            self.expect(&Tok::RParen, "`)`");
         }
         let end = self.peek_span();
-        ArrayRef { id, name, subs, span: span.to(end) }
+        ArrayRef {
+            id,
+            name,
+            subs,
+            span: span.to(end),
+        }
     }
 
     fn parse_expr(&mut self) -> Expr {
@@ -1125,7 +1193,10 @@ mod tests {
         assert_eq!(h.aligns.len(), 1);
         assert_eq!(h.aligns[0].dummies, vec!["i".to_string(), "j".to_string()]);
         assert_eq!(h.distributes.len(), 1);
-        assert_eq!(h.distributes[0].formats, vec![DistFormat::Block, DistFormat::Block]);
+        assert_eq!(
+            h.distributes[0].formats,
+            vec![DistFormat::Block, DistFormat::Block]
+        );
         assert_eq!(h.distributes[0].onto.as_deref(), Some("p"));
     }
 
@@ -1153,7 +1224,11 @@ mod tests {
 ";
         let p = parse_ok(src);
         match &p.units[0].body[0].kind {
-            StmtKind::Call { name, args, arg_refs } => {
+            StmtKind::Call {
+                name,
+                args,
+                arg_refs,
+            } => {
                 assert_eq!(name, "matvec");
                 assert_eq!(args.len(), 3);
                 assert!(arg_refs[0].is_some());
@@ -1274,7 +1349,10 @@ mod tests {
         let p = parse_ok(src);
         match &p.units[0].body[0].kind {
             StmtKind::Do { dir, .. } => {
-                assert_eq!(dir.localize_vars, vec!["rho_i".to_string(), "us".to_string()]);
+                assert_eq!(
+                    dir.localize_vars,
+                    vec!["rho_i".to_string(), "us".to_string()]
+                );
             }
             _ => unreachable!(),
         }

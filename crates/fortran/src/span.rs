@@ -42,21 +42,37 @@ pub struct Diagnostic {
 
 impl Diagnostic {
     pub fn error(message: impl Into<String>, span: Span) -> Self {
-        Diagnostic { severity: Severity::Error, message: message.into(), span }
+        Diagnostic {
+            severity: Severity::Error,
+            message: message.into(),
+            span,
+        }
     }
 
     pub fn warning(message: impl Into<String>, span: Span) -> Self {
-        Diagnostic { severity: Severity::Warning, message: message.into(), span }
+        Diagnostic {
+            severity: Severity::Warning,
+            message: message.into(),
+            span,
+        }
     }
 
     /// Render with a snippet of the offending line.
     pub fn render(&self, source: &str) -> String {
-        let line_text = source.lines().nth(self.span.line.saturating_sub(1) as usize).unwrap_or("");
+        let line_text = source
+            .lines()
+            .nth(self.span.line.saturating_sub(1) as usize)
+            .unwrap_or("");
         let sev = match self.severity {
             Severity::Error => "error",
             Severity::Warning => "warning",
         };
-        format!("{sev}: line {}: {}\n  | {}", self.span.line, self.message, line_text.trim_end())
+        format!(
+            "{sev}: line {}: {}\n  | {}",
+            self.span.line,
+            self.message,
+            line_text.trim_end()
+        )
     }
 }
 

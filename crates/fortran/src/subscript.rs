@@ -48,8 +48,7 @@ pub fn affine(expr: &Expr, decls: &Decls) -> Option<LinExpr> {
                     if eb.is_constant() && eb.constant() != 0 {
                         let d = eb.constant();
                         // only exact divisions stay affine
-                        let exact = ea.terms().all(|(_, c)| c % d == 0)
-                            && ea.constant() % d == 0;
+                        let exact = ea.terms().all(|(_, c)| c % d == 0) && ea.constant() % d == 0;
                         exact.then(|| ea.div_exact(d))
                     } else {
                         None
@@ -145,6 +144,9 @@ mod tests {
     #[test]
     fn constant_power_folds() {
         let (lhs, _, d) = first_assign("      program t\n      a(2**3 + i) = 0.0\n      end\n");
-        assert_eq!(affine_subs(&lhs, &d)[0].as_ref().unwrap().to_string(), "i + 8");
+        assert_eq!(
+            affine_subs(&lhs, &d)[0].as_ref().unwrap().to_string(),
+            "i + 8"
+        );
     }
 }

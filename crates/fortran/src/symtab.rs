@@ -53,7 +53,8 @@ pub fn resolve(program: &Program) -> (BTreeMap<String, SymbolTable>, Vec<Diagnos
     for unit in &program.units {
         let mut tab = SymbolTable::default();
         for (name, decl) in &unit.decls.vars {
-            tab.symbols.insert(name.clone(), SymbolKind::Var { rank: decl.rank() });
+            tab.symbols
+                .insert(name.clone(), SymbolKind::Var { rank: decl.rank() });
         }
         for (name, v) in &unit.decls.params {
             tab.symbols.insert(name.clone(), SymbolKind::Param(*v));
@@ -72,7 +73,9 @@ pub fn resolve(program: &Program) -> (BTreeMap<String, SymbolTable>, Vec<Diagnos
             }
         });
         for lv in &loop_vars {
-            tab.symbols.entry(lv.clone()).or_insert(SymbolKind::Var { rank: 0 });
+            tab.symbols
+                .entry(lv.clone())
+                .or_insert(SymbolKind::Var { rank: 0 });
         }
 
         // resolve references
@@ -153,8 +156,12 @@ pub fn resolve(program: &Program) -> (BTreeMap<String, SymbolTable>, Vec<Diagnos
 }
 
 fn check_directives(unit: &ProgramUnit, tab: &SymbolTable, diags: &mut Vec<Diagnostic>) {
-    let declared_proc: BTreeSet<&str> =
-        unit.hpf.processors.iter().map(|p| p.name.as_str()).collect();
+    let declared_proc: BTreeSet<&str> = unit
+        .hpf
+        .processors
+        .iter()
+        .map(|p| p.name.as_str())
+        .collect();
     let declared_tmpl: BTreeSet<&str> =
         unit.hpf.templates.iter().map(|t| t.name.as_str()).collect();
 
@@ -167,7 +174,10 @@ fn check_directives(unit: &ProgramUnit, tab: &SymbolTable, diags: &mut Vec<Diagn
         }
         if !declared_tmpl.contains(a.target.as_str()) && tab.kind(&a.target).is_none() {
             diags.push(Diagnostic::error(
-                format!("ALIGN target `{}` is neither a template nor an array", a.target),
+                format!(
+                    "ALIGN target `{}` is neither a template nor an array",
+                    a.target
+                ),
                 a.span,
             ));
         }
@@ -253,23 +263,23 @@ mod tests {
 
     #[test]
     fn undeclared_array_write_reported() {
-        let (_, diags) =
-            resolve_src("      program t\n      zz(3) = 0.0\n      end\n");
+        let (_, diags) = resolve_src("      program t\n      zz(3) = 0.0\n      end\n");
         assert!(diags.iter().any(|d| d.message.contains("undeclared array")));
     }
 
     #[test]
     fn assignment_to_parameter_reported() {
-        let (_, diags) = resolve_src(
-            "      program t\n      parameter (n = 2)\n      n = 3\n      end\n",
-        );
+        let (_, diags) =
+            resolve_src("      program t\n      parameter (n = 2)\n      n = 3\n      end\n");
         assert!(diags.iter().any(|d| d.message.contains("parameter")));
     }
 
     #[test]
     fn undefined_call_reported() {
         let (_, diags) = resolve_src("      program t\n      call nosuch(1)\n      end\n");
-        assert!(diags.iter().any(|d| d.message.contains("undefined subroutine")));
+        assert!(diags
+            .iter()
+            .any(|d| d.message.contains("undefined subroutine")));
     }
 
     #[test]
@@ -283,7 +293,9 @@ mod tests {
       end
 ",
         );
-        assert!(diags.iter().any(|d| d.message.contains("undeclared processors")));
+        assert!(diags
+            .iter()
+            .any(|d| d.message.contains("undeclared processors")));
     }
 
     #[test]
@@ -299,7 +311,9 @@ mod tests {
       end
 ",
         );
-        assert!(diags.iter().any(|d| d.message.contains("undeclared variable `ghost`")));
+        assert!(diags
+            .iter()
+            .any(|d| d.message.contains("undeclared variable `ghost`")));
     }
 
     #[test]

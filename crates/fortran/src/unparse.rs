@@ -31,8 +31,12 @@ pub fn unparse_unit(u: &ProgramUnit, out: &mut String) {
     }
     // parameters first (declarations may reference them)
     if !u.decls.params.is_empty() {
-        let ps: Vec<String> =
-            u.decls.params.iter().map(|(k, v)| format!("{k} = {v}")).collect();
+        let ps: Vec<String> = u
+            .decls
+            .params
+            .iter()
+            .map(|(k, v)| format!("{k} = {v}"))
+            .collect();
         let _ = writeln!(out, "      parameter ({})", ps.join(", "));
     }
     for decl in u.decls.vars.values() {
@@ -92,9 +96,18 @@ pub fn unparse_unit(u: &ProgramUnit, out: &mut String) {
                 DistFormat::Star => "*".to_string(),
             })
             .collect();
-        let onto = d.onto.as_ref().map(|p| format!(" onto {p}")).unwrap_or_default();
+        let onto = d
+            .onto
+            .as_ref()
+            .map(|p| format!(" onto {p}"))
+            .unwrap_or_default();
         if d.targets.len() == 1 {
-            let _ = writeln!(out, "!hpf$ distribute {}({}){onto}", d.targets[0], fmts.join(", "));
+            let _ = writeln!(
+                out,
+                "!hpf$ distribute {}({}){onto}",
+                d.targets[0],
+                fmts.join(", ")
+            );
         } else {
             let _ = writeln!(
                 out,
@@ -123,7 +136,14 @@ pub fn unparse_stmt(s: &Stmt, depth: usize, out: &mut String) {
             indent(out, depth);
             let _ = writeln!(out, "{} = {}", unparse_ref(lhs), unparse_expr(rhs));
         }
-        StmtKind::Do { var, lo, hi, step, body, dir } => {
+        StmtKind::Do {
+            var,
+            lo,
+            hi,
+            step,
+            body,
+            dir,
+        } => {
             if !dir.is_empty() {
                 indent(out, 0);
                 out.push_str("!hpf$");
@@ -141,8 +161,16 @@ pub fn unparse_stmt(s: &Stmt, depth: usize, out: &mut String) {
                 out.push('\n');
             }
             indent(out, depth);
-            let st = step.as_ref().map(|e| format!(", {}", unparse_expr(e))).unwrap_or_default();
-            let _ = writeln!(out, "do {var} = {}, {}{st}", unparse_expr(lo), unparse_expr(hi));
+            let st = step
+                .as_ref()
+                .map(|e| format!(", {}", unparse_expr(e)))
+                .unwrap_or_default();
+            let _ = writeln!(
+                out,
+                "do {var} = {}, {}{st}",
+                unparse_expr(lo),
+                unparse_expr(hi)
+            );
             for b in body {
                 unparse_stmt(b, depth + 3, out);
             }
@@ -249,7 +277,13 @@ fn prec_expr(e: &Expr, parent: u8) -> String {
             }
             s
         }
-        Expr::Logical(b, _) => if *b { ".true.".into() } else { ".false.".into() },
+        Expr::Logical(b, _) => {
+            if *b {
+                ".true.".into()
+            } else {
+                ".false.".into()
+            }
+        }
         Expr::Ref(r) => unparse_ref(r),
         Expr::Bin(op, a, b, _) => {
             let p = prec(*op);
@@ -285,7 +319,10 @@ mod tests {
         let text = unparse_program(&p1);
         let p2 = parse_program(&text).unwrap_or_else(|d| {
             let msgs: Vec<String> = d.iter().map(|d| d.render(&text)).collect();
-            panic!("reparse failed:\n{}\n--- source ---\n{text}", msgs.join("\n"));
+            panic!(
+                "reparse failed:\n{}\n--- source ---\n{text}",
+                msgs.join("\n")
+            );
         });
         let text2 = unparse_program(&p2);
         assert_eq!(text, text2, "unparse not a fixpoint");

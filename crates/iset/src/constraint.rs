@@ -33,12 +33,18 @@ pub enum Normalized {
 impl Constraint {
     /// `expr ≥ 0`.
     pub fn ge0(expr: LinExpr) -> Self {
-        Constraint { expr, kind: Kind::Ge }
+        Constraint {
+            expr,
+            kind: Kind::Ge,
+        }
     }
 
     /// `expr = 0`.
     pub fn eq0(expr: LinExpr) -> Self {
-        Constraint { expr, kind: Kind::Eq }
+        Constraint {
+            expr,
+            kind: Kind::Eq,
+        }
     }
 
     /// `lhs ≥ rhs`.
@@ -68,7 +74,11 @@ impl Constraint {
                 Kind::Ge => c >= 0,
                 Kind::Eq => c == 0,
             };
-            return if ok { Normalized::True } else { Normalized::False };
+            return if ok {
+                Normalized::True
+            } else {
+                Normalized::False
+            };
         }
         let g = self.expr.coeff_gcd();
         debug_assert!(g > 0);
@@ -96,12 +106,18 @@ impl Constraint {
 
     /// Substitute a variable throughout.
     pub fn substitute(&self, name: &str, replacement: &LinExpr) -> Constraint {
-        Constraint { expr: self.expr.substitute(name, replacement), kind: self.kind }
+        Constraint {
+            expr: self.expr.substitute(name, replacement),
+            kind: self.kind,
+        }
     }
 
     /// Rename a variable throughout.
     pub fn rename(&self, from: &str, to: &str) -> Constraint {
-        Constraint { expr: self.expr.rename(from, to), kind: self.kind }
+        Constraint {
+            expr: self.expr.rename(from, to),
+            kind: self.kind,
+        }
     }
 
     /// The integer negation(s) of this constraint, as a disjunction.
@@ -169,10 +185,22 @@ mod tests {
 
     #[test]
     fn normalize_trivial() {
-        assert_eq!(Constraint::ge0(LinExpr::cst(3)).normalize(), Normalized::True);
-        assert_eq!(Constraint::ge0(LinExpr::cst(-1)).normalize(), Normalized::False);
-        assert_eq!(Constraint::eq0(LinExpr::cst(0)).normalize(), Normalized::True);
-        assert_eq!(Constraint::eq0(LinExpr::cst(2)).normalize(), Normalized::False);
+        assert_eq!(
+            Constraint::ge0(LinExpr::cst(3)).normalize(),
+            Normalized::True
+        );
+        assert_eq!(
+            Constraint::ge0(LinExpr::cst(-1)).normalize(),
+            Normalized::False
+        );
+        assert_eq!(
+            Constraint::eq0(LinExpr::cst(0)).normalize(),
+            Normalized::True
+        );
+        assert_eq!(
+            Constraint::eq0(LinExpr::cst(2)).normalize(),
+            Normalized::False
+        );
     }
 
     #[test]

@@ -97,13 +97,22 @@ pub fn bound_nest(poly: &Polyhedron, order: &[String]) -> Option<BoundNest> {
             // empty nest: emit an always-empty range
             levels.push(LevelBounds {
                 var: order[d].clone(),
-                lowers: vec![BoundTerm { expr: LinExpr::cst(1), div: 1 }],
-                uppers: vec![BoundTerm { expr: LinExpr::cst(0), div: 1 }],
+                lowers: vec![BoundTerm {
+                    expr: LinExpr::cst(1),
+                    div: 1,
+                }],
+                uppers: vec![BoundTerm {
+                    expr: LinExpr::cst(0),
+                    div: 1,
+                }],
             });
             continue;
         }
         let v = &order[d];
-        let mut lb = LevelBounds { var: v.clone(), ..Default::default() };
+        let mut lb = LevelBounds {
+            var: v.clone(),
+            ..Default::default()
+        };
         for c in p.constraints() {
             let a = c.expr.coeff(v);
             if a == 0 {
@@ -123,8 +132,14 @@ pub fn bound_nest(poly: &Polyhedron, order: &[String]) -> Option<BoundNest> {
                 }
                 (Kind::Eq, _) => {
                     let (abs, sgn) = (a.abs(), a.signum());
-                    lb.lowers.push(BoundTerm { expr: e.scaled(-sgn), div: abs });
-                    lb.uppers.push(BoundTerm { expr: e.scaled(-sgn), div: abs });
+                    lb.lowers.push(BoundTerm {
+                        expr: e.scaled(-sgn),
+                        div: abs,
+                    });
+                    lb.uppers.push(BoundTerm {
+                        expr: e.scaled(-sgn),
+                        div: abs,
+                    });
                 }
             }
         }
@@ -143,7 +158,9 @@ pub fn enumerate(set: &Set, params: &dyn Fn(&str) -> Option<i64>) -> Vec<Vec<i64
     let order: Vec<String> = set.space().to_vec();
     let mut out: Vec<Vec<i64>> = Vec::new();
     for poly in set.polys() {
-        let Some(nest) = bound_nest(poly, &order) else { continue };
+        let Some(nest) = bound_nest(poly, &order) else {
+            continue;
+        };
         let mut point = vec![0i64; order.len()];
         rec_enum(&nest, poly, &order, params, 0, &mut point, &mut out);
     }
@@ -209,9 +226,7 @@ pub fn bounding_box(set: &Set, params: &dyn Fn(&str) -> Option<i64>) -> Option<V
     for poly in set.polys() {
         for (d, v) in order.iter().enumerate() {
             // eliminate every other tuple var, read bounds on v
-            let p = poly.eliminate_all(
-                order.iter().filter(|o| *o != v).map(|s| s.as_str()),
-            );
+            let p = poly.eliminate_all(order.iter().filter(|o| *o != v).map(|s| s.as_str()));
             if p.is_trivially_empty() {
                 // this disjunct is empty; contributes nothing
                 boxes = boxes.take();
@@ -276,11 +291,17 @@ mod tests {
             ],
         );
         let pts = enumerate(&s, &no_params);
-        assert_eq!(pts, vec![
-            vec![1, 1], vec![1, 2], vec![1, 3],
-            vec![2, 2], vec![2, 3],
-            vec![3, 3],
-        ]);
+        assert_eq!(
+            pts,
+            vec![
+                vec![1, 1],
+                vec![1, 2],
+                vec![1, 3],
+                vec![2, 2],
+                vec![2, 3],
+                vec![3, 3],
+            ]
+        );
     }
 
     #[test]
@@ -288,14 +309,20 @@ mod tests {
         let a = Set::rect(&["i"], &[1], &[4]);
         let b = Set::rect(&["i"], &[3], &[6]);
         let pts = enumerate(&a.union(&b), &no_params);
-        assert_eq!(pts, vec![vec![1], vec![2], vec![3], vec![4], vec![5], vec![6]]);
+        assert_eq!(
+            pts,
+            vec![vec![1], vec![2], vec![3], vec![4], vec![5], vec![6]]
+        );
     }
 
     #[test]
     fn enumerate_with_params() {
         let s = Set::from_constraints(
             &["i"],
-            [Constraint::ge(var("i"), crate::cst(0)), Constraint::le(var("i"), var("N") - 1)],
+            [
+                Constraint::ge(var("i"), crate::cst(0)),
+                Constraint::le(var("i"), var("N") - 1),
+            ],
         );
         let params = |v: &str| if v == "N" { Some(4) } else { None };
         assert_eq!(enumerate(&s, &params).len(), 4);
@@ -377,7 +404,10 @@ mod edge_tests {
     fn enumerate_empty_set() {
         let s = Set::from_constraints(
             &["i"],
-            [Constraint::ge(var("i"), cst(5)), Constraint::le(var("i"), cst(3))],
+            [
+                Constraint::ge(var("i"), cst(5)),
+                Constraint::le(var("i"), cst(3)),
+            ],
         );
         assert!(enumerate(&s, &|_| None).is_empty());
         assert_eq!(cardinality(&s, &|_| None), 0);
@@ -385,10 +415,13 @@ mod edge_tests {
 
     #[test]
     fn enumerate_single_point() {
-        let s = Set::from_constraints(&["i", "j"], [
-            Constraint::eq(var("i"), cst(7)),
-            Constraint::eq(var("j"), var("i") - 2),
-        ]);
+        let s = Set::from_constraints(
+            &["i", "j"],
+            [
+                Constraint::eq(var("i"), cst(7)),
+                Constraint::eq(var("j"), var("i") - 2),
+            ],
+        );
         assert_eq!(enumerate(&s, &|_| None), vec![vec![7, 5]]);
     }
 
@@ -407,11 +440,14 @@ mod edge_tests {
     #[test]
     fn bound_nest_respects_equalities() {
         // i = j and 1 <= j <= 4: outer level pinned by the equality
-        let s = Set::from_constraints(&["i", "j"], [
-            Constraint::eq(var("i"), var("j")),
-            Constraint::ge(var("j"), cst(1)),
-            Constraint::le(var("j"), cst(4)),
-        ]);
+        let s = Set::from_constraints(
+            &["i", "j"],
+            [
+                Constraint::eq(var("i"), var("j")),
+                Constraint::ge(var("j"), cst(1)),
+                Constraint::le(var("j"), cst(4)),
+            ],
+        );
         let pts = enumerate(&s, &|_| None);
         assert_eq!(pts.len(), 4);
         assert!(pts.iter().all(|p| p[0] == p[1]));

@@ -26,7 +26,10 @@ impl LinExpr {
 
     /// A constant expression.
     pub fn cst(c: i64) -> Self {
-        LinExpr { terms: BTreeMap::new(), constant: c }
+        LinExpr {
+            terms: BTreeMap::new(),
+            constant: c,
+        }
     }
 
     /// A single variable with coefficient 1.
@@ -164,7 +167,10 @@ impl LinExpr {
         if c == 0 {
             return self.clone();
         }
-        assert!(!self.mentions(to), "rename target {to} already present in {self}");
+        assert!(
+            !self.mentions(to),
+            "rename target {to} already present in {self}"
+        );
         let mut out = self.clone();
         out.terms.remove(from);
         out.add_term(to, c);

@@ -27,7 +27,11 @@ impl Map {
         out_space: &[T],
         outputs: Vec<LinExpr>,
     ) -> Self {
-        assert_eq!(out_space.len(), outputs.len(), "one output expr per out var");
+        assert_eq!(
+            out_space.len(),
+            outputs.len(),
+            "one output expr per out var"
+        );
         Map {
             in_space: in_space.iter().map(|s| s.as_ref().to_string()).collect(),
             out_space: out_space.iter().map(|s| s.as_ref().to_string()).collect(),
@@ -59,10 +63,13 @@ impl Map {
     /// the input variables out. Input variables are first renamed to fresh
     /// names to avoid capture when spaces overlap.
     pub fn apply(&self, s: &Set) -> Set {
-        assert_eq!(s.space(), self.in_space, "map applied to set of wrong space");
+        assert_eq!(
+            s.space(),
+            self.in_space,
+            "map applied to set of wrong space"
+        );
         // fresh names for inputs
-        let fresh: Vec<String> =
-            self.in_space.iter().map(|v| format!("{v}__in")).collect();
+        let fresh: Vec<String> = self.in_space.iter().map(|v| format!("{v}__in")).collect();
         let mut renamed = s.clone();
         for (v, f) in self.in_space.iter().zip(&fresh) {
             renamed = renamed.rename_dim(v, f);
@@ -95,8 +102,7 @@ impl Map {
         for poly in s.polys() {
             let mut p = poly.clone();
             // two-phase rename to avoid capture
-            let fresh: Vec<String> =
-                self.out_space.iter().map(|v| format!("{v}__out")).collect();
+            let fresh: Vec<String> = self.out_space.iter().map(|v| format!("{v}__out")).collect();
             for (v, f) in self.out_space.iter().zip(&fresh) {
                 p = p.rename(v, f);
             }
@@ -166,8 +172,7 @@ impl Map {
                 let mut acc = e.clone();
                 // substitute each of self's input vars by other's output expr;
                 // rename first to avoid capture
-                let fresh: Vec<String> =
-                    self.in_space.iter().map(|v| format!("{v}__c")).collect();
+                let fresh: Vec<String> = self.in_space.iter().map(|v| format!("{v}__c")).collect();
                 for (v, f) in self.in_space.iter().zip(&fresh) {
                     acc = acc.rename(v, f);
                 }
@@ -200,7 +205,10 @@ impl Map {
         let mut space: Vec<String> = self.in_space.clone();
         space.extend(self.out_space.iter().cloned());
         assert_eq!(
-            space.iter().collect::<std::collections::BTreeSet<_>>().len(),
+            space
+                .iter()
+                .collect::<std::collections::BTreeSet<_>>()
+                .len(),
             space.len(),
             "graph requires disjoint in/out spaces"
         );
@@ -224,7 +232,11 @@ impl fmt::Display for Map {
             f,
             "{{[{}] -> [{}]}}",
             self.in_space.join(","),
-            self.outputs.iter().map(|e| e.to_string()).collect::<Vec<_>>().join(",")
+            self.outputs
+                .iter()
+                .map(|e| e.to_string())
+                .collect::<Vec<_>>()
+                .join(",")
         )
     }
 }
@@ -276,8 +288,15 @@ mod tests {
     fn inverse_rejects_non_unit_and_aliased() {
         let m = Map::new(&["j"], &["u"], vec![var("j") * 2]);
         assert!(m.inverse().is_none());
-        let m = Map::new(&["i", "j"], &["a", "b"], vec![var("i") + var("j"), var("j")]);
-        assert!(m.inverse().is_none(), "first output mentions two input vars");
+        let m = Map::new(
+            &["i", "j"],
+            &["a", "b"],
+            vec![var("i") + var("j"), var("j")],
+        );
+        assert!(
+            m.inverse().is_none(),
+            "first output mentions two input vars"
+        );
         // constant output not invertible
         let m = Map::new(&["i"], &["a"], vec![crate::cst(3)]);
         assert!(m.inverse().is_none());

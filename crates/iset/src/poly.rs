@@ -25,7 +25,9 @@ impl Polyhedron {
 
     /// The canonical empty polyhedron.
     pub fn empty() -> Self {
-        Polyhedron { cons: vec![Constraint::ge0(LinExpr::cst(-1))] }
+        Polyhedron {
+            cons: vec![Constraint::ge0(LinExpr::cst(-1))],
+        }
     }
 
     /// Build from constraints, normalizing.
@@ -60,7 +62,9 @@ impl Polyhedron {
 
     /// Whether the polyhedron is the canonical empty marker (syntactic).
     pub fn is_trivially_empty(&self) -> bool {
-        self.cons.iter().any(|c| matches!(c.normalize(), Normalized::False))
+        self.cons
+            .iter()
+            .any(|c| matches!(c.normalize(), Normalized::False))
     }
 
     /// Conjunction of two polyhedra.
@@ -199,7 +203,10 @@ impl Polyhedron {
         while i < kept.len() {
             let candidate = kept[i].clone();
             let others = Polyhedron::new(
-                kept.iter().enumerate().filter(|&(j, _)| j != i).map(|(_, c)| c.clone()),
+                kept.iter()
+                    .enumerate()
+                    .filter(|&(j, _)| j != i)
+                    .map(|(_, c)| c.clone()),
             );
             let redundant = candidate.negate().iter().all(|neg| {
                 let mut test = others.clone();

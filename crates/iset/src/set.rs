@@ -21,7 +21,10 @@ pub struct Set {
 impl Set {
     /// The empty set over the given space.
     pub fn empty<S: AsRef<str>>(space: &[S]) -> Self {
-        Set { space: space.iter().map(|s| s.as_ref().to_string()).collect(), polys: vec![] }
+        Set {
+            space: space.iter().map(|s| s.as_ref().to_string()).collect(),
+            polys: vec![],
+        }
     }
 
     /// The universe over the given space.
@@ -54,7 +57,9 @@ impl Set {
         let mut cons = Vec::with_capacity(2 * space.len());
         for (d, v) in space.iter().enumerate() {
             cons.push(Constraint::ge0(LinExpr::var(v.as_ref()) - lo[d]));
-            cons.push(Constraint::ge0(LinExpr::cst(hi[d]) - LinExpr::var(v.as_ref())));
+            cons.push(Constraint::ge0(
+                LinExpr::cst(hi[d]) - LinExpr::var(v.as_ref()),
+            ));
         }
         Set::from_constraints(space, cons)
     }
@@ -192,7 +197,10 @@ impl Set {
 
     /// Project out one tuple variable, shrinking the space.
     pub fn project_out(&self, var: &str) -> Set {
-        assert!(self.space.iter().any(|v| v == var), "project_out: {var} not in space");
+        assert!(
+            self.space.iter().any(|v| v == var),
+            "project_out: {var} not in space"
+        );
         let space: Vec<String> = self.space.iter().filter(|v| *v != var).cloned().collect();
         let mut out = Set::empty(&space);
         for p in &self.polys {
@@ -208,8 +216,12 @@ impl Set {
     pub fn project_onto<S: AsRef<str>>(&self, keep: &[S]) -> Set {
         let keep: Vec<String> = keep.iter().map(|s| s.as_ref().to_string()).collect();
         let mut cur = self.clone();
-        let drop: Vec<String> =
-            self.space.iter().filter(|v| !keep.contains(v)).cloned().collect();
+        let drop: Vec<String> = self
+            .space
+            .iter()
+            .filter(|v| !keep.contains(v))
+            .cloned()
+            .collect();
         for v in &drop {
             cur = cur.project_out(v);
         }
@@ -219,7 +231,10 @@ impl Set {
             keep.iter().collect::<BTreeSet<_>>(),
             "project_onto: keep must be a subset of the space"
         );
-        Set { space: keep, polys: cur.polys }
+        Set {
+            space: keep,
+            polys: cur.polys,
+        }
     }
 
     /// Treat a tuple variable as a parameter (remove from space, keep
@@ -227,7 +242,10 @@ impl Set {
     pub fn move_dim_to_param(&self, var: &str) -> Set {
         assert!(self.space.iter().any(|v| v == var));
         let space: Vec<String> = self.space.iter().filter(|v| *v != var).cloned().collect();
-        Set { space, polys: self.polys.clone() }
+        Set {
+            space,
+            polys: self.polys.clone(),
+        }
     }
 
     /// Treat a parameter as a new trailing tuple variable.
@@ -235,13 +253,19 @@ impl Set {
         assert!(!self.space.iter().any(|v| v == var));
         let mut space = self.space.clone();
         space.push(var.to_string());
-        Set { space, polys: self.polys.clone() }
+        Set {
+            space,
+            polys: self.polys.clone(),
+        }
     }
 
     /// Rename a space variable (also rewrites constraints).
     pub fn rename_dim(&self, from: &str, to: &str) -> Set {
-        let space: Vec<String> =
-            self.space.iter().map(|v| if v == from { to.to_string() } else { v.clone() }).collect();
+        let space: Vec<String> = self
+            .space
+            .iter()
+            .map(|v| if v == from { to.to_string() } else { v.clone() })
+            .collect();
         let polys = self.polys.iter().map(|p| p.rename(from, to)).collect();
         Set { space, polys }
     }
@@ -294,7 +318,10 @@ impl Set {
             }
             keep.push(p.clone());
         }
-        Set { space: out.space, polys: keep }
+        Set {
+            space: out.space,
+            polys: keep,
+        }
     }
 
     /// Membership test for a concrete point with concrete parameters.
@@ -307,7 +334,9 @@ impl Set {
                 params(v)
             }
         };
-        self.polys.iter().any(|p| p.contains_point(&env) == Some(true))
+        self.polys
+            .iter()
+            .any(|p| p.contains_point(&env) == Some(true))
     }
 }
 
@@ -429,7 +458,10 @@ mod tests {
     fn bind_params_concretizes() {
         let s = Set::from_constraints(
             &["i"],
-            [Constraint::ge(var("i"), crate::cst(1)), Constraint::le(var("i"), var("N"))],
+            [
+                Constraint::ge(var("i"), crate::cst(1)),
+                Constraint::le(var("i"), var("N")),
+            ],
         );
         let c = s.bind_params([("N", 3)]);
         assert!(c.params().is_empty());

@@ -13,12 +13,9 @@ fn no_params(_: &str) -> Option<i64> {
 /// A small random set over [i, j]: intersection of a box with up to two
 /// random half-planes with small coefficients.
 fn small_set() -> impl Strategy<Value = Set> {
-    let halfplane = (-2i64..=2, -2i64..=2, -4i64..=4)
-        .prop_map(|(a, b, c)| {
-            Constraint::ge0(
-                LinExpr::term("i", a).add_scaled(&LinExpr::term("j", b), 1) + c,
-            )
-        });
+    let halfplane = (-2i64..=2, -2i64..=2, -4i64..=4).prop_map(|(a, b, c)| {
+        Constraint::ge0(LinExpr::term("i", a).add_scaled(&LinExpr::term("j", b), 1) + c)
+    });
     (
         -3i64..=1,
         3i64..=6,

@@ -14,7 +14,7 @@ pub mod multipart;
 pub mod transpose;
 
 use crate::classes::{grid_for, Class};
-use dhpf_core::driver::{compile, Compiled, CompileOptions};
+use dhpf_core::driver::{compile, CompileOptions, Compiled};
 use dhpf_core::exec::node::{run_node_program, ExecResult};
 use dhpf_core::exec::serial::{run_serial, SerialResult};
 use dhpf_fortran::Program;
@@ -329,6 +329,9 @@ mod tests {
             .zip(&bt.arrays["u"].data)
             .map(|(a, b)| (a - b).abs())
             .fold(0.0, f64::max);
-        assert!(d > 1e-9, "BT's block solve must differ from SP's scalar solve");
+        assert!(
+            d > 1e-9,
+            "BT's block solve must differ from SP's scalar solve"
+        );
     }
 }

@@ -7,7 +7,14 @@ use dhpf_spmd::machine::MachineConfig;
 
 /// Run hand-written multipartitioned BT.
 pub fn run(class: Class, nprocs: usize, machine: MachineConfig) -> Option<HandResult> {
-    run_multipart::<BtSolver>(class.n(), class.niter(), nprocs, machine, &bt_costs(class), false)
+    run_multipart::<BtSolver>(
+        class.n(),
+        class.niter(),
+        nprocs,
+        machine,
+        &bt_costs(class),
+        false,
+    )
 }
 
 #[cfg(test)]
@@ -20,7 +27,12 @@ mod tests {
         let serial = crate::bt::run_serial_reference(Class::S);
         let hand = run(Class::S, 4, MachineConfig::sp2(4)).expect("runs");
         compare_with("u", &serial.arrays["u"], 1e-9, &|idx| {
-            hand.u.get(idx[0] as usize, idx[1] as usize, idx[2] as usize, idx[3] as usize)
+            hand.u.get(
+                idx[0] as usize,
+                idx[1] as usize,
+                idx[2] as usize,
+                idx[3] as usize,
+            )
         });
     }
 }

@@ -51,7 +51,7 @@ impl Class {
 /// near-square, matching the Rice implementations' 2-D BLOCK layout.
 pub fn grid_for(p: usize) -> (usize, usize) {
     let mut npy = (p as f64).sqrt() as usize;
-    while npy > 1 && p % npy != 0 {
+    while npy > 1 && !p.is_multiple_of(npy) {
         npy -= 1;
     }
     (npy.max(1), p / npy.max(1))

@@ -49,32 +49,40 @@ pub fn calibrate(source: &str, mut bindings: BTreeMap<String, i64>, n: usize) ->
 /// size-invariant because boundary fractions shrink with n, so each
 /// class calibrates at its own grid size).
 pub fn sp_costs(class: Class) -> PhaseCosts {
-    use parking_lot::Mutex;
     use std::collections::BTreeMap;
+    use std::sync::Mutex;
     use std::sync::OnceLock;
     static CACHE: OnceLock<Mutex<BTreeMap<usize, PhaseCosts>>> = OnceLock::new();
     let cache = CACHE.get_or_init(|| Mutex::new(BTreeMap::new()));
-    let mut guard = cache.lock();
+    let mut guard = cache.lock().unwrap();
     guard
         .entry(class.n())
         .or_insert_with(|| {
-            calibrate(&crate::sp::source(), crate::sp::bindings(class, 1), class.n())
+            calibrate(
+                &crate::sp::source(),
+                crate::sp::bindings(class, 1),
+                class.n(),
+            )
         })
         .clone()
 }
 
 /// Calibrated BT costs for a class (cached).
 pub fn bt_costs(class: Class) -> PhaseCosts {
-    use parking_lot::Mutex;
     use std::collections::BTreeMap;
+    use std::sync::Mutex;
     use std::sync::OnceLock;
     static CACHE: OnceLock<Mutex<BTreeMap<usize, PhaseCosts>>> = OnceLock::new();
     let cache = CACHE.get_or_init(|| Mutex::new(BTreeMap::new()));
-    let mut guard = cache.lock();
+    let mut guard = cache.lock().unwrap();
     guard
         .entry(class.n())
         .or_insert_with(|| {
-            calibrate(&crate::bt::source(), crate::bt::bindings(class, 1), class.n())
+            calibrate(
+                &crate::bt::source(),
+                crate::bt::bindings(class, 1),
+                class.n(),
+            )
         })
         .clone()
 }
@@ -86,7 +94,14 @@ mod tests {
     #[test]
     fn sp_calibration_covers_all_phases() {
         let c = sp_costs(Class::S);
-        for phase in ["initialize", "compute_rhs", "x_solve", "y_solve", "z_solve", "add"] {
+        for phase in [
+            "initialize",
+            "compute_rhs",
+            "x_solve",
+            "y_solve",
+            "z_solve",
+            "add",
+        ] {
             assert!(c.of(phase) > 0.0, "phase {phase} has no cost: {c:?}");
         }
         // the line solves are the heavy phases

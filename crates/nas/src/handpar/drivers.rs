@@ -6,8 +6,8 @@ use super::*;
 use crate::cost::PhaseCosts;
 use dhpf_spmd::machine::{Machine, MachineConfig, Proc, RunResult};
 use dhpf_spmd::topo::{block_partition, MultiPartition};
-use parking_lot::Mutex;
 use std::collections::BTreeMap;
+use std::sync::Mutex;
 
 /// Result of a hand-written run: machine outcome + gathered fields.
 pub struct HandResult {
@@ -63,8 +63,11 @@ pub fn run_multipart<S: LineSolver>(
 
         // ---- initialize ----------------------------------------------------
         for c in &cells {
-            let (ir, jr, kr) =
-                (cell_range(n, q, c[0]), cell_range(n, q, c[1]), cell_range(n, q, c[2]));
+            let (ir, jr, kr) = (
+                cell_range(n, q, c[0]),
+                cell_range(n, q, c[1]),
+                cell_range(n, q, c[2]),
+            );
             for k in kr.0..=kr.1 {
                 for j in jr.0..=jr.1 {
                     for i in ir.0..=ir.1 {
@@ -84,8 +87,11 @@ pub fn run_multipart<S: LineSolver>(
             exchange_u_faces(proc, &mp, &cells, &mut f.u, n, base);
             // reciprocals on the extended (face-ghosted) region + rhs
             for c in &cells {
-                let ranges =
-                    [cell_range(n, q, c[0]), cell_range(n, q, c[1]), cell_range(n, q, c[2])];
+                let ranges = [
+                    cell_range(n, q, c[0]),
+                    cell_range(n, q, c[1]),
+                    cell_range(n, q, c[2]),
+                ];
                 compute_recips_extended(&f.u, &mut f.recip, n, &ranges);
                 let ir = clamp(ranges[0], 2, n - 1);
                 let jr = clamp(ranges[1], 2, n - 1);
@@ -137,18 +143,19 @@ pub fn run_multipart<S: LineSolver>(
                 proc.work(cell_pts * costs.of("add"));
             }
         }
-        finals.lock().insert(rank, (f.u, f.rhs));
+        finals.lock().unwrap().insert(rank, (f.u, f.rhs));
     });
 
     // gather by cell ownership
-    let finals = finals.into_inner();
+    let finals = finals.into_inner().unwrap();
     let owner = |i: usize, j: usize, k: usize| -> usize {
         let cell_of = |x: usize| -> usize {
-            (0..q).find(|&c| {
-                let (lo, hi) = cell_range(n, q, c);
-                x >= lo && x <= hi
-            })
-            .unwrap()
+            (0..q)
+                .find(|&c| {
+                    let (lo, hi) = cell_range(n, q, c);
+                    x >= lo && x <= hi
+                })
+                .unwrap()
         };
         mp.owner([cell_of(i), cell_of(j), cell_of(k)])
     };
@@ -216,7 +223,11 @@ fn exchange_u_faces(
                     cell_range(n, q, nc[1]),
                     cell_range(n, q, nc[2]),
                 ];
-                let s = if dir > 0 { their[axis].0 } else { their[axis].1 };
+                let s = if dir > 0 {
+                    their[axis].0
+                } else {
+                    their[axis].1
+                };
                 let mut r = their;
                 r[axis] = (s, s);
                 let tag = base + lin(&nc) * 8 + (axis as u64) * 2 + u64::from(dir < 0);
@@ -330,7 +341,12 @@ fn multipart_solve<S: LineSolver>(
                     s = 3;
                 }
                 while s <= hi {
-                    S::forward(&mut f.coef, &mut f.rhs, pt(axis, s, a, b), pt(axis, s - 1, a, b));
+                    S::forward(
+                        &mut f.coef,
+                        &mut f.rhs,
+                        pt(axis, s, a, b),
+                        pt(axis, s - 1, a, b),
+                    );
                     s += 1;
                 }
             }
@@ -385,7 +401,12 @@ fn multipart_solve<S: LineSolver>(
             for a in ar.0..=ar.1 {
                 let mut s = hi;
                 while s >= lo {
-                    S::backward(&f.coef, &mut f.rhs, pt(axis, s, a, b), pt(axis, s + 1, a, b));
+                    S::backward(
+                        &f.coef,
+                        &mut f.rhs,
+                        pt(axis, s, a, b),
+                        pt(axis, s + 1, a, b),
+                    );
                     s -= 1;
                 }
             }
@@ -477,12 +498,28 @@ pub fn run_transpose<S: LineSolver>(
             if rank > 0 {
                 let buf = proc.recv(rank - 1, base);
                 let mut pos = 0;
-                unpack_region(&mut f.u, (1, 5), (1, n), (1, n), (klo - 1, klo - 1), &buf, &mut pos);
+                unpack_region(
+                    &mut f.u,
+                    (1, 5),
+                    (1, n),
+                    (1, n),
+                    (klo - 1, klo - 1),
+                    &buf,
+                    &mut pos,
+                );
             }
             if rank + 1 < p {
                 let buf = proc.recv(rank + 1, base + 1);
                 let mut pos = 0;
-                unpack_region(&mut f.u, (1, 5), (1, n), (1, n), (khi + 1, khi + 1), &buf, &mut pos);
+                unpack_region(
+                    &mut f.u,
+                    (1, 5),
+                    (1, n),
+                    (1, n),
+                    (khi + 1, khi + 1),
+                    &buf,
+                    &mut pos,
+                );
             }
             let kx = (klo.saturating_sub(1).max(1), (khi + 1).min(n));
             for k in kx.0..=kx.1 {
@@ -521,8 +558,22 @@ pub fn run_transpose<S: LineSolver>(
                 let (pjlo, pjhi) = jrange(peer);
                 let mut buf = Vec::new();
                 pack_region(&f.rhs, (1, 5), (1, n), (pjlo, pjhi), (klo, khi), &mut buf);
-                pack_region(&f.recip, (WS, WS), (1, n), (pjlo, pjhi), (klo, khi), &mut buf);
-                pack_region(&f.recip, (QS, QS), (1, n), (pjlo, pjhi), (klo, khi), &mut buf);
+                pack_region(
+                    &f.recip,
+                    (WS, WS),
+                    (1, n),
+                    (pjlo, pjhi),
+                    (klo, khi),
+                    &mut buf,
+                );
+                pack_region(
+                    &f.recip,
+                    (QS, QS),
+                    (1, n),
+                    (pjlo, pjhi),
+                    (klo, khi),
+                    &mut buf,
+                );
                 proc.send(peer, base + 10 + peer as u64, buf);
             }
             for peer in 0..p {
@@ -532,9 +583,33 @@ pub fn run_transpose<S: LineSolver>(
                 let (pklo, pkhi) = krange(peer);
                 let buf = proc.recv(peer, base + 10 + rank as u64);
                 let mut pos = 0;
-                unpack_region(&mut f.rhs, (1, 5), (1, n), (jlo, jhi), (pklo, pkhi), &buf, &mut pos);
-                unpack_region(&mut f.recip, (WS, WS), (1, n), (jlo, jhi), (pklo, pkhi), &buf, &mut pos);
-                unpack_region(&mut f.recip, (QS, QS), (1, n), (jlo, jhi), (pklo, pkhi), &buf, &mut pos);
+                unpack_region(
+                    &mut f.rhs,
+                    (1, 5),
+                    (1, n),
+                    (jlo, jhi),
+                    (pklo, pkhi),
+                    &buf,
+                    &mut pos,
+                );
+                unpack_region(
+                    &mut f.recip,
+                    (WS, WS),
+                    (1, n),
+                    (jlo, jhi),
+                    (pklo, pkhi),
+                    &buf,
+                    &mut pos,
+                );
+                unpack_region(
+                    &mut f.recip,
+                    (QS, QS),
+                    (1, n),
+                    (jlo, jhi),
+                    (pklo, pkhi),
+                    &buf,
+                    &mut pos,
+                );
             }
             // local z solve over my j-rows
             local_solve_z::<S>(&mut f, n, (jlo.max(2), jhi.min(n - 1)), sp_mix);
@@ -556,7 +631,15 @@ pub fn run_transpose<S: LineSolver>(
                 let (pjlo, pjhi) = jrange(peer);
                 let buf = proc.recv(peer, base + 100 + rank as u64);
                 let mut pos = 0;
-                unpack_region(&mut f.rhs, (1, 5), (1, n), (pjlo, pjhi), (klo, khi), &buf, &mut pos);
+                unpack_region(
+                    &mut f.rhs,
+                    (1, 5),
+                    (1, n),
+                    (pjlo, pjhi),
+                    (klo, khi),
+                    &buf,
+                    &mut pos,
+                );
             }
 
             // ---- add -------------------------------------------------------
@@ -570,16 +653,17 @@ pub fn run_transpose<S: LineSolver>(
             }
             proc.work(slab_pts * costs.of("add"));
         }
-        finals.lock().insert(rank, (f.u, f.rhs));
+        finals.lock().unwrap().insert(rank, (f.u, f.rhs));
     });
 
-    let finals = finals.into_inner();
+    let finals = finals.into_inner().unwrap();
     let owner = |_i: usize, _j: usize, k: usize| -> usize {
-        (0..nprocs).find(|&r| {
-            let (lo, hi) = krange(r);
-            k >= lo && k <= hi
-        })
-        .unwrap()
+        (0..nprocs)
+            .find(|&r| {
+                let (lo, hi) = krange(r);
+                k >= lo && k <= hi
+            })
+            .unwrap()
     };
     let us: BTreeMap<usize, Array4> = finals.iter().map(|(r, (u, _))| (*r, u.clone())).collect();
     let rs: BTreeMap<usize, Array4> = finals.iter().map(|(r, (_, rh))| (*r, rh.clone())).collect();
@@ -607,7 +691,7 @@ fn local_solve<S: LineSolver>(
                     0 => (s, a, k),
                     _ => (a, s, k),
                 };
-                let cv = cv3::<S>(&f.recip, axis, s, if axis == 0 { a } else { a }, k, sp_mix);
+                let cv = cv3::<S>(&f.recip, axis, s, a, k, sp_mix);
                 S::build(&mut f.coef, (i, j, kk), cv);
             }
             let p_at = |s: usize| match axis {

@@ -33,7 +33,11 @@ pub struct Array4 {
 
 impl Array4 {
     pub fn new(c: usize, n: usize) -> Self {
-        Array4 { c, n, data: vec![0.0; c * n * n * n] }
+        Array4 {
+            c,
+            n,
+            data: vec![0.0; c * n * n * n],
+        }
     }
 
     #[inline]
@@ -116,21 +120,15 @@ pub fn rhs_point(u: &Array4, r: &Array4, rhs: &mut Array4, i: usize, j: usize, k
             + 0.01 * (r.get(QS, i + 1, j, k) - 2.0 * r.get(QS, i, j, k) + r.get(QS, i - 1, j, k))
             + 0.01 * (r.get(QS, i, j + 1, k) - 2.0 * r.get(QS, i, j, k) + r.get(QS, i, j - 1, k))
             + 0.01 * (r.get(QS, i, j, k + 1) - 2.0 * r.get(QS, i, j, k) + r.get(QS, i, j, k - 1))
+            + 0.01 * (r.get(SQ, i + 1, j, k) - 2.0 * r.get(SQ, i, j, k) + r.get(SQ, i - 1, j, k))
+            + 0.01 * (r.get(SQ, i, j + 1, k) - 2.0 * r.get(SQ, i, j, k) + r.get(SQ, i, j - 1, k))
+            + 0.01 * (r.get(SQ, i, j, k + 1) - 2.0 * r.get(SQ, i, j, k) + r.get(SQ, i, j, k - 1))
             + 0.01
-                * (r.get(SQ, i + 1, j, k) - 2.0 * r.get(SQ, i, j, k) + r.get(SQ, i - 1, j, k))
+                * (r.get(RHO, i + 1, j, k) - 2.0 * r.get(RHO, i, j, k) + r.get(RHO, i - 1, j, k))
             + 0.01
-                * (r.get(SQ, i, j + 1, k) - 2.0 * r.get(SQ, i, j, k) + r.get(SQ, i, j - 1, k))
+                * (r.get(RHO, i, j + 1, k) - 2.0 * r.get(RHO, i, j, k) + r.get(RHO, i, j - 1, k))
             + 0.01
-                * (r.get(SQ, i, j, k + 1) - 2.0 * r.get(SQ, i, j, k) + r.get(SQ, i, j, k - 1))
-            + 0.01
-                * (r.get(RHO, i + 1, j, k) - 2.0 * r.get(RHO, i, j, k)
-                    + r.get(RHO, i - 1, j, k))
-            + 0.01
-                * (r.get(RHO, i, j + 1, k) - 2.0 * r.get(RHO, i, j, k)
-                    + r.get(RHO, i, j - 1, k))
-            + 0.01
-                * (r.get(RHO, i, j, k + 1) - 2.0 * r.get(RHO, i, j, k)
-                    + r.get(RHO, i, j, k - 1));
+                * (r.get(RHO, i, j, k + 1) - 2.0 * r.get(RHO, i, j, k) + r.get(RHO, i, j, k - 1));
         rhs.set(m, i, j, k, v);
     }
 }
@@ -178,10 +176,20 @@ pub trait LineSolver: Sync {
 
     /// One forward-elimination step at `p`, consuming the previous
     /// point's normalized values at `prev` (already in the arrays).
-    fn forward(coef: &mut Array4, rhs: &mut Array4, p: (usize, usize, usize), prev: (usize, usize, usize));
+    fn forward(
+        coef: &mut Array4,
+        rhs: &mut Array4,
+        p: (usize, usize, usize),
+        prev: (usize, usize, usize),
+    );
 
     /// One back-substitution step at `p` using the solved values at `next`.
-    fn backward(coef: &Array4, rhs: &mut Array4, p: (usize, usize, usize), next: (usize, usize, usize));
+    fn backward(
+        coef: &Array4,
+        rhs: &mut Array4,
+        p: (usize, usize, usize),
+        next: (usize, usize, usize),
+    );
 
     /// Pack the forward tail at a point (normalized coeffs; rhs is packed
     /// separately).
@@ -318,7 +326,13 @@ impl BtSolver {
                         coef.get(c_of(q1, n), i, j, k) - c0 * coef.get(c_of(p1, n), i, j, k),
                     );
                 }
-                rhs.set(q1, i, j, k, rhs.get(q1, i, j, k) - c0 * rhs.get(p1, i, j, k));
+                rhs.set(
+                    q1,
+                    i,
+                    j,
+                    k,
+                    rhs.get(q1, i, j, k) - c0 * rhs.get(p1, i, j, k),
+                );
             }
         }
     }
@@ -603,6 +617,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // dense Gaussian elimination reads clearer indexed
     fn sp_solver_matches_thomas() {
         // 1-D solve along x at (j,k)=(2,2): compare against a direct
         // dense solve of the tridiagonal system the kernels encode.
@@ -683,6 +698,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)] // dense Gaussian elimination reads clearer indexed
     fn bt_binvc_inverts() {
         // after norm_first (Gauss-Jordan), B should act as identity:
         // check B^-1 * (B x) == x via the rhs path
@@ -692,14 +708,15 @@ mod tests {
         // diagonally dominant B, random-ish C, rhs
         for m in 1..=5 {
             for q in 1..=5 {
-                f.coef.set(b_of(m, q), p.0, p.1, p.2, if m == q { 3.0 } else { 0.2 });
+                f.coef
+                    .set(b_of(m, q), p.0, p.1, p.2, if m == q { 3.0 } else { 0.2 });
                 f.coef.set(c_of(m, q), p.0, p.1, p.2, 0.1 * (m + q) as f64);
             }
             f.rhs.set(m, p.0, p.1, p.2, m as f64);
         }
         // compute expected x = B^-1 rhs by dense elimination
         let mut a = vec![vec![0.0f64; 5]; 5];
-        let mut b = vec![0.0f64; 5];
+        let mut b = [0.0f64; 5];
         for m in 1..=5 {
             for q in 1..=5 {
                 a[m - 1][q - 1] = f.coef.get(b_of(m, q), p.0, p.1, p.2);
@@ -750,4 +767,3 @@ mod tests {
         assert_eq!(g.get(1, 1, 4, 1), 200.0);
     }
 }
-

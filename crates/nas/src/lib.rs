@@ -32,8 +32,8 @@
 
 pub mod bt;
 pub mod classes;
-pub mod handpar;
 pub mod cost;
+pub mod handpar;
 pub mod sp;
 pub mod verify;
 

@@ -4,7 +4,7 @@ pub mod multipart;
 pub mod transpose;
 
 use crate::classes::{grid_for, Class};
-use dhpf_core::driver::{compile, Compiled, CompileOptions};
+use dhpf_core::driver::{compile, CompileOptions, Compiled};
 use dhpf_core::exec::node::{run_node_program, ExecResult};
 use dhpf_core::exec::serial::{run_serial, SerialResult};
 use dhpf_fortran::Program;
@@ -323,7 +323,11 @@ pub fn run_serial_reference(class: Class) -> SerialResult {
 }
 
 /// Compile with dHPF for `nprocs` processors.
-pub fn compile_dhpf(class: Class, nprocs: usize, opts_flags: Option<dhpf_core::driver::OptFlags>) -> Compiled {
+pub fn compile_dhpf(
+    class: Class,
+    nprocs: usize,
+    opts_flags: Option<dhpf_core::driver::OptFlags>,
+) -> Compiled {
     let mut opts = CompileOptions::new();
     opts.bindings = bindings(class, nprocs);
     opts.granularity = 4;

@@ -8,7 +8,14 @@ use dhpf_spmd::machine::MachineConfig;
 
 /// Run the transpose-based SP version.
 pub fn run(class: Class, nprocs: usize, machine: MachineConfig) -> Option<HandResult> {
-    run_transpose::<SpSolver>(class.n(), class.niter(), nprocs, machine, &sp_costs(class), true)
+    run_transpose::<SpSolver>(
+        class.n(),
+        class.niter(),
+        nprocs,
+        machine,
+        &sp_costs(class),
+        true,
+    )
 }
 
 #[cfg(test)]
@@ -21,7 +28,12 @@ mod tests {
         let serial = crate::sp::run_serial_reference(Class::S);
         let hand = run(Class::S, 4, MachineConfig::sp2(4)).expect("runs");
         compare_with("u", &serial.arrays["u"], 1e-9, &|idx| {
-            hand.u.get(idx[0] as usize, idx[1] as usize, idx[2] as usize, idx[3] as usize)
+            hand.u.get(
+                idx[0] as usize,
+                idx[1] as usize,
+                idx[2] as usize,
+                idx[3] as usize,
+            )
         });
         assert!(hand.run.stats.messages > 0);
     }
@@ -32,7 +44,12 @@ mod tests {
         let serial = crate::sp::run_serial_reference(Class::S);
         let hand = run(Class::S, 3, MachineConfig::sp2(3)).expect("runs");
         compare_with("u", &serial.arrays["u"], 1e-9, &|idx| {
-            hand.u.get(idx[0] as usize, idx[1] as usize, idx[2] as usize, idx[3] as usize)
+            hand.u.get(
+                idx[0] as usize,
+                idx[1] as usize,
+                idx[2] as usize,
+                idx[3] as usize,
+            )
         });
     }
 }

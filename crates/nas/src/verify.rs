@@ -37,12 +37,7 @@ pub fn compare_arrays(name: &str, a: &ArrayValue, b: &ArrayValue, tol: f64) {
 
 /// Compare a raw buffer (hand-written version) against a serial array:
 /// `get(idx)` fetches the hand version's value at global coordinates.
-pub fn compare_with(
-    name: &str,
-    serial: &ArrayValue,
-    tol: f64,
-    get: &dyn Fn(&[i64]) -> f64,
-) {
+pub fn compare_with(name: &str, serial: &ArrayValue, tol: f64, get: &dyn Fn(&[i64]) -> f64) {
     let rank = serial.lo.len();
     let mut idx = serial.lo.clone();
     loop {

@@ -54,14 +54,10 @@ fn pipeline_granularity_tradeoff() {
         let mut opts = dhpf_core::driver::CompileOptions::new();
         opts.bindings = sp::bindings(Class::W, 4);
         opts.granularity = granularity;
-        let compiled =
-            dhpf_core::driver::compile(&sp::parse(), &opts).expect("compile");
-        dhpf_core::exec::node::run_node_program(
-            &compiled.program,
-            MachineConfig::sp2(4),
-        )
-        .expect("run")
-        .run
+        let compiled = dhpf_core::driver::compile(&sp::parse(), &opts).expect("compile");
+        dhpf_core::exec::node::run_node_program(&compiled.program, MachineConfig::sp2(4))
+            .expect("run")
+            .run
     };
     let coarse = run(1_000_000); // one strip: fully serialized sweeps
     let moderate = run(2);
@@ -108,7 +104,10 @@ fn compiled_efficiency_competitive_at_small_counts() {
             ),
         };
         let eff = hand / dhpf;
-        assert!(eff > 0.5, "{bench}: rel. efficiency {eff:.3} too low (hand {hand:.4}s vs dhpf {dhpf:.4}s)");
+        assert!(
+            eff > 0.5,
+            "{bench}: rel. efficiency {eff:.3} too low (hand {hand:.4}s vs dhpf {dhpf:.4}s)"
+        );
     }
 }
 
@@ -122,7 +121,12 @@ fn cost_model_closes_at_one_processor() {
         .unwrap()
         .run
         .virtual_time;
-    let dhpf = dhpf_nas::bt::run_dhpf(class, 1, MachineConfig::sp2(1)).run.virtual_time;
+    let dhpf = dhpf_nas::bt::run_dhpf(class, 1, MachineConfig::sp2(1))
+        .run
+        .virtual_time;
     let rel = (hand - dhpf).abs() / dhpf;
-    assert!(rel < 0.01, "hand {hand:.5}s vs compiled {dhpf:.5}s (rel {rel:.4})");
+    assert!(
+        rel < 0.01,
+        "hand {hand:.5}s vs compiled {dhpf:.5}s (rel {rel:.4})"
+    );
 }

@@ -27,7 +27,11 @@ impl LocalArray {
     pub fn new(owned_lo: &[i64], owned_hi: &[i64], ghost: &[usize]) -> Self {
         assert_eq!(owned_lo.len(), owned_hi.len());
         assert_eq!(owned_lo.len(), ghost.len());
-        let alo: Vec<i64> = owned_lo.iter().zip(ghost).map(|(l, g)| l - *g as i64).collect();
+        let alo: Vec<i64> = owned_lo
+            .iter()
+            .zip(ghost)
+            .map(|(l, g)| l - *g as i64)
+            .collect();
         let shape: Vec<usize> = owned_lo
             .iter()
             .zip(owned_hi)
@@ -43,7 +47,12 @@ impl LocalArray {
             strides[d] = acc;
             acc *= s;
         }
-        LocalArray { alo, shape, strides, data: vec![0.0; acc] }
+        LocalArray {
+            alo,
+            shape,
+            strides,
+            data: vec![0.0; acc],
+        }
     }
 
     /// A full (non-distributed) array covering `[lo, hi]` per dim.
@@ -62,26 +71,31 @@ impl LocalArray {
 
     /// Last allocated global index per dimension.
     pub fn alloc_hi(&self) -> Vec<i64> {
-        self.alo.iter().zip(&self.shape).map(|(l, s)| l + *s as i64 - 1).collect()
+        self.alo
+            .iter()
+            .zip(&self.shape)
+            .map(|(l, s)| l + *s as i64 - 1)
+            .collect()
     }
 
     /// Whether a global index lies in the allocated window.
     pub fn in_window(&self, idx: &[i64]) -> bool {
         idx.len() == self.rank()
-            && idx.iter().enumerate().all(|(d, &i)| {
-                i >= self.alo[d] && i < self.alo[d] + self.shape[d] as i64
-            })
+            && idx
+                .iter()
+                .enumerate()
+                .all(|(d, &i)| i >= self.alo[d] && i < self.alo[d] + self.shape[d] as i64)
     }
 
     /// Flat offset of a global index (panics outside the window in debug).
     #[inline]
     pub fn offset(&self, idx: &[i64]) -> usize {
         debug_assert!(self.in_window(idx), "index {idx:?} outside window");
-        let mut off = 0usize;
-        for d in 0..idx.len() {
-            off += (idx[d] - self.alo[d]) as usize * self.strides[d];
-        }
-        off
+        idx.iter()
+            .zip(&self.alo)
+            .zip(&self.strides)
+            .map(|((&i, &lo), &s)| (i - lo) as usize * s)
+            .sum()
     }
 
     /// Column-major strides (for callers that maintain flat cursors).
@@ -120,13 +134,15 @@ impl LocalArray {
     /// Unpack a flat buffer (as produced by [`LocalArray::pack`]) into the
     /// section `[lo, hi]`.
     pub fn unpack(&mut self, lo: &[i64], hi: &[i64], buf: &[f64]) {
-        assert_eq!(buf.len(), section_len(lo, hi), "buffer/section size mismatch");
-        let mut i = 0usize;
+        assert_eq!(
+            buf.len(),
+            section_len(lo, hi),
+            "buffer/section size mismatch"
+        );
         let mut writes: Vec<usize> = Vec::with_capacity(buf.len());
         self.walk_section(lo, hi, &mut |off| writes.push(off));
-        for off in writes {
-            self.data[off] = buf[i];
-            i += 1;
+        for (off, &v) in writes.into_iter().zip(buf) {
+            self.data[off] = v;
         }
     }
 
@@ -138,7 +154,10 @@ impl LocalArray {
         if lo.iter().zip(hi).any(|(l, h)| l > h) {
             return;
         }
-        debug_assert!(self.in_window(lo) && self.in_window(hi), "section outside window");
+        debug_assert!(
+            self.in_window(lo) && self.in_window(hi),
+            "section outside window"
+        );
         let rank = self.rank();
         let mut idx: Vec<i64> = lo.to_vec();
         loop {
@@ -162,7 +181,10 @@ impl LocalArray {
 
 /// Number of points in an inclusive rectangular section.
 pub fn section_len(lo: &[i64], hi: &[i64]) -> usize {
-    lo.iter().zip(hi).map(|(l, h)| (h - l + 1).max(0) as usize).product()
+    lo.iter()
+        .zip(hi)
+        .map(|(l, h)| (h - l + 1).max(0) as usize)
+        .product()
 }
 
 #[cfg(test)]

@@ -1,10 +1,9 @@
 //! The virtual machine: processors, clocks, messages.
 
 use crate::trace::{Event, EventKind, Trace};
-use parking_lot::{Condvar, Mutex};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Machine cost model and size. Defaults approximate the paper's IBM SP2
 /// (120 MHz P2SC nodes, user-space MPI): ~60 Mflop/s sustained per node,
@@ -153,7 +152,10 @@ impl Machine {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("rank panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank panicked"))
+                .collect()
         });
 
         let proc_times: Vec<f64> = results.iter().map(|(t, _)| *t).collect();
@@ -260,15 +262,21 @@ impl Proc {
             self.trace.push(Event {
                 t0: depart - cfg.send_overhead,
                 t1: depart,
-                kind: EventKind::Send { to, bytes: bytes as u64 },
+                kind: EventKind::Send {
+                    to,
+                    bytes: bytes as u64,
+                },
             });
         }
         self.shared.msg_count.fetch_add(1, Ordering::Relaxed);
-        self.shared.byte_count.fetch_add(bytes as u64, Ordering::Relaxed);
+        self.shared
+            .byte_count
+            .fetch_add(bytes as u64, Ordering::Relaxed);
         let mailbox = &self.shared.mailboxes[to];
         mailbox
             .queues
             .lock()
+            .unwrap()
             .entry((self.rank, tag))
             .or_default()
             .push_back(Msg { arrival, data });
@@ -283,14 +291,14 @@ impl Proc {
         self.flush_work();
         let msg = {
             let mailbox = &self.shared.mailboxes[self.rank];
-            let mut queues = mailbox.queues.lock();
+            let mut queues = mailbox.queues.lock().unwrap();
             loop {
                 if let Some(q) = queues.get_mut(&(from, tag)) {
                     if let Some(m) = q.pop_front() {
                         break m;
                     }
                 }
-                mailbox.signal.wait(&mut queues);
+                queues = mailbox.signal.wait(queues).unwrap();
             }
         };
         let cfg = &self.shared.config;
@@ -301,13 +309,19 @@ impl Proc {
                 self.trace.push(Event {
                     t0: self.clock,
                     t1: complete,
-                    kind: EventKind::RecvWait { from, bytes: (msg.data.len() * 8) as u64 },
+                    kind: EventKind::RecvWait {
+                        from,
+                        bytes: (msg.data.len() * 8) as u64,
+                    },
                 });
             } else {
                 self.trace.push(Event {
                     t0: self.clock,
                     t1: complete,
-                    kind: EventKind::Recv { from, bytes: (msg.data.len() * 8) as u64 },
+                    kind: EventKind::Recv {
+                        from,
+                        bytes: (msg.data.len() * 8) as u64,
+                    },
                 });
             }
         }
@@ -328,7 +342,7 @@ impl Proc {
         self.flush_work();
         let bar = &self.shared.barrier;
         let n = self.nprocs();
-        let mut inner = bar.mutex.lock();
+        let mut inner = bar.mutex.lock().unwrap();
         let my_gen = inner.generation;
         inner.gather_max = inner.gather_max.max(self.clock);
         inner.arrived += 1;
@@ -343,7 +357,7 @@ impl Proc {
             self.finish_barrier(t_exit);
         } else {
             while inner.generation == my_gen {
-                bar.cv.wait(&mut inner);
+                inner = bar.cv.wait(inner).unwrap();
             }
             let t_exit = inner.exit_times[(my_gen % 2) as usize];
             drop(inner);
@@ -510,8 +524,14 @@ mod tests {
             }
         });
         let t0 = &r.traces[0];
-        assert!(t0.events.iter().any(|e| matches!(e.kind, EventKind::Compute)));
-        assert!(t0.events.iter().any(|e| matches!(e.kind, EventKind::Send { .. })));
+        assert!(t0
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::Compute)));
+        assert!(t0
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::Send { .. })));
         let t1 = &r.traces[1];
         assert!(t1
             .events
@@ -526,8 +546,11 @@ mod tests {
                 p.work(1.0);
             }
         });
-        let compute_events =
-            r.traces[0].events.iter().filter(|e| matches!(e.kind, EventKind::Compute)).count();
+        let compute_events = r.traces[0]
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Compute))
+            .count();
         assert_eq!(compute_events, 1);
     }
 }

@@ -32,10 +32,13 @@ impl BlockGrid {
     /// A near-square grid for `nprocs` total processors.
     pub fn square(nprocs: usize) -> Self {
         let mut npj = (nprocs as f64).sqrt() as usize;
-        while npj > 1 && nprocs % npj != 0 {
+        while npj > 1 && !nprocs.is_multiple_of(npj) {
             npj -= 1;
         }
-        BlockGrid { npj: npj.max(1), npk: nprocs / npj.max(1) }
+        BlockGrid {
+            npj: npj.max(1),
+            npk: nprocs / npj.max(1),
+        }
     }
 
     pub fn nprocs(&self) -> usize {
@@ -68,14 +71,18 @@ impl BlockGrid {
     pub fn j_neighbor(&self, rank: usize, dir: isize) -> Option<usize> {
         let (pj, pk) = self.coords(rank);
         let nj = pj as isize + dir;
-        (0..self.npj as isize).contains(&nj).then(|| self.rank(nj as usize, pk))
+        (0..self.npj as isize)
+            .contains(&nj)
+            .then(|| self.rank(nj as usize, pk))
     }
 
     /// Neighbor rank one step in `k`.
     pub fn k_neighbor(&self, rank: usize, dir: isize) -> Option<usize> {
         let (pj, pk) = self.coords(rank);
         let nk = pk as isize + dir;
-        (0..self.npk as isize).contains(&nk).then(|| self.rank(pj, nk as usize))
+        (0..self.npk as isize)
+            .contains(&nk)
+            .then(|| self.rank(pj, nk as usize))
     }
 }
 
@@ -177,9 +184,9 @@ mod tests {
                 let mut covered = vec![false; n];
                 for idx in 0..p {
                     let (lo, hi) = block_partition(n, p, idx);
-                    for i in lo..hi {
-                        assert!(!covered[i]);
-                        covered[i] = true;
+                    for (i, c) in covered.iter_mut().enumerate().take(hi).skip(lo) {
+                        assert!(!*c);
+                        *c = true;
                         assert_eq!(block_owner(n, p, i), idx);
                     }
                 }
@@ -245,12 +252,12 @@ mod tests {
             for axis in 0..3 {
                 for stage in 0..q {
                     let mut seen = vec![false; nprocs];
-                    for r in 0..nprocs {
+                    for (r, s) in seen.iter_mut().enumerate() {
                         let c = mp.active_cell(r, axis, stage);
                         assert_eq!(c[axis], stage);
                         assert_eq!(mp.owner(c), r, "axis {axis} stage {stage} rank {r}");
-                        assert!(!seen[r]);
-                        seen[r] = true;
+                        assert!(!*s);
+                        *s = true;
                     }
                     // all cells at this stage are covered exactly once:
                     // q² cells at a stage, q² processors, bijective.

@@ -42,7 +42,10 @@ pub struct Trace {
 
 impl Trace {
     pub fn new(rank: usize) -> Self {
-        Trace { rank, events: Vec::new() }
+        Trace {
+            rank,
+            events: Vec::new(),
+        }
     }
 
     pub fn push(&mut self, e: Event) {
@@ -90,7 +93,10 @@ pub fn render_spacetime(traces: &[Trace], t_start: f64, t_end: f64, width: usize
         traces.len(),
         dt * 1e3
     );
-    let _ = writeln!(out, "legend: '#'=compute  's'=send  'r'=recv  '~'=recv wait  '|'=barrier  '.'=idle");
+    let _ = writeln!(
+        out,
+        "legend: '#'=compute  's'=send  'r'=recv  '~'=recv wait  '|'=barrier  '.'=idle"
+    );
     for tr in traces {
         let mut row = vec![b'.'; width];
         for e in &tr.events {
@@ -137,7 +143,11 @@ pub fn to_csv(traces: &[Trace]) -> String {
                 EventKind::Barrier => ("barrier", String::new(), 0),
                 EventKind::Phase(name) => ("phase", name.clone(), 0),
             };
-            let _ = writeln!(out, "{},{:.9},{:.9},{},{},{}", tr.rank, e.t0, e.t1, kind, peer, bytes);
+            let _ = writeln!(
+                out,
+                "{},{:.9},{:.9},{},{},{}",
+                tr.rank, e.t0, e.t1, kind, peer, bytes
+            );
         }
     }
     out
@@ -149,9 +159,24 @@ pub fn utilization_summary(traces: &[Trace]) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "rank  busy%   wait%   end(s)");
     for tr in traces {
-        let busy = if total_end > 0.0 { 100.0 * tr.busy() / total_end } else { 0.0 };
-        let wait = if total_end > 0.0 { 100.0 * tr.stalled() / total_end } else { 0.0 };
-        let _ = writeln!(out, "p{:<4} {:6.1}  {:6.1}  {:.4}", tr.rank, busy, wait, tr.end());
+        let busy = if total_end > 0.0 {
+            100.0 * tr.busy() / total_end
+        } else {
+            0.0
+        };
+        let wait = if total_end > 0.0 {
+            100.0 * tr.stalled() / total_end
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            out,
+            "p{:<4} {:6.1}  {:6.1}  {:.4}",
+            tr.rank,
+            busy,
+            wait,
+            tr.end()
+        );
     }
     out
 }
@@ -162,9 +187,21 @@ mod tests {
 
     fn mk_trace() -> Trace {
         let mut t = Trace::new(0);
-        t.push(Event { t0: 0.0, t1: 4.0, kind: EventKind::Compute });
-        t.push(Event { t0: 4.0, t1: 5.0, kind: EventKind::Send { to: 1, bytes: 80 } });
-        t.push(Event { t0: 5.0, t1: 8.0, kind: EventKind::RecvWait { from: 1, bytes: 80 } });
+        t.push(Event {
+            t0: 0.0,
+            t1: 4.0,
+            kind: EventKind::Compute,
+        });
+        t.push(Event {
+            t0: 4.0,
+            t1: 5.0,
+            kind: EventKind::Send { to: 1, bytes: 80 },
+        });
+        t.push(Event {
+            t0: 5.0,
+            t1: 8.0,
+            kind: EventKind::RecvWait { from: 1, bytes: 80 },
+        });
         t
     }
 
@@ -189,8 +226,16 @@ mod tests {
     #[test]
     fn spacetime_priority_comm_over_compute() {
         let mut t = Trace::new(0);
-        t.push(Event { t0: 0.0, t1: 8.0, kind: EventKind::Compute });
-        t.push(Event { t0: 3.0, t1: 4.0, kind: EventKind::Send { to: 1, bytes: 8 } });
+        t.push(Event {
+            t0: 0.0,
+            t1: 8.0,
+            kind: EventKind::Compute,
+        });
+        t.push(Event {
+            t0: 3.0,
+            t1: 4.0,
+            kind: EventKind::Send { to: 1, bytes: 8 },
+        });
         let s = render_spacetime(&[t], 0.0, 8.0, 8);
         let row = s.lines().nth(2).unwrap();
         assert_eq!(&row[5..], "###s####");

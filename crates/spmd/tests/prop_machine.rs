@@ -20,7 +20,10 @@ fn cfg(n: usize) -> MachineConfig {
 /// A random SPMD schedule: per round, each proc does some work, then a
 /// ring exchange with random payload.
 fn schedule() -> impl Strategy<Value = (usize, Vec<(u32, u8)>)> {
-    (2usize..6, proptest::collection::vec((0u32..2000, 1u8..32), 1..8))
+    (
+        2usize..6,
+        proptest::collection::vec((0u32..2000, 1u8..32), 1..8),
+    )
 }
 
 proptest! {
@@ -114,8 +117,8 @@ proptest! {
         prop_assert!(owner < q * q);
         prop_assert!(mp.cells(owner).contains(&cell));
         // the active cell at each stage really has the stage coordinate
-        for axis in 0..3 {
-            let c = mp.active_cell(owner, axis, cell[axis]);
+        for (axis, &stage) in cell.iter().enumerate() {
+            let c = mp.active_cell(owner, axis, stage);
             prop_assert_eq!(mp.owner(c), owner);
         }
     }

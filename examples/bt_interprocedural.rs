@@ -18,8 +18,7 @@ fn main() {
     let graph = CallGraph::build(&program);
     println!("call graph (bottom-up order):");
     for unit in graph.bottom_up().expect("acyclic") {
-        let callees: Vec<&str> =
-            graph.calls[unit].iter().map(|s| s.as_str()).collect();
+        let callees: Vec<&str> = graph.calls[unit].iter().map(|s| s.as_str()).collect();
         if callees.is_empty() {
             println!("  {unit:<12} (leaf)");
         } else {

@@ -1,0 +1,25 @@
+      program confl
+c     the paper's section 5 trigger: the three statements in the second
+c     nest admit no common computation partitioning (a is written
+c     ON_HOME a(i,j) but read to define f(i+1,j), which h(i+1,j) also
+c     needs), so the compiler applies selective loop distribution.
+c     dhpf-lint reports `cp-conflict` on the offending statement pair.
+      parameter (n = 16)
+      integer i, j
+      double precision a(n, n), e(n, n), f(n, n), g(n, n), h(n, n)
+!hpf$ processors p(2)
+!hpf$ distribute (block, *) onto p :: a, e, f, g, h
+      do j = 1, n
+         do i = 1, n
+            e(i, j) = i * 1.0d0 + j * j
+            g(i, j) = i - j * 0.5d0
+         enddo
+      enddo
+      do j = 1, n
+         do i = 2, n - 1
+            a(i, j) = e(i, j) + 1.0d0
+            f(i + 1, j) = a(i, j) + g(i + 1, j)
+            h(i + 1, j) = g(i + 1, j) + f(i + 1, j)
+         enddo
+      enddo
+      end

@@ -1,0 +1,24 @@
+      program direct
+c     two ignored directives: NEW names an array the loop never writes
+c     (nothing to privatize), and LOCALIZE targets a non-distributed
+c     array (partial replication cannot reduce communication).
+c     dhpf-lint reports `directive-ignored` for both.
+      parameter (n = 32)
+      integer i, it
+      double precision a(n), cv(n), t1(n)
+!hpf$ processors p(2)
+!hpf$ distribute (block) onto p :: a
+!hpf$ independent, new(cv)
+      do i = 1, n
+         a(i) = i * 1.0d0
+      enddo
+!hpf$ independent, localize(t1)
+      do it = 1, 1
+         do i = 1, n
+            t1(i) = i * 2.0d0
+         enddo
+         do i = 2, n
+            a(i) = t1(i - 1)
+         enddo
+      enddo
+      end

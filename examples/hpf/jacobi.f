@@ -1,0 +1,22 @@
+      program jacobi
+c     clean 1-D Jacobi relaxation: block-distributed, nearest-neighbour
+c     shift communication. dhpf-lint --verify proves every ghost read
+c     covered by a pre-exchange; no findings expected.
+      parameter (n = 64)
+      integer i, it
+      double precision a(n), b(n)
+!hpf$ processors p(4)
+!hpf$ distribute (block) onto p :: a, b
+      do i = 1, n
+         a(i) = i * 1.0d0
+         b(i) = 0.0d0
+      enddo
+      do it = 1, 4
+         do i = 2, n - 1
+            b(i) = 0.5d0 * (a(i - 1) + a(i + 1))
+         enddo
+         do i = 2, n - 1
+            a(i) = b(i)
+         enddo
+      enddo
+      end

@@ -1,0 +1,17 @@
+      program nonaff
+c     a distributed array indexed by a non-affine subscript (i * i):
+c     the affine framework cannot model the access, so communication
+c     analysis rejects the nest and the compiler falls back to a serial
+c     schedule. dhpf-lint reports `nonaffine-subscript` at the site.
+      parameter (n = 64)
+      integer i
+      double precision a(n), b(n)
+!hpf$ processors p(4)
+!hpf$ distribute (block) onto p :: a, b
+      do i = 1, n
+         a(i) = i * 1.0d0
+      enddo
+      do i = 1, 8
+         b(i) = a(i * i)
+      enddo
+      end

@@ -62,6 +62,9 @@ fn main() {
         .map(|(x, y)| (x - y).abs())
         .fold(0.0f64, f64::max);
     println!("max |serial - parallel| over a(:): {worst:.3e}");
-    assert!(worst < 1e-12, "parallel execution must match the serial semantics");
+    assert!(
+        worst < 1e-12,
+        "parallel execution must match the serial semantics"
+    );
     println!("OK: compiled SPMD execution matches the serial program.");
 }

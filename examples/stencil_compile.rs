@@ -41,11 +41,18 @@ const PROGRAM: &str = "
 fn run_with(localize: bool) {
     let program = parse(PROGRAM).expect("parse");
     let mut opts = CompileOptions::new();
-    opts.flags = OptFlags { localize, ..Default::default() };
+    opts.flags = OptFlags {
+        localize,
+        ..Default::default()
+    };
     let compiled = compile(&program, &opts).expect("compile");
     println!(
         "\n--- LOCALIZE {} ---",
-        if localize { "ON (partial replication, §4.2)" } else { "OFF (owner-computes)" }
+        if localize {
+            "ON (partial replication, §4.2)"
+        } else {
+            "OFF (owner-computes)"
+        }
     );
     for (unit, cps) in &compiled.cp_dump {
         for (stmt, cp) in cps {

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Tier-1 gate for the dHPF reproduction. Run from the repository root:
+#
+#     scripts/ci.sh
+#
+# Stages:
+#   1. rustfmt      — first-party crates must be formatted (vendor/ is
+#                     exempt: vendored dependencies keep upstream style)
+#   2. clippy       — zero warnings across the whole workspace
+#   3. build        — release build of every crate and binary
+#   4. test         — the full test suite, including the comm-coverage
+#                     verifier golden/mutation tests (crates/analysis)
+#   5. dhpf-lint    — the lint/verify binary over examples/hpf/:
+#                     jacobi.f must verify clean; the three seeded
+#                     examples must each produce their expected finding
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FIRST_PARTY=(dhpf dhpf-analysis dhpf-bench dhpf-core dhpf-depend
+             dhpf-fortran dhpf-iset dhpf-nas dhpf-spmd)
+FMT_ARGS=()
+for p in "${FIRST_PARTY[@]}"; do FMT_ARGS+=(-p "$p"); done
+
+echo "== fmt"
+cargo fmt --check "${FMT_ARGS[@]}"
+
+echo "== clippy"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== build"
+cargo build --release --workspace
+
+echo "== test"
+cargo test --workspace -q
+
+echo "== dhpf-lint examples"
+LINT=target/release/dhpf-lint
+# clean example must verify with no findings at all
+out=$("$LINT" --verify examples/hpf/jacobi.f)
+grep -q "no findings" <<<"$out" || { echo "$out"; echo "FAIL: jacobi.f should be clean"; exit 1; }
+# each seeded example must trip its lint (warnings only: exit 0)
+for f in nonaffine directives conflict; do
+    "$LINT" examples/hpf/$f.f > /dev/null || {
+        echo "FAIL: dhpf-lint errored on examples/hpf/$f.f"; exit 1; }
+done
+"$LINT" examples/hpf/nonaffine.f  | grep -q "nonaffine-subscript" || { echo "FAIL: nonaffine lint"; exit 1; }
+"$LINT" examples/hpf/directives.f | grep -q "directive-ignored"   || { echo "FAIL: directive lint"; exit 1; }
+"$LINT" examples/hpf/conflict.f   | grep -q "cp-conflict"         || { echo "FAIL: conflict lint"; exit 1; }
+
+echo "CI OK"

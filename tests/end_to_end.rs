@@ -4,8 +4,15 @@
 
 use dhpf::prelude::*;
 
-fn max_delta(a: &dhpf::core::exec::serial::ArrayValue, b: &dhpf::core::exec::serial::ArrayValue) -> f64 {
-    a.data.iter().zip(&b.data).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+fn max_delta(
+    a: &dhpf::core::exec::serial::ArrayValue,
+    b: &dhpf::core::exec::serial::ArrayValue,
+) -> f64 {
+    a.data
+        .iter()
+        .zip(&b.data)
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0, f64::max)
 }
 
 #[test]
@@ -54,7 +61,10 @@ fn compiled_timing_is_deterministic() {
     let class = Class::S;
     let a = dhpf::nas::sp::run_dhpf(class, 4, MachineConfig::sp2(4));
     let b = dhpf::nas::sp::run_dhpf(class, 4, MachineConfig::sp2(4));
-    assert_eq!(a.run.virtual_time, b.run.virtual_time, "virtual time must not depend on host scheduling");
+    assert_eq!(
+        a.run.virtual_time, b.run.virtual_time,
+        "virtual time must not depend on host scheduling"
+    );
     assert_eq!(a.run.stats.messages, b.run.stats.messages);
     assert_eq!(a.run.stats.bytes, b.run.stats.bytes);
 }
@@ -71,6 +81,31 @@ fn hand_multipart_beats_compiled_at_scale() {
         hand.run.virtual_time,
         comp.run.virtual_time
     );
+}
+
+#[test]
+fn every_compiled_nas_unit_passes_the_comm_verifier() {
+    // The independent comm-coverage verifier (crates/analysis) must prove
+    // every SP and BT nest plan covered — on every test run, so a planner
+    // regression is a CONFIRMED miscompile report here before it is a
+    // wrong number in the numerical comparisons above.
+    for (name, compiled) in [
+        ("SP", dhpf::nas::sp::compile_dhpf(Class::S, 4, None)),
+        ("BT", dhpf::nas::bt::compile_dhpf(Class::S, 4, None)),
+    ] {
+        let r = verify_compiled(&compiled);
+        assert!(
+            r.is_clean(),
+            "{name} failed comm verification:\n{}",
+            r.render_human(None)
+        );
+        let races = dhpf::analysis::check_compiled_races(&compiled);
+        assert!(
+            races.is_clean(),
+            "{name} ghost races:\n{}",
+            races.render_human(None)
+        );
+    }
 }
 
 #[test]
@@ -93,6 +128,7 @@ fn quickstart_program_compiles_and_verifies() {
     let program = parse(src).unwrap();
     let serial = run_serial(&program, &Default::default()).unwrap();
     let compiled = compile(&program, &CompileOptions::new()).unwrap();
+    assert!(verify_compiled(&compiled).is_clean());
     let r = run_node_program(&compiled.program, MachineConfig::sp2(2)).unwrap();
     assert!(max_delta(&serial.arrays["b"], &r.arrays["b"]) < 1e-12);
 }

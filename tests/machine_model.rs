@@ -28,7 +28,10 @@ fn latency_dominates_small_messages() {
     let many = run(64);
     // non-blocking sends overlap their latencies, so the penalty is the
     // per-message CPU overhead: still well above the single-message cost
-    assert!(many > 1.5 * one, "64 messages {many:.6}s vs 1 message {one:.6}s");
+    assert!(
+        many > 1.5 * one,
+        "64 messages {many:.6}s vs 1 message {one:.6}s"
+    );
 }
 
 #[test]

@@ -8,7 +8,11 @@ use dhpf::prelude::*;
 fn run_sp_with(flags: OptFlags, nprocs: usize) -> (f64, u64, Vec<f64>) {
     let compiled = dhpf::nas::sp::compile_dhpf(Class::S, nprocs, Some(flags));
     let r = run_node_program(&compiled.program, MachineConfig::sp2(nprocs)).unwrap();
-    (r.run.virtual_time, r.run.stats.messages, r.arrays["u"].data.clone())
+    (
+        r.run.virtual_time,
+        r.run.stats.messages,
+        r.arrays["u"].data.clone(),
+    )
 }
 
 #[test]
@@ -17,10 +21,22 @@ fn every_flag_combination_is_semantics_preserving() {
     let truth = &serial.arrays["u"].data;
     let configs = [
         OptFlags::default(),
-        OptFlags { privatizable_cp: false, ..Default::default() },
-        OptFlags { localize: false, ..Default::default() },
-        OptFlags { loop_distribution: false, ..Default::default() },
-        OptFlags { data_availability: false, ..Default::default() },
+        OptFlags {
+            privatizable_cp: false,
+            ..Default::default()
+        },
+        OptFlags {
+            localize: false,
+            ..Default::default()
+        },
+        OptFlags {
+            loop_distribution: false,
+            ..Default::default()
+        },
+        OptFlags {
+            data_availability: false,
+            ..Default::default()
+        },
         OptFlags {
             privatizable_cp: false,
             localize: false,
@@ -31,8 +47,11 @@ fn every_flag_combination_is_semantics_preserving() {
     ];
     for (idx, flags) in configs.iter().enumerate() {
         let (_, _, u) = run_sp_with(*flags, 4);
-        let worst =
-            truth.iter().zip(&u).map(|(a, b)| (a - b).abs()).fold(0.0f64, f64::max);
+        let worst = truth
+            .iter()
+            .zip(&u)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
         assert!(worst < 1e-9, "config {idx}: worst delta {worst:.3e}");
     }
 }
@@ -40,8 +59,13 @@ fn every_flag_combination_is_semantics_preserving() {
 #[test]
 fn localize_reduces_messages() {
     let (_, with, _) = run_sp_with(OptFlags::default(), 4);
-    let (_, without, _) =
-        run_sp_with(OptFlags { localize: false, ..Default::default() }, 4);
+    let (_, without, _) = run_sp_with(
+        OptFlags {
+            localize: false,
+            ..Default::default()
+        },
+        4,
+    );
     assert!(
         without > with,
         "partial replication must eliminate messages: with={with} without={without}"
@@ -51,8 +75,13 @@ fn localize_reduces_messages() {
 #[test]
 fn availability_reduces_messages() {
     let (_, with, _) = run_sp_with(OptFlags::default(), 4);
-    let (_, without, _) =
-        run_sp_with(OptFlags { data_availability: false, ..Default::default() }, 4);
+    let (_, without, _) = run_sp_with(
+        OptFlags {
+            data_availability: false,
+            ..Default::default()
+        },
+        4,
+    );
     assert!(
         without >= with,
         "availability elimination must not add messages: with={with} without={without}"
@@ -64,8 +93,13 @@ fn privatizable_off_increases_time() {
     // the strawman replicates every privatizable computation on every
     // processor: same answer, strictly more virtual compute time
     let (t_on, _, _) = run_sp_with(OptFlags::default(), 4);
-    let (t_off, _, _) =
-        run_sp_with(OptFlags { privatizable_cp: false, ..Default::default() }, 4);
+    let (t_off, _, _) = run_sp_with(
+        OptFlags {
+            privatizable_cp: false,
+            ..Default::default()
+        },
+        4,
+    );
     assert!(
         t_off > t_on,
         "replicating NEW computations must cost time: on={t_on:.4} off={t_off:.4}"

@@ -1,0 +1,87 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no registry access, so this vendored shim
+//! provides the minimal API the workspace benches use — [`Criterion`],
+//! [`Bencher`], `criterion_group!`, `criterion_main!`, and [`black_box`] —
+//! backed by a simple wall-clock harness: each benchmark is warmed up,
+//! then timed over enough iterations to fill a short measurement window,
+//! and the mean time per iteration is printed.
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Times one benchmark routine.
+pub struct Bencher {
+    /// Mean seconds per iteration, filled in by [`Bencher::iter`].
+    secs_per_iter: f64,
+    iters_run: u64,
+}
+
+impl Bencher {
+    /// Run `routine` repeatedly for a short measurement window and record
+    /// the mean time per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // warmup
+        for _ in 0..3 {
+            black_box(routine());
+        }
+        let window = Duration::from_millis(300);
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < window {
+            black_box(routine());
+            iters += 1;
+        }
+        let total = start.elapsed();
+        self.secs_per_iter = total.as_secs_f64() / iters as f64;
+        self.iters_run = iters;
+    }
+}
+
+/// Benchmark registry and runner.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { secs_per_iter: 0.0, iters_run: 0 };
+        f(&mut b);
+        let t = b.secs_per_iter;
+        let human = if t >= 1.0 {
+            format!("{t:.3} s")
+        } else if t >= 1e-3 {
+            format!("{:.3} ms", t * 1e3)
+        } else if t >= 1e-6 {
+            format!("{:.3} µs", t * 1e6)
+        } else {
+            format!("{:.1} ns", t * 1e9)
+        };
+        println!("{name:<40} {human:>12}/iter  ({} iters)", b.iters_run);
+        self
+    }
+}
+
+/// Group benchmark functions under one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
