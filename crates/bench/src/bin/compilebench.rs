@@ -1,0 +1,175 @@
+//! Reproducible compile-time benchmark for the dHPF pipeline.
+//!
+//! Times cold (empty iset interner) vs warm (populated interner + memo
+//! tables) compilation of the NAS SP and BT mini-benchmarks and writes a
+//! machine-readable `BENCH_compile.json`:
+//!
+//! ```json
+//! {
+//!   "schema": "dhpf-compilebench-v1",
+//!   "benchmarks": [
+//!     { "name": "sp", "class": "W", "cold_ms": 12.3, "warm_ms": 7.9,
+//!       "warm_speedup": 1.56, "cache_hit_rate": 0.42,
+//!       "peak_interned_nodes": 12345 }
+//!   ]
+//! }
+//! ```
+//!
+//! Methodology: for each benchmark the interner is reset, one untimed parse
+//! is done (I/O-free; the sources are embedded strings), then `COLD_REPS`
+//! cold compiles are timed (interner reset before each) and `WARM_REPS`
+//! warm compiles are timed back-to-back on the retained cache. The minimum
+//! over repetitions is reported for both, which is the standard way to
+//! strip scheduler noise from a deterministic workload. Cache statistics
+//! are sampled after the final warm repetition.
+//!
+//! Usage:
+//!   compilebench [--quick] [--out PATH]
+//!
+//! `--quick` drops to class S only with one repetition each — the CI smoke
+//! configuration (validates the schema, not the speedup). Default output
+//! path is `BENCH_compile.json` in the current directory.
+
+use std::time::Instant;
+
+use dhpf_core::driver::{compile, CompileOptions};
+use dhpf_fortran::ast::Program;
+use dhpf_nas::{bt, sp, Class};
+
+const NPROCS: usize = 4;
+
+struct BenchSpec {
+    name: &'static str,
+    class: Class,
+    program: Program,
+    opts: CompileOptions,
+}
+
+struct BenchResult {
+    name: &'static str,
+    class: &'static str,
+    cold_ms: f64,
+    warm_ms: f64,
+    warm_speedup: f64,
+    cache_hit_rate: f64,
+    peak_interned_nodes: usize,
+}
+
+fn spec(name: &'static str, class: Class) -> BenchSpec {
+    let (program, bindings) = match name {
+        "sp" => (sp::parse(), sp::bindings(class, NPROCS)),
+        "bt" => (bt::parse(), bt::bindings(class, NPROCS)),
+        other => panic!("unknown benchmark {other}"),
+    };
+    let mut opts = CompileOptions::new();
+    opts.bindings = bindings;
+    opts.granularity = 4;
+    BenchSpec {
+        name,
+        class,
+        program,
+        opts,
+    }
+}
+
+fn time_compile_ms(spec: &BenchSpec) -> f64 {
+    let t0 = Instant::now();
+    let compiled = compile(&spec.program, &spec.opts).expect("compile");
+    let dt = t0.elapsed().as_secs_f64() * 1e3;
+    // keep the result alive through the timer so the compile is not
+    // trivially dead code
+    std::hint::black_box(&compiled);
+    dt
+}
+
+fn run_bench(spec: &BenchSpec, cold_reps: usize, warm_reps: usize) -> BenchResult {
+    // cold: empty interner and memo tables before every repetition
+    let mut cold_ms = f64::INFINITY;
+    for _ in 0..cold_reps {
+        dhpf_iset::reset_cache();
+        cold_ms = cold_ms.min(time_compile_ms(spec));
+    }
+
+    // warm: re-seed the cache with one untimed compile, then time
+    // repetitions on the retained cache
+    dhpf_iset::reset_cache();
+    let _ = time_compile_ms(spec);
+    let mut warm_ms = f64::INFINITY;
+    for _ in 0..warm_reps {
+        warm_ms = warm_ms.min(time_compile_ms(spec));
+    }
+
+    let stats = dhpf_iset::cache_stats();
+    BenchResult {
+        name: spec.name,
+        class: spec.class.name(),
+        cold_ms,
+        warm_ms,
+        warm_speedup: cold_ms / warm_ms,
+        cache_hit_rate: stats.hit_rate(),
+        peak_interned_nodes: stats.interned_nodes(),
+    }
+}
+
+fn render_json(results: &[BenchResult]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": \"dhpf-compilebench-v1\",\n  \"benchmarks\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"name\": \"{}\", \"class\": \"{}\", \"cold_ms\": {:.3}, \
+             \"warm_ms\": {:.3}, \"warm_speedup\": {:.3}, \"cache_hit_rate\": {:.4}, \
+             \"peak_interned_nodes\": {} }}{}\n",
+            r.name,
+            r.class,
+            r.cold_ms,
+            r.warm_ms,
+            r.warm_speedup,
+            r.cache_hit_rate,
+            r.peak_interned_nodes,
+            if i + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_compile.json".to_string());
+
+    let (classes, cold_reps, warm_reps): (&[Class], usize, usize) = if quick {
+        (&[Class::S], 1, 1)
+    } else {
+        (&[Class::S, Class::W], 3, 5)
+    };
+
+    let mut results = Vec::new();
+    for &class in classes {
+        for name in ["sp", "bt"] {
+            let s = spec(name, class);
+            let r = run_bench(&s, cold_reps, warm_reps);
+            eprintln!(
+                "{} class {}: cold {:.2} ms, warm {:.2} ms ({:.2}x), \
+                 hit-rate {:.1}%, {} interned nodes",
+                r.name,
+                r.class,
+                r.cold_ms,
+                r.warm_ms,
+                r.warm_speedup,
+                r.cache_hit_rate * 1e2,
+                r.peak_interned_nodes,
+            );
+            results.push(r);
+        }
+    }
+
+    let json = render_json(&results);
+    std::fs::write(&out_path, &json).expect("write BENCH_compile.json");
+    eprintln!("wrote {out_path}");
+}

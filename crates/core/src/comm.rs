@@ -169,6 +169,22 @@ pub struct CommReport {
     pub post_volume: usize,
 }
 
+impl CommReport {
+    /// Accumulate another unit's counters into this report. All fields are
+    /// plain sums, so the merge is commutative and associative — the driver
+    /// can absorb per-unit reports in any order and still produce the same
+    /// totals (it absorbs in bottom-up order anyway, for determinism).
+    pub fn absorb(&mut self, other: &CommReport) {
+        self.reads_examined += other.reads_examined;
+        self.reads_eliminated_by_availability += other.reads_eliminated_by_availability;
+        self.writebacks_suppressed_by_replication += other.writebacks_suppressed_by_replication;
+        self.pre_messages += other.pre_messages;
+        self.pre_volume += other.pre_volume;
+        self.post_messages += other.post_messages;
+        self.post_volume += other.post_volume;
+    }
+}
+
 /// Build the communication plan for the top-level loop `loop_id`.
 #[allow(clippy::too_many_arguments)]
 pub fn plan_nest(

@@ -71,6 +71,12 @@ pub struct CompileOptions {
     pub flags: OptFlags,
     /// Coarse-grain pipelining granularity (strip size).
     pub granularity: i64,
+    /// Worker threads for per-unit analysis/planning. `0` or `1` means
+    /// serial. Output is byte-identical regardless of this value: units
+    /// are scheduled in call-graph waves, every unit draws synthesized
+    /// statement/reference ids from its own deterministic chunk, and
+    /// results are merged in bottom-up order.
+    pub jobs: usize,
 }
 
 impl CompileOptions {
@@ -79,11 +85,18 @@ impl CompileOptions {
             bindings: BTreeMap::new(),
             flags: OptFlags::default(),
             granularity: 4,
+            jobs: 0,
         }
     }
 
     pub fn bind(mut self, name: &str, value: i64) -> Self {
         self.bindings.insert(name.to_string(), value);
+        self
+    }
+
+    /// Enable parallel per-unit compilation with up to `jobs` workers.
+    pub fn parallel(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
         self
     }
 }
@@ -119,6 +132,19 @@ pub struct Compiled {
     pub analyses: BTreeMap<String, UnitAnalysis>,
 }
 
+impl Compiled {
+    /// Deterministic rendering of everything observable about a compile:
+    /// the emitted node program, the CP assignments, the communication
+    /// report, and the transformed AST. Serial and parallel driver runs
+    /// must produce byte-identical fingerprints (asserted in tests).
+    pub fn fingerprint(&self) -> String {
+        format!(
+            "{:#?}\n{:#?}\n{:?}\n{:#?}",
+            self.program, self.cp_dump, self.report, self.transformed
+        )
+    }
+}
+
 /// Compilation errors.
 #[derive(Debug)]
 pub enum CompileError {
@@ -145,7 +171,35 @@ impl std::fmt::Display for CompileError {
 
 impl std::error::Error for CompileError {}
 
+/// Synthesized-id chunk granted to each unit (statements and references).
+/// Unit `k` in bottom-up order allocates from `base + k·CHUNK`, making id
+/// assignment independent of scheduling: serial and parallel compilation
+/// synthesize identical ids.
+const ID_CHUNK: u32 = 1 << 20;
+
+/// Everything `process_unit` derives for one program unit, merged into the
+/// driver state in deterministic bottom-up order.
+struct UnitOutcome {
+    /// The unit after inlining and loop distribution.
+    unit: ProgramUnit,
+    env: DistEnv,
+    cps: CpAssignment,
+    plans: BTreeMap<StmtId, NestPlan>,
+    nests: Vec<StmtId>,
+    nest_scope: BTreeMap<StmtId, StmtId>,
+    entry_cp: Option<Cp>,
+    report: CommReport,
+}
+
 /// Compile an HPF program into an SPMD node program.
+///
+/// Per-unit analysis/planning is scheduled in call-graph waves: a unit's
+/// wave is one past the deepest wave of its callees, so every unit only
+/// reads state (callee bodies, entry CPs) produced by strictly earlier
+/// waves. Units within a wave are independent and — when
+/// [`CompileOptions::jobs`] > 1 — run on worker threads; results are
+/// merged in bottom-up order either way, so the output is byte-identical
+/// to a serial run.
 pub fn compile(program: &Program, opts: &CompileOptions) -> Result<Compiled, CompileError> {
     let mut program = program.clone();
 
@@ -176,13 +230,53 @@ pub fn compile(program: &Program, opts: &CompileOptions) -> Result<Compiled, Com
         .map(|s| s.to_string())
         .collect();
 
-    // id counters for synthesizing statements during transforms
-    let (mut next_stmt, mut next_ref) = max_ids(&program);
+    // deterministic per-unit id chunks for synthesized statements/refs
+    let (stmt_base, ref_base) = max_ids(&program);
+    let last = order.len().saturating_sub(1) as u64;
+    if stmt_base as u64 + (last + 1) * ID_CHUNK as u64 > u32::MAX as u64
+        || ref_base as u64 + (last + 1) * ID_CHUNK as u64 > u32::MAX as u64
+    {
+        return Err(CompileError::Other(format!(
+            "too many units ({}) for deterministic id chunking",
+            order.len()
+        )));
+    }
+
+    // wave index per unit: 0 for leaves, 1 + max(callee wave) otherwise
+    let mut wave_of: BTreeMap<&str, usize> = BTreeMap::new();
+    for uname in &order {
+        let w = graph
+            .calls
+            .get(uname.as_str())
+            .map(|callees| {
+                callees
+                    .iter()
+                    .filter_map(|c| wave_of.get(c.as_str()).copied())
+                    .map(|d| d + 1)
+                    .max()
+                    .unwrap_or(0)
+            })
+            .unwrap_or(0);
+        wave_of.insert(uname.as_str(), w);
+    }
+    let n_waves = order
+        .iter()
+        .map(|u| wave_of[u.as_str()] + 1)
+        .max()
+        .unwrap_or(0);
+    let waves: Vec<Vec<(usize, String)>> = (0..n_waves)
+        .map(|w| {
+            order
+                .iter()
+                .enumerate()
+                .filter(|(_, u)| wave_of[u.as_str()] == w)
+                .map(|(k, u)| (k, u.clone()))
+                .collect()
+        })
+        .collect();
 
     // entry CPs of already-processed units (bottom-up)
     let mut entry_cps: BTreeMap<String, Cp> = BTreeMap::new();
-    // fixed CPs recorded for inlined statements, per unit
-    let mut fixed_cps: BTreeMap<String, CpAssignment> = BTreeMap::new();
 
     // per-unit results
     let mut unit_envs: BTreeMap<String, DistEnv> = BTreeMap::new();
@@ -191,315 +285,427 @@ pub fn compile(program: &Program, opts: &CompileOptions) -> Result<Compiled, Com
     let mut unit_nests: BTreeMap<String, (Vec<StmtId>, BTreeMap<StmtId, StmtId>)> = BTreeMap::new();
     let mut report = CommReport::default();
 
-    for uname in &order {
-        // ---- inline loop-borne leaf calls ----------------------------------
-        let callee_snapshot = program.clone();
-        {
-            let unit = program
+    for wave in &waves {
+        let outcomes: Vec<Result<UnitOutcome, CompileError>> = if opts.jobs > 1 && wave.len() > 1 {
+            let mut results = Vec::with_capacity(wave.len());
+            for batch in wave.chunks(opts.jobs) {
+                let program_ref = &program;
+                let entry_ref = &entry_cps;
+                std::thread::scope(|scope| {
+                    let handles: Vec<_> = batch
+                        .iter()
+                        .map(|(k, uname)| {
+                            let k = *k as u32;
+                            scope.spawn(move || {
+                                process_unit(
+                                    program_ref,
+                                    uname,
+                                    opts,
+                                    entry_ref,
+                                    stmt_base + k * ID_CHUNK,
+                                    ref_base + k * ID_CHUNK,
+                                )
+                            })
+                        })
+                        .collect();
+                    for h in handles {
+                        results.push(h.join().unwrap_or_else(|_| {
+                            Err(CompileError::Other("compile worker panicked".into()))
+                        }));
+                    }
+                });
+            }
+            results
+        } else {
+            wave.iter()
+                .map(|(k, uname)| {
+                    process_unit(
+                        &program,
+                        uname,
+                        opts,
+                        &entry_cps,
+                        stmt_base + *k as u32 * ID_CHUNK,
+                        ref_base + *k as u32 * ID_CHUNK,
+                    )
+                })
+                .collect()
+        };
+
+        // deterministic merge in bottom-up order (wave lists preserve it)
+        for ((_, uname), outcome) in wave.iter().zip(outcomes) {
+            let o = outcome?;
+            let slot = program
                 .units
                 .iter_mut()
                 .find(|u| u.name == *uname)
                 .expect("unit in order");
-            inline_unit(
-                unit,
-                &callee_snapshot,
-                &entry_cps,
-                opts.flags.interproc,
-                &mut next_stmt,
-                &mut next_ref,
-                fixed_cps.entry(uname.clone()).or_default(),
-            )?;
-        }
-
-        // ---- analyses (repeated after any loop distribution) ---------------
-        let mut guard = 0;
-        loop {
-            guard += 1;
-            if guard > 10 {
-                return Err(CompileError::Other(format!(
-                    "loop distribution did not converge in {uname}"
-                )));
-            }
-            let unit = program.unit(uname).unwrap().clone();
-            let env = resolve_dist(&unit, &opts.bindings).map_err(CompileError::Distribution)?;
-            // every processor must own a non-empty block of every
-            // distributed array (empty blocks would break pipeline chains)
-            if let Some(grid) = &env.grid {
-                for dist in env.arrays.values() {
-                    if !dist.is_distributed() {
-                        continue;
-                    }
-                    for rank in grid.ranks() {
-                        if dist.owned_box(&grid.coords(rank)).is_none() {
-                            return Err(CompileError::Other(format!(
-                                "array `{}` has an empty block on processor {rank}:                                  grid {:?} is too large for its extents",
-                                dist.array, grid.extents
-                            )));
-                        }
-                    }
-                }
-            }
-            let (tabs, _) = symtab::resolve(&program);
-            let tab = tabs.get(uname).cloned().unwrap_or_default();
-            let loops = UnitLoops::build(&unit);
-            let refs = UnitRefs::build(&unit, &tab);
-
-            // top-level compute nests. A one-trip wrapper loop (the
-            // LOCALIZE idiom `do one = 1, 1`) is transparent for
-            // communication placement: its child nests are planned
-            // individually so an exchange between two children lands
-            // *between* them, not hoisted above the producer.
-            let mut nests: Vec<StmtId> = Vec::new();
-            let mut nest_scope: BTreeMap<StmtId, StmtId> = BTreeMap::new();
-            for s in &unit.body {
-                let StmtKind::Do { lo, hi, body, .. } = &s.kind else {
-                    continue;
-                };
-                if !is_compute_nest(s) {
-                    continue;
-                }
-                let one_trip = match (
-                    dhpf_fortran::subscript::affine(lo, &unit.decls),
-                    dhpf_fortran::subscript::affine(hi, &unit.decls),
-                ) {
-                    (Some(a), Some(b)) => {
-                        a.is_constant() && b.is_constant() && a.constant() == b.constant()
-                    }
-                    _ => false,
-                };
-                // a "time loop": the induction variable never subscripts
-                // any reference, so each iteration re-runs the same data
-                // access pattern — exchanges must re-execute per iteration
-                let var_name = match &s.kind {
-                    StmtKind::Do { var, .. } => var.clone(),
-                    _ => unreachable!(),
-                };
-                let mut var_subscripts = false;
-                s.walk(&mut |st| {
-                    st.for_each_ref(&mut |r, _| {
-                        for sub in &r.subs {
-                            if let Some(lin) = dhpf_fortran::subscript::affine(sub, &unit.decls) {
-                                if lin.mentions(&var_name) {
-                                    var_subscripts = true;
-                                }
-                            } else {
-                                var_subscripts = true; // conservative
-                            }
-                        }
-                    });
-                });
-                let transparent = one_trip || !var_subscripts;
-                let child_loops: Vec<StmtId> = body
-                    .iter()
-                    .filter(|c| matches!(c.kind, StmtKind::Do { .. }))
-                    .map(|c| c.id)
-                    .collect();
-                if transparent && !child_loops.is_empty() && child_loops.len() == body.len() {
-                    for c in child_loops {
-                        nests.push(c);
-                        nest_scope.insert(c, s.id);
-                    }
-                } else {
-                    nests.push(s.id);
-                }
-            }
-
-            // §5 grouping first: may demand loop distribution
-            if opts.flags.loop_distribution {
-                let mut distributed_any = false;
-                for &nest in &nests {
-                    let deps = analyze_loop_deps(nest, &loops, &refs);
-                    let stmts = select::assignments_in(nest, &loops, &refs);
-                    let cands: BTreeMap<StmtId, Vec<select::Candidate>> = stmts
-                        .iter()
-                        .map(|s| (*s, select::candidates(*s, &refs, &env)))
-                        .collect();
-                    let grouping = group_statements(&stmts, &cands, &deps);
-                    if grouping.marked.is_empty() {
-                        continue;
-                    }
-                    // distribute at the deepest loop containing each pair
-                    if distribute_in_unit(
-                        &mut program,
-                        uname,
-                        nest,
-                        &loops,
-                        &deps,
-                        &grouping.marked,
-                        &mut next_stmt,
-                    ) {
-                        distributed_any = true;
-                        break; // re-analyze from scratch
-                    }
-                }
-                if distributed_any {
-                    continue;
-                }
-            }
-
-            // ---- CP selection ---------------------------------------------
-            let mut assignment: CpAssignment = fixed_cps.get(uname).cloned().unwrap_or_default();
-            for &nest in &nests {
-                let deps = analyze_loop_deps(nest, &loops, &refs);
-                let stmts = select::assignments_in(nest, &loops, &refs);
-                // NEW/LOCALIZE definition statements are partitioned by
-                // propagation, not by local selection
-                let managed: Vec<String> = loops
-                    .loops
-                    .values()
-                    .flat_map(|l| {
-                        l.dir
-                            .new_vars
-                            .iter()
-                            .chain(l.dir.localize_vars.iter())
-                            .cloned()
-                    })
-                    .collect();
-                let selectable: Vec<StmtId> = stmts
-                    .iter()
-                    .filter(|s| {
-                        refs.write_of(**s)
-                            .map(|w| !managed.contains(&w.array))
-                            .unwrap_or(true)
-                    })
-                    .cloned()
-                    .collect();
-
-                let mut fixed = CpAssignment::new();
-                for (id, cp) in &assignment {
-                    fixed.insert(*id, cp.clone());
-                }
-                // §5 grouping restricts choices
-                let sel = if opts.flags.loop_distribution {
-                    let cands: BTreeMap<StmtId, Vec<select::Candidate>> = selectable
-                        .iter()
-                        .map(|s| (*s, select::candidates(*s, &refs, &env)))
-                        .collect();
-                    let grouping = group_statements(&selectable, &cands, &deps);
-                    let mut grouped = assign_group_cps(&grouping, &cands);
-                    for (id, cp) in &fixed {
-                        grouped.insert(*id, cp.clone());
-                    }
-                    grouped
-                } else {
-                    select::select_for_loop(&selectable, &fixed, &refs, &env)
-                };
-                for (id, cp) in sel {
-                    assignment.insert(id, cp);
-                }
-            }
-
-            // §4.1 / §4.2 on every directive loop of the unit (a LOCALIZE
-            // directive may sit on a one-trip wrapper that is not itself a
-            // planned nest)
-            {
-                let mut dir_loops: Vec<StmtId> = loops
-                    .loops
-                    .iter()
-                    .filter(|(_, info)| !info.dir.is_empty())
-                    .map(|(id, _)| *id)
-                    .collect();
-                dir_loops.sort_by_key(|id| std::cmp::Reverse(loops.order[id]));
-                // §4 propagation iterates to a fixpoint: a LOCALIZE/NEW
-                // definition may read another managed variable, whose CP
-                // only becomes final after ITS uses were propagated
-                // (rho_i consumed by the square/qs definitions in
-                // compute_rhs is the canonical case)
-                for _pass in 0..3 {
-                    for dl in dir_loops.clone() {
-                        if opts.flags.privatizable_cp {
-                            propagate_new_cps(dl, &loops, &refs, &mut assignment);
-                        } else {
-                            // strawman: replicate NEW definitions
-                            for var in &loops.loops[&dl].dir.new_vars {
-                                for w in dhpf_depend::usedef::writes_of_var(dl, var, &loops, &refs)
-                                {
-                                    assignment.insert(w.stmt, Cp::replicated());
-                                }
-                            }
-                        }
-                        if opts.flags.localize {
-                            apply_localize(dl, &loops, &refs, &mut assignment);
-                        } else {
-                            for var in &loops.loops[&dl].dir.localize_vars {
-                                for w in dhpf_depend::usedef::writes_of_var(dl, var, &loops, &refs)
-                                {
-                                    let subs: Option<Vec<_>> = w.subs.iter().cloned().collect();
-                                    if let Some(subs) = subs {
-                                        assignment.insert(
-                                            w.stmt,
-                                            Cp::single(crate::cp::CpTerm::on_home(var, subs)),
-                                        );
-                                    }
-                                }
-                            }
-                        }
-                    }
-                }
-            }
-
-            // owner-computes for any remaining top-level assignments
-            for s in &unit.body {
-                if let StmtKind::Assign { .. } = &s.kind {
-                    if let Some(w) = refs.write_of(s.id) {
-                        if env
-                            .dist_of(&w.array)
-                            .map(|d| d.is_distributed())
-                            .unwrap_or(false)
-                        {
-                            let subs: Option<Vec<_>> = w.subs.iter().cloned().collect();
-                            if let Some(subs) = subs {
-                                assignment.entry(s.id).or_insert_with(|| {
-                                    Cp::single(crate::cp::CpTerm::on_home(&w.array, subs))
-                                });
-                            }
-                        }
-                    }
-                }
-            }
-
-            // ---- communication plans ----------------------------------------
-            let mut plans: BTreeMap<StmtId, NestPlan> = BTreeMap::new();
-            if env.grid.is_some() {
-                let comm_opts = CommOptions {
-                    data_availability: opts.flags.data_availability,
-                    granularity: opts.granularity,
-                };
-                for &nest in &nests {
-                    let deps = analyze_loop_deps(nest, &loops, &refs);
-                    let scope = nest_scope.get(&nest).copied().unwrap_or(nest);
-                    let scope_deps =
-                        (scope != nest).then(|| analyze_loop_deps(scope, &loops, &refs));
-                    let plan = crate::comm::plan_nest_scoped(
-                        nest,
-                        scope,
-                        scope_deps.as_deref(),
-                        &loops,
-                        &refs,
-                        &deps,
-                        &assignment,
-                        &env,
-                        &comm_opts,
-                        &mut report,
-                    )
-                    .map_err(|e| CompileError::Comm(uname.clone(), e))?;
-                    plans.insert(nest, plan);
-                }
-            }
-
-            // entry CP for callers (§6)
-            if let Some(ecp) = entry_cp(&unit, &assignment, &refs, &env) {
+            *slot = o.unit;
+            report.absorb(&o.report);
+            if let Some(ecp) = o.entry_cp {
                 entry_cps.insert(uname.clone(), ecp);
             }
-
-            unit_envs.insert(uname.clone(), env);
-            unit_cps.insert(uname.clone(), assignment);
-            unit_plans.insert(uname.clone(), plans);
-            unit_nests.insert(uname.clone(), (nests, nest_scope));
-            break;
+            unit_envs.insert(uname.clone(), o.env);
+            unit_cps.insert(uname.clone(), o.cps);
+            unit_plans.insert(uname.clone(), o.plans);
+            unit_nests.insert(uname.clone(), (o.nests, o.nest_scope));
         }
     }
 
+    finish_compile(
+        program, opts, unit_envs, unit_cps, unit_plans, unit_nests, report,
+    )
+}
+
+/// The full analysis pipeline for one unit, run against a snapshot in
+/// which every callee (strictly earlier wave) is already transformed.
+/// Pure with respect to driver state: everything it produces comes back
+/// in the [`UnitOutcome`], and synthesized ids are drawn from the
+/// caller-assigned `[stmt_base, stmt_base + ID_CHUNK)` /
+/// `[ref_base, ref_base + ID_CHUNK)` chunks so results are identical no
+/// matter how units are scheduled across threads.
+fn process_unit(
+    snapshot: &Program,
+    uname: &str,
+    opts: &CompileOptions,
+    entry_cps: &BTreeMap<String, Cp>,
+    stmt_base: u32,
+    ref_base: u32,
+) -> Result<UnitOutcome, CompileError> {
+    let mut program = snapshot.clone();
+    let mut next_stmt = stmt_base;
+    let mut next_ref = ref_base;
+    // fixed CPs recorded for statements this unit inlines
+    let mut fixed_cps = CpAssignment::new();
+    let mut report = CommReport::default();
+
+    // ---- inline loop-borne leaf calls --------------------------------------
+    {
+        let unit = program
+            .units
+            .iter_mut()
+            .find(|u| u.name == uname)
+            .expect("unit in order");
+        inline_unit(
+            unit,
+            snapshot,
+            entry_cps,
+            opts.flags.interproc,
+            &mut next_stmt,
+            &mut next_ref,
+            &mut fixed_cps,
+        )?;
+    }
+
+    // ---- analyses (repeated after any loop distribution) -------------------
+    let mut guard = 0;
+    loop {
+        guard += 1;
+        if guard > 10 {
+            return Err(CompileError::Other(format!(
+                "loop distribution did not converge in {uname}"
+            )));
+        }
+        let unit = program.unit(uname).unwrap().clone();
+        let env = resolve_dist(&unit, &opts.bindings).map_err(CompileError::Distribution)?;
+        // every processor must own a non-empty block of every
+        // distributed array (empty blocks would break pipeline chains)
+        if let Some(grid) = &env.grid {
+            for dist in env.arrays.values() {
+                if !dist.is_distributed() {
+                    continue;
+                }
+                for rank in grid.ranks() {
+                    if dist.owned_box(&grid.coords(rank)).is_none() {
+                        return Err(CompileError::Other(format!(
+                                "array `{}` has an empty block on processor {rank}:                                  grid {:?} is too large for its extents",
+                                dist.array, grid.extents
+                            )));
+                    }
+                }
+            }
+        }
+        let (tabs, _) = symtab::resolve(&program);
+        let tab = tabs.get(uname).cloned().unwrap_or_default();
+        let loops = UnitLoops::build(&unit);
+        let refs = UnitRefs::build(&unit, &tab);
+
+        // top-level compute nests. A one-trip wrapper loop (the
+        // LOCALIZE idiom `do one = 1, 1`) is transparent for
+        // communication placement: its child nests are planned
+        // individually so an exchange between two children lands
+        // *between* them, not hoisted above the producer.
+        let mut nests: Vec<StmtId> = Vec::new();
+        let mut nest_scope: BTreeMap<StmtId, StmtId> = BTreeMap::new();
+        for s in &unit.body {
+            let StmtKind::Do { lo, hi, body, .. } = &s.kind else {
+                continue;
+            };
+            if !is_compute_nest(s) {
+                continue;
+            }
+            let one_trip = match (
+                dhpf_fortran::subscript::affine(lo, &unit.decls),
+                dhpf_fortran::subscript::affine(hi, &unit.decls),
+            ) {
+                (Some(a), Some(b)) => {
+                    a.is_constant() && b.is_constant() && a.constant() == b.constant()
+                }
+                _ => false,
+            };
+            // a "time loop": the induction variable never subscripts
+            // any reference, so each iteration re-runs the same data
+            // access pattern — exchanges must re-execute per iteration
+            let var_name = match &s.kind {
+                StmtKind::Do { var, .. } => var.clone(),
+                _ => unreachable!(),
+            };
+            let mut var_subscripts = false;
+            s.walk(&mut |st| {
+                st.for_each_ref(&mut |r, _| {
+                    for sub in &r.subs {
+                        if let Some(lin) = dhpf_fortran::subscript::affine(sub, &unit.decls) {
+                            if lin.mentions(&var_name) {
+                                var_subscripts = true;
+                            }
+                        } else {
+                            var_subscripts = true; // conservative
+                        }
+                    }
+                });
+            });
+            let transparent = one_trip || !var_subscripts;
+            let child_loops: Vec<StmtId> = body
+                .iter()
+                .filter(|c| matches!(c.kind, StmtKind::Do { .. }))
+                .map(|c| c.id)
+                .collect();
+            if transparent && !child_loops.is_empty() && child_loops.len() == body.len() {
+                for c in child_loops {
+                    nests.push(c);
+                    nest_scope.insert(c, s.id);
+                }
+            } else {
+                nests.push(s.id);
+            }
+        }
+
+        // §5 grouping first: may demand loop distribution
+        if opts.flags.loop_distribution {
+            let mut distributed_any = false;
+            for &nest in &nests {
+                let deps = analyze_loop_deps(nest, &loops, &refs);
+                let stmts = select::assignments_in(nest, &loops, &refs);
+                let cands: BTreeMap<StmtId, Vec<select::Candidate>> = stmts
+                    .iter()
+                    .map(|s| (*s, select::candidates(*s, &refs, &env)))
+                    .collect();
+                let grouping = group_statements(&stmts, &cands, &deps);
+                if grouping.marked.is_empty() {
+                    continue;
+                }
+                // distribute at the deepest loop containing each pair
+                if distribute_in_unit(
+                    &mut program,
+                    uname,
+                    nest,
+                    &loops,
+                    &deps,
+                    &grouping.marked,
+                    &mut next_stmt,
+                ) {
+                    distributed_any = true;
+                    break; // re-analyze from scratch
+                }
+            }
+            if distributed_any {
+                continue;
+            }
+        }
+
+        // ---- CP selection ---------------------------------------------
+        let mut assignment: CpAssignment = fixed_cps.clone();
+        for &nest in &nests {
+            let deps = analyze_loop_deps(nest, &loops, &refs);
+            let stmts = select::assignments_in(nest, &loops, &refs);
+            // NEW/LOCALIZE definition statements are partitioned by
+            // propagation, not by local selection
+            let managed: Vec<String> = loops
+                .loops
+                .values()
+                .flat_map(|l| {
+                    l.dir
+                        .new_vars
+                        .iter()
+                        .chain(l.dir.localize_vars.iter())
+                        .cloned()
+                })
+                .collect();
+            let selectable: Vec<StmtId> = stmts
+                .iter()
+                .filter(|s| {
+                    refs.write_of(**s)
+                        .map(|w| !managed.contains(&w.array))
+                        .unwrap_or(true)
+                })
+                .cloned()
+                .collect();
+
+            let mut fixed = CpAssignment::new();
+            for (id, cp) in &assignment {
+                fixed.insert(*id, cp.clone());
+            }
+            // §5 grouping restricts choices
+            let sel = if opts.flags.loop_distribution {
+                let cands: BTreeMap<StmtId, Vec<select::Candidate>> = selectable
+                    .iter()
+                    .map(|s| (*s, select::candidates(*s, &refs, &env)))
+                    .collect();
+                let grouping = group_statements(&selectable, &cands, &deps);
+                let mut grouped = assign_group_cps(&grouping, &cands);
+                for (id, cp) in &fixed {
+                    grouped.insert(*id, cp.clone());
+                }
+                grouped
+            } else {
+                select::select_for_loop(&selectable, &fixed, &refs, &env)
+            };
+            for (id, cp) in sel {
+                assignment.insert(id, cp);
+            }
+        }
+
+        // §4.1 / §4.2 on every directive loop of the unit (a LOCALIZE
+        // directive may sit on a one-trip wrapper that is not itself a
+        // planned nest)
+        {
+            let mut dir_loops: Vec<StmtId> = loops
+                .loops
+                .iter()
+                .filter(|(_, info)| !info.dir.is_empty())
+                .map(|(id, _)| *id)
+                .collect();
+            dir_loops.sort_by_key(|id| std::cmp::Reverse(loops.order[id]));
+            // §4 propagation iterates to a fixpoint: a LOCALIZE/NEW
+            // definition may read another managed variable, whose CP
+            // only becomes final after ITS uses were propagated
+            // (rho_i consumed by the square/qs definitions in
+            // compute_rhs is the canonical case)
+            for _pass in 0..3 {
+                for dl in dir_loops.clone() {
+                    if opts.flags.privatizable_cp {
+                        propagate_new_cps(dl, &loops, &refs, &mut assignment);
+                    } else {
+                        // strawman: replicate NEW definitions
+                        for var in &loops.loops[&dl].dir.new_vars {
+                            for w in dhpf_depend::usedef::writes_of_var(dl, var, &loops, &refs) {
+                                assignment.insert(w.stmt, Cp::replicated());
+                            }
+                        }
+                    }
+                    if opts.flags.localize {
+                        apply_localize(dl, &loops, &refs, &mut assignment);
+                    } else {
+                        for var in &loops.loops[&dl].dir.localize_vars {
+                            for w in dhpf_depend::usedef::writes_of_var(dl, var, &loops, &refs) {
+                                let subs: Option<Vec<_>> = w.subs.iter().cloned().collect();
+                                if let Some(subs) = subs {
+                                    assignment.insert(
+                                        w.stmt,
+                                        Cp::single(crate::cp::CpTerm::on_home(var, subs)),
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // owner-computes for any remaining top-level assignments
+        for s in &unit.body {
+            if let StmtKind::Assign { .. } = &s.kind {
+                if let Some(w) = refs.write_of(s.id) {
+                    if env
+                        .dist_of(&w.array)
+                        .map(|d| d.is_distributed())
+                        .unwrap_or(false)
+                    {
+                        let subs: Option<Vec<_>> = w.subs.iter().cloned().collect();
+                        if let Some(subs) = subs {
+                            assignment.entry(s.id).or_insert_with(|| {
+                                Cp::single(crate::cp::CpTerm::on_home(&w.array, subs))
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // ---- communication plans ----------------------------------------
+        let mut plans: BTreeMap<StmtId, NestPlan> = BTreeMap::new();
+        if env.grid.is_some() {
+            let comm_opts = CommOptions {
+                data_availability: opts.flags.data_availability,
+                granularity: opts.granularity,
+            };
+            for &nest in &nests {
+                let deps = analyze_loop_deps(nest, &loops, &refs);
+                let scope = nest_scope.get(&nest).copied().unwrap_or(nest);
+                let scope_deps = (scope != nest).then(|| analyze_loop_deps(scope, &loops, &refs));
+                let plan = crate::comm::plan_nest_scoped(
+                    nest,
+                    scope,
+                    scope_deps.as_deref(),
+                    &loops,
+                    &refs,
+                    &deps,
+                    &assignment,
+                    &env,
+                    &comm_opts,
+                    &mut report,
+                )
+                .map_err(|e| CompileError::Comm(uname.to_string(), e))?;
+                plans.insert(nest, plan);
+            }
+        }
+
+        // entry CP for callers (§6)
+        let ecp = entry_cp(&unit, &assignment, &refs, &env);
+
+        if next_stmt.saturating_sub(stmt_base) > ID_CHUNK
+            || next_ref.saturating_sub(ref_base) > ID_CHUNK
+        {
+            return Err(CompileError::Other(format!(
+                "unit {uname} exhausted its synthesized-id chunk"
+            )));
+        }
+
+        let transformed = program.unit(uname).unwrap().clone();
+        return Ok(UnitOutcome {
+            unit: transformed,
+            env,
+            cps: assignment,
+            plans,
+            nests,
+            nest_scope,
+            entry_cp: ecp,
+            report,
+        });
+    }
+}
+
+/// Code generation and result assembly, after every unit has been analyzed
+/// and merged back into `program` in deterministic bottom-up order.
+#[allow(clippy::too_many_arguments)]
+fn finish_compile(
+    program: Program,
+    opts: &CompileOptions,
+    unit_envs: BTreeMap<String, DistEnv>,
+    unit_cps: BTreeMap<String, CpAssignment>,
+    unit_plans: BTreeMap<String, BTreeMap<StmtId, NestPlan>>,
+    mut unit_nests: BTreeMap<String, (Vec<StmtId>, BTreeMap<StmtId, StmtId>)>,
+    report: CommReport,
+) -> Result<Compiled, CompileError> {
     // ---- code generation ----------------------------------------------------
     let main_unit = program
         .main()

@@ -31,9 +31,19 @@ impl ArrayValue {
 
     #[inline]
     pub fn offset(&self, idx: &[i64]) -> usize {
+        // A real check, not a debug_assert: in release builds an
+        // out-of-range index would otherwise wrap through `as usize` and
+        // can land back inside `data`, silently reading or clobbering an
+        // unrelated element of the ground-truth state.
+        assert!(
+            idx.len() == self.lo.len(),
+            "rank mismatch: index {idx:?} against bounds [{:?}..{:?}]",
+            self.lo,
+            self.hi
+        );
         let mut off = 0usize;
         for d in 0..idx.len() {
-            debug_assert!(
+            assert!(
                 idx[d] >= self.lo[d] && idx[d] <= self.hi[d],
                 "index {idx:?} out of bounds [{:?}..{:?}]",
                 self.lo,
@@ -755,5 +765,30 @@ mod tests {
 ");
         assert!(r.flops_by_unit["g"] > 0);
         assert!(!r.flops_by_unit.contains_key("t") || r.flops_by_unit["t"] == 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn offset_rejects_out_of_bounds_in_release_too() {
+        // regression: this was a debug_assert!, so release builds wrapped
+        // the subtraction and aliased another element instead of failing
+        let a = ArrayValue::new(vec![1, 1], vec![4, 4]);
+        let _ = a.offset(&[0, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rank mismatch")]
+    fn offset_rejects_rank_mismatch() {
+        let a = ArrayValue::new(vec![1, 1], vec![4, 4]);
+        let _ = a.offset(&[2]);
+    }
+
+    #[test]
+    fn offset_accepts_full_inclusive_range() {
+        let mut a = ArrayValue::new(vec![1, -2], vec![3, 2]);
+        a.set(&[3, 2], 7.5);
+        a.set(&[1, -2], 1.5);
+        assert_eq!(a.get(&[3, 2]), 7.5);
+        assert_eq!(a.get(&[1, -2]), 1.5);
     }
 }

@@ -104,6 +104,19 @@ impl Constraint {
         }
     }
 
+    /// Cheap syntactic falsity test: a constant constraint that can never
+    /// hold. For constraints already in normalized form — the only kind a
+    /// [`crate::Polyhedron`] stores, besides the canonical `-1 ≥ 0` empty
+    /// marker — this is equivalent to `normalize()` returning
+    /// [`Normalized::False`], without re-running GCD tightening.
+    pub fn is_trivially_false(&self) -> bool {
+        self.expr.is_constant()
+            && match self.kind {
+                Kind::Ge => self.expr.constant() < 0,
+                Kind::Eq => self.expr.constant() != 0,
+            }
+    }
+
     /// Substitute a variable throughout.
     pub fn substitute(&self, name: &str, replacement: &LinExpr) -> Constraint {
         Constraint {

@@ -87,7 +87,12 @@ pub struct BoundNest {
 /// that as "cannot generate a loop nest".
 pub fn bound_nest(poly: &Polyhedron, order: &[String]) -> Option<BoundNest> {
     let mut levels = Vec::with_capacity(order.len());
-    // project innermost-out: for level d, eliminate order[d+1..]
+    // Project innermost-out: for level d, eliminate order[d+1..] from the
+    // *original* polyhedron, always in forward order. The per-level suffix
+    // eliminations must not be re-associated or chained in a different
+    // order — FM output representation (and hence the emitted loop bounds)
+    // depends on it. Repeated nests are cheap anyway: each eliminate step
+    // is memoized by the interner.
     for d in 0..order.len() {
         let mut p = poly.clone();
         for v in &order[d + 1..] {

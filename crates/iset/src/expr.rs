@@ -56,11 +56,13 @@ impl LinExpr {
     }
 
     /// Coefficient of `name` (0 if absent).
+    #[inline]
     pub fn coeff(&self, name: &str) -> i64 {
         self.terms.get(name).copied().unwrap_or(0)
     }
 
     /// The constant term.
+    #[inline]
     pub fn constant(&self) -> i64 {
         self.constant
     }
@@ -83,6 +85,7 @@ impl LinExpr {
     }
 
     /// True iff the expression is a constant (no variables).
+    #[inline]
     pub fn is_constant(&self) -> bool {
         self.terms.is_empty()
     }

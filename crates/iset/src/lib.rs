@@ -26,16 +26,24 @@
 //! `g·x + c ≥ 0` constraint by `g = gcd` floors the constant), so the most
 //! common compiler constraints (unit-coefficient bounds from loop nests and
 //! BLOCK distributions) are handled exactly.
+//!
+//! The hot operations (union, intersect, subtract, project, subset-test,
+//! polyhedron emptiness and elimination) are memoized through a process-wide
+//! hash-consing interner — see [`intern`] for the design, [`cache_stats`]
+//! for hit/miss counters, and the `*_uncached` method variants for the
+//! cache-bypassing paths used by differential tests.
 
 pub mod constraint;
 pub mod enumerate;
 pub mod expr;
+pub mod intern;
 pub mod map;
 pub mod poly;
 pub mod set;
 
 pub use constraint::{Constraint, Kind};
 pub use expr::LinExpr;
+pub use intern::{cache_stats, reset_cache, CacheStats, OpStats};
 pub use map::Map;
 pub use poly::Polyhedron;
 pub use set::Set;

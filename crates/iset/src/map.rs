@@ -74,15 +74,24 @@ impl Map {
         for (v, f) in self.in_space.iter().zip(&fresh) {
             renamed = renamed.rename_dim(v, f);
         }
+        // the renamed output expressions don't depend on the disjunct;
+        // compute them once rather than per polyhedron
+        let rhs: Vec<LinExpr> = self
+            .outputs
+            .iter()
+            .map(|e| {
+                let mut rhs = e.clone();
+                for (v, f) in self.in_space.iter().zip(&fresh) {
+                    rhs = rhs.substitute(v, &LinExpr::var(f));
+                }
+                rhs
+            })
+            .collect();
         let mut out = Set::empty(&self.out_space);
         for poly in renamed.polys() {
             let mut p = poly.clone();
             for (d, ov) in self.out_space.iter().enumerate() {
-                let mut rhs = self.outputs[d].clone();
-                for (v, f) in self.in_space.iter().zip(&fresh) {
-                    rhs = rhs.substitute(v, &LinExpr::var(f));
-                }
-                p.add(Constraint::eq(LinExpr::var(ov), rhs));
+                p.add(Constraint::eq(LinExpr::var(ov), rhs[d].clone()));
             }
             for f in &fresh {
                 p = p.eliminate(f);

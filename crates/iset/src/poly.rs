@@ -61,10 +61,13 @@ impl Polyhedron {
     }
 
     /// Whether the polyhedron is the canonical empty marker (syntactic).
+    ///
+    /// Stored constraints are always in normalized form (see
+    /// [`Polyhedron::add`]), so the full [`Constraint::normalize`] pass is
+    /// unnecessary here: the cheap constant-falsity check is equivalent and
+    /// this method sits on the hot path of `subtract`/`intersect`.
     pub fn is_trivially_empty(&self) -> bool {
-        self.cons
-            .iter()
-            .any(|c| matches!(c.normalize(), Normalized::False))
+        self.cons.iter().any(|c| c.is_trivially_false())
     }
 
     /// Conjunction of two polyhedra.
@@ -104,8 +107,15 @@ impl Polyhedron {
     /// for unit coefficients — the common case for loop/distribution
     /// constraints). Equalities mentioning `var` with a ±1 coefficient are
     /// used for exact substitution first; otherwise the equality is split
-    /// into two inequalities.
+    /// into two inequalities. Memoized on the interned `(polyhedron, var)`
+    /// pair — FM elimination dominates compile time, so warm queries are
+    /// answered from the table.
     pub fn eliminate(&self, var: &str) -> Polyhedron {
+        crate::intern::cached_poly_eliminate(self, var, || self.eliminate_uncached(var))
+    }
+
+    /// Cache-bypassing variant of [`Polyhedron::eliminate`].
+    pub fn eliminate_uncached(&self, var: &str) -> Polyhedron {
         // 1. Exact substitution through a unit-coefficient equality.
         if let Some(eq) = self
             .cons
@@ -182,13 +192,28 @@ impl Polyhedron {
 
     /// Rational emptiness test: eliminate *every* variable and check the
     /// residual constant system. Empty ⇒ integer-empty (sound); nonempty
-    /// means "may contain integer points".
+    /// means "may contain integer points". Memoized on the interned
+    /// polyhedron (after a lock-free trivial-emptiness fast path).
     pub fn is_empty(&self) -> bool {
         if self.is_trivially_empty() {
             return true;
         }
+        crate::intern::cached_poly_empty(self, || self.is_empty_uncached())
+    }
+
+    /// Cache-bypassing variant of [`Polyhedron::is_empty`].
+    pub fn is_empty_uncached(&self) -> bool {
+        if self.is_trivially_empty() {
+            return true;
+        }
         let vars = self.vars();
-        let p = self.eliminate_all(vars.iter().map(|s| s.as_str()));
+        let mut p = self.clone();
+        for v in &vars {
+            if p.is_trivially_empty() {
+                return true;
+            }
+            p = p.eliminate_uncached(v);
+        }
         p.is_trivially_empty()
     }
 

@@ -3,6 +3,7 @@
 
 use crate::constraint::Constraint;
 use crate::expr::LinExpr;
+use crate::intern;
 use crate::poly::Polyhedron;
 use std::collections::BTreeSet;
 use std::fmt;
@@ -103,8 +104,17 @@ impl Set {
         assert_eq!(self.space, other.space, "{op} on mismatched spaces");
     }
 
-    /// Set union.
+    /// Set union (memoized via the [`crate::intern`] tables).
     pub fn union(&self, other: &Set) -> Set {
+        self.assert_same_space(other, "union");
+        intern::cached_set_op(intern::SetOp::Union, self, other, || {
+            self.union_uncached(other)
+        })
+    }
+
+    /// Cache-bypassing variant of [`Set::union`]: identical result, no
+    /// interner traffic.
+    pub fn union_uncached(&self, other: &Set) -> Set {
         self.assert_same_space(other, "union");
         let mut out = self.clone();
         for p in &other.polys {
@@ -113,14 +123,31 @@ impl Set {
         out
     }
 
-    /// Set intersection (pairwise polyhedron conjunction).
+    /// Set intersection (pairwise polyhedron conjunction; memoized).
     pub fn intersect(&self, other: &Set) -> Set {
         self.assert_same_space(other, "intersect");
+        intern::cached_set_op(intern::SetOp::Intersect, self, other, || {
+            self.intersect_impl(other, true)
+        })
+    }
+
+    /// Cache-bypassing variant of [`Set::intersect`].
+    pub fn intersect_uncached(&self, other: &Set) -> Set {
+        self.assert_same_space(other, "intersect");
+        self.intersect_impl(other, false)
+    }
+
+    fn intersect_impl(&self, other: &Set, cached: bool) -> Set {
         let mut out = Set::empty(&self.space);
         for a in &self.polys {
             for b in &other.polys {
                 let c = a.intersect(b);
-                if !c.is_empty() {
+                let empty = if cached {
+                    c.is_empty()
+                } else {
+                    c.is_empty_uncached()
+                };
+                if !empty {
                     out.push(c);
                 }
             }
@@ -142,9 +169,21 @@ impl Set {
     }
 
     /// Set difference `self ∖ other`, exact over the integers for the
-    /// negation step (constraint negation is integer-exact).
+    /// negation step (constraint negation is integer-exact; memoized).
     pub fn subtract(&self, other: &Set) -> Set {
         self.assert_same_space(other, "subtract");
+        intern::cached_set_op(intern::SetOp::Subtract, self, other, || {
+            self.subtract_impl(other, true)
+        })
+    }
+
+    /// Cache-bypassing variant of [`Set::subtract`].
+    pub fn subtract_uncached(&self, other: &Set) -> Set {
+        self.assert_same_space(other, "subtract");
+        self.subtract_impl(other, false)
+    }
+
+    fn subtract_impl(&self, other: &Set, cached: bool) -> Set {
         // A ∖ (B1 ∪ … ∪ Bk) = ((A ∖ B1) ∖ …) ∖ Bk
         let mut cur: Vec<Polyhedron> = self.polys.clone();
         for b in &other.polys {
@@ -159,7 +198,12 @@ impl Set {
                     for neg in c.negate() {
                         let mut piece = prefix.clone();
                         piece.add(neg);
-                        if !piece.is_empty() {
+                        let empty = if cached {
+                            piece.is_empty()
+                        } else {
+                            piece.is_empty_uncached()
+                        };
+                        if !empty {
                             next.push(piece);
                         }
                     }
@@ -184,10 +228,21 @@ impl Set {
         self.polys.iter().all(|p| p.is_empty())
     }
 
+    /// Cache-bypassing variant of [`Set::is_empty`].
+    pub fn is_empty_uncached(&self) -> bool {
+        self.polys.iter().all(|p| p.is_empty_uncached())
+    }
+
     /// Prove `self ⊆ other` (for all parameter values). Conservative:
-    /// `false` means "could not prove".
+    /// `false` means "could not prove". Memoized.
     pub fn is_subset(&self, other: &Set) -> bool {
-        self.subtract(other).is_empty()
+        self.assert_same_space(other, "subtract");
+        intern::cached_subset(self, other, || self.subtract(other).is_empty())
+    }
+
+    /// Cache-bypassing variant of [`Set::is_subset`].
+    pub fn is_subset_uncached(&self, other: &Set) -> bool {
+        self.subtract_uncached(other).is_empty_uncached()
     }
 
     /// Prove extensional equality. Conservative like [`Set::is_subset`].
@@ -195,17 +250,38 @@ impl Set {
         self.is_subset(other) && other.is_subset(self)
     }
 
-    /// Project out one tuple variable, shrinking the space.
+    /// Project out one tuple variable, shrinking the space. Memoized.
     pub fn project_out(&self, var: &str) -> Set {
         assert!(
             self.space.iter().any(|v| v == var),
             "project_out: {var} not in space"
         );
+        intern::cached_project(self, var, || self.project_impl(var, true))
+    }
+
+    /// Cache-bypassing variant of [`Set::project_out`].
+    pub fn project_out_uncached(&self, var: &str) -> Set {
+        assert!(
+            self.space.iter().any(|v| v == var),
+            "project_out: {var} not in space"
+        );
+        self.project_impl(var, false)
+    }
+
+    fn project_impl(&self, var: &str, cached: bool) -> Set {
         let space: Vec<String> = self.space.iter().filter(|v| *v != var).cloned().collect();
         let mut out = Set::empty(&space);
         for p in &self.polys {
-            let q = p.eliminate(var);
-            if !q.is_empty() {
+            let (q, empty) = if cached {
+                let q = p.eliminate(var);
+                let e = q.is_empty();
+                (q, e)
+            } else {
+                let q = p.eliminate_uncached(var);
+                let e = q.is_empty_uncached();
+                (q, e)
+            };
+            if !empty {
                 out.push(q);
             }
         }

@@ -1,0 +1,215 @@
+//! Property tests for the iset algebra, run through BOTH the memoized
+//! (interned) operation paths and the `*_uncached` cache-bypassing paths.
+//!
+//! Two kinds of assertion appear below:
+//!
+//! * **Structural**: the cached and uncached variants of every hot
+//!   operation must return byte-identical `Set`s. Memoization is keyed on
+//!   interned structure, so any divergence here means the cache returned a
+//!   stale or wrongly-keyed entry.
+//! * **Semantic**: algebraic laws (commutativity, associativity,
+//!   absorption, subtract/union round-trips, projection monotonicity,
+//!   subset reflexivity/transitivity) checked pointwise by enumerating a
+//!   finite integer grid. The framework is exact for union / intersect /
+//!   subtract membership on integer points and *over-approximating* for
+//!   projection and conservative for `is_subset`, so the laws are phrased
+//!   in the directions that must always hold (see each test).
+//!
+//! Inputs are drawn by the vendored deterministic proptest shim: each test
+//! seeds its RNG from the test name (optionally mixed with the
+//! `PROPTEST_SEED` environment variable, which CI pins), so failures
+//! reproduce exactly.
+
+use dhpf_iset::{Constraint, LinExpr, Polyhedron, Set};
+use proptest::prelude::*;
+
+const SPACE: [&str; 2] = ["i", "j"];
+/// Enumeration window. Wide enough that the random constraints (|coeff| ≤ 2,
+/// |const| ≤ 6) produce sets with nontrivial boundaries inside it.
+const LO: i64 = -4;
+const HI: i64 = 7;
+
+fn grid() -> impl Iterator<Item = (i64, i64)> {
+    (LO..=HI).flat_map(|i| (LO..=HI).map(move |j| (i, j)))
+}
+
+fn holds(s: &Set, p: (i64, i64)) -> bool {
+    s.contains(&[p.0, p.1], &|_| None)
+}
+
+/// Pointwise equality on the enumeration grid.
+fn same_points(a: &Set, b: &Set) -> Result<(), String> {
+    for p in grid() {
+        if holds(a, p) != holds(b, p) {
+            return Err(format!(
+                "point {p:?}: lhs={} rhs={}\n  lhs = {a:?}\n  rhs = {b:?}",
+                holds(a, p),
+                holds(b, p)
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// One random affine constraint `a·i + b·j + c {≥,=} 0` with small
+/// coefficients; equalities are rare so most polyhedra are full-dimensional.
+fn constraint_strategy() -> impl Strategy<Value = Constraint> {
+    (-2i64..=2, -2i64..=2, -6i64..=6, 0u8..=7).prop_map(|(a, b, c, k)| {
+        let e = LinExpr::from_terms([("i", a), ("j", b)], c);
+        match k {
+            0 => Constraint::eq0(e),
+            _ => Constraint::ge0(e),
+        }
+    })
+}
+
+/// A random union of 1–3 random polyhedra (each 0–3 constraints), built
+/// through the cache-bypassing path so test inputs never depend on the
+/// interner state being probed.
+fn set_strategy() -> impl Strategy<Value = Set> {
+    prop::collection::vec(prop::collection::vec(constraint_strategy(), 0..=3), 1..=3).prop_map(
+        |polys| {
+            let mut s = Set::empty(&SPACE);
+            for cons in polys {
+                s = s.union_uncached(&Set::from_poly(&SPACE, Polyhedron::new(cons)));
+            }
+            s
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Cached and uncached paths must agree structurally for every hot op.
+    #[test]
+    fn cached_paths_match_uncached_paths(a in set_strategy(), b in set_strategy()) {
+        prop_assert_eq!(a.union(&b), a.union_uncached(&b));
+        prop_assert_eq!(a.intersect(&b), a.intersect_uncached(&b));
+        prop_assert_eq!(a.subtract(&b), a.subtract_uncached(&b));
+        prop_assert_eq!(a.is_subset(&b), a.is_subset_uncached(&b));
+        prop_assert_eq!(a.is_empty(), a.is_empty_uncached());
+        prop_assert_eq!(a.project_out("i"), a.project_out_uncached("i"));
+        prop_assert_eq!(a.project_out("j"), a.project_out_uncached("j"));
+    }
+
+    /// A second identical query must be served from the memo tables with
+    /// the same value the first computation produced.
+    #[test]
+    fn repeated_cached_queries_are_stable(a in set_strategy(), b in set_strategy()) {
+        let first = a.intersect(&b);
+        let again = a.intersect(&b);
+        prop_assert_eq!(&first, &again);
+        prop_assert_eq!(a.union(&b), a.union(&b));
+        prop_assert_eq!(a.subtract(&b), a.subtract(&b));
+    }
+
+    /// ∪ and ∩ are commutative (pointwise, and through the cache).
+    #[test]
+    fn union_and_intersect_commute(a in set_strategy(), b in set_strategy()) {
+        if let Err(e) = same_points(&a.union(&b), &b.union(&a)) {
+            prop_assert!(false, "union not commutative: {e}");
+        }
+        if let Err(e) = same_points(&a.intersect(&b), &b.intersect(&a)) {
+            prop_assert!(false, "intersect not commutative: {e}");
+        }
+    }
+
+    /// ∪ and ∩ are associative.
+    #[test]
+    fn union_and_intersect_associate(
+        a in set_strategy(),
+        b in set_strategy(),
+        c in set_strategy(),
+    ) {
+        let l = a.union(&b).union(&c);
+        let r = a.union(&b.union(&c));
+        if let Err(e) = same_points(&l, &r) {
+            prop_assert!(false, "union not associative: {e}");
+        }
+        let l = a.intersect(&b).intersect(&c);
+        let r = a.intersect(&b.intersect(&c));
+        if let Err(e) = same_points(&l, &r) {
+            prop_assert!(false, "intersect not associative: {e}");
+        }
+    }
+
+    /// Absorption: A ∪ (A ∩ B) = A and A ∩ (A ∪ B) = A.
+    #[test]
+    fn absorption_laws(a in set_strategy(), b in set_strategy()) {
+        if let Err(e) = same_points(&a.union(&a.intersect(&b)), &a) {
+            prop_assert!(false, "A ∪ (A ∩ B) ≠ A: {e}");
+        }
+        if let Err(e) = same_points(&a.intersect(&a.union(&b)), &a) {
+            prop_assert!(false, "A ∩ (A ∪ B) ≠ A: {e}");
+        }
+    }
+
+    /// Subtract-then-union round-trip: (A ∖ B) ∪ (A ∩ B) = A. Subtraction
+    /// is exact on integer points (negating `e ≥ 0` gives `-e - 1 ≥ 0`),
+    /// so this holds pointwise, not just as an inclusion.
+    #[test]
+    fn subtract_union_round_trip(a in set_strategy(), b in set_strategy()) {
+        let rebuilt = a.subtract(&b).union(&a.intersect(&b));
+        if let Err(e) = same_points(&rebuilt, &a) {
+            prop_assert!(false, "(A ∖ B) ∪ (A ∩ B) ≠ A: {e}");
+        }
+        // and the subtracted part never overlaps B on integer points
+        for p in grid() {
+            prop_assert!(
+                !(holds(&a.subtract(&b), p) && holds(&b, p)),
+                "point {p:?} survived subtraction of a set containing it"
+            );
+        }
+    }
+
+    /// Projection is monotone and over-approximating: every point of A
+    /// projects into π(A), and A ⊆ A ∪ B implies π(A) ⊆ π(A ∪ B).
+    #[test]
+    fn projection_is_monotone(a in set_strategy(), b in set_strategy()) {
+        let pa = a.project_out("j");
+        for p in grid() {
+            if holds(&a, p) {
+                // π(A) lives in space [i]; membership needs only i
+                prop_assert!(
+                    pa.contains(&[p.0], &|_| None),
+                    "point {p:?} of A lost by projection"
+                );
+            }
+        }
+        let pu = a.union(&b).project_out("j");
+        for i in LO..=HI {
+            prop_assert!(
+                !pa.contains(&[i], &|_| None) || pu.contains(&[i], &|_| None),
+                "π not monotone at i={i}"
+            );
+        }
+    }
+
+    /// `is_subset` is reflexive (A ∖ A is exactly empty, which the
+    /// rational emptiness test proves) and sound-transitive: whenever the
+    /// conservative prover answers `true` twice, the composed containment
+    /// really holds on integer points.
+    #[test]
+    fn subset_reflexive_and_sound_transitive(
+        a in set_strategy(),
+        b in set_strategy(),
+        c in set_strategy(),
+    ) {
+        prop_assert!(a.is_subset(&a), "is_subset not reflexive for {a:?}");
+        if a.is_subset(&b) && b.is_subset(&c) {
+            for p in grid() {
+                prop_assert!(
+                    !holds(&a, p) || holds(&c, p),
+                    "transitivity violated at {p:?}"
+                );
+            }
+        }
+        // and a positive answer is always sound
+        if a.is_subset(&b) {
+            for p in grid() {
+                prop_assert!(!holds(&a, p) || holds(&b, p), "unsound subset at {p:?}");
+            }
+        }
+    }
+}

@@ -33,6 +33,29 @@ cargo build --release --workspace
 echo "== test"
 cargo test --workspace -q
 
+echo "== property suite (pinned seed)"
+# the vendored proptest shim mixes PROPTEST_SEED into every test's RNG
+# seed; pinning it makes the property battery bit-reproducible in CI
+PROPTEST_SEED=20260806 cargo test -q -p dhpf-iset --test algebra_props
+
+echo "== compile bench smoke"
+# one cold+warm timing pass (class S only) and a schema check on the JSON
+target/release/compilebench --quick --out target/BENCH_compile_smoke.json
+python3 - target/BENCH_compile_smoke.json <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "dhpf-compilebench-v1", doc.get("schema")
+assert doc["benchmarks"], "no benchmarks recorded"
+for b in doc["benchmarks"]:
+    for key in ("name", "class", "cold_ms", "warm_ms", "warm_speedup",
+                "cache_hit_rate", "peak_interned_nodes"):
+        assert key in b, f"missing {key} in {b}"
+    assert b["cold_ms"] > 0 and b["warm_ms"] > 0
+    assert 0.0 <= b["cache_hit_rate"] <= 1.0
+    assert b["peak_interned_nodes"] > 0
+print(f"bench smoke OK ({len(doc['benchmarks'])} benchmarks)")
+EOF
+
 echo "== dhpf-lint examples"
 LINT=target/release/dhpf-lint
 # clean example must verify with no findings at all

@@ -56,6 +56,104 @@ fn every_flag_combination_is_semantics_preserving() {
     }
 }
 
+fn run_bt_with(flags: OptFlags, nprocs: usize) -> Vec<f64> {
+    let compiled = dhpf::nas::bt::compile_dhpf(Class::S, nprocs, Some(flags));
+    let r = run_node_program(&compiled.program, MachineConfig::sp2(nprocs)).unwrap();
+    r.arrays["u"].data.clone()
+}
+
+/// Same per-optimization toggle battery as SP, on BT class S: each of the
+/// four paper optimizations switched off individually must leave the
+/// stitched solution within NAS epsilon of the serial interpreter.
+#[test]
+fn bt_each_optimization_toggle_is_semantics_preserving() {
+    let serial = dhpf::nas::bt::run_serial_reference(Class::S);
+    let truth = &serial.arrays["u"].data;
+    let configs = [
+        OptFlags::default(),
+        OptFlags {
+            privatizable_cp: false,
+            ..Default::default()
+        },
+        OptFlags {
+            localize: false,
+            ..Default::default()
+        },
+        OptFlags {
+            loop_distribution: false,
+            ..Default::default()
+        },
+        OptFlags {
+            data_availability: false,
+            ..Default::default()
+        },
+    ];
+    for (idx, flags) in configs.iter().enumerate() {
+        let u = run_bt_with(*flags, 4);
+        let worst = truth
+            .iter()
+            .zip(&u)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(worst < 1e-9, "BT config {idx}: worst delta {worst:.3e}");
+    }
+}
+
+/// Compile with the parallel driver (worker threads) and the serial
+/// driver; the outputs must be byte-identical — same node program, same
+/// CP dump, same communication report, same transformed source — and the
+/// parallel-compiled program must still reproduce the serial-interpreter
+/// answer.
+#[test]
+fn parallel_compilation_is_byte_identical_to_serial() {
+    use dhpf::core::driver::{compile, CompileOptions};
+
+    for (name, program, bindings) in [
+        (
+            "sp",
+            dhpf::nas::sp::parse(),
+            dhpf::nas::sp::bindings(Class::S, 4),
+        ),
+        (
+            "bt",
+            dhpf::nas::bt::parse(),
+            dhpf::nas::bt::bindings(Class::S, 4),
+        ),
+    ] {
+        let mut serial_opts = CompileOptions::new();
+        serial_opts.bindings = bindings.clone();
+        serial_opts.granularity = 4;
+        let mut par_opts = serial_opts.clone().parallel(4);
+        par_opts.granularity = 4;
+
+        let serial = compile(&program, &serial_opts).expect("serial compile");
+        let parallel = compile(&program, &par_opts).expect("parallel compile");
+        assert_eq!(
+            serial.fingerprint(),
+            parallel.fingerprint(),
+            "{name}: parallel driver output diverged from serial"
+        );
+    }
+
+    // and the parallel-compiled SP program still computes the right answer
+    let truth = dhpf::nas::sp::run_serial_reference(Class::S);
+    let mut opts = CompileOptions::new();
+    opts.bindings = dhpf::nas::sp::bindings(Class::S, 4);
+    opts.granularity = 4;
+    let compiled = compile(&dhpf::nas::sp::parse(), &opts.parallel(4)).expect("compile");
+    let r = run_node_program(&compiled.program, MachineConfig::sp2(4)).unwrap();
+    let worst = truth.arrays["u"]
+        .data
+        .iter()
+        .zip(&r.arrays["u"].data)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+    assert!(
+        worst < 1e-9,
+        "parallel-compiled SP: worst delta {worst:.3e}"
+    );
+}
+
 #[test]
 fn localize_reduces_messages() {
     let (_, with, _) = run_sp_with(OptFlags::default(), 4);

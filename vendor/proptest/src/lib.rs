@@ -19,12 +19,21 @@ pub struct TestRng {
 }
 
 impl TestRng {
-    /// Seed deterministically from a test name.
+    /// Seed deterministically from a test name. If the `PROPTEST_SEED`
+    /// environment variable is set to an integer it is mixed into the
+    /// seed, so CI can pin one reproducible stream (`PROPTEST_SEED=0` is
+    /// the same stream as unset) while developers can explore others.
     pub fn deterministic(name: &str) -> Self {
         let mut seed = 0xcbf2_9ce4_8422_2325u64;
         for b in name.bytes() {
             seed ^= b as u64;
             seed = seed.wrapping_mul(0x1000_0000_01b3);
+        }
+        if let Some(extra) = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|s| s.trim().parse::<u64>().ok())
+        {
+            seed ^= extra.wrapping_mul(0x9e37_79b9_7f4a_7c15);
         }
         TestRng { state: seed }
     }
