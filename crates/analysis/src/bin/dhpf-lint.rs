@@ -1,14 +1,20 @@
 //! `dhpf-lint` — lint (and optionally verify) HPF source files.
 //!
 //! ```text
-//! dhpf-lint [--json] [--verify] [--bind name=value]... FILE.f [FILE.f ...]
+//! dhpf-lint [--format json|human] [--verify] [--bind name=value]... FILE.f ...
 //! ```
 //!
 //! Lints always run. With `--verify`, files containing a main program
 //! and a processor grid are additionally compiled and their
 //! communication plans are proven covered by the independent verifier.
-//! Exit status is 1 when any error-severity finding (or a parse/compile
-//! failure) is reported, 0 otherwise.
+//!
+//! `--format json` (alias: `--json`) emits one `dhpf-lint-v1` JSON
+//! document per input file, one per line (NDJSON). The schema is frozen
+//! — see the README's "dhpf-lint output schema" section — and snapshot
+//! tested in `crates/analysis/tests/lint_schema.rs`.
+//!
+//! Exit codes: `0` no error-severity findings, `1` at least one error
+//! finding (or a parse/compile/IO failure), `2` usage error.
 
 use dhpf_analysis::diag::{Finding, Report, Severity};
 use dhpf_analysis::{check_compiled_races, lint_compiled, lint_source, verify_compiled};
@@ -24,7 +30,9 @@ struct Args {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: dhpf-lint [--json] [--verify] [--bind name=value]... FILE.f [FILE.f ...]");
+    eprintln!(
+        "usage: dhpf-lint [--format json|human] [--verify] [--bind name=value]... FILE.f ..."
+    );
     std::process::exit(2);
 }
 
@@ -39,6 +47,11 @@ fn parse_args() -> Args {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--json" => args.json = true,
+            "--format" => match it.next().as_deref() {
+                Some("json") => args.json = true,
+                Some("human") => args.json = false,
+                _ => usage(),
+            },
             "--verify" => args.verify = true,
             "--bind" => {
                 let Some(kv) = it.next() else { usage() };
@@ -111,11 +124,7 @@ fn main() -> ExitCode {
             }
         }
         if args.json {
-            println!(
-                "{{\"file\":\"{}\",\"findings\":{}}}",
-                file,
-                report.render_json()
-            );
+            println!("{}", report.render_json_document(file));
         } else {
             println!("== {file}");
             print!("{}", report.render_human(Some(&source)));

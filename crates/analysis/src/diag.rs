@@ -77,6 +77,12 @@ impl Finding {
     }
 }
 
+/// Schema identifier of the JSON document emitted by
+/// [`Report::render_json_document`] (and therefore by
+/// `dhpf-lint --format json`). Frozen: any change to the document shape
+/// bumps this string.
+pub const LINT_SCHEMA: &str = "dhpf-lint-v1";
+
 /// An ordered collection of findings.
 #[derive(Clone, Debug, Default)]
 pub struct Report {
@@ -146,6 +152,20 @@ impl Report {
             ));
         }
         out
+    }
+
+    /// Render the frozen `dhpf-lint-v1` document for one linted file:
+    /// one JSON object per line (NDJSON when linting several files) with
+    /// `schema`, `file`, `errors` (error-severity count) and the
+    /// `findings` array of [`render_json`](Report::render_json).
+    pub fn render_json_document(&self, file: &str) -> String {
+        format!(
+            "{{\"schema\":\"{}\",\"file\":\"{}\",\"errors\":{},\"findings\":{}}}",
+            LINT_SCHEMA,
+            json_escape(file),
+            self.error_count(),
+            self.render_json()
+        )
     }
 
     /// Render as a JSON array (hand-rolled; no serde in the workspace).

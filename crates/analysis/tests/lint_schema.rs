@@ -1,0 +1,61 @@
+//! Snapshot test for the frozen `dhpf-lint-v1` diagnostic JSON schema.
+//!
+//! `dhpf-lint --format json` is a machine interface: downstream tooling
+//! parses its output, so the document shape must not drift silently.
+//! This test pins the exact bytes produced for one seeded example and
+//! one clean report. If either assertion fails, either revert the shape
+//! change or bump `LINT_SCHEMA` and update the README's schema section
+//! *and* this snapshot together.
+
+use dhpf_analysis::diag::{Finding, Report, Severity, LINT_SCHEMA};
+use dhpf_analysis::lint_source;
+use dhpf_fortran::span::Span;
+use std::collections::BTreeMap;
+
+fn example(name: &str) -> String {
+    let path = format!("{}/../../examples/hpf/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+#[test]
+fn schema_string_is_frozen() {
+    assert_eq!(LINT_SCHEMA, "dhpf-lint-v1");
+}
+
+#[test]
+fn nonaffine_example_document_snapshot() {
+    let source = example("nonaffine.f");
+    let program = dhpf_fortran::parse(&source).expect("parse nonaffine.f");
+    let report = lint_source(&program, &BTreeMap::new());
+    let doc = report.render_json_document("examples/hpf/nonaffine.f");
+    assert_eq!(
+        doc,
+        "{\"schema\":\"dhpf-lint-v1\",\"file\":\"examples/hpf/nonaffine.f\",\"errors\":0,\
+         \"findings\":[{\"code\":\"nonaffine-subscript\",\"severity\":\"warning\",\
+         \"unit\":\"nonaff\",\"message\":\"non-affine subscript on `a`; communication \
+         analysis will reject any nest containing it\",\"stmt\":3,\"line\":15}]}"
+    );
+}
+
+#[test]
+fn clean_report_document_snapshot() {
+    let report = Report::new();
+    assert_eq!(
+        report.render_json_document("clean.f"),
+        "{\"schema\":\"dhpf-lint-v1\",\"file\":\"clean.f\",\"errors\":0,\"findings\":[]}"
+    );
+}
+
+#[test]
+fn error_count_and_escaping_in_document() {
+    let mut report = Report::new();
+    report.push(
+        Finding::new("comm-coverage", Severity::Error, "sweep", "uncovered \"u\"")
+            .at(dhpf_fortran::ast::StmtId(7), Some(Span::new(0, 4, 3)))
+            .note("processor 2"),
+    );
+    let doc = report.render_json_document("a\"b.f");
+    assert!(doc.starts_with("{\"schema\":\"dhpf-lint-v1\",\"file\":\"a\\\"b.f\",\"errors\":1,"));
+    assert!(doc.contains("\"severity\":\"error\""));
+    assert!(doc.contains("\"notes\":[\"processor 2\"]"));
+}

@@ -6,29 +6,40 @@
 //!
 //! ```json
 //! {
-//!   "schema": "dhpf-compilebench-v1",
+//!   "schema": "dhpf-compilebench-v2",
 //!   "benchmarks": [
 //!     { "name": "sp", "class": "W", "cold_ms": 12.3, "warm_ms": 7.9,
-//!       "warm_speedup": 1.56, "cache_hit_rate": 0.42,
-//!       "peak_interned_nodes": 12345 }
+//!       "warm_speedup": 1.56, "traced_cold_ms": 12.4,
+//!       "trace_overhead": 0.008, "cache_hit_rate": 0.42,
+//!       "peak_interned_nodes": 12345,
+//!       "phases": { "semantic": 0.4, "inline": 0.1, ... } }
 //!   ]
 //! }
 //! ```
 //!
 //! Methodology: for each benchmark the interner is reset, one untimed parse
 //! is done (I/O-free; the sources are embedded strings), then `COLD_REPS`
-//! cold compiles are timed (interner reset before each) and `WARM_REPS`
-//! warm compiles are timed back-to-back on the retained cache. The minimum
-//! over repetitions is reported for both, which is the standard way to
-//! strip scheduler noise from a deterministic workload. Cache statistics
-//! are sampled after the final warm repetition.
+//! cold compiles are timed (interner explicitly reset before each
+//! repetition, so no state leaks between iterations) and `WARM_REPS` warm
+//! compiles are timed back-to-back on the retained cache. The minimum over
+//! repetitions is reported for both, which is the standard way to strip
+//! scheduler noise from a deterministic workload. The same cold protocol
+//! is then repeated with the dhpf-obs recorder enabled; `trace_overhead`
+//! is `traced_cold_ms / cold_ms - 1`. Since the recorder-disabled path is
+//! a single relaxed atomic load per probe, the enabled overhead is an
+//! upper bound on the disabled overhead — the smoke gate asserts the
+//! *enabled* overhead stays under the 2% budget (plus a noise margin in
+//! `--quick` mode, which runs single repetitions). Per-phase wall times
+//! are aggregated across scopes from the traced compile's span trees.
+//! Cache statistics are sampled after the final warm repetition.
 //!
 //! Usage:
 //!   compilebench [--quick] [--out PATH]
 //!
 //! `--quick` drops to class S only with one repetition each — the CI smoke
-//! configuration (validates the schema, not the speedup). Default output
-//! path is `BENCH_compile.json` in the current directory.
+//! configuration (validates the schema and the trace-overhead gate, not
+//! the speedup). Default output path is `BENCH_compile.json` in the
+//! current directory.
 
 use std::time::Instant;
 
@@ -37,6 +48,26 @@ use dhpf_fortran::ast::Program;
 use dhpf_nas::{bt, sp, Class};
 
 const NPROCS: usize = 4;
+
+/// Phase names surfaced per benchmark, in pipeline order. These are the
+/// top-level span names the driver and unit scopes record.
+const PHASES: &[&str] = &[
+    "semantic",
+    "waves",
+    "inline",
+    "analyze",
+    "loop-distribution",
+    "cp-select",
+    "propagate",
+    "comm-plan",
+    "codegen",
+];
+
+/// Enabled-tracing overhead budget for the smoke gate. The paper budget
+/// is 2% for the *disabled* path; the enabled path bounds it from above,
+/// and single-repetition `--quick` runs get a noise margin on top.
+const OVERHEAD_BUDGET: f64 = 0.02;
+const QUICK_NOISE_MARGIN: f64 = 0.08;
 
 struct BenchSpec {
     name: &'static str,
@@ -51,8 +82,11 @@ struct BenchResult {
     cold_ms: f64,
     warm_ms: f64,
     warm_speedup: f64,
+    traced_cold_ms: f64,
+    trace_overhead: f64,
     cache_hit_rate: f64,
     peak_interned_nodes: usize,
+    phases: Vec<(&'static str, f64)>,
 }
 
 fn spec(name: &'static str, class: Class) -> BenchSpec {
@@ -72,9 +106,9 @@ fn spec(name: &'static str, class: Class) -> BenchSpec {
     }
 }
 
-fn time_compile_ms(spec: &BenchSpec) -> f64 {
+fn time_compile_ms(program: &Program, opts: &CompileOptions) -> f64 {
     let t0 = Instant::now();
-    let compiled = compile(&spec.program, &spec.opts).expect("compile");
+    let compiled = compile(program, opts).expect("compile");
     let dt = t0.elapsed().as_secs_f64() * 1e3;
     // keep the result alive through the timer so the compile is not
     // trivially dead code
@@ -87,16 +121,31 @@ fn run_bench(spec: &BenchSpec, cold_reps: usize, warm_reps: usize) -> BenchResul
     let mut cold_ms = f64::INFINITY;
     for _ in 0..cold_reps {
         dhpf_iset::reset_cache();
-        cold_ms = cold_ms.min(time_compile_ms(spec));
+        cold_ms = cold_ms.min(time_compile_ms(&spec.program, &spec.opts));
     }
+
+    // traced cold: same protocol with the dhpf-obs recorder enabled
+    let traced_opts = spec.opts.clone().observed();
+    let mut traced_cold_ms = f64::INFINITY;
+    for _ in 0..cold_reps {
+        dhpf_iset::reset_cache();
+        traced_cold_ms = traced_cold_ms.min(time_compile_ms(&spec.program, &traced_opts));
+    }
+
+    // one more traced compile (warm, untimed) to harvest per-phase times
+    let traced = compile(&spec.program, &traced_opts).expect("compile");
+    let phases: Vec<(&'static str, f64)> = PHASES
+        .iter()
+        .map(|&p| (p, traced.obs.metrics.phase_ms(p)))
+        .collect();
 
     // warm: re-seed the cache with one untimed compile, then time
     // repetitions on the retained cache
     dhpf_iset::reset_cache();
-    let _ = time_compile_ms(spec);
+    let _ = time_compile_ms(&spec.program, &spec.opts);
     let mut warm_ms = f64::INFINITY;
     for _ in 0..warm_reps {
-        warm_ms = warm_ms.min(time_compile_ms(spec));
+        warm_ms = warm_ms.min(time_compile_ms(&spec.program, &spec.opts));
     }
 
     let stats = dhpf_iset::cache_stats();
@@ -106,27 +155,42 @@ fn run_bench(spec: &BenchSpec, cold_reps: usize, warm_reps: usize) -> BenchResul
         cold_ms,
         warm_ms,
         warm_speedup: cold_ms / warm_ms,
+        traced_cold_ms,
+        trace_overhead: traced_cold_ms / cold_ms - 1.0,
         cache_hit_rate: stats.hit_rate(),
         peak_interned_nodes: stats.interned_nodes(),
+        phases,
     }
 }
 
 fn render_json(results: &[BenchResult]) -> String {
     let mut out = String::new();
-    out.push_str("{\n  \"schema\": \"dhpf-compilebench-v1\",\n  \"benchmarks\": [\n");
+    out.push_str("{\n  \"schema\": \"dhpf-compilebench-v2\",\n  \"benchmarks\": [\n");
     for (i, r) in results.iter().enumerate() {
         out.push_str(&format!(
             "    {{ \"name\": \"{}\", \"class\": \"{}\", \"cold_ms\": {:.3}, \
-             \"warm_ms\": {:.3}, \"warm_speedup\": {:.3}, \"cache_hit_rate\": {:.4}, \
-             \"peak_interned_nodes\": {} }}{}\n",
+             \"warm_ms\": {:.3}, \"warm_speedup\": {:.3}, \"traced_cold_ms\": {:.3}, \
+             \"trace_overhead\": {:.4}, \"cache_hit_rate\": {:.4}, \
+             \"peak_interned_nodes\": {},\n      \"phases\": {{ ",
             r.name,
             r.class,
             r.cold_ms,
             r.warm_ms,
             r.warm_speedup,
+            r.traced_cold_ms,
+            r.trace_overhead,
             r.cache_hit_rate,
             r.peak_interned_nodes,
-            if i + 1 < results.len() { "," } else { "" },
+        ));
+        for (j, (p, ms)) in r.phases.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{p}\": {ms:.3}"));
+        }
+        out.push_str(&format!(
+            " }} }}{}\n",
+            if i + 1 < results.len() { "," } else { "" }
         ));
     }
     out.push_str("  ]\n}\n");
@@ -156,17 +220,37 @@ fn main() {
             let r = run_bench(&s, cold_reps, warm_reps);
             eprintln!(
                 "{} class {}: cold {:.2} ms, warm {:.2} ms ({:.2}x), \
-                 hit-rate {:.1}%, {} interned nodes",
+                 traced cold {:.2} ms ({:+.1}%), hit-rate {:.1}%, {} interned nodes",
                 r.name,
                 r.class,
                 r.cold_ms,
                 r.warm_ms,
                 r.warm_speedup,
+                r.traced_cold_ms,
+                r.trace_overhead * 1e2,
                 r.cache_hit_rate * 1e2,
                 r.peak_interned_nodes,
             );
             results.push(r);
         }
+    }
+
+    // Smoke gate: enabled tracing (an upper bound on the disabled-probe
+    // cost) must stay within the overhead budget.
+    let budget = if quick {
+        OVERHEAD_BUDGET + QUICK_NOISE_MARGIN
+    } else {
+        OVERHEAD_BUDGET
+    };
+    for r in &results {
+        assert!(
+            r.trace_overhead < budget,
+            "{} class {}: trace overhead {:.1}% exceeds the {:.0}% budget",
+            r.name,
+            r.class,
+            r.trace_overhead * 1e2,
+            budget * 1e2,
+        );
     }
 
     let json = render_json(&results);

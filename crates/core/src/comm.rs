@@ -27,6 +27,7 @@ use dhpf_depend::usedef;
 use dhpf_fortran::ast::StmtId;
 use dhpf_iset::enumerate::bounding_box;
 use dhpf_iset::Set;
+use dhpf_obs::{self as obs, CommPhase, Decision, DecisionKind, ElimReason};
 
 /// An inclusive rectangular section of an array.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -290,6 +291,16 @@ pub fn plan_nest_scoped(
                                     )
                                 });
                                 if behind {
+                                    if obs::is_active() {
+                                        let array = r.array.clone();
+                                        obs::decide(move || {
+                                            Decision::new(DecisionKind::CommEliminated {
+                                                array,
+                                                reason: ElimReason::CarriedByPipeline,
+                                            })
+                                            .stmt(stmt)
+                                        });
+                                    }
                                     continue;
                                 }
                             }
@@ -361,6 +372,16 @@ pub fn plan_nest_scoped(
                     let wcp = cps.get(&w.stmt).cloned().unwrap_or_default();
                     if read_available(r, cp, w, &wcp, loops, env) == Availability::Available {
                         report.reads_eliminated_by_availability += 1;
+                        if obs::is_active() {
+                            let array = r.array.clone();
+                            obs::decide(move || {
+                                Decision::new(DecisionKind::CommEliminated {
+                                    array,
+                                    reason: ElimReason::AvailableFromPriorWrite,
+                                })
+                                .stmt(stmt)
+                            });
+                        }
                         continue;
                     }
                 }
@@ -369,6 +390,8 @@ pub fn plan_nest_scoped(
             let Some(nest_r) = nest_bounds(r.stmt, loops) else {
                 return Err(CommError("non-affine loop bounds".into()));
             };
+            let pre_before = pre.len();
+            let mut any_nonlocal = false;
             for rank in 0..nprocs {
                 let coords = grid.coords(rank as i64);
                 let Some(read_data) = accessed_set(r, cp, &nest_r, env, &coords) else {
@@ -376,6 +399,7 @@ pub fn plan_nest_scoped(
                 };
                 let owned = dist.owned_set(&coords);
                 let mut nonlocal = read_data.subtract(&owned);
+                any_nonlocal |= !nonlocal.is_empty();
                 // §7: data this processor itself produces (as owner or
                 // non-owner) is locally available — subtract it. With the
                 // optimization disabled, everything non-local is fetched
@@ -391,6 +415,36 @@ pub fn plan_nest_scoped(
                     }
                 }
                 push_msgs(&mut pre, &nonlocal, &r.array, dist, &grid, rank);
+            }
+            if obs::is_active() {
+                let added = &pre[pre_before..];
+                let array = r.array.clone();
+                if added.is_empty() {
+                    // non-local data existed but every processor produces
+                    // what it needs itself (§7); purely local reads are
+                    // not decisions and go unrecorded
+                    if any_nonlocal {
+                        obs::decide(move || {
+                            Decision::new(DecisionKind::CommEliminated {
+                                array,
+                                reason: ElimReason::AvailableFromPriorWrite,
+                            })
+                            .stmt(stmt)
+                        });
+                    }
+                } else {
+                    let messages = added.len();
+                    let elems: usize = added.iter().map(|m| m.region.len()).sum();
+                    obs::decide(move || {
+                        Decision::new(DecisionKind::CommRetained {
+                            array,
+                            phase: CommPhase::Pre,
+                            messages,
+                            elems,
+                        })
+                        .stmt(stmt)
+                    });
+                }
             }
         }
     }
@@ -418,6 +472,19 @@ pub fn plan_nest_scoped(
     match sweep {
         Some(mut schedule) => {
             schedule.granularity = opts.granularity;
+            if obs::is_active() {
+                let arrays: Vec<String> = schedule.arrays.iter().map(|(a, _)| a.clone()).collect();
+                let granularity = schedule.granularity;
+                let forward = schedule.forward;
+                obs::decide(move || {
+                    Decision::new(DecisionKind::PipelineScheduled {
+                        arrays,
+                        granularity,
+                        forward,
+                    })
+                    .stmt(loop_id)
+                });
+            }
             Ok(NestPlan::Pipelined {
                 pre,
                 post,
@@ -462,6 +529,8 @@ fn build_writebacks(
             let Some(nest_w) = nest_bounds(w.stmt, loops) else {
                 return Err(CommError("non-affine loop bounds".into()));
             };
+            let post_before = post.len();
+            let suppressed_before = report.writebacks_suppressed_by_replication;
             // cache per-owner "computes itself" sets
             let owner_self: Vec<Option<Set>> = (0..nprocs)
                 .map(|orank| {
@@ -508,6 +577,32 @@ fn build_writebacks(
                             region,
                         });
                     }
+                }
+            }
+            if obs::is_active() {
+                let added = &post[post_before..];
+                let array = w.array.clone();
+                let stmt = w.stmt;
+                if !added.is_empty() {
+                    let messages = added.len();
+                    let elems: usize = added.iter().map(|m| m.region.len()).sum();
+                    obs::decide(move || {
+                        Decision::new(DecisionKind::CommRetained {
+                            array,
+                            phase: CommPhase::Post,
+                            messages,
+                            elems,
+                        })
+                        .stmt(stmt)
+                    });
+                } else if report.writebacks_suppressed_by_replication > suppressed_before {
+                    obs::decide(move || {
+                        Decision::new(DecisionKind::CommEliminated {
+                            array,
+                            reason: ElimReason::OwnerComputesRedundantly,
+                        })
+                        .stmt(stmt)
+                    });
                 }
             }
         }

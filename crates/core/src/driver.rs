@@ -30,7 +30,9 @@ use dhpf_fortran::ast::{
     ArrayRef, Decls, Expr, Program, ProgramUnit, RefId, Stmt, StmtId, StmtKind,
 };
 use dhpf_fortran::symtab;
+use dhpf_obs::{self as obs, CpHow, Decision, DecisionKind, ObsReport};
 use std::collections::BTreeMap;
+use std::time::Instant;
 
 /// Optimization toggles (all on by default — the full dHPF pipeline).
 #[derive(Clone, Copy, Debug)]
@@ -77,6 +79,10 @@ pub struct CompileOptions {
     /// statement/reference ids from its own deterministic chunk, and
     /// results are merged in bottom-up order.
     pub jobs: usize,
+    /// Record span traces and the decision log (`Compiled::obs`). Off by
+    /// default: every probe in the pipeline then costs one relaxed
+    /// atomic load. Metrics are collected either way.
+    pub observe: bool,
 }
 
 impl CompileOptions {
@@ -86,6 +92,7 @@ impl CompileOptions {
             flags: OptFlags::default(),
             granularity: 4,
             jobs: 0,
+            observe: false,
         }
     }
 
@@ -97,6 +104,12 @@ impl CompileOptions {
     /// Enable parallel per-unit compilation with up to `jobs` workers.
     pub fn parallel(mut self, jobs: usize) -> Self {
         self.jobs = jobs;
+        self
+    }
+
+    /// Enable span tracing and the decision log.
+    pub fn observed(mut self) -> Self {
+        self.observe = true;
         self
     }
 }
@@ -130,6 +143,9 @@ pub struct Compiled {
     pub transformed: Program,
     /// Per-unit analysis artifacts, keyed by unit name.
     pub analyses: BTreeMap<String, UnitAnalysis>,
+    /// Observability report: span traces + decision log (only when
+    /// `CompileOptions::observe`) and the unified metrics (always).
+    pub obs: ObsReport,
 }
 
 impl Compiled {
@@ -189,6 +205,8 @@ struct UnitOutcome {
     nest_scope: BTreeMap<StmtId, StmtId>,
     entry_cp: Option<Cp>,
     report: CommReport,
+    /// Completed observation scope (when `CompileOptions::observe`).
+    obs: Option<obs::ScopeObs>,
 }
 
 /// Compile an HPF program into an SPMD node program.
@@ -201,6 +219,9 @@ struct UnitOutcome {
 /// merged in bottom-up order either way, so the output is byte-identical
 /// to a serial run.
 pub fn compile(program: &Program, opts: &CompileOptions) -> Result<Compiled, CompileError> {
+    let epoch = Instant::now();
+    let cache0 = dhpf_iset::cache_stats();
+    let driver_guard = opts.observe.then(|| obs::install("driver", epoch));
     let mut program = program.clone();
 
     // fold the caller's bindings into every unit's parameter table so the
@@ -213,15 +234,19 @@ pub fn compile(program: &Program, opts: &CompileOptions) -> Result<Compiled, Com
     }
 
     // ---- semantic checks ---------------------------------------------------
-    let (_tabs, diags) = symtab::resolve(&program);
-    if diags
-        .iter()
-        .any(|d| matches!(d.severity, dhpf_fortran::span::Severity::Error))
     {
-        return Err(CompileError::Semantic(diags));
+        let _sp = obs::span("semantic");
+        let (_tabs, diags) = symtab::resolve(&program);
+        if diags
+            .iter()
+            .any(|d| matches!(d.severity, dhpf_fortran::span::Severity::Error))
+        {
+            return Err(CompileError::Semantic(diags));
+        }
     }
 
     // ---- call graph / §6 ---------------------------------------------------
+    let _sp_callgraph = obs::span("callgraph");
     let graph = CallGraph::build(&program);
     let order: Vec<String> = graph
         .bottom_up()
@@ -275,6 +300,11 @@ pub fn compile(program: &Program, opts: &CompileOptions) -> Result<Compiled, Com
         })
         .collect();
 
+    drop(_sp_callgraph);
+    let _sp_waves = obs::span_detail("waves", || {
+        format!("{} unit(s) in {} wave(s)", order.len(), waves.len())
+    });
+
     // entry CPs of already-processed units (bottom-up)
     let mut entry_cps: BTreeMap<String, Cp> = BTreeMap::new();
 
@@ -284,6 +314,8 @@ pub fn compile(program: &Program, opts: &CompileOptions) -> Result<Compiled, Com
     let mut unit_plans: BTreeMap<String, BTreeMap<StmtId, NestPlan>> = BTreeMap::new();
     let mut unit_nests: BTreeMap<String, (Vec<StmtId>, BTreeMap<StmtId, StmtId>)> = BTreeMap::new();
     let mut report = CommReport::default();
+    let mut unit_scopes: Vec<obs::ScopeObs> = Vec::new();
+    let obs_epoch = opts.observe.then_some(epoch);
 
     for wave in &waves {
         let outcomes: Vec<Result<UnitOutcome, CompileError>> = if opts.jobs > 1 && wave.len() > 1 {
@@ -304,6 +336,7 @@ pub fn compile(program: &Program, opts: &CompileOptions) -> Result<Compiled, Com
                                     entry_ref,
                                     stmt_base + k * ID_CHUNK,
                                     ref_base + k * ID_CHUNK,
+                                    obs_epoch,
                                 )
                             })
                         })
@@ -326,6 +359,7 @@ pub fn compile(program: &Program, opts: &CompileOptions) -> Result<Compiled, Com
                         &entry_cps,
                         stmt_base + *k as u32 * ID_CHUNK,
                         ref_base + *k as u32 * ID_CHUNK,
+                        obs_epoch,
                     )
                 })
                 .collect()
@@ -348,12 +382,130 @@ pub fn compile(program: &Program, opts: &CompileOptions) -> Result<Compiled, Com
             unit_cps.insert(uname.clone(), o.cps);
             unit_plans.insert(uname.clone(), o.plans);
             unit_nests.insert(uname.clone(), (o.nests, o.nest_scope));
+            if let Some(scope) = o.obs {
+                unit_scopes.push(scope);
+            }
+        }
+    }
+    drop(_sp_waves);
+
+    let units = order.len();
+    let n_waves = waves.len();
+    let mut compiled = {
+        let _sp = obs::span("codegen");
+        finish_compile(
+            program, opts, unit_envs, unit_cps, unit_plans, unit_nests, report,
+        )?
+    };
+
+    let mut scopes = Vec::with_capacity(unit_scopes.len() + 1);
+    if let Some(g) = driver_guard {
+        scopes.push(g.finish());
+    }
+    scopes.extend(unit_scopes);
+    compiled.obs = assemble_obs(opts.observe, scopes, &compiled, units, n_waves, &cache0);
+    Ok(compiled)
+}
+
+/// Build the [`ObsReport`]: scopes (driver first, then units in merge
+/// order) plus the unified metrics document.
+fn assemble_obs(
+    enabled: bool,
+    scopes: Vec<obs::ScopeObs>,
+    compiled: &Compiled,
+    units: usize,
+    waves: usize,
+    cache0: &dhpf_iset::CacheStats,
+) -> ObsReport {
+    let mut m = obs::Metrics::default();
+    let r = &compiled.report;
+    m.counter("driver.units", units as i64);
+    m.counter("driver.waves", waves as i64);
+    m.counter("comm.reads_examined", r.reads_examined as i64);
+    m.counter(
+        "comm.reads_eliminated_by_availability",
+        r.reads_eliminated_by_availability as i64,
+    );
+    m.counter(
+        "comm.writebacks_suppressed_by_replication",
+        r.writebacks_suppressed_by_replication as i64,
+    );
+    m.counter("comm.pre_messages", r.pre_messages as i64);
+    m.counter("comm.pre_volume", r.pre_volume as i64);
+    m.counter("comm.post_messages", r.post_messages as i64);
+    m.counter("comm.post_volume", r.post_volume as i64);
+
+    // iset cache activity attributable to this compile (delta against the
+    // snapshot taken at compile start; sizes are absolute). Timing- and
+    // sharing-dependent, so gauges, not counters.
+    let cache1 = dhpf_iset::cache_stats();
+    let ops = |s: &dhpf_iset::CacheStats| {
+        [
+            s.union,
+            s.intersect,
+            s.subtract,
+            s.subset,
+            s.project,
+            s.poly_empty,
+            s.poly_eliminate,
+        ]
+    };
+    let (mut hits, mut lookups) = (0u64, 0u64);
+    for (a, b) in ops(&cache1).iter().zip(ops(cache0).iter()) {
+        hits += a.hits.saturating_sub(b.hits);
+        lookups += a.lookups().saturating_sub(b.lookups());
+    }
+    m.gauge("iset.lookups", lookups as f64);
+    m.gauge(
+        "iset.hit_rate",
+        if lookups == 0 {
+            0.0
+        } else {
+            hits as f64 / lookups as f64
+        },
+    );
+    m.gauge(
+        "iset.interned_nodes",
+        (cache1.interned_exprs
+            + cache1.interned_constraints
+            + cache1.interned_polys
+            + cache1.interned_sets) as f64,
+    );
+
+    for s in &scopes {
+        for sp in &s.spans {
+            m.phases.push(obs::PhaseTime {
+                scope: s.scope.clone(),
+                name: sp.name.to_string(),
+                ms: sp.dur_ms(),
+            });
         }
     }
 
-    finish_compile(
-        program, opts, unit_envs, unit_cps, unit_plans, unit_nests, report,
-    )
+    let lines = dhpf_obs::line_index(&compiled.transformed);
+    for (uname, ua) in &compiled.analyses {
+        for nest in &ua.nests {
+            let Some(plan) = ua.plans.get(nest) else {
+                continue;
+            };
+            m.nests.push(obs::NestMetrics {
+                unit: uname.clone(),
+                stmt: nest.0,
+                line: lines.get(nest).copied(),
+                pipelined: matches!(plan, NestPlan::Pipelined { .. }),
+                pre_messages: plan.pre().len(),
+                pre_elems: plan.pre().iter().map(|x| x.region.len()).sum(),
+                post_messages: plan.post().len(),
+                post_elems: plan.post().iter().map(|x| x.region.len()).sum(),
+            });
+        }
+    }
+
+    ObsReport {
+        enabled,
+        scopes,
+        metrics: m,
+    }
 }
 
 /// The full analysis pipeline for one unit, run against a snapshot in
@@ -363,6 +515,7 @@ pub fn compile(program: &Program, opts: &CompileOptions) -> Result<Compiled, Com
 /// caller-assigned `[stmt_base, stmt_base + ID_CHUNK)` /
 /// `[ref_base, ref_base + ID_CHUNK)` chunks so results are identical no
 /// matter how units are scheduled across threads.
+#[allow(clippy::too_many_arguments)]
 fn process_unit(
     snapshot: &Program,
     uname: &str,
@@ -370,7 +523,9 @@ fn process_unit(
     entry_cps: &BTreeMap<String, Cp>,
     stmt_base: u32,
     ref_base: u32,
+    obs_epoch: Option<Instant>,
 ) -> Result<UnitOutcome, CompileError> {
+    let obs_guard = obs_epoch.map(|epoch| obs::install(uname, epoch));
     let mut program = snapshot.clone();
     let mut next_stmt = stmt_base;
     let mut next_ref = ref_base;
@@ -380,6 +535,7 @@ fn process_unit(
 
     // ---- inline loop-borne leaf calls --------------------------------------
     {
+        let _sp = obs::span("inline");
         let unit = program
             .units
             .iter_mut()
@@ -405,6 +561,7 @@ fn process_unit(
                 "loop distribution did not converge in {uname}"
             )));
         }
+        let _sp_analyze = obs::span("analyze");
         let unit = program.unit(uname).unwrap().clone();
         let env = resolve_dist(&unit, &opts.bindings).map_err(CompileError::Distribution)?;
         // every processor must own a non-empty block of every
@@ -489,8 +646,11 @@ fn process_unit(
             }
         }
 
+        drop(_sp_analyze);
+
         // §5 grouping first: may demand loop distribution
         if opts.flags.loop_distribution {
+            let _sp = obs::span("loop-distribution");
             let mut distributed_any = false;
             for &nest in &nests {
                 let deps = analyze_loop_deps(nest, &loops, &refs);
@@ -523,6 +683,7 @@ fn process_unit(
         }
 
         // ---- CP selection ---------------------------------------------
+        let _sp_select = obs::span("cp-select");
         let mut assignment: CpAssignment = fixed_cps.clone();
         for &nest in &nests {
             let deps = analyze_loop_deps(nest, &loops, &refs);
@@ -570,14 +731,47 @@ fn process_unit(
                 select::select_for_loop(&selectable, &fixed, &refs, &env)
             };
             for (id, cp) in sel {
+                if obs::is_active() && !fixed.contains_key(&id) {
+                    let how = if opts.flags.loop_distribution {
+                        CpHow::Grouped
+                    } else {
+                        CpHow::LeastCost
+                    };
+                    let cost = select::stmt_cost(id, &cp, &refs, &env);
+                    let cp_str = cp.to_string();
+                    obs::decide(move || {
+                        Decision::new(DecisionKind::CpSelect {
+                            cp: cp_str,
+                            how,
+                            cost: Some(cost),
+                        })
+                        .stmt(id)
+                    });
+                }
                 assignment.insert(id, cp);
             }
         }
+        if obs::is_active() {
+            for (id, cp) in &fixed_cps {
+                let cp_str = cp.to_string();
+                let id = *id;
+                obs::decide(move || {
+                    Decision::new(DecisionKind::CpSelect {
+                        cp: cp_str,
+                        how: CpHow::FixedByInlining,
+                        cost: None,
+                    })
+                    .stmt(id)
+                });
+            }
+        }
+        drop(_sp_select);
 
         // §4.1 / §4.2 on every directive loop of the unit (a LOCALIZE
         // directive may sit on a one-trip wrapper that is not itself a
         // planned nest)
         {
+            let _sp = obs::span("propagate");
             let mut dir_loops: Vec<StmtId> = loops
                 .loops
                 .iter()
@@ -585,6 +779,25 @@ fn process_unit(
                 .map(|(id, _)| *id)
                 .collect();
             dir_loops.sort_by_key(|id| std::cmp::Reverse(loops.order[id]));
+            // records a CP decision for a variable-directed choice; the
+            // fixpoint below revisits statements, so the recorder's
+            // last-payload dedup keeps only the converged CP
+            let record = |s: StmtId, var: &str, how: fn(String) -> CpHow, cp: Option<&Cp>| {
+                if !obs::is_active() {
+                    return;
+                }
+                let Some(cp) = cp else { return };
+                let cp_str = cp.to_string();
+                let var = var.to_string();
+                obs::decide(move || {
+                    Decision::new(DecisionKind::CpSelect {
+                        cp: cp_str,
+                        how: how(var),
+                        cost: None,
+                    })
+                    .stmt(s)
+                });
+            };
             // §4 propagation iterates to a fixpoint: a LOCALIZE/NEW
             // definition may read another managed variable, whose CP
             // only becomes final after ITS uses were propagated
@@ -593,26 +806,40 @@ fn process_unit(
             for _pass in 0..3 {
                 for dl in dir_loops.clone() {
                     if opts.flags.privatizable_cp {
-                        propagate_new_cps(dl, &loops, &refs, &mut assignment);
+                        for (s, var) in propagate_new_cps(dl, &loops, &refs, &mut assignment) {
+                            record(s, &var, CpHow::PropagatedNew, assignment.get(&s));
+                        }
                     } else {
                         // strawman: replicate NEW definitions
                         for var in &loops.loops[&dl].dir.new_vars {
                             for w in dhpf_depend::usedef::writes_of_var(dl, var, &loops, &refs) {
                                 assignment.insert(w.stmt, Cp::replicated());
+                                if obs::is_active() {
+                                    let s = w.stmt;
+                                    obs::decide(move || {
+                                        Decision::new(DecisionKind::CpSelect {
+                                            cp: Cp::replicated().to_string(),
+                                            how: CpHow::ReplicatedStrawman,
+                                            cost: None,
+                                        })
+                                        .stmt(s)
+                                    });
+                                }
                             }
                         }
                     }
                     if opts.flags.localize {
-                        apply_localize(dl, &loops, &refs, &mut assignment);
+                        for (s, var) in apply_localize(dl, &loops, &refs, &mut assignment) {
+                            record(s, &var, CpHow::Localized, assignment.get(&s));
+                        }
                     } else {
                         for var in &loops.loops[&dl].dir.localize_vars {
                             for w in dhpf_depend::usedef::writes_of_var(dl, var, &loops, &refs) {
                                 let subs: Option<Vec<_>> = w.subs.iter().cloned().collect();
                                 if let Some(subs) = subs {
-                                    assignment.insert(
-                                        w.stmt,
-                                        Cp::single(crate::cp::CpTerm::on_home(var, subs)),
-                                    );
+                                    let cp = Cp::single(crate::cp::CpTerm::on_home(var, subs));
+                                    record(w.stmt, var, CpHow::LocalizeOff, Some(&cp));
+                                    assignment.insert(w.stmt, cp);
                                 }
                             }
                         }
@@ -632,9 +859,24 @@ fn process_unit(
                     {
                         let subs: Option<Vec<_>> = w.subs.iter().cloned().collect();
                         if let Some(subs) = subs {
-                            assignment.entry(s.id).or_insert_with(|| {
-                                Cp::single(crate::cp::CpTerm::on_home(&w.array, subs))
-                            });
+                            if let std::collections::btree_map::Entry::Vacant(e) =
+                                assignment.entry(s.id)
+                            {
+                                let cp = Cp::single(crate::cp::CpTerm::on_home(&w.array, subs));
+                                if obs::is_active() {
+                                    let cp_str = cp.to_string();
+                                    let id = s.id;
+                                    obs::decide(move || {
+                                        Decision::new(DecisionKind::CpSelect {
+                                            cp: cp_str,
+                                            how: CpHow::OwnerComputes,
+                                            cost: None,
+                                        })
+                                        .stmt(id)
+                                    });
+                                }
+                                e.insert(cp);
+                            }
                         }
                     }
                 }
@@ -649,6 +891,7 @@ fn process_unit(
                 granularity: opts.granularity,
             };
             for &nest in &nests {
+                let _sp = obs::span_detail("comm-plan", || format!("nest s{}", nest.0));
                 let deps = analyze_loop_deps(nest, &loops, &refs);
                 let scope = nest_scope.get(&nest).copied().unwrap_or(nest);
                 let scope_deps = (scope != nest).then(|| analyze_loop_deps(scope, &loops, &refs));
@@ -671,6 +914,12 @@ fn process_unit(
 
         // entry CP for callers (§6)
         let ecp = entry_cp(&unit, &assignment, &refs, &env);
+        if let Some(cp) = &ecp {
+            if obs::is_active() {
+                let cp_str = cp.to_string();
+                obs::decide(move || Decision::new(DecisionKind::EntryCp { cp: cp_str }));
+            }
+        }
 
         if next_stmt.saturating_sub(stmt_base) > ID_CHUNK
             || next_ref.saturating_sub(ref_base) > ID_CHUNK
@@ -690,6 +939,7 @@ fn process_unit(
             nest_scope,
             entry_cp: ecp,
             report,
+            obs: obs_guard.map(|g| g.finish()),
         });
     }
 }
@@ -798,6 +1048,7 @@ fn finish_compile(
         cp_dump,
         transformed: program,
         analyses,
+        obs: ObsReport::default(),
     })
 }
 
@@ -903,6 +1154,18 @@ fn inline_stmt(
                     } else {
                         None
                     };
+                    if obs::is_active() {
+                        let callee_name = name.clone();
+                        let ecp = site_cp.as_ref().map(|c| c.to_string());
+                        let line = body[i].span.line;
+                        obs::decide(move || {
+                            Decision::new(DecisionKind::Inlined {
+                                callee: callee_name,
+                                entry_cp: ecp,
+                            })
+                            .line(line)
+                        });
+                    }
                     let inlined = inline_body(
                         callee,
                         &call_args,
@@ -1274,6 +1537,18 @@ fn rewrite_distribute(
             else {
                 return false;
             };
+            if obs::is_active() {
+                let loop_var = var.clone();
+                let parts_n = parts.len();
+                let line = body[i].span.line;
+                obs::decide(move || {
+                    Decision::new(DecisionKind::LoopDistributed {
+                        loop_var,
+                        parts: parts_n,
+                    })
+                    .line(line)
+                });
+            }
             let mut replacements = Vec::new();
             for part in parts {
                 let part_body: Vec<Stmt> = inner

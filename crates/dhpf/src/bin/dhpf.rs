@@ -1,0 +1,246 @@
+//! `dhpf` — the command-line front end.
+//!
+//! Two subcommands:
+//!
+//! * `dhpf explain` — compile with the decision log enabled and print
+//!   every CP choice (§4.1/§5/§6), replication (§4.2), and communication
+//!   eliminated or retained by availability (§7), each anchored to its
+//!   source line. `--json` emits the `dhpf-decisions-v1` document.
+//! * `dhpf compile` — compile (and optionally `--run`) with tracing,
+//!   writing any of `--trace-out` (Chrome/Perfetto trace JSON covering
+//!   the compile and, with `--run`, the SPMD execution), `--metrics-out`
+//!   (`dhpf-metrics-v1`), and `--decisions-out` (`dhpf-decisions-v1`).
+//!
+//! Inputs: `--nas sp|bt --class S|W|A|B --nprocs N`, or a Fortran file
+//! with `--bind name=value` for its symbolic sizes.
+
+use dhpf_core::driver::{compile, CompileOptions, Compiled};
+use dhpf_nas::Class;
+use dhpf_spmd::machine::MachineConfig;
+use dhpf_spmd::trace::Trace;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: dhpf <explain|compile> [input] [options]
+
+input (one of):
+  --nas sp|bt            built-in NAS mini-benchmark
+  FILE.f                 HPF/Fortran source file
+
+options:
+  --class S|W|A|B        NAS problem class            [S]
+  --nprocs N             processors                   [4]
+  --bind NAME=VALUE      bind a symbolic size (repeatable)
+  --jobs N               parallel compile workers     [serial]
+  --granularity N        pipeline strip size          [4]
+
+explain options:
+  --json                 emit the dhpf-decisions-v1 document
+
+compile options:
+  --run                  execute on the virtual machine after compiling
+  --trace-out FILE       write Chrome/Perfetto trace JSON
+  --metrics-out FILE     write the dhpf-metrics-v1 document
+  --decisions-out FILE   write the dhpf-decisions-v1 document
+";
+
+struct Args {
+    cmd: String,
+    nas: Option<String>,
+    file: Option<String>,
+    class: Class,
+    nprocs: usize,
+    binds: Vec<(String, i64)>,
+    jobs: usize,
+    granularity: i64,
+    json: bool,
+    run: bool,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+    decisions_out: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut it = std::env::args().skip(1);
+    let cmd = it.next().ok_or_else(|| USAGE.to_string())?;
+    if cmd == "-h" || cmd == "--help" || cmd == "help" {
+        return Err(USAGE.to_string());
+    }
+    let mut a = Args {
+        cmd,
+        nas: None,
+        file: None,
+        class: Class::S,
+        nprocs: 4,
+        binds: Vec::new(),
+        jobs: 0,
+        granularity: 4,
+        json: false,
+        run: false,
+        trace_out: None,
+        metrics_out: None,
+        decisions_out: None,
+    };
+    let need = |it: &mut dyn Iterator<Item = String>, flag: &str| {
+        it.next().ok_or(format!("{flag} needs a value"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--nas" => a.nas = Some(need(&mut it, "--nas")?),
+            "--class" => {
+                a.class = match need(&mut it, "--class")?.as_str() {
+                    "S" | "s" => Class::S,
+                    "W" | "w" => Class::W,
+                    "A" | "a" => Class::A,
+                    "B" | "b" => Class::B,
+                    c => return Err(format!("unknown class {c}")),
+                }
+            }
+            "--nprocs" => {
+                a.nprocs = need(&mut it, "--nprocs")?
+                    .parse()
+                    .map_err(|e| format!("--nprocs: {e}"))?
+            }
+            "--bind" => {
+                let kv = need(&mut it, "--bind")?;
+                let (k, v) = kv.split_once('=').ok_or("--bind expects NAME=VALUE")?;
+                a.binds.push((
+                    k.to_string(),
+                    v.parse().map_err(|e| format!("--bind {k}: {e}"))?,
+                ));
+            }
+            "--jobs" => {
+                a.jobs = need(&mut it, "--jobs")?
+                    .parse()
+                    .map_err(|e| format!("--jobs: {e}"))?
+            }
+            "--granularity" => {
+                a.granularity = need(&mut it, "--granularity")?
+                    .parse()
+                    .map_err(|e| format!("--granularity: {e}"))?
+            }
+            "--json" => a.json = true,
+            "--run" => a.run = true,
+            "--trace-out" => a.trace_out = Some(need(&mut it, "--trace-out")?),
+            "--metrics-out" => a.metrics_out = Some(need(&mut it, "--metrics-out")?),
+            "--decisions-out" => a.decisions_out = Some(need(&mut it, "--decisions-out")?),
+            f if f.starts_with("--") => return Err(format!("unknown flag {f}\n\n{USAGE}")),
+            f => a.file = Some(f.to_string()),
+        }
+    }
+    if a.nas.is_none() && a.file.is_none() {
+        return Err(format!("no input given\n\n{USAGE}"));
+    }
+    Ok(a)
+}
+
+fn build(a: &Args) -> Result<Compiled, String> {
+    let (program, bindings) = match a.nas.as_deref() {
+        Some("sp") => (
+            dhpf_nas::sp::parse(),
+            dhpf_nas::sp::bindings(a.class, a.nprocs),
+        ),
+        Some("bt") => (
+            dhpf_nas::bt::parse(),
+            dhpf_nas::bt::bindings(a.class, a.nprocs),
+        ),
+        Some(other) => return Err(format!("unknown benchmark {other} (sp or bt)")),
+        None => {
+            let path = a.file.as_deref().expect("input checked");
+            let src =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let program = dhpf_fortran::parse(&src).map_err(|d| format!("parse errors: {d:?}"))?;
+            (program, a.binds.iter().cloned().collect())
+        }
+    };
+    let mut opts = CompileOptions::new().observed();
+    opts.bindings = bindings;
+    opts.granularity = a.granularity;
+    opts.jobs = a.jobs;
+    compile(&program, &opts).map_err(|e| format!("compile failed: {e}"))
+}
+
+fn write_out(path: &str, content: &str) -> Result<(), String> {
+    if path == "-" {
+        print!("{content}");
+        return Ok(());
+    }
+    std::fs::write(path, content).map_err(|e| format!("cannot write {path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("dhpf: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    match args.cmd.as_str() {
+        "explain" => {
+            let compiled = build(args)?;
+            if args.json {
+                print!("{}", compiled.obs.decision_json(&compiled.transformed));
+            } else {
+                print!("{}", compiled.obs.decision_log(&compiled.transformed));
+                eprintln!(
+                    "{} decision(s); {} message(s) pre, {} post",
+                    compiled.obs.decision_count(),
+                    compiled.report.pre_messages,
+                    compiled.report.post_messages
+                );
+            }
+            Ok(())
+        }
+        "compile" => {
+            let compiled = build(args)?;
+            let exec: Option<Vec<Trace>> = if args.run {
+                let machine = MachineConfig::sp2(args.nprocs).with_trace();
+                let result = dhpf_core::exec::node::run_node_program(&compiled.program, machine)
+                    .map_err(|e| format!("execution failed: {e}"))?;
+                eprintln!(
+                    "ran on {} procs: virtual time {:.6}s, {} message(s)",
+                    args.nprocs, result.run.virtual_time, result.run.stats.messages
+                );
+                Some(result.run.traces)
+            } else {
+                None
+            };
+            if let Some(path) = &args.trace_out {
+                let json = dhpf_obs::perfetto::render(Some(&compiled.obs), exec.as_deref());
+                write_out(path, &json)?;
+                eprintln!("trace written to {path} (open in ui.perfetto.dev)");
+            }
+            if let Some(path) = &args.metrics_out {
+                write_out(path, &compiled.obs.metrics.render_json())?;
+                eprintln!("metrics written to {path}");
+            }
+            if let Some(path) = &args.decisions_out {
+                write_out(path, &compiled.obs.decision_json(&compiled.transformed))?;
+                eprintln!("decisions written to {path}");
+            }
+            if args.trace_out.is_none()
+                && args.metrics_out.is_none()
+                && args.decisions_out.is_none()
+            {
+                eprintln!(
+                    "compiled: {} unit(s), {} decision(s) recorded (use --trace-out/--metrics-out/--decisions-out)",
+                    compiled.program.units.len(),
+                    compiled.obs.decision_count()
+                );
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown command {other}\n\n{USAGE}")),
+    }
+}

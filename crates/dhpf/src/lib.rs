@@ -11,6 +11,7 @@ pub use dhpf_depend as depend;
 pub use dhpf_fortran as fortran;
 pub use dhpf_iset as iset;
 pub use dhpf_nas as nas;
+pub use dhpf_obs as obs;
 pub use dhpf_spmd as spmd;
 
 /// Everything a typical user needs.
@@ -21,6 +22,7 @@ pub mod prelude {
     pub use dhpf_core::exec::serial::run_serial;
     pub use dhpf_fortran::parse;
     pub use dhpf_nas::Class;
+    pub use dhpf_obs::{perfetto, ObsReport};
     pub use dhpf_spmd::machine::MachineConfig;
     pub use dhpf_spmd::trace::{render_spacetime, utilization_summary};
 }

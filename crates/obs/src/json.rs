@@ -1,0 +1,39 @@
+//! Minimal JSON string escaping (the workspace has no serde; every
+//! machine-readable document is hand-rolled, as in `dhpf-analysis`).
+
+/// Escape a string for inclusion inside JSON quotes.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Format an `f64` for JSON: finite with fixed precision; non-finite
+/// values become `null` (JSON has no NaN/Inf).
+pub fn num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.4}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn escapes_and_numbers() {
+        assert_eq!(super::escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(super::num(1.5), "1.5000");
+        assert_eq!(super::num(f64::NAN), "null");
+    }
+}

@@ -81,6 +81,12 @@ impl Trace {
 ///
 /// Legend: `#` compute, `s` send overhead, `r` receive, `~` waiting on a
 /// message, `|` barrier wait, `.` idle.
+///
+/// After the rows, every `~` stall is attributed: one `stall:` line per
+/// (waiting rank, sending peer) pair with the total seconds spent
+/// waiting and the bytes waited for — the same attribution the CSV
+/// export carries in its `recv_wait` rows, so the text and CSV views of
+/// one trace never disagree about who stalled on whom.
 pub fn render_spacetime(traces: &[Trace], t_start: f64, t_end: f64, width: usize) -> String {
     assert!(t_end > t_start && width > 0);
     let dt = (t_end - t_start) / width as f64;
@@ -126,6 +132,26 @@ pub fn render_spacetime(traces: &[Trace], t_start: f64, t_end: f64, width: usize
             }
         }
         let _ = writeln!(out, "p{:<3} {}", tr.rank, String::from_utf8(row).unwrap());
+    }
+    // Stall attribution: aggregate RecvWait time/bytes by (rank, peer).
+    let mut stalls: std::collections::BTreeMap<(usize, usize), (f64, u64, usize)> =
+        std::collections::BTreeMap::new();
+    for tr in traces {
+        for e in &tr.events {
+            if let EventKind::RecvWait { from, bytes } = e.kind {
+                let s = stalls.entry((tr.rank, from)).or_insert((0.0, 0, 0));
+                s.0 += e.t1 - e.t0;
+                s.1 += bytes;
+                s.2 += 1;
+            }
+        }
+    }
+    for ((rank, from), (secs, bytes, n)) in &stalls {
+        let _ = writeln!(
+            out,
+            "stall: p{rank} waited {:.4}s on p{from} ({bytes} B in {n} recv(s))",
+            secs
+        );
     }
     out
 }
@@ -239,6 +265,28 @@ mod tests {
         let s = render_spacetime(&[t], 0.0, 8.0, 8);
         let row = s.lines().nth(2).unwrap();
         assert_eq!(&row[5..], "###s####");
+    }
+
+    #[test]
+    fn spacetime_attributes_stalls() {
+        let mut t1 = mk_trace(); // p0 waits 3s on p1 for 80 B
+        t1.push(Event {
+            t0: 8.0,
+            t1: 9.0,
+            kind: EventKind::RecvWait { from: 1, bytes: 16 },
+        });
+        let mut t2 = Trace::new(1);
+        t2.push(Event {
+            t0: 0.0,
+            t1: 8.0,
+            kind: EventKind::Compute,
+        });
+        let s = render_spacetime(&[t1, t2], 0.0, 9.0, 9);
+        // both RecvWaits from p1 aggregate into one attribution line,
+        // matching the CSV's per-event recv_wait rows
+        assert!(s.contains("stall: p0 waited 4.0000s on p1 (96 B in 2 recv(s))"));
+        // p1 never stalled: no attribution line for it
+        assert!(!s.contains("stall: p1"));
     }
 
     #[test]

@@ -17,7 +17,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 FIRST_PARTY=(dhpf dhpf-analysis dhpf-bench dhpf-core dhpf-depend
-             dhpf-fortran dhpf-iset dhpf-nas dhpf-spmd)
+             dhpf-fortran dhpf-iset dhpf-nas dhpf-obs dhpf-spmd)
 FMT_ARGS=()
 for p in "${FIRST_PARTY[@]}"; do FMT_ARGS+=(-p "$p"); done
 
@@ -39,20 +39,25 @@ echo "== property suite (pinned seed)"
 PROPTEST_SEED=20260806 cargo test -q -p dhpf-iset --test algebra_props
 
 echo "== compile bench smoke"
-# one cold+warm timing pass (class S only) and a schema check on the JSON
+# one cold+warm timing pass (class S only), the trace-overhead gate
+# (asserted inside compilebench), and a schema check on the JSON
 target/release/compilebench --quick --out target/BENCH_compile_smoke.json
 python3 - target/BENCH_compile_smoke.json <<'EOF'
 import json, sys
 doc = json.load(open(sys.argv[1]))
-assert doc["schema"] == "dhpf-compilebench-v1", doc.get("schema")
+assert doc["schema"] == "dhpf-compilebench-v2", doc.get("schema")
 assert doc["benchmarks"], "no benchmarks recorded"
 for b in doc["benchmarks"]:
     for key in ("name", "class", "cold_ms", "warm_ms", "warm_speedup",
-                "cache_hit_rate", "peak_interned_nodes"):
+                "traced_cold_ms", "trace_overhead", "cache_hit_rate",
+                "peak_interned_nodes", "phases"):
         assert key in b, f"missing {key} in {b}"
-    assert b["cold_ms"] > 0 and b["warm_ms"] > 0
+    assert b["cold_ms"] > 0 and b["warm_ms"] > 0 and b["traced_cold_ms"] > 0
     assert 0.0 <= b["cache_hit_rate"] <= 1.0
     assert b["peak_interned_nodes"] > 0
+    assert isinstance(b["phases"], dict) and b["phases"], "empty phases"
+    for name, ms in b["phases"].items():
+        assert isinstance(ms, (int, float)) and ms >= 0.0, (name, ms)
 print(f"bench smoke OK ({len(doc['benchmarks'])} benchmarks)")
 EOF
 
@@ -69,5 +74,74 @@ done
 "$LINT" examples/hpf/nonaffine.f  | grep -q "nonaffine-subscript" || { echo "FAIL: nonaffine lint"; exit 1; }
 "$LINT" examples/hpf/directives.f | grep -q "directive-ignored"   || { echo "FAIL: directive lint"; exit 1; }
 "$LINT" examples/hpf/conflict.f   | grep -q "cp-conflict"         || { echo "FAIL: conflict lint"; exit 1; }
+# the machine-readable output must carry the frozen dhpf-lint-v1 schema
+"$LINT" --format json examples/hpf/nonaffine.f | python3 -c '
+import json, sys
+doc = json.loads(sys.stdin.readline())
+assert doc["schema"] == "dhpf-lint-v1", doc.get("schema")
+assert doc["file"].endswith("nonaffine.f")
+assert isinstance(doc["errors"], int)
+assert any(f["code"] == "nonaffine-subscript" for f in doc["findings"])
+print("lint schema OK")
+'
+
+echo "== observability (trace + metrics + decision log)"
+# compile NAS SP class S with tracing, execute it on the virtual machine,
+# and validate all three JSON documents offline
+DHPF=target/release/dhpf
+OBS_DIR=target/obs-ci
+mkdir -p "$OBS_DIR"
+"$DHPF" compile --nas sp --class S --nprocs 4 --run \
+    --trace-out "$OBS_DIR/sp_s_trace.json" \
+    --metrics-out "$OBS_DIR/sp_s_metrics.json" \
+    --decisions-out "$OBS_DIR/sp_s_decisions.json"
+python3 - "$OBS_DIR/sp_s_trace.json" "$OBS_DIR/sp_s_metrics.json" \
+          "$OBS_DIR/sp_s_decisions.json" <<'EOF'
+import json, sys
+
+# Chrome/Perfetto trace: compile spans in pid 1, execution in pid 2
+trace = json.load(open(sys.argv[1]))
+events = trace["traceEvents"]
+assert events, "empty trace"
+pids = {e["pid"] for e in events if "pid" in e}
+assert {1, 2} <= pids, f"expected compile+exec processes, got {pids}"
+for e in events:
+    assert e["ph"] in ("X", "i", "M"), e
+    if e["ph"] == "X":
+        assert e["dur"] >= 0 and e["ts"] >= 0, e
+
+# metrics document
+m = json.load(open(sys.argv[2]))
+assert m["schema"] == "dhpf-metrics-v1", m.get("schema")
+assert m["counters"]["comm.pre_messages"] > 0
+assert m["counters"]["driver.units"] > 0
+assert m["nests"], "no per-nest metrics"
+for n in m["nests"]:
+    for key in ("unit", "stmt", "pipelined", "pre_messages", "pre_elems",
+                "post_messages", "post_elems"):
+        assert key in n, f"missing {key} in {n}"
+assert sum(n["pre_messages"] for n in m["nests"]) == m["counters"]["comm.pre_messages"]
+
+# decision log
+d = json.load(open(sys.argv[3]))
+assert d["schema"] == "dhpf-decisions-v1", d.get("schema")
+assert d["decisions"], "no decisions recorded"
+kinds = {x["kind"] for x in d["decisions"]}
+assert "cp-select" in kinds, kinds
+assert "comm-eliminated" in kinds and "comm-retained" in kinds, kinds
+for x in d["decisions"]:
+    assert "unit" in x and "line" in x, f"unattributed decision {x}"
+
+print(f"observability OK ({len(events)} trace events, "
+      f"{len(d['decisions'])} decisions)")
+EOF
+# the checked-in reference trace must round-trip the same validator
+python3 - results/sp_s_trace.json <<'EOF'
+import json, sys
+trace = json.load(open(sys.argv[1]))
+events = trace["traceEvents"]
+assert events and {1, 2} <= {e["pid"] for e in events if "pid" in e}
+print(f"checked-in trace OK ({len(events)} events)")
+EOF
 
 echo "CI OK"

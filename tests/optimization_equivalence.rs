@@ -154,6 +154,54 @@ fn parallel_compilation_is_byte_identical_to_serial() {
     );
 }
 
+/// The observability layer must not break compile determinism: with the
+/// recorder enabled, the span-tree *structure* and the decision log of a
+/// parallel compile must be byte-identical to a serial compile of the
+/// same program (only wall-clock fields and lane assignments may differ,
+/// and those are excluded from the determinism key).
+#[test]
+fn observed_parallel_compile_trace_is_deterministic() {
+    use dhpf::core::driver::{compile, CompileOptions};
+
+    for (name, program, bindings) in [
+        (
+            "sp",
+            dhpf::nas::sp::parse(),
+            dhpf::nas::sp::bindings(Class::S, 4),
+        ),
+        (
+            "bt",
+            dhpf::nas::bt::parse(),
+            dhpf::nas::bt::bindings(Class::S, 4),
+        ),
+    ] {
+        let mut serial_opts = CompileOptions::new().observed();
+        serial_opts.bindings = bindings.clone();
+        serial_opts.granularity = 4;
+        let par_opts = serial_opts.clone().parallel(4);
+
+        let serial = compile(&program, &serial_opts).expect("serial compile");
+        let parallel = compile(&program, &par_opts).expect("parallel compile");
+
+        assert!(serial.obs.enabled && parallel.obs.enabled);
+        assert_eq!(
+            serial.obs.determinism_key(),
+            parallel.obs.determinism_key(),
+            "{name}: span/decision structure diverged between serial and parallel compile"
+        );
+        assert_eq!(
+            serial.obs.decision_log(&serial.transformed),
+            parallel.obs.decision_log(&parallel.transformed),
+            "{name}: decision log diverged between serial and parallel compile"
+        );
+        assert_eq!(
+            serial.obs.decision_json(&serial.transformed),
+            parallel.obs.decision_json(&parallel.transformed),
+            "{name}: decision JSON diverged between serial and parallel compile"
+        );
+    }
+}
+
 #[test]
 fn localize_reduces_messages() {
     let (_, with, _) = run_sp_with(OptFlags::default(), 4);
