@@ -1,6 +1,9 @@
 //! Consistency checks over `spmd::trace` event logs and communication
 //! plans: unmatched send/recv pairs, write–write races on ghost regions,
-//! and cyclic waits in pipelined sweep schedules.
+//! cyclic waits in pipelined sweep schedules, and wait coverage of
+//! nonblocking receives (every posted `irecv` waited exactly once — an
+//! un-waited request means the program read a ghost buffer that was
+//! never known to be filled).
 
 use crate::diag::{Finding, Report, Severity};
 use dhpf_core::comm::NestPlan;
@@ -13,6 +16,7 @@ pub fn check_traces(traces: &[Trace]) -> Report {
     let mut out = Report::new();
     check_matched_messages(traces, &mut out);
     check_cyclic_waits(traces, &mut out);
+    check_wait_coverage(traces, &mut out);
     out
 }
 
@@ -31,9 +35,15 @@ fn check_matched_messages(traces: &[Trace], out: &mut Report) {
                     p.0 += 1;
                     p.1 += bytes;
                 }
-                // a receive emits Recv (no stall) or RecvWait (stalled),
-                // never both — both consume exactly one message
-                EventKind::Recv { from, bytes } | EventKind::RecvWait { from, bytes } => {
+                // a blocking receive emits Recv (no stall) or RecvWait
+                // (stalled); the wait on a posted irecv emits Wait or
+                // WaitStall — each consumes exactly one message. The
+                // zero-width RecvPost consumes nothing and is covered
+                // by check_wait_coverage instead.
+                EventKind::Recv { from, bytes }
+                | EventKind::RecvWait { from, bytes }
+                | EventKind::Wait { from, bytes, .. }
+                | EventKind::WaitStall { from, bytes, .. } => {
                     let p = pairs.entry((from, t.rank)).or_default();
                     p.2 += 1;
                     p.3 += bytes;
@@ -70,7 +80,7 @@ fn check_cyclic_waits(traces: &[Trace], out: &mut Report) {
     let mut edges: BTreeMap<usize, Vec<(usize, f64, f64)>> = BTreeMap::new();
     for t in traces {
         for e in &t.events {
-            if let EventKind::RecvWait { from, .. } = e.kind {
+            if let EventKind::RecvWait { from, .. } | EventKind::WaitStall { from, .. } = e.kind {
                 edges.entry(t.rank).or_default().push((from, e.t0, e.t1));
             }
         }
@@ -132,6 +142,62 @@ fn dfs(
         path.push(next);
         dfs(start, next, edges, nlo, nhi, path, reported, out);
         path.pop();
+    }
+}
+
+/// Wait coverage of nonblocking receives: on each rank, every posted
+/// request (`RecvPost`) must be completed by exactly one `Wait` /
+/// `WaitStall` carrying the same request id, and no wait may name a
+/// request that was never posted. A posted-but-unwaited request is the
+/// trace-level signature of reading a ghost buffer whose fill was never
+/// synchronized — a race the blocking API made unrepresentable.
+fn check_wait_coverage(traces: &[Trace], out: &mut Report) {
+    for t in traces {
+        // req id → (posts, waits); BTreeMap keeps findings ordered
+        let mut reqs: BTreeMap<u64, (usize, usize)> = BTreeMap::new();
+        for e in &t.events {
+            match e.kind {
+                EventKind::RecvPost { req, .. } => reqs.entry(req).or_default().0 += 1,
+                EventKind::Wait { req, .. } | EventKind::WaitStall { req, .. } => {
+                    reqs.entry(req).or_default().1 += 1
+                }
+                _ => {}
+            }
+        }
+        for (req, (posts, waits)) in reqs {
+            if posts > 0 && waits == 0 {
+                out.push(Finding::new(
+                    "trace-unwaited-irecv",
+                    Severity::Error,
+                    "",
+                    format!(
+                        "rank {}: irecv request {req} was posted but never waited — \
+                         the ghost buffer it fills may be read before the message lands",
+                        t.rank
+                    ),
+                ));
+            } else if posts == 0 && waits > 0 {
+                out.push(Finding::new(
+                    "trace-wait-unposted",
+                    Severity::Error,
+                    "",
+                    format!(
+                        "rank {}: wait on request {req} which was never posted",
+                        t.rank
+                    ),
+                ));
+            } else if waits > 1 {
+                out.push(Finding::new(
+                    "trace-double-wait",
+                    Severity::Error,
+                    "",
+                    format!(
+                        "rank {}: request {req} waited {waits} times ({posts} post(s))",
+                        t.rank
+                    ),
+                ));
+            }
+        }
     }
 }
 
@@ -285,6 +351,81 @@ mod tests {
         assert!(check_traces(&traces).is_clean());
     }
 
+    /// A valid overlapped exchange: post, compute, stalled wait.
+    fn overlapped_pair() -> Vec<Trace> {
+        vec![
+            Trace {
+                rank: 0,
+                events: vec![ev(0.0, 1.0, EventKind::Send { to: 1, bytes: 32 })],
+            },
+            Trace {
+                rank: 1,
+                events: vec![
+                    ev(0.0, 0.0, EventKind::RecvPost { from: 0, req: 7 }),
+                    ev(0.0, 2.0, EventKind::Compute),
+                    ev(
+                        2.0,
+                        3.0,
+                        EventKind::WaitStall {
+                            from: 0,
+                            bytes: 32,
+                            req: 7,
+                        },
+                    ),
+                ],
+            },
+        ]
+    }
+
+    #[test]
+    fn overlapped_exchange_is_clean() {
+        assert!(check_traces(&overlapped_pair()).is_clean());
+    }
+
+    #[test]
+    fn dropped_wait_is_rejected() {
+        // Mutation: drop the Wait for the posted irecv. Both the
+        // wait-coverage check and the send/recv matcher must object.
+        let mut traces = overlapped_pair();
+        traces[1]
+            .events
+            .retain(|e| !matches!(e.kind, EventKind::WaitStall { .. }));
+        let r = check_traces(&traces);
+        assert!(
+            r.findings.iter().any(|f| f.code == "trace-unwaited-irecv"),
+            "{}",
+            r.render_human(None)
+        );
+        assert!(r.findings.iter().any(|f| f.code == "trace-unmatched"));
+    }
+
+    #[test]
+    fn double_wait_is_rejected() {
+        let mut traces = overlapped_pair();
+        let dup = traces[1].events.last().unwrap().clone();
+        traces[1].events.push(dup);
+        let r = check_traces(&traces);
+        assert!(
+            r.findings.iter().any(|f| f.code == "trace-double-wait"),
+            "{}",
+            r.render_human(None)
+        );
+    }
+
+    #[test]
+    fn wait_without_post_is_rejected() {
+        let mut traces = overlapped_pair();
+        traces[1]
+            .events
+            .retain(|e| !matches!(e.kind, EventKind::RecvPost { .. }));
+        let r = check_traces(&traces);
+        assert!(
+            r.findings.iter().any(|f| f.code == "trace-wait-unposted"),
+            "{}",
+            r.render_human(None)
+        );
+    }
+
     #[test]
     fn overlapping_ghost_writes_race() {
         let mut plans = BTreeMap::new();
@@ -312,6 +453,7 @@ mod tests {
                     },
                 ],
                 post: vec![],
+                overlap: None,
             },
         );
         let r = check_plan_races("t", &plans);
@@ -346,6 +488,7 @@ mod tests {
                     },
                 ],
                 post: vec![],
+                overlap: None,
             },
         );
         assert!(check_plan_races("t", &plans).is_clean());

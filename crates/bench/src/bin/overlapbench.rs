@@ -1,0 +1,153 @@
+//! Blocking vs overlapped halo exchange in simulated time (§3).
+//!
+//! Compiles NAS SP and BT twice per class — once with
+//! `OptFlags::overlap` off (every pre-exchange is a blocking
+//! send/recv pair) and once with it on (irecvs posted up front, the
+//! interior of the nest computed while ghost cells are in flight, the
+//! waits paid only before the boundary iterations) — runs both programs
+//! on the LogGP virtual machine, and writes a machine-readable
+//! `BENCH_overlap.json`:
+//!
+//! ```json
+//! {
+//!   "schema": "dhpf-overlap-v1",
+//!   "nprocs": 4,
+//!   "benchmarks": [
+//!     { "name": "sp", "class": "S", "nprocs": 4, "overlapped_nests": 3,
+//!       "blocking_vt": 0.0123, "overlapped_vt": 0.0119,
+//!       "delta": 0.0004, "speedup": 1.034 }
+//!   ]
+//! }
+//! ```
+//!
+//! Everything here is *virtual* time from the deterministic machine
+//! model, so the file is byte-reproducible and checked in under
+//! `results/`; `scripts/ci.sh` regenerates it and validates the schema
+//! plus the invariant that overlap never slows a benchmark down
+//! (`delta >= 0`, strictly positive wherever overlappable nests exist).
+//!
+//! Usage:
+//!   overlapbench [--out PATH]
+
+use dhpf_core::driver::OptFlags;
+use dhpf_core::exec::node::run_node_program;
+use dhpf_nas::{bt, sp, Class};
+use dhpf_spmd::machine::MachineConfig;
+
+const NPROCS: usize = 4;
+
+struct Row {
+    name: &'static str,
+    class: Class,
+    nprocs: usize,
+    overlapped_nests: usize,
+    blocking_vt: f64,
+    overlapped_vt: f64,
+}
+
+fn measure(name: &'static str, class: Class) -> Row {
+    let compile = |overlap: bool| {
+        let flags = OptFlags {
+            overlap,
+            ..Default::default()
+        };
+        match name {
+            "sp" => sp::compile_dhpf(class, NPROCS, Some(flags)),
+            "bt" => bt::compile_dhpf(class, NPROCS, Some(flags)),
+            other => unreachable!("unknown benchmark {other}"),
+        }
+    };
+    let run = |compiled: &dhpf_core::driver::Compiled| {
+        run_node_program(&compiled.program, MachineConfig::sp2(NPROCS))
+            .expect("run")
+            .run
+            .virtual_time
+    };
+    let blocking = compile(false);
+    let overlapped = compile(true);
+    assert_eq!(
+        blocking.report.overlapped_nests, 0,
+        "overlap off must plan no overlapped nests"
+    );
+    Row {
+        name,
+        class,
+        nprocs: NPROCS,
+        overlapped_nests: overlapped.report.overlapped_nests,
+        blocking_vt: run(&blocking),
+        overlapped_vt: run(&overlapped),
+    }
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_overlap.json");
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => out_path = it.next().expect("--out needs a value"),
+            other => {
+                eprintln!("usage: overlapbench [--out PATH] (unknown arg {other})");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let rows: Vec<Row> = [
+        ("sp", Class::S),
+        ("sp", Class::W),
+        ("bt", Class::S),
+        ("bt", Class::W),
+    ]
+    .into_iter()
+    .map(|(n, c)| measure(n, c))
+    .collect();
+
+    println!(
+        "{:<6} {:<6} {:>7} {:>10} {:>14} {:>14} {:>12} {:>9}",
+        "bench",
+        "class",
+        "nprocs",
+        "ovl nests",
+        "blocking (s)",
+        "overlap (s)",
+        "delta (s)",
+        "speedup"
+    );
+    let mut json = format!(
+        "{{\n  \"schema\": \"dhpf-overlap-v1\",\n  \"nprocs\": {NPROCS},\n  \"benchmarks\": ["
+    );
+    for (i, r) in rows.iter().enumerate() {
+        let delta = r.blocking_vt - r.overlapped_vt;
+        let speedup = r.blocking_vt / r.overlapped_vt;
+        println!(
+            "{:<6} {:<6} {:>7} {:>10} {:>14.6} {:>14.6} {:>12.6} {:>9.4}",
+            r.name,
+            r.class.name(),
+            r.nprocs,
+            r.overlapped_nests,
+            r.blocking_vt,
+            r.overlapped_vt,
+            delta,
+            speedup
+        );
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!(
+            "\n    {{ \"name\": \"{}\", \"class\": \"{}\", \"nprocs\": {}, \
+             \"overlapped_nests\": {}, \"blocking_vt\": {:.9}, \
+             \"overlapped_vt\": {:.9}, \"delta\": {:.9}, \"speedup\": {:.4} }}",
+            r.name,
+            r.class.name(),
+            r.nprocs,
+            r.overlapped_nests,
+            r.blocking_vt,
+            r.overlapped_vt,
+            delta,
+            speedup
+        ));
+    }
+    json.push_str("\n  ]\n}\n");
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    eprintln!("wrote {out_path}");
+}

@@ -123,6 +123,24 @@ pub struct PipeArray {
     pub strip_dim: Option<usize>,
 }
 
+/// One interior-membership constraint of an overlapped nest: the
+/// iteration reads `arr[.., value(var) + shift, ..]` on dimension
+/// `dim`, so it may run before the halo exchange completes only when
+/// `owned_lo <= value(var) + shift <= owned_hi`.
+#[derive(Clone, Debug)]
+pub struct HaloCheck {
+    pub arr: usize,
+    pub dim: usize,
+    /// Int slot of the nest loop variable the constraint bounds.
+    pub var: usize,
+    pub shift: i64,
+}
+
+/// The pieces `try_compile_overlap` extracts from an overlappable nest:
+/// the single-chain loop levels, the compiled innermost body, and the
+/// halo membership checks that define the interior.
+type OverlapParts = (Vec<PipeLevel>, Vec<NodeOp>, Vec<HaloCheck>);
+
 /// Node-program operations.
 #[derive(Clone, Debug)]
 pub enum NodeOp {
@@ -166,6 +184,18 @@ pub enum NodeOp {
     },
     /// Vectorized exchange (ghost updates or write-backs).
     Exchange { msgs: Vec<CMsg>, tag: u64 },
+    /// Halo exchange overlapped with the nest it feeds: post receives,
+    /// run the interior iterations (every [`HaloCheck`] satisfied),
+    /// wait and unpack, then run the boundary complement.
+    OverlapNest {
+        msgs: Vec<CMsg>,
+        tag: u64,
+        /// Single-chain nest levels, outermost first.
+        levels: Vec<PipeLevel>,
+        /// Innermost body.
+        body: Vec<NodeOp>,
+        halo: Vec<HaloCheck>,
+    },
     /// Coarse-grain pipelined wavefront nest.
     Pipeline {
         levels: Vec<PipeLevel>,
@@ -845,41 +875,63 @@ impl<'a> UnitCx<'a> {
         ops: &mut Vec<NodeOp>,
     ) -> CgResult<()> {
         let pre = self.compile_msgs(plan.pre())?;
-        if !pre.is_empty() {
-            let tag = self.fresh_tag();
-            ops.push(NodeOp::Exchange { msgs: pre, tag });
-        }
         match &plan {
-            NestPlan::Parallel { .. } => {
-                // plain nest with guards
-                let StmtKind::Do {
-                    var,
-                    lo,
-                    hi,
-                    step,
-                    body,
-                    ..
-                } = &s.kind
-                else {
-                    return err("plan attached to non-loop");
+            NestPlan::Parallel { overlap, .. } => {
+                // overlapped emission when the planner proved it sound
+                // and the nest is the single loop chain the interior
+                // test needs; otherwise blocking exchange + plain nest
+                let overlapped = match overlap.as_ref().filter(|_| !pre.is_empty()) {
+                    Some(halos) => self.try_compile_overlap(s, halos, unit_index, units)?,
+                    None => None,
                 };
-                let var_slot = self.int_slot(var);
-                let lo = self.cidx(lo)?;
-                let hi = self.cidx(hi)?;
-                let step = match step {
-                    None => 1,
-                    Some(e) => self.cidx(e)?.cst,
-                };
-                let inner = self.compile_body(body, unit_index, units)?;
-                ops.push(NodeOp::Loop {
-                    var: var_slot,
-                    lo,
-                    hi,
-                    step,
-                    body: inner,
-                });
+                if let Some((levels, body, halo)) = overlapped {
+                    let tag = self.fresh_tag();
+                    ops.push(NodeOp::OverlapNest {
+                        msgs: pre,
+                        tag,
+                        levels,
+                        body,
+                        halo,
+                    });
+                } else {
+                    if !pre.is_empty() {
+                        let tag = self.fresh_tag();
+                        ops.push(NodeOp::Exchange { msgs: pre, tag });
+                    }
+                    // plain nest with guards
+                    let StmtKind::Do {
+                        var,
+                        lo,
+                        hi,
+                        step,
+                        body,
+                        ..
+                    } = &s.kind
+                    else {
+                        return err("plan attached to non-loop");
+                    };
+                    let var_slot = self.int_slot(var);
+                    let lo = self.cidx(lo)?;
+                    let hi = self.cidx(hi)?;
+                    let step = match step {
+                        None => 1,
+                        Some(e) => self.cidx(e)?.cst,
+                    };
+                    let inner = self.compile_body(body, unit_index, units)?;
+                    ops.push(NodeOp::Loop {
+                        var: var_slot,
+                        lo,
+                        hi,
+                        step,
+                        body: inner,
+                    });
+                }
             }
             NestPlan::Pipelined { schedule, .. } => {
+                if !pre.is_empty() {
+                    let tag = self.fresh_tag();
+                    ops.push(NodeOp::Exchange { msgs: pre, tag });
+                }
                 self.compile_pipeline(s, schedule, unit_index, units, ops)?;
             }
         }
@@ -889,6 +941,69 @@ impl<'a> UnitCx<'a> {
             ops.push(NodeOp::Exchange { msgs: post, tag });
         }
         Ok(())
+    }
+
+    /// Try to lower a Parallel nest with an overlap recipe into the
+    /// flattened form [`NodeOp::OverlapNest`] needs: a single-chain loop
+    /// nest whose levels bind every halo variable. Returns `None` (fall
+    /// back to blocking) when the shape does not hold.
+    fn try_compile_overlap(
+        &mut self,
+        s: &Stmt,
+        halos: &[crate::comm::HaloRead],
+        unit_index: &BTreeMap<String, usize>,
+        units: &[&ProgramUnit],
+    ) -> CgResult<Option<OverlapParts>> {
+        let mut levels: Vec<PipeLevel> = Vec::new();
+        let mut var_names: Vec<String> = Vec::new();
+        let mut cur = s;
+        let body_ref: &[Stmt];
+        loop {
+            let StmtKind::Do {
+                var,
+                lo,
+                hi,
+                step,
+                body,
+                ..
+            } = &cur.kind
+            else {
+                return Ok(None);
+            };
+            let step_v = match step {
+                None => 1,
+                Some(e) => self.cidx(e)?.cst,
+            };
+            levels.push(PipeLevel {
+                var: self.int_slot(var),
+                lo: self.cidx(lo)?,
+                hi: self.cidx(hi)?,
+                step: step_v,
+            });
+            var_names.push(var.clone());
+            if body.len() == 1 {
+                if let StmtKind::Do { .. } = body[0].kind {
+                    cur = &body[0];
+                    continue;
+                }
+            }
+            body_ref = body;
+            break;
+        }
+        let mut halo: Vec<HaloCheck> = Vec::new();
+        for h in halos {
+            let Some(pos) = var_names.iter().position(|v| v == &h.var) else {
+                return Ok(None);
+            };
+            halo.push(HaloCheck {
+                arr: self.array_slot(&h.array),
+                dim: h.dim,
+                var: levels[pos].var,
+                shift: h.shift,
+            });
+        }
+        let body = self.compile_body(body_ref, unit_index, units)?;
+        Ok(Some((levels, body, halo)))
     }
 
     fn compile_pipeline(

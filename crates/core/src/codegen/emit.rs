@@ -134,6 +134,50 @@ fn emit_ops(ops: &[NodeOp], u: &CompiledUnit, depth: usize, out: &mut String) {
                     );
                 }
             }
+            NodeOp::OverlapNest {
+                msgs,
+                tag,
+                levels,
+                body,
+                halo,
+            } => {
+                ind(depth, out);
+                let vol: usize = msgs
+                    .iter()
+                    .map(|m| {
+                        m.lo.iter()
+                            .zip(&m.hi)
+                            .map(|(l, h)| (h - l + 1).max(0) as usize)
+                            .product::<usize>()
+                    })
+                    .sum();
+                let checks: Vec<String> = halo
+                    .iter()
+                    .map(|h| {
+                        format!(
+                            "{}[{}]∋i{}{:+}",
+                            u.array_names[h.arr], h.dim, h.var, h.shift
+                        )
+                    })
+                    .collect();
+                let _ = writeln!(
+                    out,
+                    "overlap exchange tag {tag}: {} messages, {vol} elements, \
+                     {} levels, interior [{}]",
+                    msgs.len(),
+                    levels.len(),
+                    checks.join(" ∧ ")
+                );
+                for m in msgs {
+                    ind(depth + 1, out);
+                    let _ = writeln!(
+                        out,
+                        "{} {}->{} {:?}..{:?}",
+                        u.array_names[m.arr], m.from, m.to, m.lo, m.hi
+                    );
+                }
+                emit_ops(body, u, depth + 1, out);
+            }
             NodeOp::Pipeline {
                 sweep_level,
                 strip_level,
@@ -194,6 +238,8 @@ pub struct PlanStats {
     pub exchange_messages: usize,
     pub exchange_elements: usize,
     pub pipelines: usize,
+    /// Exchanges overlapped with their nest's interior compute.
+    pub overlapped: usize,
     pub guarded_statements: usize,
     pub statements: usize,
 }
@@ -216,6 +262,21 @@ pub fn plan_stats(prog: &NodeProgram) -> PlanStats {
                                 .product::<usize>()
                         })
                         .sum::<usize>();
+                }
+                NodeOp::OverlapNest { msgs, body, .. } => {
+                    st.exchanges += 1;
+                    st.overlapped += 1;
+                    st.exchange_messages += msgs.len();
+                    st.exchange_elements += msgs
+                        .iter()
+                        .map(|m| {
+                            m.lo.iter()
+                                .zip(&m.hi)
+                                .map(|(l, h)| (h - l + 1).max(0) as usize)
+                                .product::<usize>()
+                        })
+                        .sum::<usize>();
+                    walk(body, st);
                 }
                 NodeOp::Pipeline { body, .. } => {
                     st.pipelines += 1;

@@ -15,6 +15,12 @@
 //!   nest is strip-mined along an orthogonal parallel loop with uniform
 //!   granularity `G`, and each strip receives the predecessor's boundary
 //!   write-back before computing and forwards its own afterwards.
+//!
+//! Parallel nests whose pre-exchange is a pure ghost-cell halo update
+//! additionally carry an *overlap* recipe ([`HaloRead`] list): the
+//! generated SPMD code posts nonblocking receives, computes the interior
+//! iterations (those reading only owned data), waits, and finishes the
+//! boundary — hiding message flight time behind interior compute (§3).
 
 use crate::avail::{accessed_set, nest_bounds, read_available, Availability};
 use crate::cp::SubTerm;
@@ -100,12 +106,30 @@ pub struct PipeSchedule {
     pub granularity: i64,
 }
 
+/// One ghost-halo read direction of an overlappable parallel nest: the
+/// nest reads `array[.., var + shift, ..]` on distributed dimension
+/// `dim`. An iteration is *interior* (safe to run before the exchange
+/// completes) iff every halo read of it lands in the owned block:
+/// `owned_lo <= value(var) + shift <= owned_hi`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HaloRead {
+    pub array: String,
+    pub dim: usize,
+    pub var: String,
+    pub shift: i64,
+}
+
 /// Communication plan for one top-level nest.
 #[derive(Clone, Debug)]
 pub enum NestPlan {
     Parallel {
         pre: Vec<Msg>,
         post: Vec<Msg>,
+        /// When `Some`, the pre-exchange may be overlapped with the
+        /// nest's interior iterations (post-irecv / compute-interior /
+        /// wait / compute-boundary). `None` means the exchange must
+        /// complete before any iteration runs.
+        overlap: Option<Vec<HaloRead>>,
     },
     Pipelined {
         pre: Vec<Msg>,
@@ -124,6 +148,14 @@ impl NestPlan {
     pub fn post(&self) -> &[Msg] {
         match self {
             NestPlan::Parallel { post, .. } | NestPlan::Pipelined { post, .. } => post,
+        }
+    }
+
+    /// Halo recipe when the nest's pre-exchange may overlap compute.
+    pub fn overlap(&self) -> Option<&[HaloRead]> {
+        match self {
+            NestPlan::Parallel { overlap, .. } => overlap.as_deref(),
+            NestPlan::Pipelined { .. } => None,
         }
     }
 }
@@ -147,6 +179,9 @@ pub struct CommOptions {
     pub data_availability: bool,
     /// Coarse-grain pipelining granularity (strip size).
     pub granularity: i64,
+    /// Mark halo pre-exchanges of parallel nests overlappable so the
+    /// generated code can hide them behind interior compute (§3).
+    pub overlap: bool,
 }
 
 impl Default for CommOptions {
@@ -154,6 +189,7 @@ impl Default for CommOptions {
         CommOptions {
             data_availability: true,
             granularity: 4,
+            overlap: true,
         }
     }
 }
@@ -168,6 +204,7 @@ pub struct CommReport {
     pub pre_volume: usize,
     pub post_messages: usize,
     pub post_volume: usize,
+    pub overlapped_nests: usize,
 }
 
 impl CommReport {
@@ -183,6 +220,7 @@ impl CommReport {
         self.pre_volume += other.pre_volume;
         self.post_messages += other.post_messages;
         self.post_volume += other.post_volume;
+        self.overlapped_nests += other.overlapped_nests;
     }
 }
 
@@ -256,26 +294,12 @@ pub fn plan_nest_scoped(
             if let Some(sch) = &sweep {
                 if let Some((_, dm)) = sch.arrays.iter().find(|(a, _)| a == &r.array) {
                     if let Some(Some(sub)) = r.subs.get(*dm) {
-                        let var = {
-                            // sweep loop variable: level sweep_level in the
-                            // single-chain nest starting at loop_id
-                            let mut nest_ids = vec![loop_id];
-                            loop {
-                                let last = *nest_ids.last().unwrap();
-                                match loops.loop_body.get(&last) {
-                                    Some(body)
-                                        if body.len() == 1
-                                            && loops.loops.contains_key(&body[0]) =>
-                                    {
-                                        nest_ids.push(body[0]);
-                                    }
-                                    _ => break,
-                                }
-                            }
-                            nest_ids
-                                .get(sch.sweep_level)
-                                .map(|id| loops.loops[id].var.clone())
-                        };
+                        // sweep loop variable: level sweep_level in the
+                        // single-chain nest starting at loop_id (empty
+                        // chain when loop_id is not a loop: no variable)
+                        let var = nest_chain(loop_id, loops)
+                            .get(sch.sweep_level)
+                            .map(|id| loops.loops[id].var.clone());
                         if let Some(var) = var {
                             if sub.coeff(&var) != 0 {
                                 // shift relative to CP on the swept dim
@@ -491,7 +515,25 @@ pub fn plan_nest_scoped(
                 schedule,
             })
         }
-        None => Ok(NestPlan::Parallel { pre, post }),
+        None => {
+            let overlap = if opts.overlap {
+                detect_overlap(loop_id, loops, refs, deps, env, &pre)
+            } else {
+                None
+            };
+            if let Some(halos) = &overlap {
+                report.overlapped_nests += 1;
+                if obs::is_active() {
+                    let mut arrays: Vec<String> = halos.iter().map(|h| h.array.clone()).collect();
+                    arrays.dedup();
+                    let halos = halos.len();
+                    obs::decide(move || {
+                        Decision::new(DecisionKind::CommOverlapped { arrays, halos }).stmt(loop_id)
+                    });
+                }
+            }
+            Ok(NestPlan::Parallel { pre, post, overlap })
+        }
     }
 }
 
@@ -709,10 +751,14 @@ fn push_msgs(
 
 /// Deduplicate and merge messages between identical endpoints.
 fn coalesce(msgs: &mut Vec<Msg>) {
+    // total order (hi included): messages identical up to their extent
+    // would otherwise keep their discovery order, making the greedy
+    // merge below sensitive to the order reads were examined in
     msgs.sort_by(|a, b| {
         (a.from, a.to, &a.array)
             .cmp(&(b.from, b.to, &b.array))
             .then_with(|| a.region.lo.cmp(&b.region.lo))
+            .then_with(|| a.region.hi.cmp(&b.region.hi))
     });
     msgs.dedup();
     // merge regions per endpoint pair
@@ -735,6 +781,110 @@ fn coalesce(msgs: &mut Vec<Msg>) {
     *msgs = out;
 }
 
+/// The single-child loop chain starting at `loop_id` (level 0 = the
+/// loop itself). Returns an empty list when `loop_id` is not a loop —
+/// callers index into the chain, so they must tolerate the empty case
+/// (a unit with no nests planned through the generic path) rather than
+/// unwrap a nonexistent last element.
+fn nest_chain(loop_id: StmtId, loops: &UnitLoops) -> Vec<StmtId> {
+    let mut nest: Vec<StmtId> = Vec::new();
+    if !loops.loops.contains_key(&loop_id) {
+        return nest;
+    }
+    nest.push(loop_id);
+    while let Some(&last) = nest.last() {
+        match loops.loop_body.get(&last) {
+            Some(body) if body.len() == 1 && loops.loops.contains_key(&body[0]) => {
+                nest.push(body[0]);
+            }
+            _ => break,
+        }
+    }
+    nest
+}
+
+/// Decide whether the pre-exchange of a parallel nest may overlap the
+/// nest's interior compute, and if so return the halo recipe: one
+/// [`HaloRead`] per (array, block dim, loop var, shift) the nest reads
+/// of a pre-exchanged array.
+///
+/// Overlap reorders iterations (interior before boundary), so it is
+/// only sound when:
+///
+/// * the nest carries no dependence at any level (`level: Some(_)`)
+///   — loop-independent deps are iteration-internal and unaffected;
+/// * no pre-exchanged array is written inside the nest — the unpack
+///   runs after the interior pass and would clobber such writes;
+/// * every read of a pre-exchanged array subscripts each block-mapped
+///   dimension as `var + c` with unit coefficient on a single nest
+///   loop variable, so "reads stay in the owned box" is decidable per
+///   iteration from the loop values alone.
+fn detect_overlap(
+    loop_id: StmtId,
+    loops: &UnitLoops,
+    refs: &UnitRefs,
+    deps: &[Dependence],
+    env: &DistEnv,
+    pre: &[Msg],
+) -> Option<Vec<HaloRead>> {
+    if pre.is_empty() {
+        return None;
+    }
+    if deps.iter().any(|d| d.level.is_some()) {
+        return None;
+    }
+    let chain = nest_chain(loop_id, loops);
+    if chain.is_empty() {
+        return None;
+    }
+    let chain_vars: Vec<&str> = chain
+        .iter()
+        .map(|id| loops.loops[id].var.as_str())
+        .collect();
+    let exchanged: std::collections::BTreeSet<&str> =
+        pre.iter().map(|m| m.array.as_str()).collect();
+    let mut halos: Vec<HaloRead> = Vec::new();
+    for stmt in loops.stmts_in(loop_id) {
+        for r in refs.of_stmt(stmt) {
+            if r.is_scalar || !exchanged.contains(r.array.as_str()) {
+                continue;
+            }
+            if r.is_write {
+                return None;
+            }
+            let dist = env.dist_of(&r.array)?;
+            for (dim, m) in dist.dims.iter().enumerate() {
+                let DimMap::Block { .. } = m else { continue };
+                let Some(Some(sub)) = r.subs.get(dim) else {
+                    return None;
+                };
+                let mut terms = sub.terms();
+                let Some((var, coeff)) = terms.next() else {
+                    // constant subscript on a block dim: no loop bound
+                    // shrinks the halo, so the whole nest is boundary
+                    return None;
+                };
+                if terms.next().is_some() || coeff != 1 || !chain_vars.contains(&var) {
+                    return None;
+                }
+                let h = HaloRead {
+                    array: r.array.clone(),
+                    dim,
+                    var: var.to_string(),
+                    shift: sub.constant(),
+                };
+                if !halos.contains(&h) {
+                    halos.push(h);
+                }
+            }
+        }
+    }
+    if halos.is_empty() {
+        return None;
+    }
+    Some(halos)
+}
+
 /// Detect a wavefront sweep: the outermost loop level carrying a flow
 /// dependence whose loop variable subscripts a distributed dimension.
 fn detect_sweep(
@@ -745,24 +895,12 @@ fn detect_sweep(
     cps: &CpAssignment,
     env: &DistEnv,
 ) -> Option<PipeSchedule> {
-    // nest structure of the *loop itself*: level 0 = loop_id
-    let mut nest: Vec<StmtId> = vec![loop_id];
-    // follow single-child chains of loops to list nest levels
-    loop {
-        let last = *nest.last().unwrap();
-        let body = loops.loop_body.get(&last)?;
-        let inner: Vec<StmtId> = body
-            .iter()
-            .filter(|s| loops.loops.contains_key(s))
-            .cloned()
-            .collect();
-        if inner.len() == 1 && body.len() == 1 {
-            nest.push(inner[0]);
-        } else {
-            // also descend when the loop body is a single loop among
-            // non-loop statements? keep strict single-chain
-            break;
-        }
+    // nest structure of the *loop itself*: level 0 = loop_id, following
+    // single-child chains of loops. Empty when loop_id is not a loop
+    // (unit with no nests): nothing can sweep.
+    let nest = nest_chain(loop_id, loops);
+    if nest.is_empty() {
+        return None;
     }
 
     let mut sweep: Option<(usize, String, usize, usize, bool, i64)> = None;
@@ -994,7 +1132,7 @@ mod tests {
             &mut report,
         )
         .expect("plan");
-        let NestPlan::Parallel { pre, post } = plan else {
+        let NestPlan::Parallel { pre, post, overlap } = plan else {
             panic!("expected parallel")
         };
         // interior boundaries: 3 boundaries × 2 directions = 6 messages,
@@ -1003,6 +1141,15 @@ mod tests {
         assert!(pre.iter().all(|m| m.region.len() == 1));
         // owner-computes writes: no write-backs
         assert!(post.is_empty(), "{post:?}");
+        // no carried dep, pure ghost reads b(i-1)/b(i+1): overlappable
+        let halos = overlap.expect("stencil exchange should be overlappable");
+        assert_eq!(halos.len(), 2, "{halos:?}");
+        assert!(halos
+            .iter()
+            .all(|h| h.array == "b" && h.dim == 0 && h.var == "i"));
+        let mut shifts: Vec<i64> = halos.iter().map(|h| h.shift).collect();
+        shifts.sort_unstable();
+        assert_eq!(shifts, vec![-1, 1]);
         // directions: proc 1 receives b(4) from proc 0 and b(9) from proc 2
         assert!(pre
             .iter()
@@ -1117,7 +1264,7 @@ mod tests {
             &env,
             &CommOptions {
                 granularity: 2,
-                data_availability: true,
+                ..CommOptions::default()
             },
             &mut report,
         )
@@ -1237,7 +1384,7 @@ mod tests {
                 &env,
                 &CommOptions {
                     data_availability: avail,
-                    granularity: 4,
+                    ..CommOptions::default()
                 },
                 &mut report,
             )
@@ -1250,5 +1397,144 @@ mod tests {
         // without availability, the residual-subtraction still removes
         // covered data, so message count is ≥ the optimized one
         assert!(without >= with_avail);
+    }
+
+    #[test]
+    fn overlap_respects_option_and_counts_in_report() {
+        let (loops, refs, env, deps, cps, outer) = setup(STENCIL_1D);
+        let run = |overlap: bool| {
+            let mut report = CommReport::default();
+            let plan = plan_nest(
+                outer,
+                &loops,
+                &refs,
+                &deps,
+                &cps,
+                &env,
+                &CommOptions {
+                    overlap,
+                    ..CommOptions::default()
+                },
+                &mut report,
+            )
+            .expect("plan");
+            (plan.overlap().is_some(), report.overlapped_nests)
+        };
+        assert_eq!(run(true), (true, 1));
+        assert_eq!(run(false), (false, 0));
+    }
+
+    #[test]
+    fn constant_halo_subscript_defeats_overlap() {
+        // c(1) is fetched by every non-owning rank, but no loop variable
+        // bounds the read: there is no interior, so the plan must stay
+        // blocking
+        let src = "
+      subroutine s(a, b, c)
+      parameter (n = 16)
+      integer i
+      double precision a(n), b(n), c(n)
+!hpf$ processors p(4)
+!hpf$ distribute (block) onto p :: a, b, c
+      do i = 2, n - 1
+         a(i) = b(i - 1) + c(1)
+      enddo
+      end
+";
+        let (loops, refs, env, deps, cps, outer) = setup(src);
+        let mut report = CommReport::default();
+        let plan = plan_nest(
+            outer,
+            &loops,
+            &refs,
+            &deps,
+            &cps,
+            &env,
+            &CommOptions::default(),
+            &mut report,
+        )
+        .expect("plan");
+        assert!(
+            plan.pre().iter().any(|m| m.array == "c"),
+            "{:?}",
+            plan.pre()
+        );
+        assert!(plan.overlap().is_none());
+        assert_eq!(report.overlapped_nests, 0);
+    }
+
+    #[test]
+    fn planning_a_non_loop_stmt_is_guarded_not_panicking() {
+        // a unit planned through the generic path with a statement id
+        // that is not a loop: the nest-id chain is empty, which must
+        // yield an empty parallel plan, not an out-of-bounds unwrap
+        let (loops, refs, env, deps, cps, _) = setup(STENCIL_1D);
+        let assign = refs
+            .of_array("a")
+            .into_iter()
+            .find(|r| r.is_write)
+            .unwrap()
+            .stmt;
+        assert!(!loops.loops.contains_key(&assign));
+        let mut report = CommReport::default();
+        let plan = plan_nest(
+            assign,
+            &loops,
+            &refs,
+            &deps,
+            &cps,
+            &env,
+            &CommOptions::default(),
+            &mut report,
+        )
+        .expect("non-loop stmt must plan to an empty exchange");
+        assert!(plan.pre().is_empty() && plan.post().is_empty());
+        assert!(matches!(plan, NestPlan::Parallel { .. }));
+    }
+
+    mod props {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_msg() -> impl Strategy<Value = Msg> {
+            (
+                (0usize..3, 0usize..3, 0..2u8),
+                (0i64..6, 0i64..3, 0i64..6, 0i64..3),
+            )
+                .prop_map(|((from, to, arr), (l0, e0, l1, e1))| Msg {
+                    from,
+                    to,
+                    array: if arr == 0 { "a".into() } else { "b".into() },
+                    region: Region {
+                        lo: vec![l0, l1],
+                        hi: vec![l0 + e0, l1 + e1],
+                    },
+                })
+        }
+
+        proptest! {
+            // determinism of emitted exchange plans: the coalesced set
+            // may not depend on the order messages were discovered in
+            #[test]
+            fn coalesce_is_order_independent(
+                msgs in prop::collection::vec(arb_msg(), 0..12),
+                seed in 0u64..u64::MAX,
+            ) {
+                let mut a = msgs.clone();
+                let mut b = msgs;
+                // Fisher–Yates driven by the generated seed (LCG)
+                let mut s = seed;
+                for i in (1..b.len()).rev() {
+                    s = s
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    let j = (s >> 33) as usize % (i + 1);
+                    b.swap(i, j);
+                }
+                coalesce(&mut a);
+                coalesce(&mut b);
+                prop_assert_eq!(a, b);
+            }
+        }
     }
 }

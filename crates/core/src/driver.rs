@@ -50,6 +50,9 @@ pub struct OptFlags {
     pub interproc: bool,
     /// §7: data availability analysis.
     pub data_availability: bool,
+    /// §3: overlap halo pre-exchanges with interior compute
+    /// (post-irecv / compute-interior / wait / compute-boundary).
+    pub overlap: bool,
 }
 
 impl Default for OptFlags {
@@ -60,6 +63,7 @@ impl Default for OptFlags {
             loop_distribution: true,
             interproc: true,
             data_availability: true,
+            overlap: true,
         }
     }
 }
@@ -434,6 +438,7 @@ fn assemble_obs(
     m.counter("comm.pre_volume", r.pre_volume as i64);
     m.counter("comm.post_messages", r.post_messages as i64);
     m.counter("comm.post_volume", r.post_volume as i64);
+    m.counter("comm.overlapped_nests", r.overlapped_nests as i64);
 
     // iset cache activity attributable to this compile (delta against the
     // snapshot taken at compile start; sizes are absolute). Timing- and
@@ -493,6 +498,7 @@ fn assemble_obs(
                 stmt: nest.0,
                 line: lines.get(nest).copied(),
                 pipelined: matches!(plan, NestPlan::Pipelined { .. }),
+                overlapped: plan.overlap().is_some(),
                 pre_messages: plan.pre().len(),
                 pre_elems: plan.pre().iter().map(|x| x.region.len()).sum(),
                 post_messages: plan.post().len(),
@@ -889,6 +895,7 @@ fn process_unit(
             let comm_opts = CommOptions {
                 data_availability: opts.flags.data_availability,
                 granularity: opts.granularity,
+                overlap: opts.flags.overlap,
             };
             for &nest in &nests {
                 let _sp = obs::span_detail("comm-plan", || format!("nest s{}", nest.0));
@@ -1952,6 +1959,9 @@ mod distribution_tests {
                 .map(|op| match op {
                     crate::codegen::NodeOp::Loop { body, .. } => 1 + count_loops(body),
                     crate::codegen::NodeOp::Pipeline { body, .. } => 1 + count_loops(body),
+                    crate::codegen::NodeOp::OverlapNest { levels, body, .. } => {
+                        levels.len() + count_loops(body)
+                    }
                     crate::codegen::NodeOp::If { arms } => {
                         arms.iter().map(|(_, b)| count_loops(b)).sum()
                     }

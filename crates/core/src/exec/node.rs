@@ -3,8 +3,8 @@
 //! processor, with real numerics and virtual-time charging.
 
 use crate::codegen::{
-    CExpr, CMsg, CompiledUnit, FormalSlot, Guard, GuardAtom, NodeOp, NodeProgram, PipeArray,
-    PipeLevel, INTRINSIC_NAMES,
+    CExpr, CMsg, CompiledUnit, FormalSlot, Guard, GuardAtom, HaloCheck, NodeOp, NodeProgram,
+    PipeArray, PipeLevel, INTRINSIC_NAMES,
 };
 use crate::exec::serial::{eval_intrinsic, ArrayValue};
 use dhpf_fortran::ast::BinOp;
@@ -414,6 +414,15 @@ impl<'p> ProcState<'p> {
             NodeOp::Exchange { msgs, tag } => {
                 self.exchange(proc, frame, msgs, *tag);
             }
+            NodeOp::OverlapNest {
+                msgs,
+                tag,
+                levels,
+                body,
+                halo,
+            } => {
+                self.overlap_nest(proc, unit, frame, msgs, *tag, levels, body, halo);
+            }
             NodeOp::Pipeline {
                 levels,
                 body,
@@ -480,6 +489,121 @@ impl<'p> ProcState<'p> {
     /// size check in `unpack` fires).
     fn clip_to_window(&self, _g: usize, lo: &[i64], hi: &[i64]) -> (Vec<i64>, Vec<i64>) {
         (lo.to_vec(), hi.to_vec())
+    }
+
+    /// Execute an overlapped halo exchange: send, post receives, run the
+    /// interior iterations while the messages are in flight, wait and
+    /// unpack, then run the boundary complement. The two passes cover
+    /// exactly the iterations the blocking nest runs (each iteration
+    /// lands in one pass by the interior membership test), so numerics
+    /// and charged flops are identical — only the virtual-time placement
+    /// of the communication changes.
+    #[allow(clippy::too_many_arguments)]
+    fn overlap_nest(
+        &mut self,
+        proc: &mut Proc,
+        unit: &'p CompiledUnit,
+        frame: &mut Frame,
+        msgs: &'p [CMsg],
+        tag: u64,
+        levels: &'p [PipeLevel],
+        body: &'p [NodeOp],
+        halo: &'p [HaloCheck],
+    ) {
+        for m in msgs {
+            if m.from != self.rank {
+                continue;
+            }
+            let g = frame.arrays[m.arr];
+            let (lo, hi) = self.clip_to_window(g, &m.lo, &m.hi);
+            let buf = match &self.storage[g] {
+                Some(local) => local.pack(&lo, &hi),
+                None => Vec::new(),
+            };
+            proc.send(m.to, tag, buf);
+        }
+        // post in plan order: FIFO per (source, tag) matches each wait
+        // below to the same message the blocking exchange would recv
+        let mut posted = Vec::new();
+        for m in msgs {
+            if m.to != self.rank {
+                continue;
+            }
+            posted.push((m, proc.irecv(m.from, tag)));
+        }
+        // interior bounds per loop-var slot: intersect the owned range
+        // shifted by each halo read of that variable
+        let mut interior: BTreeMap<usize, (i64, i64)> = BTreeMap::new();
+        for h in halo {
+            let g = frame.arrays[h.arr];
+            let (lo, hi) = if g == usize::MAX {
+                (1, 0) // unbound dummy: no provable interior
+            } else {
+                let (olo, ohi) = self.owned[g][h.dim];
+                (olo - h.shift, ohi - h.shift)
+            };
+            interior
+                .entry(h.var)
+                .and_modify(|(l, u)| {
+                    *l = (*l).max(lo);
+                    *u = (*u).min(hi);
+                })
+                .or_insert((lo, hi));
+        }
+        self.run_split_nest(proc, unit, frame, levels, body, 0, &interior, true);
+        for (m, req) in posted {
+            let buf = proc.wait(req);
+            let g = frame.arrays[m.arr];
+            let (lo, hi) = self.clip_to_window(g, &m.lo, &m.hi);
+            if let Some(local) = self.storage[g].as_mut() {
+                local.unpack(&lo, &hi, &buf);
+            }
+        }
+        self.run_split_nest(proc, unit, frame, levels, body, 0, &interior, false);
+    }
+
+    /// Run the single-chain nest executing only the iterations whose
+    /// interior membership equals `want_interior`.
+    #[allow(clippy::too_many_arguments)]
+    fn run_split_nest(
+        &mut self,
+        proc: &mut Proc,
+        unit: &'p CompiledUnit,
+        frame: &mut Frame,
+        levels: &'p [PipeLevel],
+        body: &'p [NodeOp],
+        depth: usize,
+        interior: &BTreeMap<usize, (i64, i64)>,
+        want_interior: bool,
+    ) {
+        if depth == levels.len() {
+            let in_interior = interior.iter().all(|(slot, (lo, hi))| {
+                let v = frame.ints[*slot];
+                v >= *lo && v <= *hi
+            });
+            if in_interior == want_interior {
+                self.exec_ops(proc, unit, body, frame);
+            }
+            return;
+        }
+        let lv = &levels[depth];
+        let (lo, hi) = (lv.lo.eval(&frame.ints), lv.hi.eval(&frame.ints));
+        let step = lv.step;
+        let mut v = lo;
+        while (step > 0 && v <= hi) || (step < 0 && v >= hi) {
+            frame.ints[lv.var] = v;
+            self.run_split_nest(
+                proc,
+                unit,
+                frame,
+                levels,
+                body,
+                depth + 1,
+                interior,
+                want_interior,
+            );
+            v += step;
+        }
     }
 
     #[allow(clippy::too_many_arguments)]

@@ -33,6 +33,7 @@ options:
   --bind NAME=VALUE      bind a symbolic size (repeatable)
   --jobs N               parallel compile workers     [serial]
   --granularity N        pipeline strip size          [4]
+  --no-overlap           disable halo/compute overlap (blocking exchanges)
 
 explain options:
   --json                 emit the dhpf-decisions-v1 document
@@ -53,6 +54,7 @@ struct Args {
     binds: Vec<(String, i64)>,
     jobs: usize,
     granularity: i64,
+    overlap: bool,
     json: bool,
     run: bool,
     trace_out: Option<String>,
@@ -75,6 +77,7 @@ fn parse_args() -> Result<Args, String> {
         binds: Vec::new(),
         jobs: 0,
         granularity: 4,
+        overlap: true,
         json: false,
         run: false,
         trace_out: None,
@@ -119,6 +122,7 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--granularity: {e}"))?
             }
+            "--no-overlap" => a.overlap = false,
             "--json" => a.json = true,
             "--run" => a.run = true,
             "--trace-out" => a.trace_out = Some(need(&mut it, "--trace-out")?),
@@ -134,7 +138,25 @@ fn parse_args() -> Result<Args, String> {
     Ok(a)
 }
 
-fn build(a: &Args) -> Result<Compiled, String> {
+/// A CLI failure paired with its process exit code: **2** for usage
+/// errors, **1** for everything else (parse/compile/IO failures) — the
+/// same convention `dhpf-lint` documents in the README.
+struct CliError {
+    code: u8,
+    msg: String,
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        CliError { code: 1, msg }
+    }
+}
+
+fn usage_err(msg: String) -> CliError {
+    CliError { code: 2, msg }
+}
+
+fn build(a: &Args) -> Result<Compiled, CliError> {
     let (program, bindings) = match a.nas.as_deref() {
         Some("sp") => (
             dhpf_nas::sp::parse(),
@@ -144,9 +166,13 @@ fn build(a: &Args) -> Result<Compiled, String> {
             dhpf_nas::bt::parse(),
             dhpf_nas::bt::bindings(a.class, a.nprocs),
         ),
-        Some(other) => return Err(format!("unknown benchmark {other} (sp or bt)")),
+        Some(other) => return Err(usage_err(format!("unknown benchmark {other} (sp or bt)"))),
         None => {
-            let path = a.file.as_deref().expect("input checked");
+            // parse_args rejects a missing input, but keep this a
+            // diagnostic rather than a panic if the two ever drift.
+            let Some(path) = a.file.as_deref() else {
+                return Err(usage_err(format!("no input file given\n\n{USAGE}")));
+            };
             let src =
                 std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
             let program = dhpf_fortran::parse(&src).map_err(|d| format!("parse errors: {d:?}"))?;
@@ -157,7 +183,8 @@ fn build(a: &Args) -> Result<Compiled, String> {
     opts.bindings = bindings;
     opts.granularity = a.granularity;
     opts.jobs = a.jobs;
-    compile(&program, &opts).map_err(|e| format!("compile failed: {e}"))
+    opts.flags.overlap = a.overlap;
+    compile(&program, &opts).map_err(|e| format!("compile failed: {e}").into())
 }
 
 fn write_out(path: &str, content: &str) -> Result<(), String> {
@@ -178,14 +205,14 @@ fn main() -> ExitCode {
     };
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
-            eprintln!("dhpf: {msg}");
-            ExitCode::FAILURE
+        Err(e) => {
+            eprintln!("dhpf: {}", e.msg);
+            ExitCode::from(e.code)
         }
     }
 }
 
-fn run(args: &Args) -> Result<(), String> {
+fn run(args: &Args) -> Result<(), CliError> {
     match args.cmd.as_str() {
         "explain" => {
             let compiled = build(args)?;
@@ -241,6 +268,6 @@ fn run(args: &Args) -> Result<(), String> {
             }
             Ok(())
         }
-        other => Err(format!("unknown command {other}\n\n{USAGE}")),
+        other => Err(usage_err(format!("unknown command {other}\n\n{USAGE}"))),
     }
 }

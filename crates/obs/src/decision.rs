@@ -133,6 +133,10 @@ pub enum DecisionKind {
         messages: usize,
         elems: usize,
     },
+    /// A parallel nest's halo pre-exchange was marked overlappable:
+    /// the generated code posts receives, computes the interior, then
+    /// waits before finishing the boundary (§3).
+    CommOverlapped { arrays: Vec<String>, halos: usize },
     /// A wavefront nest was scheduled as a coarse-grain pipeline.
     PipelineScheduled {
         arrays: Vec<String>,
@@ -193,6 +197,7 @@ impl Decision {
             DecisionKind::CommRetained { array, phase, .. } => {
                 format!("ret:{stmt}:{array}:{}", phase.as_str())
             }
+            DecisionKind::CommOverlapped { .. } => format!("ovl:{stmt}"),
             DecisionKind::PipelineScheduled { .. } => format!("pipe:{stmt}"),
         }
     }
@@ -247,6 +252,9 @@ impl Decision {
                 "comm retained {array}: {} {messages} msg(s) {elems} elem(s)",
                 phase.as_str()
             ),
+            DecisionKind::CommOverlapped { arrays, halos } => {
+                format!("comm overlapped {} ({halos} halo dir(s))", arrays.join(","))
+            }
             DecisionKind::PipelineScheduled {
                 arrays,
                 granularity,
@@ -287,6 +295,7 @@ impl Decision {
             DecisionKind::EntryCp { .. } => "entry-cp",
             DecisionKind::CommEliminated { .. } => "comm-eliminated",
             DecisionKind::CommRetained { .. } => "comm-retained",
+            DecisionKind::CommOverlapped { .. } => "comm-overlapped",
             DecisionKind::PipelineScheduled { .. } => "pipeline-scheduled",
         };
         out.push_str(&format!("\"kind\":\"{kind}\",\"unit\":\"{}\"", jesc(unit)));
@@ -343,6 +352,16 @@ impl Decision {
                     jesc(array),
                     phase.as_str()
                 ));
+            }
+            DecisionKind::CommOverlapped { arrays, halos } => {
+                out.push_str(",\"arrays\":[");
+                for (i, a) in arrays.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!("\"{}\"", jesc(a)));
+                }
+                out.push_str(&format!("],\"halos\":{halos}"));
             }
             DecisionKind::PipelineScheduled {
                 arrays,

@@ -32,6 +32,8 @@ pub struct NestMetrics {
     pub stmt: u32,
     pub line: Option<u32>,
     pub pipelined: bool,
+    /// Pre-exchange posted nonblocking and overlapped with interior compute.
+    pub overlapped: bool,
     pub pre_messages: usize,
     /// Total array elements moved by pre-exchanges.
     pub pre_elems: usize,
@@ -122,9 +124,14 @@ impl Metrics {
                 out.push_str(&format!("\"line\": {l}, "));
             }
             out.push_str(&format!(
-                "\"pipelined\": {}, \"pre_messages\": {}, \"pre_elems\": {}, \
-                 \"post_messages\": {}, \"post_elems\": {} }}",
-                n.pipelined, n.pre_messages, n.pre_elems, n.post_messages, n.post_elems
+                "\"pipelined\": {}, \"overlapped\": {}, \"pre_messages\": {}, \
+                 \"pre_elems\": {}, \"post_messages\": {}, \"post_elems\": {} }}",
+                n.pipelined,
+                n.overlapped,
+                n.pre_messages,
+                n.pre_elems,
+                n.post_messages,
+                n.post_elems
             ));
         }
         out.push_str("\n  ]\n}\n");
@@ -152,6 +159,7 @@ mod tests {
             stmt: 42,
             line: Some(99),
             pipelined: true,
+            overlapped: false,
             pre_messages: 2,
             pre_elems: 64,
             post_messages: 0,
@@ -163,6 +171,7 @@ mod tests {
         assert!(j.contains("\"iset.hit_rate\": 0.9314"));
         assert!(j.contains("\"name\": \"codegen\""));
         assert!(j.contains("\"pipelined\": true"));
+        assert!(j.contains("\"overlapped\": false"));
         assert_eq!(m.get_counter("driver.units"), Some(7));
         assert_eq!(m.phase_ms("codegen"), 1.25);
     }

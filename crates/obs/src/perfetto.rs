@@ -93,6 +93,7 @@ fn decision_name(d: &crate::Decision) -> &'static str {
         EntryCp { .. } => "entry-cp",
         CommEliminated { .. } => "comm-eliminated",
         CommRetained { .. } => "comm-retained",
+        CommOverlapped { .. } => "comm-overlapped",
         PipelineScheduled { .. } => "pipeline-scheduled",
     }
 }
@@ -138,6 +139,24 @@ fn exec_events(traces: &[Trace], ev: &mut Vec<String>) {
                 EventKind::RecvWait { from, bytes } => (
                     format!("stall <- {from}"),
                     format!(",\"peer\":{from},\"bytes\":{bytes}"),
+                ),
+                EventKind::RecvPost { from, req } => {
+                    // zero-width post: an instant marker, like Phase
+                    ev.push(format!(
+                        "{{\"ph\":\"i\",\"pid\":{PID_EXEC},\"tid\":{},\"s\":\"t\",\
+                         \"cat\":\"comm\",\"name\":\"irecv <- {from}\",\"ts\":{ts},\
+                         \"args\":{{\"peer\":{from},\"req\":{req}}}}}",
+                        tr.rank
+                    ));
+                    continue;
+                }
+                EventKind::Wait { from, bytes, req } => (
+                    format!("wait <- {from}"),
+                    format!(",\"peer\":{from},\"bytes\":{bytes},\"req\":{req}"),
+                ),
+                EventKind::WaitStall { from, bytes, req } => (
+                    format!("wait-stall <- {from}"),
+                    format!(",\"peer\":{from},\"bytes\":{bytes},\"req\":{req}"),
                 ),
                 EventKind::Barrier => ("barrier".to_string(), String::new()),
                 EventKind::Phase(name) => {

@@ -1,9 +1,42 @@
 //! The virtual machine: processors, clocks, messages.
+//!
+//! Point-to-point communication comes in two flavors:
+//!
+//! * blocking [`Proc::send`]/[`Proc::recv`] — the receive charges
+//!   `max(clock + o_r, arrival)` at the call site, so any latency not
+//!   already hidden by earlier compute shows up as a stall there;
+//! * nonblocking [`Proc::isend`]/[`Proc::irecv`] returning request
+//!   handles consumed by [`Proc::wait`]/[`Proc::wait_all`] — the post
+//!   is free in virtual time (LogGP charges the receiver only `o_r`,
+//!   paid at the wait), so `work()` issued between the post and the
+//!   wait overlaps the message flight time. A receive that would have
+//!   stalled for `s` seconds under the blocking call hides
+//!   `min(interior work, s)` of that stall when the work is moved
+//!   before the wait.
+//!
+//! The machine is also failure-safe: a panic in any rank poisons every
+//! mailbox and the barrier, waking blocked peers so [`Machine::run`]
+//! terminates in bounded time and re-raises the original panic payload
+//! instead of hanging in `thread::scope`.
 
 use crate::trace::{Event, EventKind, Trace};
+use std::any::Any;
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Panic payload used to tear down ranks blocked on a poisoned machine.
+/// Never surfaced to the caller: [`Machine::run`] re-raises the
+/// *originating* rank's payload and discards these.
+struct PeerPanic;
+
+/// Lock a mutex, ignoring std's poison flag: a rank unwinding out of a
+/// wait loop leaves the guard mid-drop, but never with the queues or
+/// barrier bookkeeping in an inconsistent state.
+fn lock_ignore_poison<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// Machine cost model and size. Defaults approximate the paper's IBM SP2
 /// (120 MHz P2SC nodes, user-space MPI): ~60 Mflop/s sustained per node,
@@ -83,6 +116,27 @@ struct Shared {
     barrier: BarrierState,
     msg_count: AtomicU64,
     byte_count: AtomicU64,
+    /// Set when any rank panics; checked by every blocking wait loop.
+    poisoned: AtomicBool,
+}
+
+impl Shared {
+    /// Mark the machine dead and wake every blocked peer. Waiters check
+    /// the flag under the same lock the notification is sent under, so
+    /// no wakeup can be lost.
+    fn poison(&self) {
+        self.poisoned.store(true, Ordering::SeqCst);
+        for mailbox in &self.mailboxes {
+            let _guard = lock_ignore_poison(&mailbox.queues);
+            mailbox.signal.notify_all();
+        }
+        let _guard = lock_ignore_poison(&self.barrier.mutex);
+        self.barrier.cv.notify_all();
+    }
+
+    fn is_poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::SeqCst)
+    }
 }
 
 /// Aggregate communication statistics for one run.
@@ -109,8 +163,10 @@ pub struct Machine;
 
 impl Machine {
     /// Run `body` as an SPMD program: one invocation per processor, each
-    /// on its own host thread with its own [`Proc`] handle. Panics in any
-    /// rank propagate.
+    /// on its own host thread with its own [`Proc`] handle. If any rank
+    /// panics, the machine is poisoned (blocked peers are woken), the
+    /// run terminates in bounded time, and the originating rank's panic
+    /// payload is re-raised here.
     pub fn run<F>(config: MachineConfig, body: F) -> RunResult
     where
         F: Fn(&mut Proc) + Send + Sync,
@@ -129,10 +185,12 @@ impl Machine {
             },
             msg_count: AtomicU64::new(0),
             byte_count: AtomicU64::new(0),
+            poisoned: AtomicBool::new(false),
             config: config.clone(),
         });
 
-        let results: Vec<(f64, Trace)> = std::thread::scope(|scope| {
+        type RankOutcome = Result<(f64, Trace), Box<dyn Any + Send>>;
+        let outcomes: Vec<RankOutcome> = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..config.nprocs)
                 .map(|rank| {
                     let shared = Arc::clone(&shared);
@@ -141,22 +199,55 @@ impl Machine {
                         let mut proc = Proc {
                             rank,
                             clock: 0.0,
-                            shared,
+                            shared: Arc::clone(&shared),
                             trace: Trace::new(rank),
                             pending_work: 0.0,
                             work_start: 0.0,
+                            next_req: 0,
                         };
-                        body(&mut proc);
-                        proc.flush_work();
-                        (proc.clock, proc.trace)
+                        let outcome = catch_unwind(AssertUnwindSafe(|| {
+                            body(&mut proc);
+                            proc.flush_work();
+                        }));
+                        match outcome {
+                            Ok(()) => Ok((proc.clock, proc.trace)),
+                            Err(payload) => {
+                                shared.poison();
+                                Err(payload)
+                            }
+                        }
                     })
                 })
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("rank panicked"))
+                .map(|h| h.join().unwrap_or_else(Err))
                 .collect()
         });
+
+        let mut results: Vec<(f64, Trace)> = Vec::with_capacity(outcomes.len());
+        let mut first_panic: Option<Box<dyn Any + Send>> = None;
+        let mut any_failed = false;
+        for outcome in outcomes {
+            match outcome {
+                Ok(r) => results.push(r),
+                Err(payload) => {
+                    any_failed = true;
+                    // Keep the lowest-rank *originating* payload; drop
+                    // the PeerPanic sentinels of torn-down bystanders.
+                    if first_panic.is_none() && !payload.is::<PeerPanic>() {
+                        first_panic = Some(payload);
+                    }
+                }
+            }
+        }
+        if let Some(payload) = first_panic {
+            resume_unwind(payload);
+        }
+        assert!(
+            !any_failed,
+            "machine poisoned but no originating rank panic recorded"
+        );
 
         let proc_times: Vec<f64> = results.iter().map(|(t, _)| *t).collect();
         let traces: Vec<Trace> = results.into_iter().map(|(_, tr)| tr).collect();
@@ -172,6 +263,55 @@ impl Machine {
     }
 }
 
+/// Handle for a posted nonblocking receive ([`Proc::irecv`]). Consume it
+/// with [`Proc::wait`] or [`Proc::wait_all`]; the move semantics make a
+/// double wait unrepresentable, and dropping one unwaited is flagged by
+/// both the `#[must_use]` lint and the trace verifier's wait-coverage
+/// check.
+#[must_use = "an unwaited irecv never completes; pass the request to wait()/wait_all()"]
+#[derive(Debug)]
+pub struct RecvReq {
+    from: usize,
+    tag: u64,
+    /// Rank-local request id, for trace attribution.
+    req: u64,
+}
+
+impl RecvReq {
+    /// Source rank this request was posted against.
+    pub fn source(&self) -> usize {
+        self.from
+    }
+
+    /// Rank-local request id (matches the trace's `RecvPost`/`Wait`).
+    pub fn id(&self) -> u64 {
+        self.req
+    }
+}
+
+/// Handle for a nonblocking send ([`Proc::isend`]). Under LogGP the
+/// sender pays its full cost (`o_s`) at the post, so the request is
+/// complete the moment it is created; [`Proc::wait_send`] is free and
+/// exists for symmetry with MPI-style code.
+#[derive(Debug)]
+pub struct SendReq {
+    to: usize,
+    /// Rank-local request id.
+    req: u64,
+}
+
+impl SendReq {
+    /// Destination rank of the send.
+    pub fn dest(&self) -> usize {
+        self.to
+    }
+
+    /// Rank-local request id.
+    pub fn id(&self) -> u64 {
+        self.req
+    }
+}
+
 /// Handle given to each simulated processor.
 pub struct Proc {
     rank: usize,
@@ -182,6 +322,8 @@ pub struct Proc {
     /// events; the clock itself is always up to date).
     pending_work: f64,
     work_start: f64,
+    /// Next rank-local nonblocking request id.
+    next_req: u64,
 }
 
 impl Proc {
@@ -273,14 +415,33 @@ impl Proc {
             .byte_count
             .fetch_add(bytes as u64, Ordering::Relaxed);
         let mailbox = &self.shared.mailboxes[to];
-        mailbox
-            .queues
-            .lock()
-            .unwrap()
+        lock_ignore_poison(&mailbox.queues)
             .entry((self.rank, tag))
             .or_default()
             .push_back(Msg { arrival, data });
         mailbox.signal.notify_all();
+    }
+
+    /// Block (in host time) until a message from `(from, tag)` is in the
+    /// local mailbox, then dequeue it. Unwinds with [`PeerPanic`] if the
+    /// machine is poisoned while waiting.
+    fn take_msg(&self, from: usize, tag: u64) -> Msg {
+        let mailbox = &self.shared.mailboxes[self.rank];
+        let mut queues = lock_ignore_poison(&mailbox.queues);
+        loop {
+            if self.shared.is_poisoned() {
+                std::panic::panic_any(PeerPanic);
+            }
+            if let Some(q) = queues.get_mut(&(from, tag)) {
+                if let Some(m) = q.pop_front() {
+                    return m;
+                }
+            }
+            queues = mailbox
+                .signal
+                .wait(queues)
+                .unwrap_or_else(|e| e.into_inner());
+        }
     }
 
     /// Receive the next message from `from` with `tag`. Blocks (in host
@@ -289,18 +450,7 @@ impl Proc {
     pub fn recv(&mut self, from: usize, tag: u64) -> Vec<f64> {
         assert!(from < self.nprocs(), "recv from rank {from} out of range");
         self.flush_work();
-        let msg = {
-            let mailbox = &self.shared.mailboxes[self.rank];
-            let mut queues = mailbox.queues.lock().unwrap();
-            loop {
-                if let Some(q) = queues.get_mut(&(from, tag)) {
-                    if let Some(m) = q.pop_front() {
-                        break m;
-                    }
-                }
-                queues = mailbox.signal.wait(queues).unwrap();
-            }
-        };
+        let msg = self.take_msg(from, tag);
         let cfg = &self.shared.config;
         let ready = self.clock + cfg.recv_overhead;
         let complete = ready.max(msg.arrival);
@@ -336,13 +486,88 @@ impl Proc {
         self.recv(from, tag)
     }
 
+    /// Nonblocking send. Identical to [`Proc::send`] in virtual time —
+    /// LogGP charges the sender its full cost (`o_s`) at the post — but
+    /// returns a request handle for MPI-style pairing with
+    /// [`Proc::wait_send`].
+    pub fn isend(&mut self, to: usize, tag: u64, data: Vec<f64>) -> SendReq {
+        let req = self.next_req;
+        self.next_req += 1;
+        self.send(to, tag, data);
+        SendReq { to, req }
+    }
+
+    /// Complete a nonblocking send. Free in virtual time: the send cost
+    /// was fully charged at the post.
+    pub fn wait_send(&mut self, req: SendReq) {
+        let _ = req;
+    }
+
+    /// Post a nonblocking receive for the next message from
+    /// `(from, tag)`. Free in virtual time — the receiver's `o_r` is
+    /// charged by the matching [`Proc::wait`] — so compute issued
+    /// between the post and the wait overlaps the message's flight.
+    ///
+    /// Requests against the same `(from, tag)` pair match messages in
+    /// FIFO order of their waits; waiting requests in posted order
+    /// preserves the blocking `recv` semantics exactly.
+    pub fn irecv(&mut self, from: usize, tag: u64) -> RecvReq {
+        assert!(from < self.nprocs(), "irecv from rank {from} out of range");
+        self.flush_work();
+        let req = self.next_req;
+        self.next_req += 1;
+        if self.shared.config.trace {
+            self.trace.push(Event {
+                t0: self.clock,
+                t1: self.clock,
+                kind: EventKind::RecvPost { from, req },
+            });
+        }
+        RecvReq { from, tag, req }
+    }
+
+    /// Complete a posted receive, consuming the request. Blocks (in host
+    /// time) until the message is available; in virtual time completes
+    /// at `max(clock + o_r, arrival)` — any compute done since the
+    /// [`Proc::irecv`] post has already advanced `clock`, hiding that
+    /// much of the flight time.
+    pub fn wait(&mut self, req: RecvReq) -> Vec<f64> {
+        self.flush_work();
+        let RecvReq { from, tag, req } = req;
+        let msg = self.take_msg(from, tag);
+        let cfg = &self.shared.config;
+        let ready = self.clock + cfg.recv_overhead;
+        let complete = ready.max(msg.arrival);
+        if cfg.trace {
+            let bytes = (msg.data.len() * 8) as u64;
+            let kind = if complete > ready {
+                EventKind::WaitStall { from, bytes, req }
+            } else {
+                EventKind::Wait { from, bytes, req }
+            };
+            self.trace.push(Event {
+                t0: self.clock,
+                t1: complete,
+                kind,
+            });
+        }
+        self.clock = complete;
+        msg.data
+    }
+
+    /// Complete a batch of posted receives in posted order, returning
+    /// their payloads in the same order.
+    pub fn wait_all(&mut self, reqs: Vec<RecvReq>) -> Vec<Vec<f64>> {
+        reqs.into_iter().map(|r| self.wait(r)).collect()
+    }
+
     /// Virtual-time barrier: all processors synchronize their clocks to
     /// the maximum plus one latency.
     pub fn barrier(&mut self) {
         self.flush_work();
         let bar = &self.shared.barrier;
         let n = self.nprocs();
-        let mut inner = bar.mutex.lock().unwrap();
+        let mut inner = lock_ignore_poison(&bar.mutex);
         let my_gen = inner.generation;
         inner.gather_max = inner.gather_max.max(self.clock);
         inner.arrived += 1;
@@ -357,7 +582,10 @@ impl Proc {
             self.finish_barrier(t_exit);
         } else {
             while inner.generation == my_gen {
-                inner = bar.cv.wait(inner).unwrap();
+                if self.shared.is_poisoned() {
+                    std::panic::panic_any(PeerPanic);
+                }
+                inner = bar.cv.wait(inner).unwrap_or_else(|e| e.into_inner());
             }
             let t_exit = inner.exit_times[(my_gen % 2) as usize];
             drop(inner);
@@ -537,6 +765,144 @@ mod tests {
             .events
             .iter()
             .any(|e| matches!(e.kind, EventKind::RecvWait { .. } | EventKind::Recv { .. })));
+    }
+
+    #[test]
+    fn irecv_post_is_free_and_wait_charges_logp() {
+        // Same message as `message_timing_is_logp` (arrival = 12), but
+        // the receiver posts first and computes 8s before waiting:
+        // wait ready = 8 + 1 = 9 < 12 → clock = 12. Blocking recv then
+        // work would have ended at 12 + 8 = 20: overlap hides all 8s.
+        let r = Machine::run(cfg(2), |p| {
+            if p.rank() == 0 {
+                p.send(1, 7, vec![42.0]);
+            } else {
+                let req = p.irecv(0, 7);
+                assert_eq!(p.clock(), 0.0, "irecv post must be free");
+                p.work(8.0);
+                let d = p.wait(req);
+                assert_eq!(d, vec![42.0]);
+                assert_eq!(p.clock(), 12.0);
+            }
+        });
+        assert_eq!(r.virtual_time, 12.0);
+    }
+
+    #[test]
+    fn wait_after_arrival_pays_only_overhead() {
+        let r = Machine::run(cfg(2), |p| {
+            if p.rank() == 0 {
+                p.send(1, 0, vec![1.0]);
+            } else {
+                let req = p.irecv(0, 0);
+                p.work(100.0); // past the arrival at t=12
+                p.wait(req);
+                assert_eq!(p.clock(), 101.0); // only o_r
+            }
+        });
+        assert_eq!(r.virtual_time, 101.0);
+    }
+
+    #[test]
+    fn wait_all_in_posted_order_matches_fifo() {
+        let r = Machine::run(cfg(2), |p| {
+            if p.rank() == 0 {
+                p.send(1, 0, vec![1.0]);
+                p.send(1, 0, vec![2.0]);
+                let sreq = p.isend(1, 9, vec![3.0]);
+                p.wait_send(sreq);
+            } else {
+                let a = p.irecv(0, 0);
+                let b = p.irecv(0, 0);
+                let c = p.irecv(0, 9);
+                let got = p.wait_all(vec![a, b, c]);
+                assert_eq!(got, vec![vec![1.0], vec![2.0], vec![3.0]]);
+            }
+        });
+        assert_eq!(r.stats.messages, 3);
+    }
+
+    #[test]
+    fn overlap_traces_post_and_wait_events() {
+        let r = Machine::run(cfg(2), |p| {
+            if p.rank() == 0 {
+                p.send(1, 0, vec![0.0; 4]);
+            } else {
+                let req = p.irecv(0, 0);
+                p.work(1.0);
+                p.wait(req); // still stalls: arrival is 15
+            }
+        });
+        let t1 = &r.traces[1];
+        assert!(t1
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::RecvPost { from: 0, .. })));
+        assert!(t1
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::WaitStall { from: 0, .. })));
+    }
+
+    /// Run the machine on a helper thread with a hard host-time watchdog
+    /// so a regression back to the deadlock fails the test instead of
+    /// hanging the suite. Returns the propagated panic payload.
+    fn run_expect_panic<F>(config: MachineConfig, body: F) -> Box<dyn std::any::Any + Send>
+    where
+        F: Fn(&mut Proc) + Send + Sync + 'static,
+    {
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::spawn(move || {
+            let outcome = catch_unwind(AssertUnwindSafe(|| Machine::run(config, body)));
+            let _ = tx.send(outcome);
+        });
+        match rx.recv_timeout(std::time::Duration::from_secs(30)) {
+            Ok(Err(payload)) => payload,
+            Ok(Ok(_)) => panic!("Machine::run succeeded despite a panicking rank"),
+            Err(_) => panic!("Machine::run hung after a rank panic (watchdog fired)"),
+        }
+    }
+
+    #[test]
+    fn rank_panic_mid_recv_propagates_without_hanging() {
+        // rank 1 dies before sending; ranks 0 and 2 are blocked in recv.
+        let payload = run_expect_panic(cfg(3), |p| {
+            if p.rank() == 1 {
+                p.work(1.0);
+                panic!("rank 1 exploded");
+            } else {
+                p.recv(1, 0); // would block forever without poisoning
+            }
+        });
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+        assert_eq!(msg, "rank 1 exploded", "originating payload must win");
+    }
+
+    #[test]
+    fn rank_panic_mid_barrier_propagates_without_hanging() {
+        let payload = run_expect_panic(cfg(4), |p| {
+            if p.rank() == 3 {
+                panic!("rank 3 exploded");
+            } else {
+                p.barrier(); // never completes: rank 3 won't arrive
+            }
+        });
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+        assert_eq!(msg, "rank 3 exploded");
+    }
+
+    #[test]
+    fn rank_panic_mid_wait_propagates_without_hanging() {
+        let payload = run_expect_panic(cfg(2), |p| {
+            if p.rank() == 0 {
+                panic!("rank 0 exploded");
+            } else {
+                let req = p.irecv(0, 0);
+                p.wait(req);
+            }
+        });
+        let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
+        assert_eq!(msg, "rank 0 exploded");
     }
 
     #[test]

@@ -27,6 +27,14 @@ pub enum EventKind {
     Recv { from: usize, bytes: u64 },
     /// Receive that stalled waiting for the message to arrive.
     RecvWait { from: usize, bytes: u64 },
+    /// Nonblocking receive posted (zero-width; free in virtual time).
+    RecvPost { from: usize, req: u64 },
+    /// Wait on a posted receive that completed without stalling: the
+    /// compute issued since the post covered the message's flight.
+    Wait { from: usize, bytes: u64, req: u64 },
+    /// Wait on a posted receive that still stalled for the residual
+    /// flight time the intervening compute did not hide.
+    WaitStall { from: usize, bytes: u64, req: u64 },
     /// Waiting in a barrier.
     Barrier,
     /// Named phase marker (zero-width).
@@ -61,11 +69,16 @@ impl Trace {
             .sum()
     }
 
-    /// Total seconds stalled in receives/barriers.
+    /// Total seconds stalled in receives/waits/barriers.
     pub fn stalled(&self) -> f64 {
         self.events
             .iter()
-            .filter(|e| matches!(e.kind, EventKind::RecvWait { .. } | EventKind::Barrier))
+            .filter(|e| {
+                matches!(
+                    e.kind,
+                    EventKind::RecvWait { .. } | EventKind::WaitStall { .. } | EventKind::Barrier
+                )
+            })
             .map(|e| e.t1 - e.t0)
             .sum()
     }
@@ -101,7 +114,7 @@ pub fn render_spacetime(traces: &[Trace], t_start: f64, t_end: f64, width: usize
     );
     let _ = writeln!(
         out,
-        "legend: '#'=compute  's'=send  'r'=recv  '~'=recv wait  '|'=barrier  '.'=idle"
+        "legend: '#'=compute  's'=send  'r'=recv/wait  '~'=stalled  '|'=barrier  '.'=idle"
     );
     for tr in traces {
         let mut row = vec![b'.'; width];
@@ -109,10 +122,10 @@ pub fn render_spacetime(traces: &[Trace], t_start: f64, t_end: f64, width: usize
             let (c, priority) = match e.kind {
                 EventKind::Compute => (b'#', 1u8),
                 EventKind::Send { .. } => (b's', 3),
-                EventKind::Recv { .. } => (b'r', 3),
-                EventKind::RecvWait { .. } => (b'~', 2),
+                EventKind::Recv { .. } | EventKind::Wait { .. } => (b'r', 3),
+                EventKind::RecvWait { .. } | EventKind::WaitStall { .. } => (b'~', 2),
                 EventKind::Barrier => (b'|', 2),
-                EventKind::Phase(_) => continue,
+                EventKind::RecvPost { .. } | EventKind::Phase(_) => continue,
             };
             if e.t1 <= t_start || e.t0 >= t_end {
                 continue;
@@ -138,7 +151,9 @@ pub fn render_spacetime(traces: &[Trace], t_start: f64, t_end: f64, width: usize
         std::collections::BTreeMap::new();
     for tr in traces {
         for e in &tr.events {
-            if let EventKind::RecvWait { from, bytes } = e.kind {
+            if let EventKind::RecvWait { from, bytes } | EventKind::WaitStall { from, bytes, .. } =
+                e.kind
+            {
                 let s = stalls.entry((tr.rank, from)).or_insert((0.0, 0, 0));
                 s.0 += e.t1 - e.t0;
                 s.1 += bytes;
@@ -166,6 +181,11 @@ pub fn to_csv(traces: &[Trace]) -> String {
                 EventKind::Send { to, bytes } => ("send", to.to_string(), *bytes),
                 EventKind::Recv { from, bytes } => ("recv", from.to_string(), *bytes),
                 EventKind::RecvWait { from, bytes } => ("recv_wait", from.to_string(), *bytes),
+                EventKind::RecvPost { from, .. } => ("recv_post", from.to_string(), 0),
+                EventKind::Wait { from, bytes, .. } => ("wait", from.to_string(), *bytes),
+                EventKind::WaitStall { from, bytes, .. } => {
+                    ("wait_stall", from.to_string(), *bytes)
+                }
                 EventKind::Barrier => ("barrier", String::new(), 0),
                 EventKind::Phase(name) => ("phase", name.clone(), 0),
             };
@@ -287,6 +307,36 @@ mod tests {
         assert!(s.contains("stall: p0 waited 4.0000s on p1 (96 B in 2 recv(s))"));
         // p1 never stalled: no attribution line for it
         assert!(!s.contains("stall: p1"));
+    }
+
+    #[test]
+    fn wait_stall_counts_as_stalled_and_attributes() {
+        let mut t = Trace::new(2);
+        t.push(Event {
+            t0: 0.0,
+            t1: 0.0,
+            kind: EventKind::RecvPost { from: 1, req: 0 },
+        });
+        t.push(Event {
+            t0: 0.0,
+            t1: 4.0,
+            kind: EventKind::Compute,
+        });
+        t.push(Event {
+            t0: 4.0,
+            t1: 6.0,
+            kind: EventKind::WaitStall {
+                from: 1,
+                bytes: 32,
+                req: 0,
+            },
+        });
+        assert_eq!(t.stalled(), 2.0);
+        let s = render_spacetime(&[t.clone()], 0.0, 6.0, 6);
+        assert!(s.contains("stall: p2 waited 2.0000s on p1 (32 B in 1 recv(s))"));
+        let csv = to_csv(&[t]);
+        assert!(csv.contains("recv_post"));
+        assert!(csv.contains("wait_stall"));
     }
 
     #[test]

@@ -13,6 +13,12 @@
 #   5. dhpf-lint    — the lint/verify binary over examples/hpf/:
 #                     jacobi.f must verify clean; the three seeded
 #                     examples must each produce their expected finding
+#   6. observability — trace/metrics/decision-log schema validation
+#   7. rank-failure  — panic-propagation tests under a hard timeout
+#                     (a regression hangs rather than fails)
+#   8. overlap       — regenerate blocking-vs-overlapped virtual-time
+#                     deltas, validate the dhpf-overlap-v1 schema, and
+#                     diff against the checked-in results/BENCH_overlap.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -117,9 +123,10 @@ assert m["counters"]["comm.pre_messages"] > 0
 assert m["counters"]["driver.units"] > 0
 assert m["nests"], "no per-nest metrics"
 for n in m["nests"]:
-    for key in ("unit", "stmt", "pipelined", "pre_messages", "pre_elems",
-                "post_messages", "post_elems"):
+    for key in ("unit", "stmt", "pipelined", "overlapped", "pre_messages",
+                "pre_elems", "post_messages", "post_elems"):
         assert key in n, f"missing {key} in {n}"
+assert any(n["overlapped"] for n in m["nests"]), "SP should overlap some nests"
 assert sum(n["pre_messages"] for n in m["nests"]) == m["counters"]["comm.pre_messages"]
 
 # decision log
@@ -129,6 +136,7 @@ assert d["decisions"], "no decisions recorded"
 kinds = {x["kind"] for x in d["decisions"]}
 assert "cp-select" in kinds, kinds
 assert "comm-eliminated" in kinds and "comm-retained" in kinds, kinds
+assert "comm-overlapped" in kinds, kinds
 for x in d["decisions"]:
     assert "unit" in x and "line" in x, f"unattributed decision {x}"
 
@@ -143,5 +151,43 @@ events = trace["traceEvents"]
 assert events and {1, 2} <= {e["pid"] for e in events if "pid" in e}
 print(f"checked-in trace OK ({len(events)} events)")
 EOF
+
+echo "== rank-failure propagation (bounded time)"
+# a panicking rank must poison every mailbox and the barrier so blocked
+# peers wake and Machine::run terminates; the hard timeout is the gate —
+# a regression here hangs, it does not merely fail
+timeout 120 cargo test -q -p dhpf-spmd propagates_without_hanging \
+    || { echo "FAIL: rank-panic propagation hung or failed"; exit 1; }
+
+echo "== halo/compute overlap (dhpf-overlap-v1)"
+# regenerate the blocking-vs-overlapped virtual-time deltas and check the
+# schema plus the paper's claim: overlap strictly helps wherever an
+# overlappable nest exists. Everything is virtual time, so the document
+# is byte-reproducible and must match the checked-in copy.
+target/release/overlapbench --out target/BENCH_overlap_ci.json > /dev/null
+python3 - target/BENCH_overlap_ci.json <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "dhpf-overlap-v1", doc.get("schema")
+assert doc["benchmarks"], "no benchmarks recorded"
+names = {(b["name"], b["class"]) for b in doc["benchmarks"]}
+assert {("sp", "S"), ("bt", "S")} <= names, names
+for b in doc["benchmarks"]:
+    for key in ("name", "class", "nprocs", "overlapped_nests",
+                "blocking_vt", "overlapped_vt", "delta", "speedup"):
+        assert key in b, f"missing {key} in {b}"
+    assert b["blocking_vt"] > 0 and b["overlapped_vt"] > 0
+    assert abs(b["delta"] - (b["blocking_vt"] - b["overlapped_vt"])) < 1e-9
+    if b["overlapped_nests"] > 0:
+        assert b["overlapped_vt"] < b["blocking_vt"], \
+            f"{b['name']} {b['class']}: overlap did not help"
+    else:
+        assert abs(b["delta"]) < 1e-12, b
+print(f"overlap deltas OK ({len(doc['benchmarks'])} benchmarks)")
+EOF
+cmp target/BENCH_overlap_ci.json results/BENCH_overlap.json || {
+    echo "FAIL: results/BENCH_overlap.json is stale; rerun"
+    echo "      target/release/overlapbench --out results/BENCH_overlap.json"
+    exit 1; }
 
 echo "CI OK"

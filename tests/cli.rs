@@ -1,0 +1,53 @@
+//! Exit-code contract for the `dhpf` binary: **0** success, **1**
+//! parse/compile/IO failure, **2** usage error — the same convention
+//! `dhpf-lint` documents in the README.
+
+use std::process::Command;
+
+fn dhpf(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_dhpf"))
+        .args(args)
+        .output()
+        .expect("spawn dhpf")
+}
+
+#[test]
+fn missing_input_is_a_usage_error() {
+    let out = dhpf(&["compile"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("no input"), "{err}");
+    assert!(err.contains("usage:"), "{err}");
+}
+
+#[test]
+fn unknown_command_is_a_usage_error() {
+    let out = dhpf(&["frobnicate", "--nas", "sp"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}
+
+#[test]
+fn unknown_benchmark_is_a_usage_error() {
+    let out = dhpf(&["compile", "--nas", "lu"]);
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown benchmark"), "{err}");
+}
+
+#[test]
+fn unreadable_file_is_a_runtime_failure_not_usage() {
+    let out = dhpf(&["compile", "/nonexistent/input.f"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("cannot read"), "{err}");
+}
+
+#[test]
+fn nas_compile_succeeds_with_and_without_overlap() {
+    for extra in [&[][..], &["--no-overlap"][..]] {
+        let mut args = vec!["compile", "--nas", "sp", "--class", "S", "--nprocs", "4"];
+        args.extend_from_slice(extra);
+        let out = dhpf(&args);
+        assert_eq!(out.status.code(), Some(0), "{args:?}: {out:?}");
+    }
+}

@@ -38,11 +38,16 @@ fn every_flag_combination_is_semantics_preserving() {
             ..Default::default()
         },
         OptFlags {
+            overlap: false,
+            ..Default::default()
+        },
+        OptFlags {
             privatizable_cp: false,
             localize: false,
             loop_distribution: false,
             interproc: false,
             data_availability: false,
+            overlap: false,
         },
     ];
     for (idx, flags) in configs.iter().enumerate() {
