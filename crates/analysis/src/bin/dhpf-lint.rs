@@ -107,6 +107,7 @@ fn main() -> ExitCode {
                         match compile(&program, &opts) {
                             Ok(compiled) => {
                                 report.extend(verify_compiled(&compiled));
+                                report.extend(dhpf_analysis::verify_protocol(&compiled));
                                 report.extend(check_compiled_races(&compiled));
                                 report.extend(lint_compiled(&compiled));
                             }

@@ -14,6 +14,9 @@
 //! * [`trace_check`] — consistency checks over `spmd::trace` event logs
 //!   (unmatched send/recv pairs, cyclic waits) and over plans
 //!   (write-write races on ghost regions).
+//! * [`protocol`] — the static, rank-symbolic SPMD protocol verifier:
+//!   send/recv matching, barrier congruence, wait coverage and symbolic
+//!   deadlock over the extracted protocol summary, with no trace input.
 //! * [`lint`] — advisory diagnostics: non-affine-subscript fallback
 //!   sites, §4.1 CP translations that vectorize or replicate, ignored
 //!   `NEW`/`LOCALIZE` directives, §5 CP conflicts.
@@ -21,11 +24,14 @@
 //!   renderers, consumed by the `dhpf-lint` binary.
 
 pub mod diag;
+pub mod lattice;
 pub mod lint;
+pub mod protocol;
 pub mod trace_check;
 pub mod verify;
 
 pub use diag::{Finding, Report, Severity};
 pub use lint::{lint_compiled, lint_source};
+pub use protocol::{check_protocol, protocol_decisions, verify_protocol, verify_protocol_program};
 pub use trace_check::{check_compiled_races, check_traces};
 pub use verify::verify_compiled;

@@ -364,9 +364,11 @@ fn span_map(unit: &ProgramUnit) -> BTreeMap<StmtId, Span> {
     out
 }
 
-/// Convenience for tests: verify and assert-format in one step.
+/// Convenience for tests: verify (coverage + static protocol) and
+/// assert-format in one step.
 pub fn assert_clean(compiled: &Compiled) {
-    let report = verify_compiled(compiled);
+    let mut report = verify_compiled(compiled);
+    report.extend(crate::protocol::verify_protocol(compiled));
     assert!(
         report.is_clean(),
         "verifier findings:\n{}",

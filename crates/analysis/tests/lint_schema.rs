@@ -47,6 +47,46 @@ fn clean_report_document_snapshot() {
 }
 
 #[test]
+fn protocol_code_document_snapshot() {
+    // The protocol verifier's codes extend dhpf-lint-v1 *additively*:
+    // same document shape, new `protocol-*` code values. Pin the exact
+    // bytes for one representative finding.
+    let mut report = Report::new();
+    report.push(Finding::new(
+        "protocol-unwaited-irecv",
+        Severity::Error,
+        "main",
+        "posted receive request r3 is never waited before program end",
+    ));
+    assert_eq!(
+        report.render_json_document("nas:sp"),
+        "{\"schema\":\"dhpf-lint-v1\",\"file\":\"nas:sp\",\"errors\":1,\
+         \"findings\":[{\"code\":\"protocol-unwaited-irecv\",\"severity\":\"error\",\
+         \"unit\":\"main\",\"message\":\"posted receive request r3 is never waited \
+         before program end\"}]}"
+    );
+}
+
+#[test]
+fn protocol_codes_are_stable() {
+    // The full additive code set, in pass order — documented in the
+    // README lint table; renaming any of these is a schema break.
+    assert_eq!(
+        dhpf_analysis::protocol::PROTOCOL_CODES,
+        [
+            "protocol-divergent-sync",
+            "protocol-unwaited-irecv",
+            "protocol-wait-unposted",
+            "protocol-double-wait",
+            "protocol-region-mismatch",
+            "protocol-stale-send",
+            "protocol-unmatched",
+            "protocol-deadlock",
+        ]
+    );
+}
+
+#[test]
 fn error_count_and_escaping_in_document() {
     let mut report = Report::new();
     report.push(

@@ -13,10 +13,19 @@ use dhpf_spmd::machine::{Machine, MachineConfig, Proc, RunResult};
 use std::collections::BTreeMap;
 use std::sync::Mutex;
 
-/// Execution error (configuration level; runtime violations panic with
-/// context, which the harness reports as a failed run).
+/// Execution error: configuration mismatches (wrong machine size) and
+/// runtime storage/protocol violations (unbound array dummies, accesses
+/// to unowned storage, malformed pipeline transfers). All are returned
+/// as `Err` from [`run_node_program`] rather than panicking the process.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ExecError(pub String);
+
+/// Abort this rank's execution with a structured [`ExecError`]. The
+/// payload unwinds through the virtual machine — which wakes the peer
+/// ranks — and is caught by [`run_node_program`] and returned as `Err`.
+fn exec_fail(msg: String) -> ! {
+    std::panic::panic_any(ExecError(msg))
+}
 
 impl std::fmt::Display for ExecError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -49,14 +58,25 @@ pub fn run_node_program(
     }
     let finals: Mutex<BTreeMap<usize, Vec<Option<LocalArray>>>> = Mutex::new(BTreeMap::new());
 
-    let run = Machine::run(machine, |proc| {
-        let mut st = ProcState::new(prog, proc.rank());
-        let main = &prog.units[prog.main];
-        let mut frame = Frame::new(main);
-        st.bind_static_arrays(main, &mut frame);
-        st.exec_ops(proc, main, &main.ops, &mut frame);
-        finals.lock().unwrap().insert(proc.rank(), st.storage);
-    });
+    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        Machine::run(machine, |proc| {
+            let mut st = ProcState::new(prog, proc.rank());
+            let main = &prog.units[prog.main];
+            let mut frame = Frame::new(main);
+            st.bind_static_arrays(main, &mut frame);
+            st.exec_ops(proc, main, &main.ops, &mut frame);
+            finals.lock().unwrap().insert(proc.rank(), st.storage);
+        })
+    }));
+    let run = match run {
+        Ok(run) => run,
+        // A rank aborted with a structured error (the machine already
+        // woke its peers): surface it as Err instead of a panic.
+        Err(payload) => match payload.downcast::<ExecError>() {
+            Ok(e) => return Err(*e),
+            Err(other) => std::panic::resume_unwind(other),
+        },
+    };
 
     // stitch global arrays back together
     let finals = finals.into_inner().unwrap();
@@ -95,7 +115,7 @@ pub fn run_node_program(
         .cloned()
         .collect();
     for q in qualified {
-        let bare = q.split("::").last().unwrap().to_string();
+        let bare = q.rsplit("::").next().unwrap_or(&q).to_string();
         if !arrays.contains_key(&bare) {
             let v = arrays[&q].clone();
             arrays.insert(bare, v);
@@ -201,6 +221,22 @@ impl<'p> ProcState<'p> {
         // `array_global`; dummies stay unbound until a call.
     }
 
+    /// Resolve a unit-local array slot to its global array id, failing
+    /// with a structured error when the slot is an unbound dummy
+    /// (`usize::MAX`) — previously an out-of-bounds indexing panic.
+    #[inline]
+    fn global_of(&self, frame: &Frame, arr: usize) -> usize {
+        let g = frame.arrays[arr];
+        if g == usize::MAX {
+            exec_fail(format!(
+                "rank {}: array dummy (local slot {arr}) is referenced but was never \
+                 bound to an actual argument",
+                self.rank
+            ));
+        }
+        g
+    }
+
     #[inline]
     fn guard_passes(&self, guard: &Option<Guard>, frame: &Frame) -> bool {
         let Some(g) = guard else { return true };
@@ -233,9 +269,12 @@ impl<'p> ProcState<'p> {
             CExpr::Int(ci) => ci.eval(&frame.ints) as f64,
             CExpr::LoadF(slot) => frame.floats[*slot],
             CExpr::Load { arr, subs } => {
-                let g = frame.arrays[*arr];
+                let g = self.global_of(frame, *arr);
                 let local = self.storage[g].as_ref().unwrap_or_else(|| {
-                    panic!("read of unowned array {}", self.prog.arrays[g].name)
+                    exec_fail(format!(
+                        "rank {}: read of unowned array {}",
+                        self.rank, self.prog.arrays[g].name
+                    ))
                 });
                 let idx: Vec<i64> = subs.iter().map(|s| s.eval(&frame.ints)).collect();
                 debug_assert!(
@@ -274,7 +313,8 @@ impl<'p> ProcState<'p> {
             CExpr::Neg(a) => -self.eval(a, frame),
             CExpr::Intr(idx, args) => {
                 let vals: Vec<f64> = args.iter().map(|a| self.eval(a, frame)).collect();
-                eval_intrinsic(INTRINSIC_NAMES[*idx], &vals).unwrap_or_else(|e| panic!("{e}"))
+                eval_intrinsic(INTRINSIC_NAMES[*idx], &vals)
+                    .unwrap_or_else(|e| exec_fail(format!("rank {}: {e}", self.rank)))
             }
         }
     }
@@ -327,11 +367,15 @@ impl<'p> ProcState<'p> {
                     return;
                 }
                 let v = self.eval(value, frame);
-                let g = frame.arrays[*arr];
+                let g = self.global_of(frame, *arr);
                 let idx: Vec<i64> = subs.iter().map(|s| s.eval(&frame.ints)).collect();
-                let local = self.storage[g]
-                    .as_mut()
-                    .unwrap_or_else(|| panic!("write to unowned array {}", unit.array_names[*arr]));
+                let rank = self.rank;
+                let local = self.storage[g].as_mut().unwrap_or_else(|| {
+                    exec_fail(format!(
+                        "rank {rank}: write to unowned array {}",
+                        unit.array_names[*arr]
+                    ))
+                });
                 debug_assert!(
                     local.in_window(&idx),
                     "rank {} writes {}{idx:?} outside window [{:?}..{:?}]",
@@ -462,7 +506,7 @@ impl<'p> ProcState<'p> {
             if m.from != self.rank {
                 continue;
             }
-            let g = frame.arrays[m.arr];
+            let g = self.global_of(frame, m.arr);
             let (lo, hi) = self.clip_to_window(g, &m.lo, &m.hi);
             let buf = match &self.storage[g] {
                 Some(local) => local.pack(&lo, &hi),
@@ -475,7 +519,7 @@ impl<'p> ProcState<'p> {
                 continue;
             }
             let buf = proc.recv(m.from, tag);
-            let g = frame.arrays[m.arr];
+            let g = self.global_of(frame, m.arr);
             let (lo, hi) = self.clip_to_window(g, &m.lo, &m.hi);
             if let Some(local) = self.storage[g].as_mut() {
                 local.unpack(&lo, &hi, &buf);
@@ -514,7 +558,7 @@ impl<'p> ProcState<'p> {
             if m.from != self.rank {
                 continue;
             }
-            let g = frame.arrays[m.arr];
+            let g = self.global_of(frame, m.arr);
             let (lo, hi) = self.clip_to_window(g, &m.lo, &m.hi);
             let buf = match &self.storage[g] {
                 Some(local) => local.pack(&lo, &hi),
@@ -553,7 +597,7 @@ impl<'p> ProcState<'p> {
         self.run_split_nest(proc, unit, frame, levels, body, 0, &interior, true);
         for (m, req) in posted {
             let buf = proc.wait(req);
-            let g = frame.arrays[m.arr];
+            let g = self.global_of(frame, m.arr);
             let (lo, hi) = self.clip_to_window(g, &m.lo, &m.hi);
             if let Some(local) = self.storage[g].as_mut() {
                 local.unpack(&lo, &hi, &buf);
@@ -650,10 +694,22 @@ impl<'p> ProcState<'p> {
             Some(l) => {
                 let mut lo = levels[l].lo.eval(&frame.ints);
                 let mut hi = levels[l].hi.eval(&frame.ints);
-                if let Some(pa) = arrays.iter().find(|pa| pa.strip_dim.is_some()) {
+                let strip = arrays.iter().find_map(|pa| pa.strip_dim.map(|sd| (pa, sd)));
+                if let Some((pa, sd)) = strip {
+                    // an unbound dummy has no owned range to clamp to:
+                    // keep the full strip range (same fallback the
+                    // region computation uses)
                     let g = frame.arrays[pa.arr];
                     if g != usize::MAX {
-                        let (olo, ohi) = self.owned[g][pa.strip_dim.unwrap()];
+                        let Some(&(olo, ohi)) = self.owned[g].get(sd) else {
+                            exec_fail(format!(
+                                "rank {}: pipeline strip dimension {sd} is out of range \
+                                 for array {} ({} dimension(s))",
+                                self.rank,
+                                self.prog.arrays[g].name,
+                                self.owned[g].len()
+                            ));
+                        };
                         lo = lo.max(olo);
                         hi = hi.min(ohi);
                     }
@@ -689,13 +745,13 @@ impl<'p> ProcState<'p> {
                         let g = frame.arrays[pa.arr];
                         let need = dhpf_spmd::array::section_len(&lo, &hi);
                         if need != buf.len() {
-                            panic!(
+                            exec_fail(format!(
                                 "pipeline recv mismatch on rank {} (coords {:?}) from {p}:                                  array {} region {lo:?}..{hi:?} needs {need} but got {}                                  (tag {tag}, chunk {chunk_lo}..{chunk_hi}, rd {rd} wd {wd}, dir {dir})",
                                 self.rank,
                                 self.coords,
                                 self.prog.arrays[g].name,
                                 buf.len()
-                            );
+                            ));
                         }
                         if let Some(local) = self.storage[g].as_mut() {
                             local.unpack(&lo, &hi, &buf);
@@ -757,7 +813,7 @@ impl<'p> ProcState<'p> {
         wd: i64,
         strip: Option<(i64, i64)>,
     ) -> Option<(Vec<i64>, Vec<i64>)> {
-        let g = frame.arrays[pa.arr];
+        let g = self.global_of(frame, pa.arr);
         let ga = &self.prog.arrays[g];
         let local = self.storage[g].as_ref()?;
         let (mlo, mhi) = self.owned[g][pa.dim];

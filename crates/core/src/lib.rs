@@ -42,6 +42,7 @@ pub mod interproc;
 pub mod localize;
 pub mod loopdist;
 pub mod privat;
+pub mod protocol;
 pub mod select;
 
 pub use driver::{compile, CompileOptions, Compiled, OptFlags, UnitAnalysis};

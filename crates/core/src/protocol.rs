@@ -1,0 +1,611 @@
+//! Protocol summary extraction: lower an emitted [`NodeProgram`] into a
+//! rank-symbolic communication protocol that the static verifier
+//! (`dhpf-analysis`) can check without executing the program.
+//!
+//! The summary keeps exactly what the SPMD protocol depends on and
+//! abstracts everything else away:
+//!
+//! * every planned message becomes explicit [`ProtoOp::Send`] /
+//!   [`ProtoOp::Recv`] / [`ProtoOp::Post`] / [`ProtoOp::Wait`] atoms in
+//!   the per-rank order the interpreter executes them (sends before
+//!   blocking receives for an `Exchange`; sends, posts, interior
+//!   compute, waits for an `OverlapNest`);
+//! * array writes collapse to [`ProtoOp::Write`] markers (used by the
+//!   stale-send check);
+//! * control flow keeps only its *uniformity*: whether the loop bounds
+//!   or branch condition can differ between ranks. That is decided by a
+//!   taint analysis over scalar slots — a value is rank-dependent if it
+//!   was computed under a CP guard (ownership test), loaded from a
+//!   distributed array, or derived from either — iterated to a fixpoint
+//!   across loop back-edges and inlined calls.
+//!
+//! Because every communication op carries a unique tag
+//! ([`crate::codegen::UnitCx::fresh_tag`] is monotonic and the driver
+//! spaces units apart), messages can never cross between protocol atoms
+//! of different source ops; the checker exploits this to verify loop
+//! bodies and branch arms as independently balanced segments.
+
+use crate::codegen::{CExpr, CIdx, CMsg, CompiledUnit, FormalSlot, NodeOp, NodeProgram};
+use std::collections::BTreeSet;
+
+/// One atom of the rank-symbolic protocol. Concrete ranks appear because
+/// the compiler already resolved ownership to rank constants when it
+/// planned the messages; "symbolic over rank" means the verifier reasons
+/// about all ranks' interleavings in one pass, not that ranks are
+/// unknowns.
+#[derive(Clone, Debug)]
+pub enum ProtoOp {
+    /// Nonblocking send of `arr[lo..hi]` executed by `from`.
+    Send {
+        unit: usize,
+        from: usize,
+        to: usize,
+        tag: u64,
+        arr: usize,
+        lo: Vec<i64>,
+        hi: Vec<i64>,
+    },
+    /// Blocking receive executed by `to`.
+    Recv {
+        unit: usize,
+        from: usize,
+        to: usize,
+        tag: u64,
+        arr: usize,
+        lo: Vec<i64>,
+        hi: Vec<i64>,
+    },
+    /// Nonblocking receive post (irecv) executed by `to`. `req` is a
+    /// program-unique request id tying it to its [`ProtoOp::Wait`].
+    Post {
+        unit: usize,
+        from: usize,
+        to: usize,
+        tag: u64,
+        req: u64,
+        arr: usize,
+        lo: Vec<i64>,
+        hi: Vec<i64>,
+    },
+    /// Blocking wait + unpack for request `req`, executed by `to`.
+    Wait {
+        unit: usize,
+        from: usize,
+        to: usize,
+        tag: u64,
+        req: u64,
+        arr: usize,
+        lo: Vec<i64>,
+        hi: Vec<i64>,
+    },
+    /// Full-machine barrier. The code generator never emits one today,
+    /// but the machine exposes `Proc::barrier` and the verifier checks
+    /// congruence and deadlock for it, so mutations and future codegen
+    /// share one analysis.
+    Barrier { unit: usize, id: u64 },
+    /// Some rank may write global array `arr` here.
+    Write { arr: usize },
+    /// A coarse-grain pipelined wavefront: each link `(s, r)` carries
+    /// `chunks[s] * narrays` messages from `s` and `chunks[r] * narrays`
+    /// receives at `r`, all under one `tag`. The chain is acyclic along
+    /// a grid dimension, so only the per-link counts can disagree.
+    Pipeline {
+        unit: usize,
+        tag: u64,
+        narrays: usize,
+        links: Vec<(usize, usize)>,
+        /// Boundary chunk count per rank.
+        chunks: Vec<usize>,
+        /// Global ids of the swept (written) arrays.
+        arrays: Vec<usize>,
+    },
+    /// A counted loop; `uniform` is false when the bounds are
+    /// rank-dependent (some ranks may iterate differently).
+    Loop { uniform: bool, body: Vec<ProtoOp> },
+    /// A multi-arm branch; `uniform` is false when any condition is
+    /// rank-dependent (ranks may take different arms).
+    Branch {
+        uniform: bool,
+        arms: Vec<Vec<ProtoOp>>,
+    },
+}
+
+/// Per-array facts the region checks need.
+#[derive(Clone, Debug)]
+pub struct ArrayInfo {
+    pub name: String,
+    pub distributed: bool,
+    /// Allocated local window (owned ± ghost) per rank, `None` when the
+    /// rank owns no storage — mirrors `ProcState::new` in the node
+    /// interpreter exactly.
+    pub windows: Vec<Option<(Vec<i64>, Vec<i64>)>>,
+}
+
+/// The extracted protocol of a whole node program (main unit with all
+/// calls inlined, which the acyclic call graph guarantees terminates).
+#[derive(Clone, Debug)]
+pub struct ProtocolProgram {
+    pub nprocs: usize,
+    pub units: Vec<String>,
+    pub arrays: Vec<ArrayInfo>,
+    pub ops: Vec<ProtoOp>,
+}
+
+impl ProtocolProgram {
+    pub fn unit_name(&self, u: usize) -> &str {
+        self.units.get(u).map(String::as_str).unwrap_or("?")
+    }
+}
+
+/// Taint state of one call frame: `true` = the slot's value may differ
+/// between ranks.
+struct TaintFrame {
+    ints: Vec<bool>,
+    floats: Vec<bool>,
+    /// Local array slot → global array id (`usize::MAX` = unbound dummy).
+    arrays: Vec<usize>,
+}
+
+impl TaintFrame {
+    fn new(unit: &CompiledUnit) -> Self {
+        TaintFrame {
+            ints: vec![false; unit.n_ints],
+            floats: vec![false; unit.n_floats],
+            arrays: unit
+                .array_global
+                .iter()
+                .map(|g| g.unwrap_or(usize::MAX))
+                .collect(),
+        }
+    }
+}
+
+struct Extract<'p> {
+    prog: &'p NodeProgram,
+    /// Serial (replicated) arrays that may hold rank-dependent values.
+    tainted_arrays: BTreeSet<usize>,
+    next_req: u64,
+    depth: usize,
+}
+
+/// Extract the rank-symbolic protocol summary of a compiled program.
+pub fn extract_protocol(prog: &NodeProgram) -> ProtocolProgram {
+    let nprocs = prog.grid.nprocs() as usize;
+    let arrays = prog
+        .arrays
+        .iter()
+        .map(|ga| {
+            let windows = (0..nprocs)
+                .map(|r| {
+                    let coords = prog.grid.coords(r as i64);
+                    match &ga.dist {
+                        None => {
+                            let lo: Vec<i64> = ga.bounds.iter().map(|b| b.0).collect();
+                            let hi: Vec<i64> = ga.bounds.iter().map(|b| b.1).collect();
+                            Some((lo, hi))
+                        }
+                        Some(dist) => dist.owned_box(&coords).map(|ob| {
+                            let lo: Vec<i64> = ob
+                                .iter()
+                                .zip(&ga.ghost)
+                                .map(|(b, g)| b.0 - *g as i64)
+                                .collect();
+                            let hi: Vec<i64> = ob
+                                .iter()
+                                .zip(&ga.ghost)
+                                .map(|(b, g)| b.1 + *g as i64)
+                                .collect();
+                            (lo, hi)
+                        }),
+                    }
+                })
+                .collect();
+            ArrayInfo {
+                name: ga.name.clone(),
+                distributed: ga.dist.as_ref().is_some_and(|d| d.is_distributed()),
+                windows,
+            }
+        })
+        .collect();
+
+    let mut ex = Extract {
+        prog,
+        tainted_arrays: BTreeSet::new(),
+        next_req: 0,
+        depth: 0,
+    };
+    let main = &prog.units[prog.main];
+    let mut frame = TaintFrame::new(main);
+    let mut ops = Vec::new();
+    ex.emit_ops(prog.main, &main.ops, &mut frame, false, &mut ops);
+
+    ProtocolProgram {
+        nprocs,
+        units: prog.units.iter().map(|u| u.name.clone()).collect(),
+        arrays,
+        ops,
+    }
+}
+
+impl<'p> Extract<'p> {
+    fn cidx_taint(&self, ci: &CIdx, f: &TaintFrame) -> bool {
+        ci.terms.iter().any(|(slot, _)| f.ints[*slot])
+    }
+
+    fn expr_taint(&self, e: &CExpr, f: &TaintFrame) -> bool {
+        match e {
+            CExpr::Const(_) => false,
+            CExpr::Int(ci) => self.cidx_taint(ci, f),
+            CExpr::LoadF(slot) => f.floats[*slot],
+            CExpr::Load { arr, subs } => {
+                let g = f.arrays[*arr];
+                if g == usize::MAX {
+                    return true; // unbound dummy: assume rank-dependent
+                }
+                // distributed data differs per rank by construction; a
+                // serial array is rank-dependent only if some guarded or
+                // divergent write reached it; rank-dependent subscripts
+                // make any load rank-dependent
+                let ga_taint = self
+                    .prog
+                    .arrays
+                    .get(g)
+                    .map(|ga| ga.dist.as_ref().is_some_and(|d| d.is_distributed()))
+                    .unwrap_or(true)
+                    || self.tainted_arrays.contains(&g);
+                ga_taint || subs.iter().any(|s| self.cidx_taint(s, f))
+            }
+            CExpr::Bin(_, a, b) => self.expr_taint(a, f) || self.expr_taint(b, f),
+            CExpr::Neg(a) => self.expr_taint(a, f),
+            CExpr::Intr(_, args) => args.iter().any(|a| self.expr_taint(a, f)),
+        }
+    }
+
+    /// Emit protocol atoms for `ops` into `out`, updating the taint
+    /// state as a side effect. `ctx` is true under rank-divergent
+    /// control flow (everything assigned there is rank-dependent).
+    fn emit_ops(
+        &mut self,
+        unit: usize,
+        ops: &[NodeOp],
+        f: &mut TaintFrame,
+        ctx: bool,
+        out: &mut Vec<ProtoOp>,
+    ) {
+        for op in ops {
+            self.emit_op(unit, op, f, ctx, out);
+        }
+    }
+
+    fn emit_op(
+        &mut self,
+        unit: usize,
+        op: &NodeOp,
+        f: &mut TaintFrame,
+        ctx: bool,
+        out: &mut Vec<ProtoOp>,
+    ) {
+        match op {
+            NodeOp::Loop {
+                var, lo, hi, body, ..
+            } => {
+                let uniform = !self.cidx_taint(lo, f) && !self.cidx_taint(hi, f);
+                let body_ctx = ctx || !uniform;
+                // loop-carried taint: iterate the body (discarding
+                // emission) until the scalar taint state stabilizes
+                let saved_req = self.next_req;
+                for _ in 0..4 {
+                    let snap = (f.ints.clone(), f.floats.clone(), self.tainted_arrays.len());
+                    f.ints[*var] = !uniform;
+                    let mut scratch = Vec::new();
+                    self.emit_ops(unit, body, f, body_ctx, &mut scratch);
+                    if snap == (f.ints.clone(), f.floats.clone(), self.tainted_arrays.len()) {
+                        break;
+                    }
+                }
+                self.next_req = saved_req;
+                f.ints[*var] = !uniform;
+                let mut b = Vec::new();
+                self.emit_ops(unit, body, f, body_ctx, &mut b);
+                out.push(ProtoOp::Loop { uniform, body: b });
+            }
+            NodeOp::Assign {
+                guard,
+                arr,
+                subs,
+                value,
+                ..
+            } => {
+                let g = f.arrays[*arr];
+                if g == usize::MAX {
+                    return;
+                }
+                let divergent = ctx
+                    || guard.is_some()
+                    || self.expr_taint(value, f)
+                    || subs.iter().any(|s| self.cidx_taint(s, f));
+                let distributed = self
+                    .prog
+                    .arrays
+                    .get(g)
+                    .map(|ga| ga.dist.as_ref().is_some_and(|d| d.is_distributed()))
+                    .unwrap_or(false);
+                if divergent && !distributed {
+                    self.tainted_arrays.insert(g);
+                }
+                out.push(ProtoOp::Write { arr: g });
+            }
+            NodeOp::AssignF {
+                guard, slot, value, ..
+            } => {
+                f.floats[*slot] = ctx || guard.is_some() || self.expr_taint(value, f);
+            }
+            NodeOp::AssignI {
+                guard, slot, value, ..
+            } => {
+                f.ints[*slot] = ctx || guard.is_some() || self.expr_taint(value, f);
+            }
+            NodeOp::If { arms } => {
+                let divergent = arms
+                    .iter()
+                    .any(|(c, _)| c.as_ref().is_some_and(|c| self.expr_taint(c, f)));
+                let uniform = !divergent;
+                let entry = (f.ints.clone(), f.floats.clone());
+                // join starts from the entry state: with no else arm the
+                // fall-through path keeps it
+                let mut join = entry.clone();
+                let mut arms_out = Vec::new();
+                for (_, body) in arms {
+                    f.ints = entry.0.clone();
+                    f.floats = entry.1.clone();
+                    let mut b = Vec::new();
+                    self.emit_ops(unit, body, f, ctx || divergent, &mut b);
+                    for (j, v) in join.0.iter_mut().zip(&f.ints) {
+                        *j |= *v;
+                    }
+                    for (j, v) in join.1.iter_mut().zip(&f.floats) {
+                        *j |= *v;
+                    }
+                    arms_out.push(b);
+                }
+                f.ints = join.0;
+                f.floats = join.1;
+                out.push(ProtoOp::Branch {
+                    uniform,
+                    arms: arms_out,
+                });
+            }
+            NodeOp::Call {
+                unit: u,
+                int_args,
+                float_args,
+                array_args,
+            } => {
+                if self.depth > 64 {
+                    return; // cycle guard; the driver's call graph is acyclic
+                }
+                let callee = &self.prog.units[*u];
+                let mut f2 = TaintFrame::new(callee);
+                for (pos, e) in int_args {
+                    if let FormalSlot::Int(slot) = callee.formals[*pos] {
+                        if slot != usize::MAX {
+                            f2.ints[slot] = self.expr_taint(e, f);
+                        }
+                    }
+                }
+                for (pos, e) in float_args {
+                    if let FormalSlot::Float(slot) = callee.formals[*pos] {
+                        if slot != usize::MAX {
+                            f2.floats[slot] = self.expr_taint(e, f);
+                        }
+                    }
+                }
+                for (pos, caller_slot) in array_args {
+                    if let FormalSlot::Array(slot) = callee.formals[*pos] {
+                        if slot != usize::MAX {
+                            f2.arrays[slot] = f.arrays[*caller_slot];
+                        }
+                    }
+                }
+                self.depth += 1;
+                self.emit_ops(*u, &callee.ops, &mut f2, ctx, out);
+                self.depth -= 1;
+            }
+            NodeOp::Exchange { msgs, tag } => {
+                // the interpreter issues all sends (nonblocking) before
+                // any blocking receive; keep that per-rank order
+                for m in msgs {
+                    if let Some((g, lo, hi)) = self.resolve_msg(m, f) {
+                        out.push(ProtoOp::Send {
+                            unit,
+                            from: m.from,
+                            to: m.to,
+                            tag: *tag,
+                            arr: g,
+                            lo,
+                            hi,
+                        });
+                    }
+                }
+                for m in msgs {
+                    if let Some((g, lo, hi)) = self.resolve_msg(m, f) {
+                        out.push(ProtoOp::Recv {
+                            unit,
+                            from: m.from,
+                            to: m.to,
+                            tag: *tag,
+                            arr: g,
+                            lo,
+                            hi,
+                        });
+                    }
+                }
+            }
+            NodeOp::OverlapNest {
+                msgs,
+                tag,
+                levels,
+                body,
+                ..
+            } => {
+                for m in msgs {
+                    if let Some((g, lo, hi)) = self.resolve_msg(m, f) {
+                        out.push(ProtoOp::Send {
+                            unit,
+                            from: m.from,
+                            to: m.to,
+                            tag: *tag,
+                            arr: g,
+                            lo,
+                            hi,
+                        });
+                    }
+                }
+                // posts in plan order; each wait below mirrors its post
+                let mut posted = Vec::new();
+                for m in msgs {
+                    if let Some((g, lo, hi)) = self.resolve_msg(m, f) {
+                        let req = self.next_req;
+                        self.next_req += 1;
+                        posted.push((m, req, g, lo.clone(), hi.clone()));
+                        out.push(ProtoOp::Post {
+                            unit,
+                            from: m.from,
+                            to: m.to,
+                            tag: *tag,
+                            req,
+                            arr: g,
+                            lo,
+                            hi,
+                        });
+                    }
+                }
+                // interior + boundary compute: writes only (level bounds
+                // feed no communication decisions here)
+                for lv in levels {
+                    f.ints[lv.var] = self.cidx_taint(&lv.lo, f) || self.cidx_taint(&lv.hi, f);
+                }
+                self.emit_ops(unit, body, f, ctx, out);
+                for (m, req, g, lo, hi) in posted {
+                    out.push(ProtoOp::Wait {
+                        unit,
+                        from: m.from,
+                        to: m.to,
+                        tag: *tag,
+                        req,
+                        arr: g,
+                        lo,
+                        hi,
+                    });
+                }
+            }
+            NodeOp::Pipeline {
+                levels,
+                body,
+                strip_level,
+                granularity,
+                forward,
+                pdim,
+                arrays,
+                tag,
+                ..
+            } => {
+                let grid = &self.prog.grid;
+                let nprocs = grid.nprocs() as usize;
+                let dir: i64 = if *forward { 1 } else { -1 };
+                let mut links = Vec::new();
+                let mut chunks = vec![1usize; nprocs];
+                let strip = arrays
+                    .iter()
+                    .find_map(|pa| pa.strip_dim.map(|sd| (f.arrays[pa.arr], sd)));
+                for (r, chunk) in chunks.iter_mut().enumerate() {
+                    let coords = grid.coords(r as i64);
+                    let c = coords[*pdim];
+                    let nc = c + dir;
+                    if (0..grid.extents[*pdim]).contains(&nc) {
+                        let mut co = coords.clone();
+                        co[*pdim] = nc;
+                        links.push((r, grid.rank(&co) as usize));
+                    }
+                    *chunk = self.chunk_count(*strip_level, levels, strip, *granularity, &coords);
+                }
+                let globals: Vec<usize> = arrays
+                    .iter()
+                    .map(|pa| f.arrays[pa.arr])
+                    .filter(|g| *g != usize::MAX)
+                    .collect();
+                out.push(ProtoOp::Pipeline {
+                    unit,
+                    tag: *tag,
+                    narrays: arrays.len(),
+                    links,
+                    chunks,
+                    arrays: globals.clone(),
+                });
+                for lv in levels {
+                    f.ints[lv.var] = self.cidx_taint(&lv.lo, f) || self.cidx_taint(&lv.hi, f);
+                }
+                let mut scratch = Vec::new();
+                self.emit_ops(unit, body, f, ctx, &mut scratch);
+                // the sweep writes its arrays; its sends carry values the
+                // same op just computed, so they are never stale
+                for g in globals {
+                    out.push(ProtoOp::Write { arr: g });
+                }
+            }
+        }
+    }
+
+    /// Per-rank boundary chunk count of a pipeline — mirrors the strip
+    /// clamping in `ProcState::pipeline`. Falls back to a uniform single
+    /// chunk when the strip bounds are not compile-time constants.
+    fn chunk_count(
+        &self,
+        strip_level: Option<usize>,
+        levels: &[crate::codegen::PipeLevel],
+        strip: Option<(usize, usize)>,
+        granularity: i64,
+        coords: &[i64],
+    ) -> usize {
+        let Some(l) = strip_level else { return 1 };
+        let (lo_ci, hi_ci) = (&levels[l].lo, &levels[l].hi);
+        if !lo_ci.terms.is_empty() || !hi_ci.terms.is_empty() {
+            return 1;
+        }
+        let (mut lo, mut hi) = (lo_ci.cst, hi_ci.cst);
+        if let Some((g, sd)) = strip {
+            if g != usize::MAX {
+                let ga = &self.prog.arrays[g];
+                match &ga.dist {
+                    Some(dist) => match dist.owned_range(sd, coords) {
+                        Some((olo, ohi)) => {
+                            lo = lo.max(olo);
+                            hi = hi.min(ohi);
+                        }
+                        None => return 1, // owns nothing: one empty chunk
+                    },
+                    None => {
+                        lo = lo.max(ga.bounds[sd].0);
+                        hi = hi.min(ga.bounds[sd].1);
+                    }
+                }
+            }
+        }
+        if lo > hi {
+            return 1; // interpreter pushes one (empty) chunk
+        }
+        let gr = granularity.max(1);
+        ((hi - lo) / gr + 1) as usize
+    }
+
+    fn resolve_msg(&self, m: &CMsg, f: &TaintFrame) -> Option<(usize, Vec<i64>, Vec<i64>)> {
+        let g = f.arrays[m.arr];
+        (g != usize::MAX).then(|| (g, m.lo.clone(), m.hi.clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    // Exercised end to end (extraction + checking) by the protocol
+    // verifier tests in crates/analysis and the workspace tests/ suite.
+}

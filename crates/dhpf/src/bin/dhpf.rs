@@ -1,6 +1,6 @@
 //! `dhpf` — the command-line front end.
 //!
-//! Two subcommands:
+//! Three subcommands:
 //!
 //! * `dhpf explain` — compile with the decision log enabled and print
 //!   every CP choice (§4.1/§5/§6), replication (§4.2), and communication
@@ -10,6 +10,11 @@
 //!   writing any of `--trace-out` (Chrome/Perfetto trace JSON covering
 //!   the compile and, with `--run`, the SPMD execution), `--metrics-out`
 //!   (`dhpf-metrics-v1`), and `--decisions-out` (`dhpf-decisions-v1`).
+//! * `dhpf verify-protocol` — compile, then statically verify the
+//!   emitted SPMD communication protocol for every rank at once:
+//!   send/recv matching, barrier congruence, wait coverage, and symbolic
+//!   deadlock. Exit 1 on any violation; `--json` emits the
+//!   `dhpf-lint-v1` findings document.
 //!
 //! Inputs: `--nas sp|bt --class S|W|A|B --nprocs N`, or a Fortran file
 //! with `--bind name=value` for its symbolic sizes.
@@ -21,7 +26,7 @@ use dhpf_spmd::trace::Trace;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
-usage: dhpf <explain|compile> [input] [options]
+usage: dhpf <explain|compile|verify-protocol> [input] [options]
 
 input (one of):
   --nas sp|bt            built-in NAS mini-benchmark
@@ -43,6 +48,11 @@ compile options:
   --trace-out FILE       write Chrome/Perfetto trace JSON
   --metrics-out FILE     write the dhpf-metrics-v1 document
   --decisions-out FILE   write the dhpf-decisions-v1 document
+
+verify-protocol options:
+  --json                 emit the dhpf-lint-v1 findings document
+  --decisions-out FILE   write the dhpf-decisions-v1 document (includes
+                         the protocol-verified/-violation records)
 ";
 
 struct Args {
@@ -267,6 +277,45 @@ fn run(args: &Args) -> Result<(), CliError> {
                 );
             }
             Ok(())
+        }
+        "verify-protocol" => {
+            let mut compiled = build(args)?;
+            let proto = dhpf_core::protocol::extract_protocol(&compiled.program);
+            let report = dhpf_analysis::check_protocol(&proto);
+            let input = args
+                .file
+                .clone()
+                .or_else(|| args.nas.as_ref().map(|b| format!("nas:{b}")))
+                .unwrap_or_default();
+            // Record the verdict in the decision log alongside the
+            // compiler's own decisions.
+            compiled.obs.scopes.push(dhpf_obs::ScopeObs {
+                scope: "protocol".to_string(),
+                lane: 0,
+                spans: Vec::new(),
+                decisions: dhpf_analysis::protocol_decisions(&proto, &report),
+            });
+            if let Some(path) = &args.decisions_out {
+                write_out(path, &compiled.obs.decision_json(&compiled.transformed))?;
+                eprintln!("decisions written to {path}");
+            }
+            if args.json {
+                println!("{}", report.render_json_document(&input));
+            } else if report.is_clean() {
+                println!(
+                    "protocol OK: {} communication atom(s) verified for all {} rank(s) \
+                     (matching, congruence, wait coverage, deadlock-freedom)",
+                    dhpf_analysis::protocol::atom_count(&proto),
+                    proto.nprocs
+                );
+            } else {
+                print!("{}", report.render_human(None));
+            }
+            if report.is_clean() {
+                Ok(())
+            } else {
+                Err(format!("{} protocol violation(s) in {input}", report.findings.len()).into())
+            }
         }
         other => Err(usage_err(format!("unknown command {other}\n\n{USAGE}"))),
     }

@@ -16,7 +16,10 @@ pub use dhpf_spmd as spmd;
 
 /// Everything a typical user needs.
 pub mod prelude {
-    pub use dhpf_analysis::{lint_compiled, lint_source, verify_compiled};
+    pub use dhpf_analysis::{
+        check_protocol, lint_compiled, lint_source, verify_compiled, verify_protocol,
+        verify_protocol_program,
+    };
     pub use dhpf_core::driver::{compile, CompileOptions, OptFlags};
     pub use dhpf_core::exec::node::run_node_program;
     pub use dhpf_core::exec::serial::run_serial;

@@ -143,6 +143,11 @@ pub enum DecisionKind {
         granularity: i64,
         forward: bool,
     },
+    /// The static SPMD protocol verifier proved the emitted node
+    /// program's communication protocol consistent for every rank.
+    ProtocolVerified { atoms: usize, nprocs: usize },
+    /// The static SPMD protocol verifier found a violation.
+    ProtocolViolation { code: String, message: String },
 }
 
 /// One recorded decision.
@@ -199,6 +204,10 @@ impl Decision {
             }
             DecisionKind::CommOverlapped { .. } => format!("ovl:{stmt}"),
             DecisionKind::PipelineScheduled { .. } => format!("pipe:{stmt}"),
+            DecisionKind::ProtocolVerified { .. } => "proto-ok".to_string(),
+            DecisionKind::ProtocolViolation { code, message } => {
+                format!("proto-bad:{code}:{message}")
+            }
         }
     }
 
@@ -264,6 +273,12 @@ impl Decision {
                 arrays.join(","),
                 if *forward { "forward" } else { "backward" }
             ),
+            DecisionKind::ProtocolVerified { atoms, nprocs } => {
+                format!("protocol verified ({atoms} atoms, {nprocs} ranks)")
+            }
+            DecisionKind::ProtocolViolation { code, message } => {
+                format!("protocol violation {code}: {message}")
+            }
         };
         if let Some(s) = self.stmt {
             out.push_str(&format!(" @s{}", s.0));
@@ -297,6 +312,8 @@ impl Decision {
             DecisionKind::CommRetained { .. } => "comm-retained",
             DecisionKind::CommOverlapped { .. } => "comm-overlapped",
             DecisionKind::PipelineScheduled { .. } => "pipeline-scheduled",
+            DecisionKind::ProtocolVerified { .. } => "protocol-verified",
+            DecisionKind::ProtocolViolation { .. } => "protocol-violation",
         };
         out.push_str(&format!("\"kind\":\"{kind}\",\"unit\":\"{}\"", jesc(unit)));
         if let Some(s) = self.stmt {
@@ -377,6 +394,16 @@ impl Decision {
                 }
                 out.push_str(&format!(
                     "],\"granularity\":{granularity},\"forward\":{forward}"
+                ));
+            }
+            DecisionKind::ProtocolVerified { atoms, nprocs } => {
+                out.push_str(&format!(",\"atoms\":{atoms},\"nprocs\":{nprocs}"));
+            }
+            DecisionKind::ProtocolViolation { code, message } => {
+                out.push_str(&format!(
+                    ",\"code\":\"{}\",\"message\":\"{}\"",
+                    jesc(code),
+                    jesc(message)
                 ));
             }
         }

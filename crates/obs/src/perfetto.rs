@@ -95,6 +95,8 @@ fn decision_name(d: &crate::Decision) -> &'static str {
         CommRetained { .. } => "comm-retained",
         CommOverlapped { .. } => "comm-overlapped",
         PipelineScheduled { .. } => "pipeline-scheduled",
+        ProtocolVerified { .. } => "protocol-verified",
+        ProtocolViolation { .. } => "protocol-violation",
     }
 }
 

@@ -19,6 +19,10 @@
 #   8. overlap       — regenerate blocking-vs-overlapped virtual-time
 #                     deltas, validate the dhpf-overlap-v1 schema, and
 #                     diff against the checked-in results/BENCH_overlap.json
+#   9. protocol      — the static SPMD protocol verifier over
+#                     examples/hpf/ and the NAS SP/BT goldens, under a
+#                     hard timeout and a 2x wall-time regression gate
+#                     against results/protocol_baseline.txt
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -189,5 +193,31 @@ cmp target/BENCH_overlap_ci.json results/BENCH_overlap.json || {
     echo "FAIL: results/BENCH_overlap.json is stale; rerun"
     echo "      target/release/overlapbench --out results/BENCH_overlap.json"
     exit 1; }
+
+echo "== protocol verifier (static SPMD protocol checks)"
+# one rank-symbolic pass proves matching, congruence, wait coverage and
+# deadlock-freedom for every rank — any violation fails CI. The hard
+# timeout bounds a hung verifier; the recorded baseline gates wall-time
+# regressions (>2x fails).
+PROTO_T0=$(python3 -c 'import time; print(time.time())')
+# jacobi.f is the one example with a full processor grid; the seeded
+# lint fixtures have no node program for the verifier to check
+timeout 120 "$DHPF" verify-protocol examples/hpf/jacobi.f > /dev/null \
+    || { echo "FAIL: protocol violation (or timeout) in examples/hpf/jacobi.f"; exit 1; }
+for spec in "sp S" "bt S" "sp W" "bt W"; do
+    set -- $spec
+    timeout 300 "$DHPF" verify-protocol --nas "$1" --class "$2" --nprocs 4 > /dev/null \
+        || { echo "FAIL: protocol violation (or timeout) in NAS $1 class $2"; exit 1; }
+done
+PROTO_T1=$(python3 -c 'import time; print(time.time())')
+python3 - "$PROTO_T0" "$PROTO_T1" results/protocol_baseline.txt <<'EOF'
+import sys
+t0, t1 = float(sys.argv[1]), float(sys.argv[2])
+base = float(open(sys.argv[3]).read().strip())
+elapsed = t1 - t0
+assert elapsed <= 2.0 * base, \
+    f"protocol verifier took {elapsed:.1f}s, more than 2x the {base:.1f}s baseline"
+print(f"protocol verifier OK ({elapsed:.1f}s, baseline {base:.1f}s)")
+EOF
 
 echo "CI OK"

@@ -90,8 +90,12 @@ fn every_compiled_nas_unit_passes_the_comm_verifier() {
     // regression is a CONFIRMED miscompile report here before it is a
     // wrong number in the numerical comparisons above.
     for (name, compiled) in [
-        ("SP", dhpf::nas::sp::compile_dhpf(Class::S, 4, None)),
-        ("BT", dhpf::nas::bt::compile_dhpf(Class::S, 4, None)),
+        ("SP S@4", dhpf::nas::sp::compile_dhpf(Class::S, 4, None)),
+        ("BT S@1", dhpf::nas::bt::compile_dhpf(Class::S, 1, None)),
+        ("BT S@2", dhpf::nas::bt::compile_dhpf(Class::S, 2, None)),
+        ("BT S@4", dhpf::nas::bt::compile_dhpf(Class::S, 4, None)),
+        ("SP W@4", dhpf::nas::sp::compile_dhpf(Class::W, 4, None)),
+        ("BT W@4", dhpf::nas::bt::compile_dhpf(Class::W, 4, None)),
     ] {
         let r = verify_compiled(&compiled);
         assert!(
@@ -104,6 +108,14 @@ fn every_compiled_nas_unit_passes_the_comm_verifier() {
             races.is_clean(),
             "{name} ghost races:\n{}",
             races.render_human(None)
+        );
+        // The static SPMD protocol verifier: matching, congruence, wait
+        // coverage, deadlock-freedom — rank-symbolically, on every compile.
+        let proto = verify_protocol(&compiled);
+        assert!(
+            proto.is_clean(),
+            "{name} protocol violations:\n{}",
+            proto.render_human(None)
         );
     }
 }
@@ -129,6 +141,7 @@ fn quickstart_program_compiles_and_verifies() {
     let serial = run_serial(&program, &Default::default()).unwrap();
     let compiled = compile(&program, &CompileOptions::new()).unwrap();
     assert!(verify_compiled(&compiled).is_clean());
+    assert!(verify_protocol(&compiled).is_clean());
     let r = run_node_program(&compiled.program, MachineConfig::sp2(2)).unwrap();
     assert!(max_delta(&serial.arrays["b"], &r.arrays["b"]) < 1e-12);
 }

@@ -1,0 +1,159 @@
+//! Regression tests: runtime violations in the node interpreter come
+//! back as structured `ExecError`s from `run_node_program`, not process
+//! panics (the strip-dim lookup and its fellow unwraps in
+//! `crates/core/src/exec/node.rs`).
+
+use dhpf::core::codegen::{
+    CIdx, CMsg, CompiledUnit, GlobalArray, NodeOp, NodeProgram, PipeArray, PipeLevel,
+};
+use dhpf::core::distrib::{ArrayDist, DimMap, ProcGrid};
+use dhpf::core::exec::node::run_node_program;
+use dhpf::prelude::*;
+use std::collections::BTreeMap;
+
+fn grid(n: i64) -> ProcGrid {
+    ProcGrid {
+        name: "p".into(),
+        extents: vec![n],
+    }
+}
+
+fn program_with(unit: CompiledUnit, arrays: Vec<GlobalArray>, n: i64) -> NodeProgram {
+    let mut unit_index = BTreeMap::new();
+    unit_index.insert(unit.name.clone(), 0);
+    NodeProgram {
+        grid: grid(n),
+        arrays,
+        units: vec![unit],
+        unit_index,
+        main: 0,
+    }
+}
+
+/// An Exchange whose message names an array slot that is never bound to
+/// an actual (a dummy): previously an out-of-bounds indexing panic.
+#[test]
+fn unbound_dummy_in_exchange_is_a_structured_error() {
+    let unit = CompiledUnit {
+        name: "main".into(),
+        n_arrays: 1,
+        array_global: vec![None],
+        array_names: vec!["d".into()],
+        ops: vec![NodeOp::Exchange {
+            msgs: vec![CMsg {
+                from: 0,
+                to: 1,
+                arr: 0,
+                lo: vec![1],
+                hi: vec![1],
+            }],
+            tag: 7,
+        }],
+        ..Default::default()
+    };
+    let prog = program_with(unit, vec![], 2);
+    let err =
+        run_node_program(&prog, MachineConfig::sp2(2)).expect_err("unbound dummy must not execute");
+    assert!(
+        err.0.contains("never bound"),
+        "unexpected message: {}",
+        err.0
+    );
+}
+
+/// An unguarded write on a rank that allocates no storage for the array:
+/// previously `panic!("write to unowned array ...")`.
+#[test]
+fn write_to_unowned_storage_is_a_structured_error() {
+    // 1-element array block-distributed over 2 procs: rank 1 owns nothing.
+    let dist = ArrayDist {
+        array: "a".into(),
+        bounds: vec![(1, 1)],
+        dims: vec![DimMap::Block {
+            pdim: 0,
+            block: 1,
+            align_offset: 0,
+            nproc: 2,
+        }],
+    };
+    let ga = GlobalArray {
+        name: "a".into(),
+        bounds: vec![(1, 1)],
+        dist: Some(dist),
+        ghost: vec![0],
+    };
+    let unit = CompiledUnit {
+        name: "main".into(),
+        n_arrays: 1,
+        array_global: vec![Some(0)],
+        array_names: vec!["a".into()],
+        ops: vec![NodeOp::Assign {
+            guard: None, // unguarded: every rank writes, rank 1 cannot
+            arr: 0,
+            subs: vec![CIdx::cst(1)],
+            value: dhpf::core::codegen::CExpr::Const(1.0),
+            flops: 0,
+        }],
+        ..Default::default()
+    };
+    let prog = program_with(unit, vec![ga], 2);
+    let err =
+        run_node_program(&prog, MachineConfig::sp2(2)).expect_err("unowned write must not execute");
+    assert!(err.0.contains("unowned"), "unexpected message: {}", err.0);
+}
+
+/// A pipeline whose strip array slot is an unbound dummy: previously the
+/// `strip_dim.unwrap()` region lookup panicked with an indexing error.
+#[test]
+fn pipeline_over_unbound_dummy_is_a_structured_error() {
+    let unit = CompiledUnit {
+        name: "main".into(),
+        n_ints: 1,
+        n_arrays: 1,
+        array_global: vec![None],
+        array_names: vec!["d".into()],
+        ops: vec![NodeOp::Pipeline {
+            levels: vec![PipeLevel {
+                var: 0,
+                lo: CIdx::cst(1),
+                hi: CIdx::cst(4),
+                step: 1,
+            }],
+            body: vec![],
+            sweep_level: 0,
+            strip_level: Some(0),
+            granularity: 2,
+            forward: true,
+            pdim: 0,
+            read_depth: 1,
+            write_depth: 0,
+            arrays: vec![PipeArray {
+                arr: 0,
+                dim: 0,
+                strip_dim: Some(0),
+            }],
+            tag: 9,
+        }],
+        ..Default::default()
+    };
+    let prog = program_with(unit, vec![], 2);
+    let err = run_node_program(&prog, MachineConfig::sp2(2))
+        .expect_err("pipeline over an unbound dummy must not execute");
+    assert!(
+        err.0.contains("never bound"),
+        "unexpected message: {}",
+        err.0
+    );
+}
+
+/// The machine-size mismatch keeps its original structured error.
+#[test]
+fn machine_size_mismatch_is_a_structured_error() {
+    let unit = CompiledUnit {
+        name: "main".into(),
+        ..Default::default()
+    };
+    let prog = program_with(unit, vec![], 2);
+    let err = run_node_program(&prog, MachineConfig::sp2(3)).expect_err("size mismatch");
+    assert!(err.0.contains("compiled for 2"), "got: {}", err.0);
+}
