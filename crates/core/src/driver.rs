@@ -596,14 +596,36 @@ fn process_unit(
         // LOCALIZE idiom `do one = 1, 1`) is transparent for
         // communication placement: its child nests are planned
         // individually so an exchange between two children lands
-        // *between* them, not hoisted above the producer.
+        // *between* them, not hoisted above the producer. IF blocks
+        // are transparent for nest discovery: a scalar branch
+        // condition is replicated control flow — every processor
+        // evaluates it identically — so nests inside an arm carry
+        // their own CPs and plans and compile in place. A condition
+        // that reads an array is not replicable that way; reject it
+        // rather than compile the arm's distributed writes as
+        // replicated statements (which would write outside the local
+        // window at run time).
+        let top_stmts = flatten_if_arms(&unit.body, &unit).map_err(CompileError::Other)?;
         let mut nests: Vec<StmtId> = Vec::new();
         let mut nest_scope: BTreeMap<StmtId, StmtId> = BTreeMap::new();
-        for s in &unit.body {
+        for &s in &top_stmts {
             let StmtKind::Do { lo, hi, body, .. } = &s.kind else {
                 continue;
             };
             if !is_compute_nest(s) {
+                // A loop with CALL statements in its body (the NAS
+                // time-step idiom `do step … call x_solve …`): calls
+                // compile interprocedurally, but any *inline* Do
+                // children are compute nests of their own and still
+                // need CPs and communication plans. Register each with
+                // self-scope — a call may rewrite any COMMON array, so
+                // it is an availability barrier and the children must
+                // not share a §7 scope across it.
+                for c in body {
+                    if matches!(c.kind, StmtKind::Do { .. }) && is_compute_nest(c) {
+                        nests.push(c.id);
+                    }
+                }
                 continue;
             }
             let one_trip = match (
@@ -695,24 +717,23 @@ fn process_unit(
             let deps = analyze_loop_deps(nest, &loops, &refs);
             let stmts = select::assignments_in(nest, &loops, &refs);
             // NEW/LOCALIZE definition statements are partitioned by
-            // propagation, not by local selection
-            let managed: Vec<String> = loops
-                .loops
-                .values()
-                .flat_map(|l| {
-                    l.dir
-                        .new_vars
-                        .iter()
-                        .chain(l.dir.localize_vars.iter())
-                        .cloned()
-                })
-                .collect();
+            // propagation, not by local selection — but only inside a
+            // loop whose directive manages the written variable. The
+            // same array written elsewhere (e.g. its initialization
+            // nest) still needs an ordinary owner-computes CP; leaving
+            // it unassigned would compile it as replicated and write
+            // outside the local window.
             let selectable: Vec<StmtId> = stmts
                 .iter()
                 .filter(|s| {
-                    refs.write_of(**s)
-                        .map(|w| !managed.contains(&w.array))
-                        .unwrap_or(true)
+                    let Some(w) = refs.write_of(**s) else {
+                        return true;
+                    };
+                    let enclosing = loops.nest_of.get(*s).cloned().unwrap_or_default();
+                    !enclosing.iter().any(|l| {
+                        let d = &loops.loops[l].dir;
+                        d.new_vars.contains(&w.array) || d.localize_vars.contains(&w.array)
+                    })
                 })
                 .cloned()
                 .collect();
@@ -855,7 +876,8 @@ fn process_unit(
         }
 
         // owner-computes for any remaining top-level assignments
-        for s in &unit.body {
+        // (including ones inside replicated IF arms)
+        for &s in &top_stmts {
             if let StmtKind::Assign { .. } = &s.kind {
                 if let Some(w) = refs.write_of(s.id) {
                     if env
@@ -1057,6 +1079,58 @@ fn finish_compile(
         analyses,
         obs: ObsReport::default(),
     })
+}
+
+/// Does an expression read any array (or call any function — the
+/// subset cannot tell the two apart syntactically)?
+fn expr_reads_array(e: &dhpf_fortran::ast::Expr, unit: &ProgramUnit) -> bool {
+    use dhpf_fortran::ast::Expr;
+    match e {
+        Expr::Ref(r) => !r.subs.is_empty() || unit.decls.is_array(&r.name),
+        Expr::Bin(_, a, b, _) => expr_reads_array(a, unit) || expr_reads_array(b, unit),
+        Expr::Un(_, a, _) => expr_reads_array(a, unit),
+        Expr::Int(..) | Expr::Real(..) | Expr::Logical(..) => false,
+    }
+}
+
+/// The unit body with IF blocks flattened away: scalar branch
+/// conditions are replicated control flow, so the statements of every
+/// arm participate in nest discovery and CP selection exactly as if
+/// they stood at top level (codegen later re-wraps them in the
+/// conditional, in place). An IF whose condition reads an array cannot
+/// be treated this way; it is an error when its arms contain loops or
+/// assignments that would then silently compile as replicated.
+fn flatten_if_arms<'a>(body: &'a [Stmt], unit: &ProgramUnit) -> Result<Vec<&'a Stmt>, String> {
+    let mut out = Vec::new();
+    for s in body {
+        if let StmtKind::If { arms } = &s.kind {
+            let replicable = arms
+                .iter()
+                .filter_map(|(c, _)| c.as_ref())
+                .all(|c| !expr_reads_array(c, unit));
+            if !replicable {
+                let has_work = arms.iter().any(|(_, b)| {
+                    b.iter()
+                        .any(|t| matches!(t.kind, StmtKind::Do { .. } | StmtKind::Assign { .. }))
+                });
+                if has_work {
+                    return Err(format!(
+                        "in {}: IF condition reads an array; only replicated \
+                         scalar control flow is supported around compute \
+                         statements",
+                        unit.name
+                    ));
+                }
+                continue;
+            }
+            for (_, b) in arms {
+                out.extend(flatten_if_arms(b, unit)?);
+            }
+        } else {
+            out.push(s);
+        }
+    }
+    Ok(out)
 }
 
 /// A compute nest contains no calls (after inlining).

@@ -26,7 +26,7 @@ use dhpf_spmd::trace::Trace;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
-usage: dhpf <explain|compile|verify-protocol> [input] [options]
+usage: dhpf <explain|compile|verify-protocol|fuzz> [input] [options]
 
 input (one of):
   --nas sp|bt            built-in NAS mini-benchmark
@@ -53,6 +53,17 @@ verify-protocol options:
   --json                 emit the dhpf-lint-v1 findings document
   --decisions-out FILE   write the dhpf-decisions-v1 document (includes
                          the protocol-verified/-violation records)
+
+fuzz options (no input file; programs are generated):
+  --seed N               master campaign seed          [42]
+  --count N              programs to generate          [50]
+  --geometries SPEC      comma-separated grids, dims joined by x
+                         (e.g. 1,4,2x3)                [1,4,2x3]
+  --max-ulps N           float-oracle tolerance        [4]
+  --mutate N             mutation self-checks to plant [0]
+  --shrink-budget N      shrink attempts per failure   [64]
+  --out FILE             write the dhpf-fuzz-v1 JSON report (- = stdout)
+  --corpus-out DIR       write each minimized failing program as .f
 ";
 
 struct Args {
@@ -205,7 +216,144 @@ fn write_out(path: &str, content: &str) -> Result<(), String> {
     std::fs::write(path, content).map_err(|e| format!("cannot write {path}: {e}"))
 }
 
+/// `dhpf fuzz` arguments (disjoint from the compile-style commands:
+/// there is no input file, and geometry replaces `--nprocs`).
+struct FuzzArgs {
+    cfg: dhpf_fuzz::CampaignConfig,
+    out: Option<String>,
+    corpus_out: Option<String>,
+}
+
+fn parse_geometries(spec: &str) -> Result<Vec<Vec<i64>>, String> {
+    let mut geoms = Vec::new();
+    for g in spec.split(',') {
+        let dims: Result<Vec<i64>, _> = g.split('x').map(str::parse).collect();
+        let dims = dims.map_err(|e| format!("--geometries: bad grid `{g}`: {e}"))?;
+        if dims.is_empty() || dims.len() > 2 || dims.iter().any(|&d| d < 1) {
+            return Err(format!(
+                "--geometries: grid `{g}` must be 1 or 2 positive dims"
+            ));
+        }
+        geoms.push(dims);
+    }
+    if geoms.is_empty() {
+        return Err("--geometries: at least one grid required".into());
+    }
+    Ok(geoms)
+}
+
+fn parse_fuzz_args(it: &mut dyn Iterator<Item = String>) -> Result<FuzzArgs, String> {
+    let mut a = FuzzArgs {
+        cfg: dhpf_fuzz::CampaignConfig::default(),
+        out: None,
+        corpus_out: None,
+    };
+    let need = |it: &mut dyn Iterator<Item = String>, flag: &str| {
+        it.next().ok_or(format!("{flag} needs a value"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--seed" => {
+                a.cfg.seed = need(it, "--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--count" => {
+                a.cfg.count = need(it, "--count")?
+                    .parse()
+                    .map_err(|e| format!("--count: {e}"))?
+            }
+            "--geometries" => a.cfg.geometries = parse_geometries(&need(it, "--geometries")?)?,
+            "--max-ulps" => {
+                a.cfg.max_ulps = need(it, "--max-ulps")?
+                    .parse()
+                    .map_err(|e| format!("--max-ulps: {e}"))?
+            }
+            "--mutate" => {
+                a.cfg.mutants = need(it, "--mutate")?
+                    .parse()
+                    .map_err(|e| format!("--mutate: {e}"))?
+            }
+            "--shrink-budget" => {
+                a.cfg.shrink_budget = need(it, "--shrink-budget")?
+                    .parse()
+                    .map_err(|e| format!("--shrink-budget: {e}"))?
+            }
+            "--out" => a.out = Some(need(it, "--out")?),
+            "--corpus-out" => a.corpus_out = Some(need(it, "--corpus-out")?),
+            f => return Err(format!("unknown fuzz flag {f}\n\n{USAGE}")),
+        }
+    }
+    Ok(a)
+}
+
+fn run_fuzz(args: &FuzzArgs) -> Result<(), CliError> {
+    let report = dhpf_fuzz::run_campaign(&args.cfg);
+    if let Some(path) = &args.out {
+        write_out(path, &report.to_json())?;
+        if path != "-" {
+            eprintln!("report written to {path}");
+        }
+    }
+    if let Some(dir) = &args.corpus_out {
+        std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir}: {e}"))?;
+        for f in &report.failures {
+            let name = format!("{dir}/seed_{}_{}.f", f.program_seed, f.oracle);
+            std::fs::write(&name, &f.minimized).map_err(|e| format!("cannot write {name}: {e}"))?;
+            eprintln!("minimized repro written to {name}");
+        }
+    }
+    let mutation = report
+        .mutation
+        .as_ref()
+        .map(|m| format!(", mutation {}/{} caught twice", m.caught_twice, m.planted))
+        .unwrap_or_default();
+    eprintln!(
+        "fuzz: {} program(s) x {} geometr(ies) x flag lattice: {} compile(s), {} run(s), \
+         {} message(s), {} failure(s){mutation} in {:.1}s",
+        report.programs,
+        report.geometries.len(),
+        report.compiles,
+        report.runs,
+        report.messages,
+        report.failures.len(),
+        report.wall_ms as f64 / 1000.0
+    );
+    if report.clean() {
+        Ok(())
+    } else {
+        let mut kinds: Vec<String> = report
+            .failed
+            .iter()
+            .map(|(k, n)| format!("{k} x{n}"))
+            .collect();
+        if let Some(m) = &report.mutation {
+            if m.caught_twice < m.planted {
+                kinds.push("mutation under-detected".into());
+            }
+        }
+        Err(format!("campaign not clean: {}", kinds.join(", ")).into())
+    }
+}
+
 fn main() -> ExitCode {
+    // `fuzz` has a disjoint flag set; route it before the generic parser
+    let mut raw = std::env::args().skip(1);
+    if raw.next().as_deref() == Some("fuzz") {
+        return match parse_fuzz_args(&mut raw) {
+            Ok(a) => match run_fuzz(&a) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("dhpf: {}", e.msg);
+                    ExitCode::from(e.code)
+                }
+            },
+            Err(msg) => {
+                eprintln!("{msg}");
+                ExitCode::from(2)
+            }
+        };
+    }
     let args = match parse_args() {
         Ok(a) => a,
         Err(msg) => {

@@ -287,9 +287,17 @@ fn prec_expr(e: &Expr, parent: u8) -> String {
         Expr::Ref(r) => unparse_ref(r),
         Expr::Bin(op, a, b, _) => {
             let p = prec(*op);
-            let l = prec_expr(a, p);
-            // right child needs a higher threshold for left-assoc ops
-            let r = prec_expr(b, p + 1);
+            // `**` is right-associative: the *left* child needs the
+            // higher threshold so `(s**2)**2` keeps its parentheses;
+            // every other binary operator is left-associative and needs
+            // it on the right.
+            let (lt, rt) = if matches!(op, BinOp::Pow) {
+                (p + 1, p)
+            } else {
+                (p, p + 1)
+            };
+            let l = prec_expr(a, lt);
+            let r = prec_expr(b, rt);
             let s = format!("{l}{}{r}", op_str(*op));
             if p < parent {
                 format!("({s})")

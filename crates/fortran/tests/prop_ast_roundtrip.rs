@@ -1,0 +1,411 @@
+//! AST-level round-trip property: `parse(unparse(ast))` is structurally
+//! identical to `ast` — not merely textually stable (that weaker fixpoint
+//! property lives in `prop_roundtrip.rs`). Structural identity is checked
+//! field by field over every node kind, ignoring only what a reparse
+//! cannot preserve: source spans, fresh `StmtId`/`RefId` counters, and
+//! numeric statement labels (the unparser documents them as informational
+//! and does not emit them).
+//!
+//! The generator covers the whole surface the dHPF front end accepts:
+//! multiple program units, `parameter`/`common` declarations, all four
+//! HPF mapping directives (both `distribute` spellings, `block(k)` and
+//! `*` formats), loop directives (`independent`, `new`, `localize`),
+//! if/elseif/else chains, backward loops with explicit steps, calls, and
+//! logical/real/integer literals.
+//!
+//! Failures are reported as a path into the AST (e.g.
+//! `units[0].body[2].do.body[0].assign.rhs.lhs`) plus the two `Debug`
+//! renderings, so a mismatch is diagnosable without a debugger. Seeds are
+//! pinned via `PROPTEST_SEED` exactly as for the other property suites.
+
+use dhpf_fortran::ast::*;
+use dhpf_fortran::{parse, unparse::unparse_program};
+use proptest::prelude::*;
+
+type Check = Result<(), String>;
+
+fn differ(path: &str, a: &dyn std::fmt::Debug, b: &dyn std::fmt::Debug) -> Check {
+    Err(format!("{path}: {a:?} != {b:?}"))
+}
+
+fn eq_expr(a: &Expr, b: &Expr, path: &str) -> Check {
+    match (a, b) {
+        (Expr::Int(x, _), Expr::Int(y, _)) if x == y => Ok(()),
+        // bitwise, so a value drift through print/reparse can't hide
+        (Expr::Real(x, _), Expr::Real(y, _)) if x.to_bits() == y.to_bits() => Ok(()),
+        (Expr::Logical(x, _), Expr::Logical(y, _)) if x == y => Ok(()),
+        (Expr::Ref(x), Expr::Ref(y)) => eq_ref(x, y, path),
+        (Expr::Bin(o1, a1, b1, _), Expr::Bin(o2, a2, b2, _)) if o1 == o2 => {
+            eq_expr(a1, a2, &format!("{path}.lhs"))?;
+            eq_expr(b1, b2, &format!("{path}.rhs"))
+        }
+        (Expr::Un(o1, a1, _), Expr::Un(o2, a2, _)) if o1 == o2 => {
+            eq_expr(a1, a2, &format!("{path}.arg"))
+        }
+        _ => differ(path, a, b),
+    }
+}
+
+fn eq_ref(a: &ArrayRef, b: &ArrayRef, path: &str) -> Check {
+    if a.name != b.name {
+        return differ(&format!("{path}.name"), &a.name, &b.name);
+    }
+    eq_exprs(&a.subs, &b.subs, &format!("{path}.subs"))
+}
+
+fn eq_exprs(a: &[Expr], b: &[Expr], path: &str) -> Check {
+    if a.len() != b.len() {
+        return differ(&format!("{path}.len"), &a.len(), &b.len());
+    }
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        eq_expr(x, y, &format!("{path}[{i}]"))?;
+    }
+    Ok(())
+}
+
+fn eq_stmt(a: &Stmt, b: &Stmt, path: &str) -> Check {
+    match (&a.kind, &b.kind) {
+        (StmtKind::Assign { lhs: l1, rhs: r1 }, StmtKind::Assign { lhs: l2, rhs: r2 }) => {
+            eq_ref(l1, l2, &format!("{path}.assign.lhs"))?;
+            eq_expr(r1, r2, &format!("{path}.assign.rhs"))
+        }
+        (
+            StmtKind::Do {
+                var: v1,
+                lo: l1,
+                hi: h1,
+                step: s1,
+                body: b1,
+                dir: d1,
+            },
+            StmtKind::Do {
+                var: v2,
+                lo: l2,
+                hi: h2,
+                step: s2,
+                body: b2,
+                dir: d2,
+            },
+        ) => {
+            if v1 != v2 {
+                return differ(&format!("{path}.do.var"), v1, v2);
+            }
+            if d1 != d2 {
+                return differ(&format!("{path}.do.dir"), d1, d2);
+            }
+            eq_expr(l1, l2, &format!("{path}.do.lo"))?;
+            eq_expr(h1, h2, &format!("{path}.do.hi"))?;
+            match (s1, s2) {
+                (None, None) => {}
+                (Some(x), Some(y)) => eq_expr(x, y, &format!("{path}.do.step"))?,
+                _ => return differ(&format!("{path}.do.step"), s1, s2),
+            }
+            eq_stmts(b1, b2, &format!("{path}.do.body"))
+        }
+        (StmtKind::If { arms: a1 }, StmtKind::If { arms: a2 }) => {
+            if a1.len() != a2.len() {
+                return differ(&format!("{path}.if.arms.len"), &a1.len(), &a2.len());
+            }
+            for (i, ((c1, b1), (c2, b2))) in a1.iter().zip(a2).enumerate() {
+                match (c1, c2) {
+                    (None, None) => {}
+                    (Some(x), Some(y)) => eq_expr(x, y, &format!("{path}.if[{i}].cond"))?,
+                    _ => return differ(&format!("{path}.if[{i}].cond"), c1, c2),
+                }
+                eq_stmts(b1, b2, &format!("{path}.if[{i}].body"))?;
+            }
+            Ok(())
+        }
+        (
+            StmtKind::Call {
+                name: n1,
+                args: x1,
+                arg_refs: r1,
+            },
+            StmtKind::Call {
+                name: n2,
+                args: x2,
+                arg_refs: r2,
+            },
+        ) => {
+            if n1 != n2 {
+                return differ(&format!("{path}.call.name"), n1, n2);
+            }
+            // which arguments are whole-array refs is structural even
+            // though the ids themselves are fresh on every parse
+            let shape1: Vec<bool> = r1.iter().map(|o| o.is_some()).collect();
+            let shape2: Vec<bool> = r2.iter().map(|o| o.is_some()).collect();
+            if shape1 != shape2 {
+                return differ(&format!("{path}.call.arg_refs"), &shape1, &shape2);
+            }
+            eq_exprs(x1, x2, &format!("{path}.call.args"))
+        }
+        (StmtKind::Return, StmtKind::Return) => Ok(()),
+        (StmtKind::Continue, StmtKind::Continue) => Ok(()),
+        _ => differ(path, &a.kind, &b.kind),
+    }
+}
+
+fn eq_stmts(a: &[Stmt], b: &[Stmt], path: &str) -> Check {
+    if a.len() != b.len() {
+        return differ(&format!("{path}.len"), &a.len(), &b.len());
+    }
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        eq_stmt(x, y, &format!("{path}[{i}]"))?;
+    }
+    Ok(())
+}
+
+fn eq_decls(a: &Decls, b: &Decls, path: &str) -> Check {
+    if a.params != b.params {
+        return differ(&format!("{path}.params"), &a.params, &b.params);
+    }
+    if a.commons != b.commons {
+        return differ(&format!("{path}.commons"), &a.commons, &b.commons);
+    }
+    let k1: Vec<&String> = a.vars.keys().collect();
+    let k2: Vec<&String> = b.vars.keys().collect();
+    if k1 != k2 {
+        return differ(&format!("{path}.vars.keys"), &k1, &k2);
+    }
+    for (name, v1) in &a.vars {
+        let v2 = &b.vars[name];
+        let vp = format!("{path}.vars[{name}]");
+        if v1.name != v2.name {
+            return differ(&format!("{vp}.name"), &v1.name, &v2.name);
+        }
+        if v1.ty != v2.ty {
+            return differ(&format!("{vp}.ty"), &v1.ty, &v2.ty);
+        }
+        if v1.dims.len() != v2.dims.len() {
+            return differ(&format!("{vp}.rank"), &v1.dims.len(), &v2.dims.len());
+        }
+        for (i, ((lo1, hi1), (lo2, hi2))) in v1.dims.iter().zip(&v2.dims).enumerate() {
+            eq_expr(lo1, lo2, &format!("{vp}.dims[{i}].lo"))?;
+            eq_expr(hi1, hi2, &format!("{vp}.dims[{i}].hi"))?;
+        }
+    }
+    Ok(())
+}
+
+fn eq_hpf(a: &HpfMapping, b: &HpfMapping, path: &str) -> Check {
+    if a.processors.len() != b.processors.len() {
+        return differ(
+            &format!("{path}.processors.len"),
+            &a.processors.len(),
+            &b.processors.len(),
+        );
+    }
+    for (i, (p1, p2)) in a.processors.iter().zip(&b.processors).enumerate() {
+        if p1.name != p2.name {
+            return differ(&format!("{path}.processors[{i}].name"), &p1.name, &p2.name);
+        }
+        eq_exprs(
+            &p1.extents,
+            &p2.extents,
+            &format!("{path}.processors[{i}].extents"),
+        )?;
+    }
+    if a.templates.len() != b.templates.len() {
+        return differ(
+            &format!("{path}.templates.len"),
+            &a.templates.len(),
+            &b.templates.len(),
+        );
+    }
+    for (i, (t1, t2)) in a.templates.iter().zip(&b.templates).enumerate() {
+        if t1.name != t2.name {
+            return differ(&format!("{path}.templates[{i}].name"), &t1.name, &t2.name);
+        }
+        eq_exprs(
+            &t1.extents,
+            &t2.extents,
+            &format!("{path}.templates[{i}].extents"),
+        )?;
+    }
+    if a.aligns.len() != b.aligns.len() {
+        return differ(
+            &format!("{path}.aligns.len"),
+            &a.aligns.len(),
+            &b.aligns.len(),
+        );
+    }
+    for (i, (x, y)) in a.aligns.iter().zip(&b.aligns).enumerate() {
+        let ap = format!("{path}.aligns[{i}]");
+        if x.array != y.array {
+            return differ(&format!("{ap}.array"), &x.array, &y.array);
+        }
+        if x.dummies != y.dummies {
+            return differ(&format!("{ap}.dummies"), &x.dummies, &y.dummies);
+        }
+        if x.target != y.target {
+            return differ(&format!("{ap}.target"), &x.target, &y.target);
+        }
+        eq_exprs(&x.target_subs, &y.target_subs, &format!("{ap}.target_subs"))?;
+    }
+    if a.distributes.len() != b.distributes.len() {
+        return differ(
+            &format!("{path}.distributes.len"),
+            &a.distributes.len(),
+            &b.distributes.len(),
+        );
+    }
+    for (i, (x, y)) in a.distributes.iter().zip(&b.distributes).enumerate() {
+        let dp = format!("{path}.distributes[{i}]");
+        if x.targets != y.targets {
+            return differ(&format!("{dp}.targets"), &x.targets, &y.targets);
+        }
+        if x.formats != y.formats {
+            return differ(&format!("{dp}.formats"), &x.formats, &y.formats);
+        }
+        if x.onto != y.onto {
+            return differ(&format!("{dp}.onto"), &x.onto, &y.onto);
+        }
+    }
+    Ok(())
+}
+
+fn eq_program(a: &Program, b: &Program) -> Check {
+    if a.units.len() != b.units.len() {
+        return differ("units.len", &a.units.len(), &b.units.len());
+    }
+    for (i, (u1, u2)) in a.units.iter().zip(&b.units).enumerate() {
+        let path = format!("units[{i}]");
+        if u1.name != u2.name {
+            return differ(&format!("{path}.name"), &u1.name, &u2.name);
+        }
+        if u1.kind != u2.kind {
+            return differ(&format!("{path}.kind"), &u1.kind, &u2.kind);
+        }
+        eq_decls(&u1.decls, &u2.decls, &format!("{path}.decls"))?;
+        eq_hpf(&u1.hpf, &u2.hpf, &format!("{path}.hpf"))?;
+        eq_stmts(&u1.body, &u2.body, &format!("{path}.body"))?;
+    }
+    Ok(())
+}
+
+/// Random affine-ish expression over i, j and literals.
+fn expr_strategy() -> impl Strategy<Value = String> {
+    let leaf = prop_oneof![
+        Just("i".to_string()),
+        Just("j".to_string()),
+        Just("s".to_string()),
+        (1i64..20).prop_map(|v| v.to_string()),
+        (1i64..9).prop_map(|v| format!("{v}.5d0")),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} + {b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} - {b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} * {b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a} / {b})")),
+            inner.clone().prop_map(|a| format!("(-{a})")),
+            inner.prop_map(|a| format!("({a}**2)")),
+        ]
+    })
+}
+
+/// A full-surface program: directives, common, two units, control flow.
+fn hpf_program_strategy() -> impl Strategy<Value = String> {
+    (
+        expr_strategy(),
+        8i64..24,
+        0i64..3,
+        prop_oneof![
+            Just(""),
+            Just("!hpf$ independent\n"),
+            Just("!hpf$ independent, new(s)\n"),
+            Just("!hpf$ independent, localize(a)\n"),
+        ],
+        prop_oneof![
+            Just("block, block"),
+            Just("block, *"),
+            Just("block(3), block"),
+            Just("cyclic, block"),
+        ],
+        prop::bool::ANY,
+        prop::bool::ANY,
+        prop::bool::ANY,
+    )
+        .prop_map(|(e1, n, off, loop_dir, fmt2, use_if, use_call, backward)| {
+            let hdr = if backward {
+                "do j = n - 1, 2, -1".to_string()
+            } else {
+                "do j = 2, n - 1".to_string()
+            };
+            let branch = if use_if {
+                "      if (flg .and. (n .gt. 4)) then\n\
+                 \x20        a(1) = 0.0d0\n\
+                 \x20     else if (n .lt. 3) then\n\
+                 \x20        a(2) = 2.5d0\n\
+                 \x20     else\n\
+                 \x20        a(3) = a(2)\n\
+                 \x20     endif\n"
+                    .to_string()
+            } else {
+                String::new()
+            };
+            let call = if use_call {
+                "      call upd(a, n)\n".to_string()
+            } else {
+                String::new()
+            };
+            let sub = if use_call {
+                "\n      subroutine upd(x, k)\n\
+                 \x20     integer k, i\n\
+                 \x20     double precision x(0:k)\n\
+                 \x20     do i = 1, k\n\
+                 \x20        x(i) = x(i - 1) + 0.5d0\n\
+                 \x20     enddo\n\
+                 \x20     return\n\
+                 \x20     end\n"
+                    .to_string()
+            } else {
+                String::new()
+            };
+            format!(
+                "      program t\n\
+                 \x20     parameter (n = {n}, m = 3)\n\
+                 \x20     integer i, j, it, np\n\
+                 \x20     double precision a(0:n), b(n, n), s\n\
+                 \x20     logical flg\n\
+                 \x20     common /flds/ a, b\n\
+                 !hpf$ processors p(np)\n\
+                 !hpf$ processors q(np, np)\n\
+                 !hpf$ template tp(n + 2)\n\
+                 !hpf$ align a(i) with tp(i + {off})\n\
+                 !hpf$ distribute tp(block) onto p\n\
+                 !hpf$ distribute ({fmt2}) onto q :: b\n\
+                 \x20     flg = .true.\n\
+                 \x20     s = 1.5d0\n\
+                 \x20     do i = 1, n\n\
+                 \x20        a(i) = {e1}\n\
+                 \x20     enddo\n\
+                 {loop_dir}\
+                 \x20     {hdr}\n\
+                 \x20        do i = 2, n - 1\n\
+                 \x20           b(i, j) = a(i - 1) + a(i + 1) * s\n\
+                 \x20        enddo\n\
+                 \x20        continue\n\
+                 \x20     enddo\n\
+                 {branch}{call}\
+                 \x20     end\n{sub}"
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn reparse_is_structurally_identical(src in hpf_program_strategy()) {
+        let p1 = parse(&src).expect("generated program parses");
+        let text = unparse_program(&p1);
+        let p2 = parse(&text).unwrap_or_else(|d| {
+            panic!("unparsed text does not reparse: {d:?}\n--- unparsed ---\n{text}")
+        });
+        if let Err(e) = eq_program(&p1, &p2) {
+            panic!("AST changed across unparse/reparse at {e}\n--- original ---\n{src}\n--- unparsed ---\n{text}");
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! Mutation self-check: prove the oracle matrix has teeth.
+//!
+//! A differential harness that never fires is indistinguishable from
+//! one that cannot fire. This module plants a known miscompile — it
+//! drops one *non-redundant* planned pre-exchange from a compiled
+//! program, removing both the plan-level [`Msg`] and the matching
+//! [`CMsg`] from the emitted node program — and then demands that at
+//! least two independent oracles catch it (the ISSUE acceptance bar).
+//!
+//! Dropping only the emitted `CMsg` would silence both the send and the
+//! receive side, so the message-matching checkers (protocol, traces)
+//! stay clean by construction; that is why the plan is mutated too —
+//! the comm-coverage verifier works from the plan, while the numeric
+//! oracle works from the execution, giving two genuinely independent
+//! detection paths.
+
+use crate::gen::{adapt_geometry, grid_bindings, ProgramSpec};
+use crate::oracle::{self, Oracle};
+use dhpf_core::codegen::{CMsg, NodeOp};
+use dhpf_core::comm::{Msg, NestPlan};
+use dhpf_core::driver::{compile, CompileOptions, Compiled};
+use dhpf_core::exec::node::run_node_program;
+use dhpf_core::exec::serial::run_serial;
+use dhpf_fortran::ast::StmtId;
+use dhpf_iset::set::Set;
+use dhpf_spmd::machine::MachineConfig;
+use std::collections::BTreeMap;
+
+/// Result of one mutation experiment.
+#[derive(Clone, Debug)]
+pub struct MutationOutcome {
+    /// Human description of the dropped exchange.
+    pub dropped: String,
+    /// Oracles that flagged the mutant, deduplicated.
+    pub caught_by: Vec<Oracle>,
+}
+
+impl MutationOutcome {
+    /// The acceptance bar: at least two independent oracles fired.
+    pub fn caught_twice(&self) -> bool {
+        self.caught_by.len() >= 2
+    }
+}
+
+fn region_set(m: &Msg) -> Set {
+    let space: Vec<String> = (0..m.region.lo.len()).map(|d| format!("e{d}")).collect();
+    Set::rect(&space, &m.region.lo, &m.region.hi)
+}
+
+/// Pre-exchanges whose region is not covered by the union of the other
+/// pre-exchanges to the same (receiver, array) in the same plan —
+/// dropping one must leave some ghost element stale. Some are still
+/// only *statically* visible (the stale ghost may hold the same value
+/// the exchange would have delivered, e.g. a re-fetch of data that
+/// never changed), so the caller tries candidates in order until one
+/// is dynamically detectable too.
+fn droppable_candidates(compiled: &Compiled, limit: usize) -> Vec<(String, StmtId, usize)> {
+    let mut out = Vec::new();
+    for (uname, ua) in &compiled.analyses {
+        for (&nest, plan) in &ua.plans {
+            let pre = plan.pre();
+            for (i, m) in pre.iter().enumerate() {
+                let mut residue = region_set(m);
+                for (j, o) in pre.iter().enumerate() {
+                    if j == i
+                        || o.to != m.to
+                        || o.array != m.array
+                        || o.region.lo.len() != m.region.lo.len()
+                    {
+                        continue;
+                    }
+                    residue = residue.subtract(&region_set(o));
+                }
+                if !residue.is_empty() {
+                    out.push((uname.clone(), nest, i));
+                    if out.len() >= limit {
+                        return out;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn drop_plan_msg(compiled: &mut Compiled, unit: &str, nest: StmtId, i: usize) -> Msg {
+    let plan = compiled
+        .analyses
+        .get_mut(unit)
+        .expect("mutated unit exists")
+        .plans
+        .get_mut(&nest)
+        .expect("mutated nest exists");
+    match plan {
+        NestPlan::Parallel { pre, .. } | NestPlan::Pipelined { pre, .. } => pre.remove(i),
+    }
+}
+
+fn cmsg_matches(prog_arrays: &[dhpf_core::codegen::GlobalArray], c: &CMsg, m: &Msg) -> bool {
+    if c.from != m.from || c.to != m.to || c.lo != m.region.lo || c.hi != m.region.hi {
+        return false;
+    }
+    let name = &prog_arrays[c.arr].name;
+    name == &m.array || name.ends_with(&format!("::{}", m.array))
+}
+
+fn child_bodies(op: &mut NodeOp) -> Vec<&mut Vec<NodeOp>> {
+    match op {
+        NodeOp::Loop { body, .. } => vec![body],
+        NodeOp::If { arms } => arms.iter_mut().map(|(_, b)| b).collect(),
+        _ => vec![],
+    }
+}
+
+fn remove_from_ops(
+    ops: &mut [NodeOp],
+    arrays: &[dhpf_core::codegen::GlobalArray],
+    m: &Msg,
+) -> bool {
+    for op in ops.iter_mut() {
+        if let NodeOp::Exchange { msgs, .. } | NodeOp::OverlapNest { msgs, .. } = op {
+            if let Some(k) = msgs.iter().position(|c| cmsg_matches(arrays, c, m)) {
+                msgs.remove(k);
+                return true;
+            }
+        }
+        for body in child_bodies(op) {
+            if remove_from_ops(body, arrays, m) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// Drop the emitted `CMsg` matching `m` anywhere in the node program.
+fn drop_emitted_msg(compiled: &mut Compiled, m: &Msg) -> bool {
+    let arrays = compiled.program.arrays.clone();
+    for unit in compiled.program.units.iter_mut() {
+        if remove_from_ops(&mut unit.ops, &arrays, m) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Compile `spec` at `geom` with default flags, plant a dropped
+/// exchange, and report which oracles notice. Candidates are tried in
+/// plan order until one is caught by two independent oracles (some
+/// drops are only statically visible — see
+/// [`droppable_candidates`]); the best outcome is returned. `None`
+/// when the program has no droppable pre-exchange at this geometry (no
+/// communication to sabotage) — the campaign then tries the next
+/// program.
+pub fn mutation_check(spec: &ProgramSpec, geom: &[i64], max_ulps: u64) -> Option<MutationOutcome> {
+    let src = spec.render();
+    let program = dhpf_fortran::parse(&src).ok()?;
+    let serial = run_serial(&program, &BTreeMap::new()).ok()?;
+
+    let adapted = adapt_geometry(geom, spec.grid_rank);
+    let nprocs: i64 = adapted.iter().product();
+    if nprocs < 2 {
+        return None; // single rank: nothing is ever exchanged
+    }
+    let mut opts = CompileOptions::new();
+    opts.bindings = grid_bindings(&adapted).into_iter().collect();
+
+    let candidates = droppable_candidates(&compile(&program, &opts).ok()?, 6);
+    let mut best: Option<MutationOutcome> = None;
+    for (unit, nest, i) in candidates {
+        // recompile per candidate: mutation consumes the artifact
+        let mut compiled = compile(&program, &opts).ok()?;
+        let outcome = run_experiment(
+            &mut compiled,
+            &unit,
+            nest,
+            i,
+            &program,
+            &serial,
+            nprocs as usize,
+            max_ulps,
+        );
+        let Some(outcome) = outcome else { continue };
+        let twice = outcome.caught_twice();
+        if best
+            .as_ref()
+            .map(|b| outcome.caught_by.len() > b.caught_by.len())
+            .unwrap_or(true)
+        {
+            best = Some(outcome);
+        }
+        if twice {
+            break;
+        }
+    }
+    best
+}
+
+/// Drop pre-exchange `i` of `nest` in `unit` (plan and emitted code)
+/// and run every post-compile oracle over the sabotaged program.
+#[allow(clippy::too_many_arguments)]
+fn run_experiment(
+    compiled: &mut Compiled,
+    unit: &str,
+    nest: StmtId,
+    i: usize,
+    program: &dhpf_fortran::ast::Program,
+    serial: &dhpf_core::exec::serial::SerialResult,
+    nprocs: usize,
+    max_ulps: u64,
+) -> Option<MutationOutcome> {
+    let dropped = drop_plan_msg(compiled, unit, nest, i);
+    if !drop_emitted_msg(compiled, &dropped) {
+        return None; // plan message was not emitted (e.g. fused away)
+    }
+
+    let mut caught: Vec<Oracle> = Vec::new();
+    let hit = |caught: &mut Vec<Oracle>, o: Oracle| {
+        if !caught.contains(&o) {
+            caught.push(o);
+        }
+    };
+
+    if !dhpf_analysis::verify_compiled(compiled).is_clean() {
+        hit(&mut caught, Oracle::Coverage);
+    }
+    if !dhpf_analysis::check_compiled_races(compiled).is_clean() {
+        hit(&mut caught, Oracle::Coverage);
+    }
+    let proto = dhpf_core::protocol::extract_protocol(&compiled.program);
+    if !dhpf_analysis::check_protocol(&proto).is_clean() {
+        hit(&mut caught, Oracle::ProtocolStatic);
+    }
+
+    let machine = MachineConfig::sp2(nprocs).with_trace();
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_node_program(&compiled.program, machine)
+    })) {
+        Ok(Ok(result)) => {
+            if dhpf_analysis::check_traces(&result.run.traces).error_count() > 0 {
+                hit(&mut caught, Oracle::ProtocolDynamic);
+            }
+            if oracle::compare_stitched(serial, &result.arrays, program, max_ulps).is_err() {
+                hit(&mut caught, Oracle::Numeric);
+            }
+        }
+        Ok(Err(_)) => hit(&mut caught, Oracle::Exec),
+        Err(_) => hit(&mut caught, Oracle::Panic),
+    }
+
+    Some(MutationOutcome {
+        dropped: format!(
+            "pre-exchange {}→{} of `{}` region {:?}..{:?} in unit `{unit}`",
+            dropped.from, dropped.to, dropped.array, dropped.region.lo, dropped.region.hi
+        ),
+        caught_by: caught,
+    })
+}

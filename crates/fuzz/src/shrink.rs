@@ -1,0 +1,287 @@
+//! Greedy structural shrinking of a failing [`ProgramSpec`].
+//!
+//! Shrinking happens on the *genotype*, not the source text, so every
+//! candidate is by construction a valid program in the generated subset
+//! — there is no risk of minimizing into a syntax error. The reduction
+//! relation tries, in order of aggressiveness: removing the time loop,
+//! deleting whole kernels (main, then subroutine), stripping stencil
+//! decorations (guards, the `s0` factor, extra terms), collapsing the
+//! mapping (ALIGN offsets → 0, Template → Direct, leading dimension
+//! dropped), shrinking the problem size, and finally garbage-collecting
+//! arrays no kernel references. First-improvement greedy descent runs
+//! to a fixpoint under a reproduction budget.
+
+use crate::gen::{ArraySpec, DistMode, Kernel, ProgramSpec};
+
+/// Indices into `spec.arrays` referenced by one kernel.
+fn kernel_refs(k: &Kernel) -> Vec<usize> {
+    match k {
+        Kernel::Stencil { dst, terms, .. } => {
+            let mut v = vec![*dst];
+            v.extend(terms.iter().map(|t| t.src));
+            v
+        }
+        Kernel::Axpy { dst, src, .. } => vec![*dst, *src],
+        Kernel::Sweep { arr, src, .. } => vec![*arr, *src],
+        Kernel::NewScalar { dst, src, .. } => vec![*dst, *src],
+        Kernel::NewVector { dst, src } => vec![*dst, *src],
+        Kernel::Localize { wrk, dst, src, .. } => vec![*wrk, *dst, *src],
+        Kernel::IntFill { dst } => vec![*dst],
+        Kernel::IntUse { dst, src, ia, .. } => vec![*dst, *src, *ia],
+        Kernel::Call { .. } => vec![],
+    }
+}
+
+/// Rewrite one kernel's array indices through `map` (old → new).
+fn remap_kernel(k: &mut Kernel, map: &[usize]) {
+    let m = |i: &mut usize| *i = map[*i];
+    match k {
+        Kernel::Stencil { dst, terms, .. } => {
+            m(dst);
+            for t in terms {
+                m(&mut t.src);
+            }
+        }
+        Kernel::Axpy { dst, src, .. } => {
+            m(dst);
+            m(src);
+        }
+        Kernel::Sweep { arr, src, .. } => {
+            m(arr);
+            m(src);
+        }
+        Kernel::NewScalar { dst, src, .. } => {
+            m(dst);
+            m(src);
+        }
+        Kernel::NewVector { dst, src } => {
+            m(dst);
+            m(src);
+        }
+        Kernel::Localize { wrk, dst, src, .. } => {
+            m(wrk);
+            m(dst);
+            m(src);
+        }
+        Kernel::IntFill { dst } => m(dst),
+        Kernel::IntUse { dst, src, ia, .. } => {
+            m(dst);
+            m(src);
+            m(ia);
+        }
+        Kernel::Call { .. } => {}
+    }
+}
+
+/// Drop arrays no kernel (main or sub) references; rewrite indices.
+/// Returns `None` when every array is referenced.
+fn gc_arrays(spec: &ProgramSpec) -> Option<ProgramSpec> {
+    let mut used = vec![false; spec.arrays.len()];
+    for k in spec
+        .body
+        .iter()
+        .chain(spec.subs.iter().flat_map(|s| s.body.iter()))
+    {
+        for r in kernel_refs(k) {
+            used[r] = true;
+        }
+    }
+    if used.iter().all(|&u| u) || used.iter().filter(|&&u| u).count() == 0 {
+        return None;
+    }
+    let mut map = vec![usize::MAX; spec.arrays.len()];
+    let mut arrays: Vec<ArraySpec> = Vec::new();
+    for (i, a) in spec.arrays.iter().enumerate() {
+        if used[i] {
+            map[i] = arrays.len();
+            arrays.push(a.clone());
+        }
+    }
+    let mut out = spec.clone();
+    out.arrays = arrays;
+    for k in out
+        .body
+        .iter_mut()
+        .chain(out.subs.iter_mut().flat_map(|s| s.body.iter_mut()))
+    {
+        remap_kernel(k, &map);
+    }
+    Some(out)
+}
+
+/// All single-step reductions of `spec`, most aggressive first.
+fn reductions(spec: &ProgramSpec) -> Vec<ProgramSpec> {
+    let mut out = Vec::new();
+
+    if spec.time_steps > 0 {
+        let mut c = spec.clone();
+        c.time_steps = 0;
+        out.push(c);
+    }
+
+    // delete one main kernel at a time (keep at least one so the
+    // program still computes something)
+    if spec.body.len() > 1 {
+        for i in 0..spec.body.len() {
+            let mut c = spec.clone();
+            c.body.remove(i);
+            // dropping the last Call to a sub orphans it; render() skips
+            // orphans, so nothing else to fix
+            out.push(c);
+        }
+    }
+
+    // delete one subroutine kernel at a time
+    for (si, sub) in spec.subs.iter().enumerate() {
+        if sub.body.len() > 1 {
+            for i in 0..sub.body.len() {
+                let mut c = spec.clone();
+                c.subs[si].body.remove(i);
+                out.push(c);
+            }
+        }
+    }
+
+    // strip stencil decorations
+    for (i, k) in spec.body.iter().enumerate() {
+        if let Kernel::Stencil {
+            terms,
+            use_scalar,
+            guard,
+            ..
+        } = k
+        {
+            if guard.is_some() {
+                let mut c = spec.clone();
+                if let Kernel::Stencil { guard, .. } = &mut c.body[i] {
+                    *guard = None;
+                }
+                out.push(c);
+            }
+            if *use_scalar {
+                let mut c = spec.clone();
+                if let Kernel::Stencil { use_scalar, .. } = &mut c.body[i] {
+                    *use_scalar = false;
+                }
+                out.push(c);
+            }
+            if terms.len() > 1 {
+                let mut c = spec.clone();
+                if let Kernel::Stencil { terms, .. } = &mut c.body[i] {
+                    terms.truncate(1);
+                }
+                out.push(c);
+            }
+        }
+    }
+
+    // flatten the mapping
+    if spec.mode == DistMode::Template {
+        if spec.arrays.iter().any(|a| a.align.iter().any(|&o| o != 0)) {
+            let mut c = spec.clone();
+            for a in &mut c.arrays {
+                a.align = vec![0; spec.grid_rank];
+            }
+            out.push(c);
+        }
+        let mut c = spec.clone();
+        c.mode = DistMode::Direct;
+        for a in &mut c.arrays {
+            a.align = vec![0; spec.grid_rank];
+        }
+        out.push(c);
+    }
+    if spec.arrays.iter().any(|a| a.lead.is_some()) {
+        let mut c = spec.clone();
+        for a in &mut c.arrays {
+            a.lead = None;
+        }
+        out.push(c);
+    }
+
+    // Shrink the problem size. The floor of 22 keeps every BLOCK
+    // non-degenerate (last block ≥ 1 cell for extents n and n + 2,
+    // even under an ALIGN offset of 2) at any per-dim processor count
+    // up to 6 — otherwise a candidate can fail compilation with an
+    // unrelated "empty block" error and the shrink drifts off the
+    // original root cause.
+    if spec.n > 22 {
+        let mut c = spec.clone();
+        c.n = 22;
+        out.push(c);
+    }
+
+    if let Some(c) = gc_arrays(spec) {
+        out.push(c);
+    }
+
+    out
+}
+
+/// Rough size metric: smaller is more minimal.
+fn size(spec: &ProgramSpec) -> usize {
+    spec.render().len()
+}
+
+/// Greedy first-improvement minimization. `reproduces` must return
+/// `true` when a candidate still exhibits the original failure;
+/// `budget` caps the number of `reproduces` evaluations.
+pub fn minimize<F>(spec: &ProgramSpec, mut reproduces: F, budget: usize) -> ProgramSpec
+where
+    F: FnMut(&ProgramSpec) -> bool,
+{
+    let mut best = spec.clone();
+    let mut spent = 0usize;
+    loop {
+        let mut improved = false;
+        for cand in reductions(&best) {
+            if spent >= budget {
+                return best;
+            }
+            if size(&cand) >= size(&best) {
+                continue;
+            }
+            spent += 1;
+            if reproduces(&cand) {
+                best = cand;
+                improved = true;
+                break; // restart from the smaller spec
+            }
+        }
+        if !improved {
+            return best;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, GenOptions};
+
+    #[test]
+    fn reductions_shrink_and_stay_valid() {
+        let opts = GenOptions::default();
+        for seed in 0..16 {
+            let spec = generate(seed, &opts);
+            for cand in reductions(&spec) {
+                let src = cand.render();
+                assert!(
+                    dhpf_fortran::parse(&src).is_ok(),
+                    "seed {seed}: reduction broke validity:\n{src}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn minimize_reaches_small_fixpoint() {
+        let opts = GenOptions::default();
+        let spec = generate(7, &opts);
+        // pretend every candidate reproduces: minimize to the floor
+        let min = minimize(&spec, |_| true, 500);
+        assert!(min.body.len() <= 1);
+        assert_eq!(min.time_steps, 0);
+        assert!(min.render().len() < spec.render().len());
+    }
+}

@@ -1,0 +1,19 @@
+//! Small pinned-seed campaign as an integration test: the library-level
+//! analogue of the CI smoke stage. Any failure prints the per-oracle
+//! breakdown plus minimized sources for diagnosis.
+
+use dhpf_fuzz::{run_campaign, CampaignConfig};
+
+#[test]
+fn pinned_campaign_is_clean() {
+    let cfg = CampaignConfig {
+        seed: 20260806,
+        count: 12,
+        geometries: vec![vec![1], vec![4], vec![2, 3]],
+        mutants: 1,
+        ..Default::default()
+    };
+    let report = run_campaign(&cfg);
+    assert!(report.clean(), "campaign not clean:\n{}", report.to_json());
+    assert!(report.runs > 0 && report.messages > 0);
+}

@@ -23,11 +23,18 @@
 #                     examples/hpf/ and the NAS SP/BT goldens, under a
 #                     hard timeout and a 2x wall-time regression gate
 #                     against results/protocol_baseline.txt
+#  10. fuzz smoke    — a pinned-seed generative differential campaign
+#                     (50 random HPF programs x 3 processor geometries x
+#                     the whole optimization-flag lattice) through the
+#                     multi-oracle conformance matrix, plus one planted
+#                     mutant that at least two oracles must catch; the
+#                     dhpf-fuzz-v1 JSON report is schema-validated and a
+#                     hard timeout bounds the stage
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 FIRST_PARTY=(dhpf dhpf-analysis dhpf-bench dhpf-core dhpf-depend
-             dhpf-fortran dhpf-iset dhpf-nas dhpf-obs dhpf-spmd)
+             dhpf-fortran dhpf-fuzz dhpf-iset dhpf-nas dhpf-obs dhpf-spmd)
 FMT_ARGS=()
 for p in "${FIRST_PARTY[@]}"; do FMT_ARGS+=(-p "$p"); done
 
@@ -218,6 +225,42 @@ elapsed = t1 - t0
 assert elapsed <= 2.0 * base, \
     f"protocol verifier took {elapsed:.1f}s, more than 2x the {base:.1f}s baseline"
 print(f"protocol verifier OK ({elapsed:.1f}s, baseline {base:.1f}s)")
+EOF
+
+echo "== fuzz smoke (pinned-seed differential campaign)"
+# the seed is pinned so the 50-program corpus is identical on every run;
+# the generator is geometry-aware, so the same seed with different
+# --geometries produces different (still deterministic) programs. The
+# hard timeout is the wall-time gate: a pathological slowdown in the
+# pipeline hangs the stage rather than silently doubling CI time.
+timeout 240 "$DHPF" fuzz --seed 20260806 --count 50 --geometries 1,4,2x3 \
+    --mutate 1 --out target/FUZZ_smoke.json \
+    || { echo "FAIL: fuzz smoke campaign not clean (or timed out)"; exit 1; }
+python3 - target/FUZZ_smoke.json <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "dhpf-fuzz-v1", doc.get("schema")
+for key in ("seed", "count", "geometries", "programs", "compiles", "runs",
+            "messages", "oracles", "failures", "mutation", "wall_ms", "clean"):
+    assert key in doc, f"missing {key}"
+assert doc["seed"] == 20260806 and doc["count"] == 50
+assert doc["geometries"] == ["1", "4", "2x3"]
+assert doc["programs"] == 50, doc["programs"]
+assert doc["compiles"] > 0 and doc["runs"] > 0 and doc["messages"] > 0
+for name, o in doc["oracles"].items():
+    assert set(o) == {"checked", "failed"}, (name, o)
+    assert o["checked"] > 0 or name == "compile-declined", f"oracle {name} never ran"
+# every oracle in the matrix must actually have fired
+for name in ("generate", "roundtrip", "serial", "compile", "coverage",
+             "protocol-static", "protocol-dynamic", "numeric", "fingerprint"):
+    assert name in doc["oracles"], f"oracle {name} missing from report"
+assert doc["failures"] == [], doc["failures"]
+m = doc["mutation"]
+assert m is not None and m["planted"] >= 1, m
+assert m["caught_twice"] == m["planted"], m
+assert doc["clean"] is True
+print(f"fuzz smoke OK ({doc['programs']} programs, {doc['compiles']} compiles, "
+      f"{doc['runs']} runs, {doc['wall_ms']} ms)")
 EOF
 
 echo "CI OK"

@@ -1,0 +1,63 @@
+#!/usr/bin/env bash
+# Nightly (non-gating) generative differential campaign: a much larger
+# program count than the CI smoke stage, a fresh seed per night so the
+# explored corpus keeps moving, and more mutation self-checks. Run from
+# the repository root:
+#
+#     scripts/fuzz_nightly.sh [seed]
+#
+# The seed defaults to today's date (UTC, YYYYMMDD) so reruns on the
+# same day reproduce the same campaign; pass an explicit seed to replay
+# a past night. Artifacts land in target/fuzz-nightly/:
+#
+#     report_<seed>.json   dhpf-fuzz-v1 campaign report
+#     corpus_<seed>/       minimized .f reproductions, one per
+#                          (program seed, oracle) — empty when clean
+#
+# Exit status is the campaign verdict: 0 when every oracle is green and
+# all planted mutants were caught by at least two independent oracles,
+# 1 otherwise. To replay a finding from the report:
+#
+#     target/release/dhpf fuzz --seed <program_seed> --count 1 \
+#         --geometries 1,4,7,2x3,3x5
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SEED="${1:-$(date -u +%Y%m%d)}"
+COUNT="${FUZZ_NIGHTLY_COUNT:-1000}"
+GEOMS="${FUZZ_NIGHTLY_GEOMS:-1,4,7,2x3,3x5}"
+OUT_DIR=target/fuzz-nightly
+mkdir -p "$OUT_DIR"
+
+cargo build --release -p dhpf
+
+echo "== fuzz nightly: seed $SEED, $COUNT programs, geometries $GEOMS"
+STATUS=0
+target/release/dhpf fuzz --seed "$SEED" --count "$COUNT" \
+    --geometries "$GEOMS" --mutate 10 \
+    --out "$OUT_DIR/report_$SEED.json" \
+    --corpus-out "$OUT_DIR/corpus_$SEED" || STATUS=$?
+
+# validate the frozen schema even on a clean night, so a report-shape
+# regression cannot hide until the first real finding
+python3 - "$OUT_DIR/report_$SEED.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "dhpf-fuzz-v1", doc.get("schema")
+for key in ("seed", "count", "geometries", "programs", "compiles", "runs",
+            "messages", "oracles", "failures", "mutation", "wall_ms", "clean"):
+    assert key in doc, f"missing {key}"
+for f in doc["failures"]:
+    for key in ("program_seed", "oracle", "config", "geometry",
+                "message", "minimized"):
+        assert key in f, f"failure record missing {key}: {f}"
+verdict = "clean" if doc["clean"] else f"{len(doc['failures'])} finding(s)"
+print(f"nightly report OK: {doc['programs']} programs, "
+      f"{doc['compiles']} compiles, {verdict}, {doc['wall_ms']} ms")
+EOF
+
+if [ "$STATUS" -ne 0 ]; then
+    echo "fuzz nightly: campaign NOT clean (seed $SEED); minimized repros"
+    echo "in $OUT_DIR/corpus_$SEED/, details in $OUT_DIR/report_$SEED.json"
+fi
+exit "$STATUS"

@@ -121,6 +121,69 @@ fn every_compiled_nas_unit_passes_the_comm_verifier() {
 }
 
 #[test]
+fn degenerate_geometries_conformance() {
+    // Degenerate processor geometries — a single rank (all communication
+    // degenerates to nothing), prime counts (no even block split), and
+    // non-square 2-D grids (different per-dimension protocols) — through
+    // the full optimization-flag lattice and the complete fuzz oracle
+    // matrix: serial numerics, comm coverage, static protocol, dynamic
+    // traces, and the serial-vs-parallel compile fingerprint.
+    let src_1d = "
+      program deg1
+      parameter (n = 47)
+      integer np1, i
+      double precision a(n), b(n)
+!hpf$ processors p(np1)
+!hpf$ distribute (block) onto p :: a, b
+      do i = 1, n
+         a(i) = 0.50d0 + 0.01d0 * i
+         b(i) = 1.0d0
+      enddo
+      do i = 3, n - 2
+         b(i) = a(i - 2) + 0.25d0 * a(i + 2)
+      enddo
+      end
+";
+    let geoms_1d: Vec<Vec<i64>> = vec![vec![1], vec![5], vec![7]];
+    let out = dhpf_fuzz::oracle::check_source(src_1d, 1, &geoms_1d, 4);
+    assert!(
+        out.failures.is_empty(),
+        "1-D degenerate geometries regressed:\n{:#?}",
+        out.failures
+    );
+    assert!(out.runs > 0, "1-D program never executed");
+
+    let src_2d = "
+      program deg2
+      parameter (n = 24)
+      integer np1, np2, i, j
+      double precision d(n, n), e(n, n)
+!hpf$ processors p(np1, np2)
+!hpf$ distribute (block, block) onto p :: d, e
+      do j = 1, n
+         do i = 1, n
+            d(i, j) = 0.50d0 + 0.01d0 * i + 0.02d0 * j
+            e(i, j) = 1.0d0
+         enddo
+      enddo
+      do j = 3, n - 2
+         do i = 3, n - 2
+            e(i, j) = d(i - 1, j) + d(i + 1, j) + 0.50d0 * d(i, j - 2)
+         enddo
+      enddo
+      end
+";
+    let geoms_2d: Vec<Vec<i64>> = vec![vec![1, 1], vec![3, 5], vec![5, 2]];
+    let out = dhpf_fuzz::oracle::check_source(src_2d, 2, &geoms_2d, 4);
+    assert!(
+        out.failures.is_empty(),
+        "2-D degenerate geometries regressed:\n{:#?}",
+        out.failures
+    );
+    assert!(out.runs > 0, "2-D program never executed");
+}
+
+#[test]
 fn quickstart_program_compiles_and_verifies() {
     let src = "
       program t

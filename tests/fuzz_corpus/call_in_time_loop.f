@@ -1,0 +1,37 @@
+! Fuzz regression (seed campaign): a time-step loop whose body mixes a
+! CALL with an inline compute nest (the NAS `do step` idiom plus one
+! inline smoother). The CALL made the whole loop "not a compute nest",
+! so the inline child nest was skipped by nest discovery, got no CP,
+! and compiled as replicated statements — an out-of-window write at
+! execution. Call-carrying loops now register their inline DO children
+! as self-scoped compute nests (a call is an availability barrier).
+      program fz
+      parameter (n = 28)
+      integer np1, np2, i, j, m, it, one
+      double precision a(n), b(n)
+      common /flds/ a, b
+!hpf$ processors p(np1)
+!hpf$ distribute (block) onto p :: a, b
+      do i = 1, n
+         a(i) = 0.50d0 + 0.01d0 * i
+         b(i) = 0.75d0 + 0.02d0 * i
+      enddo
+      do it = 1, 2
+         call skern1
+         do i = 3, n - 2
+            b(i) = -0.10d0 * a(i - 2)
+         enddo
+      enddo
+      end
+
+      subroutine skern1
+      parameter (n = 28)
+      integer np1, np2, i, j, m, it, one
+      double precision a(n), b(n)
+      common /flds/ a, b
+!hpf$ processors p(np1)
+!hpf$ distribute (block) onto p :: a, b
+      do i = 3, n - 2
+         a(i) = 0.25d0 * b(i - 2) + -0.40d0 * b(i)
+      enddo
+      end

@@ -1,0 +1,22 @@
+! Fuzz regression (seed campaign): nest discovery only scanned
+! top-level DO statements, so a compute nest wrapped in a scalar IF
+! got no computation partitioning at all — it compiled as replicated
+! statements and panicked at execution with an out-of-window write
+! whenever the branch was taken. IF blocks with scalar conditions are
+! replicated control flow and are now transparent for nest discovery.
+      program fz
+      parameter (n = 28)
+      integer np1, np2, i, j, m, it, one
+      double precision a(n), b(n)
+!hpf$ processors p(np1)
+!hpf$ distribute (block) onto p :: a, b
+      do i = 1, n
+         a(i) = 0.50d0 + 0.01d0 * i
+         b(i) = 0.75d0 + 0.02d0 * i
+      enddo
+      if (n .gt. 4) then
+         do i = 1, n
+            b(i) = -0.05d0 * a(i)
+         enddo
+      endif
+      end

@@ -1,0 +1,33 @@
+! Fuzz regression (seed campaign, 2-D grid): an array named in a
+! LOCALIZE directive was excluded from CP selection *unit-wide*, so its
+! initialization nest (outside the managed loop) compiled as replicated
+! statements and every rank wrote the full domain into its
+! owned-plus-ghost window — an out-of-window panic at execution.
+! CP exclusion is now scoped to statements enclosed by the loop whose
+! directive manages the variable.
+      program fz
+      parameter (n = 8)
+      integer np1, np2, i, j, m, it, one
+      double precision d(n, n), wl(n, n)
+!hpf$ processors p(np1, np2)
+!hpf$ distribute (block, block) onto p :: d, wl
+      do j = 1, n
+         do i = 1, n
+            d(i, j) = 0.50d0 + 0.01d0 * i + 0.02d0 * j
+            wl(i, j) = 0.75d0 + 0.02d0 * i + 0.04d0 * j
+         enddo
+      enddo
+!hpf$ independent, localize(wl)
+      do one = 1, 1
+         do j = 1, n
+            do i = 1, n
+               wl(i, j) = wl(i, j) * 1.10d0
+            enddo
+         enddo
+         do j = 3, n - 2
+            do i = 3, n - 2
+               d(i, j) = wl(i - 2, j) + wl(i + 2, j)
+            enddo
+         enddo
+      enddo
+      end
