@@ -255,7 +255,7 @@ mod tests {
     use dhpf_spmd::trace::Event;
 
     fn ev(t0: f64, t1: f64, kind: EventKind) -> Event {
-        Event { t0, t1, kind }
+        Event::new(t0, t1, kind)
     }
 
     #[test]

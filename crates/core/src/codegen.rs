@@ -141,6 +141,62 @@ pub struct HaloCheck {
 /// halo membership checks that define the interior.
 type OverlapParts = (Vec<PipeLevel>, Vec<NodeOp>, Vec<HaloCheck>);
 
+/// Provenance of one communication-bearing [`NodeOp`]: the planned nest
+/// (unit, statement, source line) it was emitted for, the §7 phase it
+/// implements, and the arrays it moves. `NodeOp::Exchange`/`OverlapNest`/
+/// `Pipeline` index this table through their `plan` field; the
+/// interpreter stamps the same index onto every trace event it issues
+/// for the op, which is what lets `dhpf profile` join simulated stalls
+/// back to the compiler decision log.
+#[derive(Clone, Debug)]
+pub struct PlanProv {
+    pub unit: String,
+    /// Raw [`ast::StmtId`] of the planned loop — the join key against
+    /// decision-log records anchored with `.stmt(loop_id)`.
+    pub stmt: u32,
+    /// 1-based source line of the planned loop, when known.
+    pub line: Option<u32>,
+    pub kind: ProvKind,
+    /// Arrays the communication moves (sorted, deduplicated).
+    pub arrays: Vec<String>,
+    /// Message tag of the emitted op.
+    pub tag: u64,
+}
+
+impl PlanProv {
+    /// `unit:line` anchor used across reports.
+    pub fn anchor(&self) -> String {
+        match self.line {
+            Some(l) => format!("{}:{}", self.unit, l),
+            None => format!("{}:?", self.unit),
+        }
+    }
+}
+
+/// Which phase of a communication plan an op implements.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProvKind {
+    /// Blocking pre-exchange (ghost updates before the nest).
+    Pre,
+    /// Post write-back exchange after the nest.
+    Post,
+    /// Overlapped halo exchange fused with its nest.
+    Overlap,
+    /// Coarse-grain pipelined wavefront.
+    Pipeline,
+}
+
+impl ProvKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            ProvKind::Pre => "pre-exchange",
+            ProvKind::Post => "write-back",
+            ProvKind::Overlap => "overlapped-exchange",
+            ProvKind::Pipeline => "pipeline",
+        }
+    }
+}
+
 /// Node-program operations.
 #[derive(Clone, Debug)]
 pub enum NodeOp {
@@ -183,7 +239,12 @@ pub enum NodeOp {
         array_args: Vec<(usize, usize)>,
     },
     /// Vectorized exchange (ghost updates or write-backs).
-    Exchange { msgs: Vec<CMsg>, tag: u64 },
+    Exchange {
+        msgs: Vec<CMsg>,
+        tag: u64,
+        /// Index into [`NodeProgram::provenance`].
+        plan: u32,
+    },
     /// Halo exchange overlapped with the nest it feeds: post receives,
     /// run the interior iterations (every [`HaloCheck`] satisfied),
     /// wait and unpack, then run the boundary complement.
@@ -195,6 +256,8 @@ pub enum NodeOp {
         /// Innermost body.
         body: Vec<NodeOp>,
         halo: Vec<HaloCheck>,
+        /// Index into [`NodeProgram::provenance`].
+        plan: u32,
     },
     /// Coarse-grain pipelined wavefront nest.
     Pipeline {
@@ -209,6 +272,8 @@ pub enum NodeOp {
         write_depth: i64,
         arrays: Vec<PipeArray>,
         tag: u64,
+        /// Index into [`NodeProgram::provenance`].
+        plan: u32,
     },
 }
 
@@ -255,6 +320,9 @@ pub struct NodeProgram {
     pub units: Vec<CompiledUnit>,
     pub unit_index: BTreeMap<String, usize>,
     pub main: usize,
+    /// Program-wide plan-provenance table, indexed by the `plan` field
+    /// of communication ops (and by `Event::nest` in execution traces).
+    pub provenance: Vec<PlanProv>,
 }
 
 /// Codegen failure.
@@ -291,6 +359,8 @@ pub struct UnitCx<'a> {
     next_tag: u64,
     /// Global array registry shared across units.
     pub globals: &'a mut GlobalRegistry,
+    /// Program-wide provenance table (see [`NodeProgram::provenance`]).
+    pub provs: &'a mut Vec<PlanProv>,
 }
 
 /// The program-wide array registry.
@@ -336,6 +406,7 @@ impl GlobalRegistry {
 }
 
 impl<'a> UnitCx<'a> {
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         unit: &'a ProgramUnit,
         env: &'a DistEnv,
@@ -344,6 +415,7 @@ impl<'a> UnitCx<'a> {
         bindings: &'a BTreeMap<String, i64>,
         globals: &'a mut GlobalRegistry,
         tag_base: u64,
+        provs: &'a mut Vec<PlanProv>,
     ) -> Self {
         UnitCx {
             unit,
@@ -357,6 +429,7 @@ impl<'a> UnitCx<'a> {
             array_names: Vec::new(),
             next_tag: tag_base,
             globals,
+            provs,
         }
     }
 
@@ -364,6 +437,30 @@ impl<'a> UnitCx<'a> {
         let t = self.next_tag;
         self.next_tag += 1;
         t
+    }
+
+    /// Register provenance for a communication op emitted for statement
+    /// `s`, returning the plan-table index the op (and its trace
+    /// events) will carry.
+    fn register_prov(
+        &mut self,
+        s: &Stmt,
+        kind: ProvKind,
+        mut arrays: Vec<String>,
+        tag: u64,
+    ) -> u32 {
+        arrays.sort();
+        arrays.dedup();
+        let id = self.provs.len() as u32;
+        self.provs.push(PlanProv {
+            unit: self.unit.name.clone(),
+            stmt: s.id.0,
+            line: (s.span.line > 0).then_some(s.span.line),
+            kind,
+            arrays,
+            tag,
+        });
+        id
     }
 
     pub fn final_tag(&self) -> u64 {
@@ -875,6 +972,7 @@ impl<'a> UnitCx<'a> {
         ops: &mut Vec<NodeOp>,
     ) -> CgResult<()> {
         let pre = self.compile_msgs(plan.pre())?;
+        let pre_arrays = plan.pre_arrays();
         match &plan {
             NestPlan::Parallel { overlap, .. } => {
                 // overlapped emission when the planner proved it sound
@@ -886,17 +984,24 @@ impl<'a> UnitCx<'a> {
                 };
                 if let Some((levels, body, halo)) = overlapped {
                     let tag = self.fresh_tag();
+                    let plan_id = self.register_prov(s, ProvKind::Overlap, pre_arrays, tag);
                     ops.push(NodeOp::OverlapNest {
                         msgs: pre,
                         tag,
                         levels,
                         body,
                         halo,
+                        plan: plan_id,
                     });
                 } else {
                     if !pre.is_empty() {
                         let tag = self.fresh_tag();
-                        ops.push(NodeOp::Exchange { msgs: pre, tag });
+                        let plan_id = self.register_prov(s, ProvKind::Pre, pre_arrays, tag);
+                        ops.push(NodeOp::Exchange {
+                            msgs: pre,
+                            tag,
+                            plan: plan_id,
+                        });
                     }
                     // plain nest with guards
                     let StmtKind::Do {
@@ -930,7 +1035,12 @@ impl<'a> UnitCx<'a> {
             NestPlan::Pipelined { schedule, .. } => {
                 if !pre.is_empty() {
                     let tag = self.fresh_tag();
-                    ops.push(NodeOp::Exchange { msgs: pre, tag });
+                    let plan_id = self.register_prov(s, ProvKind::Pre, pre_arrays, tag);
+                    ops.push(NodeOp::Exchange {
+                        msgs: pre,
+                        tag,
+                        plan: plan_id,
+                    });
                 }
                 self.compile_pipeline(s, schedule, unit_index, units, ops)?;
             }
@@ -938,7 +1048,12 @@ impl<'a> UnitCx<'a> {
         let post = self.compile_msgs(plan.post())?;
         if !post.is_empty() {
             let tag = self.fresh_tag();
-            ops.push(NodeOp::Exchange { msgs: post, tag });
+            let plan_id = self.register_prov(s, ProvKind::Post, plan.post_arrays(), tag);
+            ops.push(NodeOp::Exchange {
+                msgs: post,
+                tag,
+                plan: plan_id,
+            });
         }
         Ok(())
     }
@@ -1081,6 +1196,8 @@ impl<'a> UnitCx<'a> {
         }
 
         let tag = self.fresh_tag();
+        let swept: Vec<String> = schedule.arrays.iter().map(|(n, _)| n.clone()).collect();
+        let plan_id = self.register_prov(s, ProvKind::Pipeline, swept, tag);
         ops.push(NodeOp::Pipeline {
             levels,
             body,
@@ -1093,6 +1210,7 @@ impl<'a> UnitCx<'a> {
             write_depth: schedule.depth,
             arrays,
             tag,
+            plan: plan_id,
         });
         Ok(())
     }

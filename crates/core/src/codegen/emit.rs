@@ -109,7 +109,7 @@ fn emit_ops(ops: &[NodeOp], u: &CompiledUnit, depth: usize, out: &mut String) {
                 ind(depth, out);
                 let _ = writeln!(out, "call unit#{unit}");
             }
-            NodeOp::Exchange { msgs, tag } => {
+            NodeOp::Exchange { msgs, tag, plan: _ } => {
                 ind(depth, out);
                 let vol: usize = msgs
                     .iter()
@@ -140,6 +140,7 @@ fn emit_ops(ops: &[NodeOp], u: &CompiledUnit, depth: usize, out: &mut String) {
                 levels,
                 body,
                 halo,
+                plan: _,
             } => {
                 ind(depth, out);
                 let vol: usize = msgs

@@ -158,6 +158,24 @@ impl NestPlan {
             NestPlan::Pipelined { .. } => None,
         }
     }
+
+    /// Arrays the pre-exchange moves — the stable provenance codegen
+    /// records for the emitted op (and `dhpf profile` reports).
+    pub fn pre_arrays(&self) -> Vec<String> {
+        Self::msg_arrays(self.pre())
+    }
+
+    /// Arrays the post write-back moves.
+    pub fn post_arrays(&self) -> Vec<String> {
+        Self::msg_arrays(self.post())
+    }
+
+    fn msg_arrays(msgs: &[Msg]) -> Vec<String> {
+        let mut names: Vec<String> = msgs.iter().map(|m| m.array.clone()).collect();
+        names.sort();
+        names.dedup();
+        names
+    }
 }
 
 /// Analysis failure (pattern outside the compiler's repertoire).

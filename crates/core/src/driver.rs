@@ -13,7 +13,7 @@
 //! Every paper optimization can be toggled off through [`OptFlags`] for
 //! the ablation experiments.
 
-use crate::codegen::{CodegenError, CompiledUnit, GlobalRegistry, NodeProgram, UnitCx};
+use crate::codegen::{CodegenError, CompiledUnit, GlobalRegistry, NodeProgram, PlanProv, UnitCx};
 use crate::comm::{CommError, CommOptions, CommReport, NestPlan};
 use crate::cp::Cp;
 use crate::distrib::{resolve as resolve_dist, DistEnv, DistError};
@@ -1006,11 +1006,22 @@ fn finish_compile(
         .collect();
 
     // register arrays for every unit first (so cross-unit commons exist)
+    let mut provenance: Vec<PlanProv> = Vec::new();
     for u in &program.units {
         let env = unit_envs.get(&u.name).cloned().unwrap_or_default();
         let cps = CpAssignment::new();
         let plans = BTreeMap::new();
-        let mut cx = UnitCx::new(u, &env, &cps, &plans, &opts.bindings, &mut globals, 0);
+        let mut scratch = Vec::new();
+        let mut cx = UnitCx::new(
+            u,
+            &env,
+            &cps,
+            &plans,
+            &opts.bindings,
+            &mut globals,
+            0,
+            &mut scratch,
+        );
         cx.register_arrays().map_err(CompileError::Codegen)?;
     }
 
@@ -1028,6 +1039,7 @@ fn finish_compile(
             &opts.bindings,
             &mut globals,
             tag_base,
+            &mut provenance,
         );
         cx.register_arrays().map_err(CompileError::Codegen)?;
         let ops = cx
@@ -1072,6 +1084,7 @@ fn finish_compile(
             units,
             unit_index,
             main,
+            provenance,
         },
         report,
         cp_dump,

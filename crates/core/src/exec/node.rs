@@ -455,8 +455,10 @@ impl<'p> ProcState<'p> {
                 proc.phase(&callee.name);
                 self.exec_ops(proc, callee, &callee.ops, &mut f2);
             }
-            NodeOp::Exchange { msgs, tag } => {
+            NodeOp::Exchange { msgs, tag, plan } => {
+                proc.set_provenance(Some(*plan));
                 self.exchange(proc, frame, msgs, *tag);
+                proc.set_provenance(None);
             }
             NodeOp::OverlapNest {
                 msgs,
@@ -464,8 +466,13 @@ impl<'p> ProcState<'p> {
                 levels,
                 body,
                 halo,
+                plan,
             } => {
+                // the whole fused op — posts, interior compute, waits,
+                // boundary — is attributed to the overlapped nest
+                proc.set_provenance(Some(*plan));
                 self.overlap_nest(proc, unit, frame, msgs, *tag, levels, body, halo);
+                proc.set_provenance(None);
             }
             NodeOp::Pipeline {
                 levels,
@@ -479,7 +486,9 @@ impl<'p> ProcState<'p> {
                 write_depth,
                 arrays,
                 tag,
+                plan,
             } => {
+                proc.set_provenance(Some(*plan));
                 self.pipeline(
                     proc,
                     unit,
@@ -496,6 +505,7 @@ impl<'p> ProcState<'p> {
                     arrays,
                     *tag,
                 );
+                proc.set_provenance(None);
             }
         }
     }

@@ -411,7 +411,7 @@ impl<'p> Extract<'p> {
                 self.emit_ops(*u, &callee.ops, &mut f2, ctx, out);
                 self.depth -= 1;
             }
-            NodeOp::Exchange { msgs, tag } => {
+            NodeOp::Exchange { msgs, tag, .. } => {
                 // the interpreter issues all sends (nonblocking) before
                 // any blocking receive; keep that per-rank order
                 for m in msgs {

@@ -15,6 +15,12 @@
 //!   send/recv matching, barrier congruence, wait coverage, and symbolic
 //!   deadlock. Exit 1 on any violation; `--json` emits the
 //!   `dhpf-lint-v1` findings document.
+//! * `dhpf profile` — compile, execute on the virtual machine, and run
+//!   the cross-rank critical-path profiler: where the makespan went,
+//!   which communication nests (source lines, compiler decisions) lost
+//!   the time, and what each fix would be worth (what-if replay).
+//!   `--json` emits the `dhpf-profile-v1` document; `--perfetto-out`
+//!   overlays the critical path as flow events on the execution trace.
 //!
 //! Inputs: `--nas sp|bt --class S|W|A|B --nprocs N`, or a Fortran file
 //! with `--bind name=value` for its symbolic sizes.
@@ -26,7 +32,7 @@ use dhpf_spmd::trace::Trace;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
-usage: dhpf <explain|compile|verify-protocol|fuzz> [input] [options]
+usage: dhpf <explain|compile|verify-protocol|profile|fuzz> [input] [options]
 
 input (one of):
   --nas sp|bt            built-in NAS mini-benchmark
@@ -53,6 +59,18 @@ verify-protocol options:
   --json                 emit the dhpf-lint-v1 findings document
   --decisions-out FILE   write the dhpf-decisions-v1 document (includes
                          the protocol-verified/-violation records)
+
+profile options:
+  --json                 emit the dhpf-profile-v1 document instead of
+                         the human report
+  --out FILE             write the report/document here (- = stdout)
+  --top N                bottleneck nests to rank and what-if [8]
+  --perfetto-out FILE    write Chrome/Perfetto trace JSON with the
+                         critical path overlaid as flow events
+  --metrics-out FILE     write dhpf-metrics-v1 including per-rank
+                         exec.busy_ms/stall_ms and exec.imbalance
+  (with --no-overlap, the overlap what-if replays the schedule the
+   compiler would emit with overlap enabled)
 
 fuzz options (no input file; programs are generated):
   --seed N               master campaign seed          [42]
@@ -81,6 +99,8 @@ struct Args {
     trace_out: Option<String>,
     metrics_out: Option<String>,
     decisions_out: Option<String>,
+    out: Option<String>,
+    top: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -104,6 +124,8 @@ fn parse_args() -> Result<Args, String> {
         trace_out: None,
         metrics_out: None,
         decisions_out: None,
+        out: None,
+        top: 8,
     };
     let need = |it: &mut dyn Iterator<Item = String>, flag: &str| {
         it.next().ok_or(format!("{flag} needs a value"))
@@ -149,6 +171,13 @@ fn parse_args() -> Result<Args, String> {
             "--trace-out" => a.trace_out = Some(need(&mut it, "--trace-out")?),
             "--metrics-out" => a.metrics_out = Some(need(&mut it, "--metrics-out")?),
             "--decisions-out" => a.decisions_out = Some(need(&mut it, "--decisions-out")?),
+            "--perfetto-out" => a.trace_out = Some(need(&mut it, "--perfetto-out")?),
+            "--out" => a.out = Some(need(&mut it, "--out")?),
+            "--top" => {
+                a.top = need(&mut it, "--top")?
+                    .parse()
+                    .map_err(|e| format!("--top: {e}"))?
+            }
             f if f.starts_with("--") => return Err(format!("unknown flag {f}\n\n{USAGE}")),
             f => a.file = Some(f.to_string()),
         }
@@ -178,6 +207,10 @@ fn usage_err(msg: String) -> CliError {
 }
 
 fn build(a: &Args) -> Result<Compiled, CliError> {
+    build_with_overlap(a, a.overlap)
+}
+
+fn build_with_overlap(a: &Args, overlap: bool) -> Result<Compiled, CliError> {
     let (program, bindings) = match a.nas.as_deref() {
         Some("sp") => (
             dhpf_nas::sp::parse(),
@@ -204,8 +237,36 @@ fn build(a: &Args) -> Result<Compiled, CliError> {
     opts.bindings = bindings;
     opts.granularity = a.granularity;
     opts.jobs = a.jobs;
-    opts.flags.overlap = a.overlap;
+    opts.flags.overlap = overlap;
     compile(&program, &opts).map_err(|e| format!("compile failed: {e}").into())
+}
+
+/// Nest ids in `blocking`'s provenance table whose pre-exchanges the
+/// compiler would fuse into overlapped nests with overlap enabled: the
+/// overlap what-if replays exactly those receives in post/compute/wait
+/// form. Empty when the profiled program already overlaps (nothing left
+/// to hypothesize).
+fn overlap_candidates(a: &Args, blocking: &Compiled) -> Result<Vec<u32>, CliError> {
+    if a.overlap {
+        return Ok(Vec::new());
+    }
+    use dhpf_core::codegen::ProvKind;
+    let overlapped = build_with_overlap(a, true)?;
+    let fused: std::collections::BTreeSet<(String, u32)> = overlapped
+        .program
+        .provenance
+        .iter()
+        .filter(|p| p.kind == ProvKind::Overlap)
+        .map(|p| (p.unit.clone(), p.stmt))
+        .collect();
+    Ok(blocking
+        .program
+        .provenance
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.kind == ProvKind::Pre && fused.contains(&(p.unit.clone(), p.stmt)))
+        .map(|(i, _)| i as u32)
+        .collect())
 }
 
 fn write_out(path: &str, content: &str) -> Result<(), String> {
@@ -407,7 +468,11 @@ fn run(args: &Args) -> Result<(), CliError> {
                 eprintln!("trace written to {path} (open in ui.perfetto.dev)");
             }
             if let Some(path) = &args.metrics_out {
-                write_out(path, &compiled.obs.metrics.render_json())?;
+                let mut metrics = compiled.obs.metrics.clone();
+                if let Some(traces) = exec.as_deref() {
+                    dhpf_profile::record_exec_gauges(&mut metrics, traces);
+                }
+                write_out(path, &metrics.render_json())?;
                 eprintln!("metrics written to {path}");
             }
             if let Some(path) = &args.decisions_out {
@@ -464,6 +529,56 @@ fn run(args: &Args) -> Result<(), CliError> {
             } else {
                 Err(format!("{} protocol violation(s) in {input}", report.findings.len()).into())
             }
+        }
+        "profile" => {
+            let compiled = build(args)?;
+            let machine = MachineConfig::sp2(args.nprocs).with_trace();
+            let result =
+                dhpf_core::exec::node::run_node_program(&compiled.program, machine.clone())
+                    .map_err(|e| format!("execution failed: {e}"))?;
+            let opts = dhpf_profile::ProfileOptions {
+                top: args.top,
+                overlap_candidates: overlap_candidates(args, &compiled)?,
+            };
+            let prof = dhpf_profile::profile(
+                &compiled.program,
+                &compiled.transformed,
+                &compiled.obs,
+                &result.run.traces,
+                &machine,
+                &opts,
+            )
+            .map_err(|e| e.to_string())?;
+            let doc = if args.json {
+                dhpf_profile::report::render_json(&prof)
+            } else {
+                dhpf_profile::report::render_human(&prof, args.top)
+            };
+            write_out(args.out.as_deref().unwrap_or("-"), &doc)?;
+            if let Some(path) = &args.trace_out {
+                let flows = dhpf_profile::critical_path_flow_events(&prof);
+                let json = dhpf_obs::perfetto::render_with_extra(
+                    Some(&compiled.obs),
+                    Some(&result.run.traces),
+                    &flows,
+                );
+                write_out(path, &json)?;
+                eprintln!("trace with critical-path flows written to {path}");
+            }
+            if let Some(path) = &args.metrics_out {
+                let mut metrics = compiled.obs.metrics.clone();
+                dhpf_profile::record_exec_gauges(&mut metrics, &result.run.traces);
+                write_out(path, &metrics.render_json())?;
+                eprintln!("metrics written to {path}");
+            }
+            eprintln!(
+                "profiled {} rank(s): makespan {:.6}s, {:.1}% of stall attributed, {} what-if scenario(s)",
+                prof.nprocs,
+                prof.makespan,
+                100.0 * prof.attribution_coverage(),
+                prof.whatif.len()
+            );
+            Ok(())
         }
         other => Err(usage_err(format!("unknown command {other}\n\n{USAGE}"))),
     }

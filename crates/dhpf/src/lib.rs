@@ -12,6 +12,7 @@ pub use dhpf_fortran as fortran;
 pub use dhpf_iset as iset;
 pub use dhpf_nas as nas;
 pub use dhpf_obs as obs;
+pub use dhpf_profile as profile;
 pub use dhpf_spmd as spmd;
 
 /// Everything a typical user needs.

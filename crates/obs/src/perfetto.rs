@@ -20,11 +20,23 @@ use crate::json::escape as jesc;
 use crate::ObsReport;
 use dhpf_spmd::trace::{EventKind, Trace};
 
-const PID_COMPILE: u32 = 1;
-const PID_EXEC: u32 = 2;
+pub const PID_COMPILE: u32 = 1;
+pub const PID_EXEC: u32 = 2;
 
 /// Render a combined Perfetto trace. Either part may be absent.
 pub fn render(compile: Option<&ObsReport>, exec: Option<&[Trace]>) -> String {
+    render_with_extra(compile, exec, &[])
+}
+
+/// Like [`render`], with additional pre-rendered trace-event objects
+/// appended after the standard compile/exec events (used by
+/// `dhpf-profile` to overlay critical-path flow events on the
+/// execution process without this crate depending on the profiler).
+pub fn render_with_extra(
+    compile: Option<&ObsReport>,
+    exec: Option<&[Trace]>,
+    extra: &[String],
+) -> String {
     let mut ev: Vec<String> = Vec::new();
     if let Some(report) = compile {
         compile_events(report, &mut ev);
@@ -32,6 +44,7 @@ pub fn render(compile: Option<&ObsReport>, exec: Option<&[Trace]>) -> String {
     if let Some(traces) = exec {
         exec_events(traces, &mut ev);
     }
+    ev.extend(extra.iter().cloned());
     let mut out = String::from("{\n\"displayTimeUnit\": \"ms\",\n\"traceEvents\": [\n");
     for (i, e) in ev.iter().enumerate() {
         out.push_str(e);
@@ -217,21 +230,13 @@ mod tests {
 
     fn sample_exec() -> Vec<Trace> {
         let mut t = Trace::new(0);
-        t.push(Event {
-            t0: 0.0,
-            t1: 0.5,
-            kind: EventKind::Compute,
-        });
-        t.push(Event {
-            t0: 0.5,
-            t1: 0.7,
-            kind: EventKind::RecvWait { from: 1, bytes: 80 },
-        });
-        t.push(Event {
-            t0: 0.7,
-            t1: 0.7,
-            kind: EventKind::Phase("sweep".into()),
-        });
+        t.push(Event::new(0.0, 0.5, EventKind::Compute));
+        t.push(Event::new(
+            0.5,
+            0.7,
+            EventKind::RecvWait { from: 1, bytes: 80 },
+        ));
+        t.push(Event::new(0.7, 0.7, EventKind::Phase("sweep".into())));
         vec![t]
     }
 

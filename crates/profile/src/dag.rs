@@ -1,0 +1,353 @@
+//! The cross-rank event DAG: send→receive matching, barrier grouping,
+//! the critical path, and per-message slack.
+//!
+//! Edges of the DAG are implicit in the traces: program order within a
+//! rank (per-rank timelines are contiguous in virtual time — every event
+//! starts where its predecessor ended), one cross-rank edge per message
+//! from the send's completion to the matching receive's completion, and
+//! one join edge per barrier from the last-arriving rank to every exit.
+//!
+//! Matching is FIFO per `(src, dst)` pair. That is sound here because
+//! the traces come from an SPMD program: every rank executes the same
+//! operation sequence, and each communication op issues its sends and
+//! its receive completions in the same per-pair order on both sides
+//! (exchanges send-then-recv in plan order; overlapped nests wait in
+//! posted order; pipelines hop chunk by chunk). The byte counts of each
+//! matched pair are cross-checked, so an order violation cannot pass
+//! silently.
+
+use crate::ProfileError;
+use dhpf_spmd::machine::MachineConfig;
+use dhpf_spmd::trace::{EventKind, Trace};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Is this event a receive completion (blocking or via wait), and from
+/// whom / how many bytes?
+fn recv_completion(kind: &EventKind) -> Option<(usize, u64)> {
+    match kind {
+        EventKind::Recv { from, bytes }
+        | EventKind::RecvWait { from, bytes }
+        | EventKind::Wait { from, bytes, .. }
+        | EventKind::WaitStall { from, bytes, .. } => Some((*from, *bytes)),
+        _ => None,
+    }
+}
+
+/// Did this receive completion stall (arrival bound it)?
+fn is_stalled(kind: &EventKind) -> bool {
+    matches!(
+        kind,
+        EventKind::RecvWait { .. } | EventKind::WaitStall { .. }
+    )
+}
+
+/// Cross-rank structure recovered from the traces.
+pub struct Matching {
+    /// Receive completion `(rank, event idx)` → matching send
+    /// `(rank, event idx)`.
+    pub recv_to_send: BTreeMap<(usize, usize), (usize, usize)>,
+    /// Barrier occurrence `k` → the `(rank, event idx)` of every rank's
+    /// k-th barrier event.
+    pub barriers: Vec<Vec<(usize, usize)>>,
+    /// Barrier ordinal of each barrier event.
+    pub barrier_ordinal: BTreeMap<(usize, usize), usize>,
+}
+
+/// Match sends to receive completions and group barriers.
+pub fn match_events(traces: &[Trace]) -> Result<Matching, ProfileError> {
+    // (src rank, dst rank) → FIFO of unmatched sends (rank, event idx, bytes)
+    type SendQueue = VecDeque<(usize, usize, u64)>;
+    let mut sends: BTreeMap<(usize, usize), SendQueue> = BTreeMap::new();
+    for tr in traces {
+        for (i, e) in tr.events.iter().enumerate() {
+            if let EventKind::Send { to, bytes } = e.kind {
+                sends
+                    .entry((tr.rank, to))
+                    .or_default()
+                    .push_back((tr.rank, i, bytes));
+            }
+        }
+    }
+    let mut recv_to_send = BTreeMap::new();
+    let mut barrier_counts: Vec<usize> = vec![0; traces.len()];
+    let mut barriers: Vec<Vec<(usize, usize)>> = Vec::new();
+    let mut barrier_ordinal = BTreeMap::new();
+    for (d, tr) in traces.iter().enumerate() {
+        for (i, e) in tr.events.iter().enumerate() {
+            if let Some((from, bytes)) = recv_completion(&e.kind) {
+                let q = sends.get_mut(&(from, tr.rank)).ok_or_else(|| {
+                    ProfileError(format!(
+                        "rank {} receives from rank {from} but no such send exists",
+                        tr.rank
+                    ))
+                })?;
+                let (sr, si, sbytes) = q.pop_front().ok_or_else(|| {
+                    ProfileError(format!(
+                        "rank {} has more receive completions from rank {from} than sends",
+                        tr.rank
+                    ))
+                })?;
+                if sbytes != bytes {
+                    return Err(ProfileError(format!(
+                        "matched message {from}->{} carries {sbytes} B on the send \
+                         and {bytes} B on the receive: per-pair FIFO order violated",
+                        tr.rank
+                    )));
+                }
+                recv_to_send.insert((tr.rank, i), (sr, si));
+            } else if matches!(e.kind, EventKind::Barrier) {
+                let k = barrier_counts[d];
+                barrier_counts[d] += 1;
+                if barriers.len() <= k {
+                    barriers.push(Vec::new());
+                }
+                barriers[k].push((tr.rank, i));
+                barrier_ordinal.insert((tr.rank, i), k);
+            }
+        }
+    }
+    for (k, group) in barriers.iter().enumerate() {
+        if group.len() != traces.len() {
+            return Err(ProfileError(format!(
+                "barrier {k} joined by {} of {} ranks",
+                group.len(),
+                traces.len()
+            )));
+        }
+    }
+    Ok(Matching {
+        recv_to_send,
+        barriers,
+        barrier_ordinal,
+    })
+}
+
+/// Classification of one critical-path segment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SegClass {
+    Compute,
+    SendOverhead,
+    RecvOverhead,
+    /// Message flight time the receiver could not hide.
+    Network,
+    Barrier,
+    /// Defensive: a gap in a rank timeline (never produced by the
+    /// simulator, but kept so a malformed trace cannot break the
+    /// sum-to-makespan invariant).
+    Idle,
+}
+
+impl SegClass {
+    pub fn name(self) -> &'static str {
+        match self {
+            SegClass::Compute => "compute",
+            SegClass::SendOverhead => "send-overhead",
+            SegClass::RecvOverhead => "recv-overhead",
+            SegClass::Network => "network",
+            SegClass::Barrier => "barrier",
+            SegClass::Idle => "idle",
+        }
+    }
+}
+
+/// One contiguous segment of the critical path. Segments tile
+/// `[0, makespan]` exactly: each begins where the previous ends.
+#[derive(Clone, Debug)]
+pub struct Segment {
+    /// Rank the time is spent on (for `Network`, the receiving rank).
+    pub rank: usize,
+    pub t0: f64,
+    pub t1: f64,
+    pub class: SegClass,
+    pub nest: Option<u32>,
+}
+
+impl Segment {
+    pub fn dur(&self) -> f64 {
+        self.t1 - self.t0
+    }
+}
+
+/// Walk the DAG backward from the makespan event, at every step
+/// following the *binding* predecessor: the sender for an arrival-bound
+/// receive, the last-arriving rank for a barrier, the same rank's
+/// previous event otherwise. Returns segments in increasing time order.
+pub fn critical_path(traces: &[Trace], m: &Matching) -> Vec<Segment> {
+    let makespan = traces.iter().map(|t| t.end()).fold(0.0f64, f64::max);
+    if makespan <= 0.0 {
+        return Vec::new();
+    }
+    // start on the (lowest) rank that realizes the makespan, at its last
+    // non-zero-width event
+    let Some(start_rank) = traces.iter().find(|t| t.end() >= makespan).map(|t| t.rank) else {
+        return Vec::new();
+    };
+    let mut r = start_rank;
+    let mut i = match last_wide(traces, r, traces[r].events.len()) {
+        Some(i) => i,
+        None => return Vec::new(),
+    };
+    let mut segs: Vec<Segment> = Vec::new();
+    loop {
+        let e = &traces[r].events[i];
+        if is_stalled(&e.kind) {
+            if let Some(&(sr, si)) = m.recv_to_send.get(&(r, i)) {
+                let s = &traces[sr].events[si];
+                // arrival-bound: the flight from the send's completion
+                // covers the rest of this interval
+                push(
+                    &mut segs,
+                    Segment {
+                        rank: r,
+                        t0: s.t1,
+                        t1: e.t1,
+                        class: SegClass::Network,
+                        nest: e.nest.or(s.nest),
+                    },
+                );
+                r = sr;
+                i = si;
+                continue; // the send event itself is handled next round
+            }
+        }
+        let class = match &e.kind {
+            EventKind::Compute => SegClass::Compute,
+            EventKind::Send { .. } => SegClass::SendOverhead,
+            EventKind::Recv { .. } | EventKind::Wait { .. } => SegClass::RecvOverhead,
+            // unmatched stall (no send found): keep it local
+            EventKind::RecvWait { .. } | EventKind::WaitStall { .. } => SegClass::Network,
+            EventKind::Barrier => {
+                // jump to the last arriver; its barrier event starts at
+                // the gather max that determined everyone's exit
+                if let Some(&k) = m.barrier_ordinal.get(&(r, i)) {
+                    let (lr, li) = m.barriers[k]
+                        .iter()
+                        .copied()
+                        .max_by(|a, b| {
+                            let (ta, tb) = (traces[a.0].events[a.1].t0, traces[b.0].events[b.1].t0);
+                            ta.partial_cmp(&tb)
+                                .unwrap_or(std::cmp::Ordering::Equal)
+                                // ties: prefer the lowest rank, deterministically
+                                .then(b.0.cmp(&a.0))
+                        })
+                        .expect("barrier group non-empty");
+                    let last = &traces[lr].events[li];
+                    push(
+                        &mut segs,
+                        Segment {
+                            rank: lr,
+                            t0: last.t0,
+                            t1: e.t1,
+                            class: SegClass::Barrier,
+                            nest: e.nest,
+                        },
+                    );
+                    r = lr;
+                    i = li;
+                    match prev_wide(traces, r, i) {
+                        Some(p) => {
+                            i = p;
+                            continue;
+                        }
+                        None => break,
+                    }
+                }
+                SegClass::Barrier
+            }
+            EventKind::RecvPost { .. } | EventKind::Phase(_) => {
+                // zero-width bookkeeping: step over it
+                match prev_wide(traces, r, i) {
+                    Some(p) => {
+                        i = p;
+                        continue;
+                    }
+                    None => break,
+                }
+            }
+        };
+        push(
+            &mut segs,
+            Segment {
+                rank: r,
+                t0: e.t0,
+                t1: e.t1,
+                class,
+                nest: e.nest,
+            },
+        );
+        match prev_wide(traces, r, i) {
+            Some(p) => i = p,
+            None => break,
+        }
+    }
+    // defensive: tile any residual gaps (malformed traces only) so the
+    // sum-to-makespan invariant holds unconditionally
+    segs.reverse();
+    let mut tiled: Vec<Segment> = Vec::new();
+    let mut t = 0.0f64;
+    for s in segs {
+        if s.t0 > t + 1e-15 {
+            tiled.push(Segment {
+                rank: s.rank,
+                t0: t,
+                t1: s.t0,
+                class: SegClass::Idle,
+                nest: None,
+            });
+        }
+        t = s.t1;
+        tiled.push(s);
+    }
+    if makespan > t + 1e-15 {
+        tiled.push(Segment {
+            rank: start_rank,
+            t0: t,
+            t1: makespan,
+            class: SegClass::Idle,
+            nest: None,
+        });
+    }
+    tiled
+}
+
+fn push(segs: &mut Vec<Segment>, s: Segment) {
+    if s.t1 > s.t0 {
+        segs.push(s);
+    }
+}
+
+/// Index of the last event before `end` (exclusive) with nonzero width,
+/// on `rank`.
+fn last_wide(traces: &[Trace], rank: usize, end: usize) -> Option<usize> {
+    traces[rank].events[..end].iter().rposition(|e| e.t1 > e.t0)
+}
+
+fn prev_wide(traces: &[Trace], rank: usize, i: usize) -> Option<usize> {
+    last_wide(traces, rank, i)
+}
+
+/// Per-message slack: how much later the message could have arrived
+/// without delaying its receiver (`ready - arrival`; negative = the
+/// receiver stalled by that much).
+pub struct MessageSlack {
+    pub nest: Option<u32>,
+    pub slack: f64,
+}
+
+pub fn message_slack(traces: &[Trace], m: &Matching, cfg: &MachineConfig) -> Vec<MessageSlack> {
+    let mut out = Vec::new();
+    for (&(dr, di), &(sr, si)) in &m.recv_to_send {
+        let e = &traces[dr].events[di];
+        let s = &traces[sr].events[si];
+        let Some((_, bytes)) = recv_completion(&e.kind) else {
+            continue;
+        };
+        let arrival = s.t1 + cfg.latency + bytes as f64 * cfg.byte_time;
+        let ready = e.t0 + cfg.recv_overhead;
+        out.push(MessageSlack {
+            nest: e.nest.or(s.nest),
+            slack: ready - arrival,
+        });
+    }
+    out
+}

@@ -1,0 +1,330 @@
+//! Rendering: the ranked human report and the frozen `dhpf-profile-v1`
+//! JSON document. Both are pure functions of the [`Profile`] — virtual
+//! time is deterministic, so both renderings are byte-stable and
+//! golden-testable.
+
+use crate::Profile;
+use dhpf_obs::json::{escape, num};
+use std::fmt::Write as _;
+
+fn ms(v: f64) -> String {
+    format!("{:.4}", v * 1e3)
+}
+
+fn secs(v: f64) -> String {
+    format!("{v:.9}")
+}
+
+/// Ranked human report: per-rank gauges, critical-path composition, the
+/// top bottleneck nests with their decisions, and the what-if table.
+pub fn render_human(p: &Profile, top: usize) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "critical-path profile: {} rank(s), makespan {} ms",
+        p.nprocs,
+        ms(p.makespan)
+    );
+    let _ = writeln!(
+        out,
+        "per-rank (busy / stall / end, ms; imbalance {:.3}x):",
+        p.imbalance
+    );
+    for r in &p.ranks {
+        let _ = writeln!(
+            out,
+            "  r{:<3} {:>12} {:>12} {:>12}",
+            r.rank,
+            ms(r.busy),
+            ms(r.stall),
+            ms(r.end)
+        );
+    }
+    let _ = writeln!(out, "critical path by class ({} segment(s)):", p.path.len());
+    for (c, dur) in &p.by_class {
+        let pct = if p.makespan > 0.0 {
+            100.0 * dur / p.makespan
+        } else {
+            0.0
+        };
+        let _ = writeln!(out, "  {:<14} {:>12} ms  {:>5.1}%", c.name(), ms(*dur), pct);
+    }
+    let _ = writeln!(
+        out,
+        "stall attribution: {:.1}% of {} ms carries a nest id",
+        100.0 * p.attribution_coverage(),
+        ms(p.total_stall)
+    );
+    let shown = p.nests.len().min(top);
+    let _ = writeln!(
+        out,
+        "top bottleneck nests (by cross-rank stall, {shown} of {}):",
+        p.nests.len()
+    );
+    for (i, n) in p.nests.iter().take(top).enumerate() {
+        let _ = writeln!(
+            out,
+            " #{:<2} {} at {} [nest {}] arrays {}",
+            i + 1,
+            n.prov.kind.name(),
+            n.prov.anchor(),
+            n.id,
+            n.prov.arrays.join(",")
+        );
+        let _ = writeln!(
+            out,
+            "     stall {} ms in {} event(s); {} msg(s), {} B; on-path {} ms; min slack {} ms",
+            ms(n.stall),
+            n.stall_events,
+            n.messages,
+            n.bytes,
+            ms(n.critical),
+            ms(n.min_slack)
+        );
+        if let Some(free) = n.whatif_free {
+            let saved = (p.makespan - free).max(0.0);
+            let pct = if p.makespan > 0.0 {
+                100.0 * saved / p.makespan
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "     what-if free: makespan {} ms (saves {} ms, {pct:.1}%)",
+                ms(free),
+                ms(saved)
+            );
+        }
+        for d in &n.decisions {
+            let _ = writeln!(out, "     decision: {d}");
+        }
+    }
+    let _ = writeln!(out, "what-if scenarios:");
+    for w in &p.whatif {
+        let _ = writeln!(
+            out,
+            "  {:<12} {}: makespan {} ms (saves {} ms, {:.1}%)",
+            w.scenario,
+            w.label,
+            ms(w.makespan),
+            ms(w.savings),
+            w.savings_pct(p.makespan)
+        );
+    }
+    out
+}
+
+/// The frozen `dhpf-profile-v1` JSON document. All times are seconds
+/// with nine decimals; ratios use the shared 4-decimal `num` format.
+pub fn render_json(p: &Profile) -> String {
+    let mut out = String::from("{\n  \"schema\": \"dhpf-profile-v1\",\n");
+    let _ = writeln!(out, "  \"nprocs\": {},", p.nprocs);
+    let _ = writeln!(out, "  \"makespan_s\": {},", secs(p.makespan));
+    let _ = writeln!(out, "  \"imbalance\": {},", num(p.imbalance));
+    out.push_str("  \"ranks\": [");
+    for (i, r) in p.ranks.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"rank\": {}, \"busy_s\": {}, \"stall_s\": {}, \"end_s\": {}}}",
+            r.rank,
+            secs(r.busy),
+            secs(r.stall),
+            secs(r.end)
+        );
+    }
+    out.push_str("\n  ],\n");
+    out.push_str("  \"critical_path\": [");
+    for (i, s) in p.path.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ =
+            write!(
+            out,
+            "\n    {{\"rank\": {}, \"t0_s\": {}, \"t1_s\": {}, \"class\": \"{}\", \"nest\": {}}}",
+            s.rank,
+            secs(s.t0),
+            secs(s.t1),
+            s.class.name(),
+            s.nest.map(|n| n.to_string()).unwrap_or_else(|| "null".into())
+        );
+    }
+    out.push_str("\n  ],\n");
+    out.push_str("  \"by_class\": [");
+    for (i, (c, dur)) in p.by_class.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"class\": \"{}\", \"seconds\": {}}}",
+            c.name(),
+            secs(*dur)
+        );
+    }
+    out.push_str("\n  ],\n");
+    let _ = writeln!(
+        out,
+        "  \"stall\": {{\"total_s\": {}, \"attributed_s\": {}, \"coverage\": {}}},",
+        secs(p.total_stall),
+        secs(p.attributed_stall),
+        num(p.attribution_coverage())
+    );
+    out.push_str("  \"nests\": [");
+    for (i, n) in p.nests.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"id\": {}, \"unit\": \"{}\", \"stmt\": {}, \"line\": {}, \
+             \"kind\": \"{}\", \"anchor\": \"{}\", \"arrays\": [{}], \"tag\": {}, ",
+            n.id,
+            escape(&n.prov.unit),
+            n.prov.stmt,
+            n.prov
+                .line
+                .map(|l| l.to_string())
+                .unwrap_or_else(|| "null".into()),
+            n.prov.kind.name(),
+            escape(&n.prov.anchor()),
+            n.prov
+                .arrays
+                .iter()
+                .map(|a| format!("\"{}\"", escape(a)))
+                .collect::<Vec<_>>()
+                .join(", "),
+            n.prov.tag
+        );
+        let _ = write!(
+            out,
+            "\"stall_s\": {}, \"stall_events\": {}, \"messages\": {}, \"bytes\": {}, \
+             \"critical_s\": {}, \"min_slack_s\": {}, \"whatif_free_s\": {}, \"decisions\": [{}]}}",
+            secs(n.stall),
+            n.stall_events,
+            n.messages,
+            n.bytes,
+            secs(n.critical),
+            secs(n.min_slack),
+            n.whatif_free.map(secs).unwrap_or_else(|| "null".into()),
+            n.decisions
+                .iter()
+                .map(|d| format!("\"{}\"", escape(d)))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+    }
+    out.push_str("\n  ],\n");
+    out.push_str("  \"whatif\": [");
+    for (i, w) in p.whatif.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"scenario\": \"{}\", \"label\": \"{}\", \"makespan_s\": {}, \
+             \"savings_s\": {}, \"savings_pct\": {}}}",
+            w.scenario,
+            escape(&w.label),
+            secs(w.makespan),
+            secs(w.savings),
+            num(w.savings_pct(p.makespan))
+        );
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{build_profile, ProfileOptions};
+    use dhpf_core::codegen::{PlanProv, ProvKind};
+    use dhpf_spmd::machine::MachineConfig;
+    use dhpf_spmd::trace::{Event, EventKind, Trace};
+    use std::collections::BTreeMap;
+
+    fn sample() -> Profile {
+        let mut t0 = Trace::new(0);
+        t0.push(Event::new(0.0, 5.0, EventKind::Compute));
+        let mut s = Event::new(5.0, 6.0, EventKind::Send { to: 1, bytes: 8 });
+        s.nest = Some(0);
+        t0.push(s);
+        let mut t1 = Trace::new(1);
+        let mut r = Event::new(0.0, 16.0, EventKind::RecvWait { from: 0, bytes: 8 });
+        r.nest = Some(0);
+        t1.push(r);
+        t1.push(Event::new(16.0, 21.0, EventKind::Compute));
+        let provs = [PlanProv {
+            unit: "main".into(),
+            stmt: 1,
+            line: Some(12),
+            kind: ProvKind::Pre,
+            arrays: vec!["a".into()],
+            tag: 1,
+        }];
+        let cfg = MachineConfig {
+            nprocs: 2,
+            seconds_per_flop: 1.0,
+            latency: 10.0,
+            byte_time: 0.0,
+            send_overhead: 1.0,
+            recv_overhead: 1.0,
+            trace: true,
+        };
+        let mut decisions = BTreeMap::new();
+        decisions.insert(0, vec!["main:12: comm retained a".to_string()]);
+        build_profile(
+            &provs,
+            &decisions,
+            &[t0, t1],
+            &cfg,
+            &ProfileOptions::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn human_report_is_deterministic_and_complete() {
+        let p = sample();
+        let a = render_human(&p, 8);
+        let b = render_human(&p, 8);
+        assert_eq!(a, b);
+        assert!(a.contains("pre-exchange at main:12 [nest 0]"));
+        assert!(a.contains("decision: main:12: comm retained a"));
+        assert!(a.contains("what-if free"));
+        assert!(a.contains("stall attribution: 100.0%"));
+    }
+
+    #[test]
+    fn json_is_balanced_and_carries_the_schema() {
+        let p = sample();
+        let j = render_json(&p);
+        assert!(j.contains("\"schema\": \"dhpf-profile-v1\""));
+        assert!(j.contains("\"whatif_free_s\""));
+        let (mut depth, mut max_depth) = (0i64, 0i64);
+        let mut in_str = false;
+        let mut esc = false;
+        for c in j.chars() {
+            if esc {
+                esc = false;
+                continue;
+            }
+            match c {
+                '\\' if in_str => esc = true,
+                '"' => in_str = !in_str,
+                '{' | '[' if !in_str => {
+                    depth += 1;
+                    max_depth = max_depth.max(depth);
+                }
+                '}' | ']' if !in_str => depth -= 1,
+                _ => {}
+            }
+        }
+        assert_eq!(depth, 0, "unbalanced JSON");
+        assert!(max_depth >= 3);
+    }
+}

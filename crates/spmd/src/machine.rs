@@ -204,6 +204,7 @@ impl Machine {
                             pending_work: 0.0,
                             work_start: 0.0,
                             next_req: 0,
+                            prov: None,
                         };
                         let outcome = catch_unwind(AssertUnwindSafe(|| {
                             body(&mut proc);
@@ -324,6 +325,9 @@ pub struct Proc {
     work_start: f64,
     /// Next rank-local nonblocking request id.
     next_req: u64,
+    /// Provenance id stamped onto every traced event until changed
+    /// (see [`Proc::set_provenance`]).
+    prov: Option<u32>,
 }
 
 impl Proc {
@@ -370,9 +374,21 @@ impl Proc {
                     t0: self.work_start,
                     t1: self.work_start + self.pending_work,
                     kind: EventKind::Compute,
+                    nest: self.prov,
                 });
             }
             self.pending_work = 0.0;
+        }
+    }
+
+    /// Set the provenance id stamped onto subsequently traced events
+    /// (`None` clears it). Flushes coalesced compute first so work done
+    /// under the previous provenance is not mis-attributed to the new
+    /// one.
+    pub fn set_provenance(&mut self, prov: Option<u32>) {
+        if self.prov != prov {
+            self.flush_work();
+            self.prov = prov;
         }
     }
 
@@ -384,6 +400,7 @@ impl Proc {
                 t0: self.clock,
                 t1: self.clock,
                 kind: EventKind::Phase(name.to_string()),
+                nest: self.prov,
             });
         }
     }
@@ -408,6 +425,7 @@ impl Proc {
                     to,
                     bytes: bytes as u64,
                 },
+                nest: self.prov,
             });
         }
         self.shared.msg_count.fetch_add(1, Ordering::Relaxed);
@@ -463,6 +481,7 @@ impl Proc {
                         from,
                         bytes: (msg.data.len() * 8) as u64,
                     },
+                    nest: self.prov,
                 });
             } else {
                 self.trace.push(Event {
@@ -472,6 +491,7 @@ impl Proc {
                         from,
                         bytes: (msg.data.len() * 8) as u64,
                     },
+                    nest: self.prov,
                 });
             }
         }
@@ -521,6 +541,7 @@ impl Proc {
                 t0: self.clock,
                 t1: self.clock,
                 kind: EventKind::RecvPost { from, req },
+                nest: self.prov,
             });
         }
         RecvReq { from, tag, req }
@@ -549,6 +570,7 @@ impl Proc {
                 t0: self.clock,
                 t1: complete,
                 kind,
+                nest: self.prov,
             });
         }
         self.clock = complete;
@@ -599,6 +621,7 @@ impl Proc {
                 t0: self.clock,
                 t1: t_exit,
                 kind: EventKind::Barrier,
+                nest: self.prov,
             });
         }
         self.clock = self.clock.max(t_exit);

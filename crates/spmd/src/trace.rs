@@ -14,6 +14,21 @@ pub struct Event {
     pub t0: f64,
     pub t1: f64,
     pub kind: EventKind,
+    /// Provenance: index into the compiled program's plan table
+    /// (`NodeProgram.provenance`) identifying the communication nest
+    /// this event was issued for, when the interpreter knows it.
+    pub nest: Option<u32>,
+}
+
+impl Event {
+    pub fn new(t0: f64, t1: f64, kind: EventKind) -> Self {
+        Event {
+            t0,
+            t1,
+            kind,
+            nest: None,
+        }
+    }
 }
 
 /// Trace event kinds.
@@ -101,7 +116,13 @@ impl Trace {
 /// export carries in its `recv_wait` rows, so the text and CSV views of
 /// one trace never disagree about who stalled on whom.
 pub fn render_spacetime(traces: &[Trace], t_start: f64, t_end: f64, width: usize) -> String {
-    assert!(t_end > t_start && width > 0);
+    // `partial_cmp` so a NaN bound falls through to the empty window
+    let ordered = t_end.partial_cmp(&t_start) == Some(std::cmp::Ordering::Greater);
+    if !ordered || width == 0 {
+        return format!(
+            "space-time [{t_start:.4}s .. {t_end:.4}s]: empty window, nothing to render\n"
+        );
+    }
     let dt = (t_end - t_start) / width as f64;
     let mut out = String::new();
     let _ = writeln!(
@@ -146,34 +167,43 @@ pub fn render_spacetime(traces: &[Trace], t_start: f64, t_end: f64, width: usize
         }
         let _ = writeln!(out, "p{:<3} {}", tr.rank, String::from_utf8(row).unwrap());
     }
-    // Stall attribution: aggregate RecvWait time/bytes by (rank, peer).
-    let mut stalls: std::collections::BTreeMap<(usize, usize), (f64, u64, usize)> =
+    // Stall attribution: aggregate RecvWait time/bytes by (rank, peer,
+    // provenanced nest) so every line is joinable against the plan table.
+    type StallKey = (usize, usize, Option<u32>);
+    let mut stalls: std::collections::BTreeMap<StallKey, (f64, u64, usize)> =
         std::collections::BTreeMap::new();
     for tr in traces {
         for e in &tr.events {
             if let EventKind::RecvWait { from, bytes } | EventKind::WaitStall { from, bytes, .. } =
                 e.kind
             {
-                let s = stalls.entry((tr.rank, from)).or_insert((0.0, 0, 0));
+                let s = stalls.entry((tr.rank, from, e.nest)).or_insert((0.0, 0, 0));
                 s.0 += e.t1 - e.t0;
                 s.1 += bytes;
                 s.2 += 1;
             }
         }
     }
-    for ((rank, from), (secs, bytes, n)) in &stalls {
+    for ((rank, from, nest), (secs, bytes, n)) in &stalls {
+        let prov = match nest {
+            Some(id) => format!(" [nest {id}]"),
+            None => String::new(),
+        };
         let _ = writeln!(
             out,
-            "stall: p{rank} waited {:.4}s on p{from} ({bytes} B in {n} recv(s))",
+            "stall: p{rank} waited {:.4}s on p{from} ({bytes} B in {n} recv(s)){prov}",
             secs
         );
     }
     out
 }
 
-/// Export traces as CSV: `rank,t0,t1,kind,peer,bytes`.
+/// Export traces as CSV: `rank,t0,t1,kind,peer,bytes,nest`.
+///
+/// The `nest` column is the event's plan-table index (empty when the
+/// event has no provenance), matching the ids in `dhpf profile` output.
 pub fn to_csv(traces: &[Trace]) -> String {
-    let mut out = String::from("rank,t0,t1,kind,peer,bytes\n");
+    let mut out = String::from("rank,t0,t1,kind,peer,bytes,nest\n");
     for tr in traces {
         for e in &tr.events {
             let (kind, peer, bytes) = match &e.kind {
@@ -189,10 +219,11 @@ pub fn to_csv(traces: &[Trace]) -> String {
                 EventKind::Barrier => ("barrier", String::new(), 0),
                 EventKind::Phase(name) => ("phase", name.clone(), 0),
             };
+            let nest = e.nest.map(|n| n.to_string()).unwrap_or_default();
             let _ = writeln!(
                 out,
-                "{},{:.9},{:.9},{},{},{}",
-                tr.rank, e.t0, e.t1, kind, peer, bytes
+                "{},{:.9},{:.9},{},{},{},{}",
+                tr.rank, e.t0, e.t1, kind, peer, bytes, nest
             );
         }
     }
@@ -233,21 +264,13 @@ mod tests {
 
     fn mk_trace() -> Trace {
         let mut t = Trace::new(0);
-        t.push(Event {
-            t0: 0.0,
-            t1: 4.0,
-            kind: EventKind::Compute,
-        });
-        t.push(Event {
-            t0: 4.0,
-            t1: 5.0,
-            kind: EventKind::Send { to: 1, bytes: 80 },
-        });
-        t.push(Event {
-            t0: 5.0,
-            t1: 8.0,
-            kind: EventKind::RecvWait { from: 1, bytes: 80 },
-        });
+        t.push(Event::new(0.0, 4.0, EventKind::Compute));
+        t.push(Event::new(4.0, 5.0, EventKind::Send { to: 1, bytes: 80 }));
+        t.push(Event::new(
+            5.0,
+            8.0,
+            EventKind::RecvWait { from: 1, bytes: 80 },
+        ));
         t
     }
 
@@ -272,16 +295,8 @@ mod tests {
     #[test]
     fn spacetime_priority_comm_over_compute() {
         let mut t = Trace::new(0);
-        t.push(Event {
-            t0: 0.0,
-            t1: 8.0,
-            kind: EventKind::Compute,
-        });
-        t.push(Event {
-            t0: 3.0,
-            t1: 4.0,
-            kind: EventKind::Send { to: 1, bytes: 8 },
-        });
+        t.push(Event::new(0.0, 8.0, EventKind::Compute));
+        t.push(Event::new(3.0, 4.0, EventKind::Send { to: 1, bytes: 8 }));
         let s = render_spacetime(&[t], 0.0, 8.0, 8);
         let row = s.lines().nth(2).unwrap();
         assert_eq!(&row[5..], "###s####");
@@ -290,17 +305,13 @@ mod tests {
     #[test]
     fn spacetime_attributes_stalls() {
         let mut t1 = mk_trace(); // p0 waits 3s on p1 for 80 B
-        t1.push(Event {
-            t0: 8.0,
-            t1: 9.0,
-            kind: EventKind::RecvWait { from: 1, bytes: 16 },
-        });
+        t1.push(Event::new(
+            8.0,
+            9.0,
+            EventKind::RecvWait { from: 1, bytes: 16 },
+        ));
         let mut t2 = Trace::new(1);
-        t2.push(Event {
-            t0: 0.0,
-            t1: 8.0,
-            kind: EventKind::Compute,
-        });
+        t2.push(Event::new(0.0, 8.0, EventKind::Compute));
         let s = render_spacetime(&[t1, t2], 0.0, 9.0, 9);
         // both RecvWaits from p1 aggregate into one attribution line,
         // matching the CSV's per-event recv_wait rows
@@ -312,25 +323,21 @@ mod tests {
     #[test]
     fn wait_stall_counts_as_stalled_and_attributes() {
         let mut t = Trace::new(2);
-        t.push(Event {
-            t0: 0.0,
-            t1: 0.0,
-            kind: EventKind::RecvPost { from: 1, req: 0 },
-        });
-        t.push(Event {
-            t0: 0.0,
-            t1: 4.0,
-            kind: EventKind::Compute,
-        });
-        t.push(Event {
-            t0: 4.0,
-            t1: 6.0,
-            kind: EventKind::WaitStall {
+        t.push(Event::new(
+            0.0,
+            0.0,
+            EventKind::RecvPost { from: 1, req: 0 },
+        ));
+        t.push(Event::new(0.0, 4.0, EventKind::Compute));
+        t.push(Event::new(
+            4.0,
+            6.0,
+            EventKind::WaitStall {
                 from: 1,
                 bytes: 32,
                 req: 0,
             },
-        });
+        ));
         assert_eq!(t.stalled(), 2.0);
         let s = render_spacetime(&[t.clone()], 0.0, 6.0, 6);
         assert!(s.contains("stall: p2 waited 2.0000s on p1 (32 B in 1 recv(s))"));
@@ -352,5 +359,50 @@ mod tests {
         let s = utilization_summary(&[mk_trace()]);
         assert!(s.contains("p0"));
         assert!(s.contains("50.0")); // busy 4/8
+    }
+
+    #[test]
+    fn empty_and_zero_length_traces_produce_finite_summaries() {
+        // No traces at all.
+        let s = utilization_summary(&[]);
+        assert!(!s.contains("NaN") && !s.contains("inf"));
+        // A rank with an empty event log next to a normal one.
+        let empty = Trace::new(1);
+        assert_eq!(empty.busy(), 0.0);
+        assert_eq!(empty.stalled(), 0.0);
+        assert_eq!(empty.end(), 0.0);
+        let s = utilization_summary(&[mk_trace(), empty.clone()]);
+        assert!(s.contains("p1") && !s.contains("NaN"));
+        // All-empty run: end time 0 must not divide.
+        let s = utilization_summary(&[Trace::new(0), Trace::new(1)]);
+        assert!(s.contains("0.0") && !s.contains("NaN"));
+    }
+
+    #[test]
+    fn spacetime_degenerate_window_does_not_panic() {
+        let t = mk_trace();
+        // zero-length and inverted windows, and zero width
+        for (a, b, w) in [(0.0, 0.0, 8), (5.0, 2.0, 8), (0.0, 8.0, 0)] {
+            let s = render_spacetime(std::slice::from_ref(&t), a, b, w);
+            assert!(s.contains("empty window"), "window [{a},{b}] width {w}");
+        }
+        // NaN bounds must also fall into the guard, not the division
+        let s = render_spacetime(&[t], f64::NAN, f64::NAN, 4);
+        assert!(s.contains("empty window"));
+    }
+
+    #[test]
+    fn csv_and_stall_lines_carry_provenance() {
+        let mut t = Trace::new(0);
+        let mut e = Event::new(0.0, 2.0, EventKind::RecvWait { from: 1, bytes: 64 });
+        e.nest = Some(17);
+        t.push(e);
+        t.push(Event::new(2.0, 3.0, EventKind::Compute));
+        let csv = to_csv(&[t.clone()]);
+        assert!(csv.starts_with("rank,t0,t1,kind,peer,bytes,nest\n"));
+        assert!(csv.contains("recv_wait,1,64,17"));
+        assert!(csv.contains("compute,,0,\n")); // unprovenanced => empty cell
+        let s = render_spacetime(&[t], 0.0, 3.0, 3);
+        assert!(s.contains("[nest 17]"));
     }
 }

@@ -19,6 +19,12 @@
 #   8. overlap       — regenerate blocking-vs-overlapped virtual-time
 #                     deltas, validate the dhpf-overlap-v1 schema, and
 #                     diff against the checked-in results/BENCH_overlap.json
+#   8b. profile      — the cross-rank critical-path profiler on SP
+#                     class S under a hard timeout: the dhpf-profile-v1
+#                     document is schema-validated offline (path tiles
+#                     the makespan, stall attribution >= 95%, what-if
+#                     makespans bounded by the baseline) and the human
+#                     report is diffed against the checked-in golden
 #   9. protocol      — the static SPMD protocol verifier over
 #                     examples/hpf/ and the NAS SP/BT goldens, under a
 #                     hard timeout and a 2x wall-time regression gate
@@ -34,7 +40,8 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 FIRST_PARTY=(dhpf dhpf-analysis dhpf-bench dhpf-core dhpf-depend
-             dhpf-fortran dhpf-fuzz dhpf-iset dhpf-nas dhpf-obs dhpf-spmd)
+             dhpf-fortran dhpf-fuzz dhpf-iset dhpf-nas dhpf-obs
+             dhpf-profile dhpf-spmd)
 FMT_ARGS=()
 for p in "${FIRST_PARTY[@]}"; do FMT_ARGS+=(-p "$p"); done
 
@@ -199,6 +206,50 @@ EOF
 cmp target/BENCH_overlap_ci.json results/BENCH_overlap.json || {
     echo "FAIL: results/BENCH_overlap.json is stale; rerun"
     echo "      target/release/overlapbench --out results/BENCH_overlap.json"
+    exit 1; }
+
+echo "== critical-path profile (dhpf profile)"
+# profile SP class S with blocking exchanges (so the overlap what-if has
+# something to hypothesize), validate the dhpf-profile-v1 document
+# offline, and diff the human report against the checked-in golden —
+# everything is virtual time, so both are byte-reproducible
+PROF_DIR=target/profile-ci
+mkdir -p "$PROF_DIR"
+timeout 300 "$DHPF" profile --nas sp --class S --nprocs 4 --no-overlap \
+    --json --out "$PROF_DIR/sp_s_profile.json" \
+    || { echo "FAIL: dhpf profile errored (or timed out)"; exit 1; }
+timeout 300 "$DHPF" profile --nas sp --class S --nprocs 4 --no-overlap \
+    --out "$PROF_DIR/sp_s_profile.txt" \
+    || { echo "FAIL: dhpf profile errored (or timed out)"; exit 1; }
+python3 - "$PROF_DIR/sp_s_profile.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "dhpf-profile-v1", doc.get("schema")
+assert doc["nprocs"] == 4 and doc["makespan_s"] > 0
+assert len(doc["ranks"]) == 4
+path = doc["critical_path"]
+assert path, "empty critical path"
+assert abs(path[0]["t0_s"]) < 1e-12
+assert abs(path[-1]["t1_s"] - doc["makespan_s"]) < 1e-12
+for a, b in zip(path, path[1:]):
+    assert abs(a["t1_s"] - b["t0_s"]) < 1e-12, "critical path has a gap"
+stall = doc["stall"]
+assert stall["total_s"] > 0, "SP should stall somewhere"
+assert stall["coverage"] >= 0.95, f"attribution {stall['coverage']:.2%} < 95%"
+assert doc["nests"], "no attributed nests"
+for n in doc["nests"]:
+    assert n["line"] is not None, f"nest {n['id']} missing source line"
+    assert n["decisions"], f"nest {n['id']} joined no compiler decision"
+assert doc["whatif"], "no what-if scenarios"
+for w in doc["whatif"]:
+    assert w["makespan_s"] <= doc["makespan_s"] * (1 + 1e-9), w
+assert any(w["scenario"] == "overlap" for w in doc["whatif"])
+print(f"profile OK ({len(path)} path segment(s), {len(doc['nests'])} nest(s), "
+      f"{stall['coverage']:.0%} stall attributed, {len(doc['whatif'])} what-if(s))")
+EOF
+diff -u tests/golden/sp_s_profile.txt "$PROF_DIR/sp_s_profile.txt" || {
+    echo "FAIL: tests/golden/sp_s_profile.txt is stale; regenerate with"
+    echo "      $DHPF profile --nas sp --class S --nprocs 4 --no-overlap --out tests/golden/sp_s_profile.txt"
     exit 1; }
 
 echo "== protocol verifier (static SPMD protocol checks)"

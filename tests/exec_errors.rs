@@ -27,6 +27,7 @@ fn program_with(unit: CompiledUnit, arrays: Vec<GlobalArray>, n: i64) -> NodePro
         units: vec![unit],
         unit_index,
         main: 0,
+        provenance: vec![],
     }
 }
 
@@ -48,6 +49,7 @@ fn unbound_dummy_in_exchange_is_a_structured_error() {
                 hi: vec![1],
             }],
             tag: 7,
+            plan: 0,
         }],
         ..Default::default()
     };
@@ -133,6 +135,7 @@ fn pipeline_over_unbound_dummy_is_a_structured_error() {
                 strip_dim: Some(0),
             }],
             tag: 9,
+            plan: 0,
         }],
         ..Default::default()
     };

@@ -113,6 +113,7 @@ fn inject_divergent_exchange(compiled: &mut Compiled) {
                         hi: corner,
                     }],
                     tag: 999_983,
+                    plan: 0,
                 }],
             )],
         },
