@@ -327,40 +327,52 @@ fn regions(p: &ProtocolProgram, out: &mut Report) {
 fn walk_regions(p: &ProtocolProgram, ops: &[ProtoOp], out: &mut Report) {
     for op in ops {
         match op {
+            // Containment is per packed section: an aggregated message
+            // is sound only if every segment it carries addresses
+            // storage its endpoint allocates.
             ProtoOp::Send {
                 unit,
                 from,
                 to,
                 tag,
-                arr,
-                lo,
-                hi,
-            } => check_region(
-                p, "send", *unit, *from, *to, *from, "sender", *tag, *arr, lo, hi, out,
-            ),
+                segs,
+            } => {
+                for s in segs {
+                    check_region(
+                        p, "send", *unit, *from, *to, *from, "sender", *tag, s.arr, &s.lo, &s.hi,
+                        out,
+                    );
+                }
+            }
             ProtoOp::Recv {
                 unit,
                 from,
                 to,
                 tag,
-                arr,
-                lo,
-                hi,
-            } => check_region(
-                p, "recv", *unit, *from, *to, *to, "receiver", *tag, *arr, lo, hi, out,
-            ),
+                segs,
+            } => {
+                for s in segs {
+                    check_region(
+                        p, "recv", *unit, *from, *to, *to, "receiver", *tag, s.arr, &s.lo, &s.hi,
+                        out,
+                    );
+                }
+            }
             ProtoOp::Post {
                 unit,
                 from,
                 to,
                 tag,
-                arr,
-                lo,
-                hi,
+                segs,
                 ..
-            } => check_region(
-                p, "irecv", *unit, *from, *to, *to, "receiver", *tag, *arr, lo, hi, out,
-            ),
+            } => {
+                for s in segs {
+                    check_region(
+                        p, "irecv", *unit, *from, *to, *to, "receiver", *tag, s.arr, &s.lo, &s.hi,
+                        out,
+                    );
+                }
+            }
             // A wait unpacks into the same region its post declared.
             ProtoOp::Wait { .. } => {}
             ProtoOp::Loop { body, .. } => walk_regions(p, body, out),
@@ -479,8 +491,8 @@ fn walk_stale(
                 written.insert(*arr);
             }
             // A completed receive fills the local window: counts as a write.
-            ProtoOp::Recv { arr, .. } | ProtoOp::Wait { arr, .. } => {
-                written.insert(*arr);
+            ProtoOp::Recv { segs, .. } | ProtoOp::Wait { segs, .. } => {
+                written.extend(segs.iter().map(|s| s.arr));
             }
             ProtoOp::Pipeline { arrays, .. } => {
                 written.extend(arrays.iter().copied());
@@ -490,10 +502,13 @@ fn walk_stale(
                 from,
                 to,
                 tag,
-                arr,
-                ..
-            } if !written.contains(arr) => {
-                candidates.push((*unit, *from, *to, *tag, *arr));
+                segs,
+            } => {
+                for s in segs {
+                    if !written.contains(&s.arr) {
+                        candidates.push((*unit, *from, *to, *tag, s.arr));
+                    }
+                }
             }
             ProtoOp::Loop { body, .. } => walk_stale(body, written, candidates),
             ProtoOp::Branch { arms, .. } => {
@@ -673,17 +688,17 @@ fn sim_segment(p: &ProtocolProgram, ops: &[ProtoOp], out: &mut Report) {
                         unit,
                         from,
                         tag,
-                        arr,
+                        segs,
                         ..
                     }
                     | ProtoOp::Wait {
                         unit,
                         from,
                         tag,
-                        arr,
+                        segs,
                         ..
                     } if reported.insert(*tag) => {
-                        let name = p.arrays.get(*arr).map(|a| a.name.as_str()).unwrap_or("?");
+                        let name = seg_names(p, segs);
                         out.push(err(
                             "protocol-unmatched",
                             p.unit_name(*unit),
@@ -712,11 +727,10 @@ fn sim_segment(p: &ProtocolProgram, ops: &[ProtoOp], out: &mut Report) {
     // Orphan sends: deposited but never received.
     for ((from, to, tag), q) in &chan {
         if let Some(&i) = q.first() {
-            let (unit, arr) = match &ops[i] {
-                ProtoOp::Send { unit, arr, .. } => (*unit, *arr),
+            let (unit, name) = match &ops[i] {
+                ProtoOp::Send { unit, segs, .. } => (*unit, seg_names(p, segs)),
                 _ => continue,
             };
-            let name = p.arrays.get(arr).map(|a| a.name.as_str()).unwrap_or("?");
             out.push(err(
                 "protocol-unmatched",
                 p.unit_name(unit),
@@ -727,6 +741,20 @@ fn sim_segment(p: &ProtocolProgram, ops: &[ProtoOp], out: &mut Report) {
                 ),
             ));
         }
+    }
+}
+
+/// Deduplicated array names of a message's segments, for diagnostics.
+fn seg_names(p: &ProtocolProgram, segs: &[dhpf_core::protocol::ProtoSeg]) -> String {
+    let mut names: Vec<&str> = segs
+        .iter()
+        .map(|s| p.arrays.get(s.arr).map(|a| a.name.as_str()).unwrap_or("?"))
+        .collect();
+    names.dedup();
+    if names.is_empty() {
+        "?".to_string()
+    } else {
+        names.join("+")
     }
 }
 

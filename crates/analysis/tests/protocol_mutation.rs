@@ -5,7 +5,7 @@
 use dhpf_analysis::diag::Report;
 use dhpf_analysis::protocol::{check_protocol, verify_protocol_program};
 use dhpf_core::codegen::{CExpr, CIdx, NodeOp};
-use dhpf_core::protocol::{extract_protocol, ArrayInfo, ProtoOp, ProtocolProgram};
+use dhpf_core::protocol::{extract_protocol, ArrayInfo, ProtoOp, ProtoSeg, ProtocolProgram};
 use dhpf_nas::Class;
 
 fn codes(r: &Report) -> Vec<&'static str> {
@@ -223,15 +223,17 @@ fn tiny(nprocs: usize, ops: Vec<ProtoOp>) -> ProtocolProgram {
     }
 }
 
+fn seg(lo: Vec<i64>, hi: Vec<i64>) -> ProtoSeg {
+    ProtoSeg { arr: 0, lo, hi }
+}
+
 fn send(from: usize, to: usize, tag: u64) -> ProtoOp {
     ProtoOp::Send {
         unit: 0,
         from,
         to,
         tag,
-        arr: 0,
-        lo: vec![2],
-        hi: vec![2],
+        segs: vec![seg(vec![2], vec![2])],
     }
 }
 
@@ -241,9 +243,7 @@ fn recv(from: usize, to: usize, tag: u64) -> ProtoOp {
         from,
         to,
         tag,
-        arr: 0,
-        lo: vec![2],
-        hi: vec![2],
+        segs: vec![seg(vec![2], vec![2])],
     }
 }
 
@@ -298,18 +298,14 @@ fn region_outside_window_is_mismatch() {
                 from: 0,
                 to: 1,
                 tag: 7,
-                arr: 0,
-                lo: vec![7],
-                hi: vec![12], // window is 1..8
+                segs: vec![seg(vec![7], vec![12])], // window is 1..8
             },
             ProtoOp::Recv {
                 unit: 0,
                 from: 0,
                 to: 1,
                 tag: 7,
-                arr: 0,
-                lo: vec![7],
-                hi: vec![12],
+                segs: vec![seg(vec![7], vec![12])],
             },
         ],
     );
@@ -324,9 +320,7 @@ fn wait_on_some_paths_only_is_unwaited() {
         to: 1,
         tag: 7,
         req: 1,
-        arr: 0,
-        lo: vec![2],
-        hi: vec![2],
+        segs: vec![seg(vec![2], vec![2])],
     };
     let wait = ProtoOp::Wait {
         unit: 0,
@@ -334,9 +328,7 @@ fn wait_on_some_paths_only_is_unwaited() {
         to: 1,
         tag: 7,
         req: 1,
-        arr: 0,
-        lo: vec![2],
-        hi: vec![2],
+        segs: vec![seg(vec![2], vec![2])],
     };
     let p = tiny(
         2,

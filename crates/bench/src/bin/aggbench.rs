@@ -1,0 +1,156 @@
+//! Per-peer cross-array message aggregation in simulated time (§7).
+//!
+//! Compiles NAS SP and BT twice per class — once with
+//! `OptFlags::aggregate` off (one physical message per coalesced
+//! region) and once with it on (all same-(from,to) regions of a nest
+//! phase packed into one buffer) — runs both programs on the LogGP
+//! virtual machine, and writes a machine-readable
+//! `BENCH_aggregation.json`:
+//!
+//! ```json
+//! {
+//!   "schema": "dhpf-agg-v1",
+//!   "nprocs": 4,
+//!   "benchmarks": [
+//!     { "name": "sp", "class": "S", "nprocs": 4, "messages_saved": 120,
+//!       "messages_off": 4800, "messages_on": 2400, "msg_reduction_pct": 50.0,
+//!       "makespan_off": 0.0123, "makespan_on": 0.0105, "speedup": 1.171 }
+//!   ]
+//! }
+//! ```
+//!
+//! Under LogGP every physical message pays its own per-message overhead
+//! `o` and latency `L`, so packing k sections into one transfer saves
+//! (k-1)(o+L) per peer per phase; the makespan delta is that saving as
+//! it lands on the critical path. Everything here is *virtual* time
+//! from the deterministic machine model, so the file is
+//! byte-reproducible and checked in under `results/`; `scripts/ci.sh`
+//! regenerates it and validates the schema plus the invariants that
+//! aggregation never adds a message and strictly improves the SP/BT
+//! class S makespan.
+//!
+//! Usage:
+//!   aggbench [--out PATH]
+
+use dhpf_core::driver::OptFlags;
+use dhpf_core::exec::node::run_node_program;
+use dhpf_nas::{bt, sp, Class};
+use dhpf_spmd::machine::MachineConfig;
+
+const NPROCS: usize = 4;
+
+struct Row {
+    name: &'static str,
+    class: Class,
+    nprocs: usize,
+    messages_saved: u64,
+    messages_off: u64,
+    messages_on: u64,
+    makespan_off: f64,
+    makespan_on: f64,
+}
+
+fn measure(name: &'static str, class: Class) -> Row {
+    let compile = |aggregate: bool| {
+        let flags = OptFlags {
+            aggregate,
+            ..Default::default()
+        };
+        match name {
+            "sp" => sp::compile_dhpf(class, NPROCS, Some(flags)),
+            "bt" => bt::compile_dhpf(class, NPROCS, Some(flags)),
+            other => unreachable!("unknown benchmark {other}"),
+        }
+    };
+    let run = |compiled: &dhpf_core::driver::Compiled| {
+        let r = run_node_program(&compiled.program, MachineConfig::sp2(NPROCS)).expect("run");
+        (r.run.stats.messages, r.run.virtual_time)
+    };
+    let off = compile(false);
+    let on = compile(true);
+    assert_eq!(
+        off.report.messages_saved, 0,
+        "aggregation off must save no messages"
+    );
+    let (messages_off, makespan_off) = run(&off);
+    let (messages_on, makespan_on) = run(&on);
+    Row {
+        name,
+        class,
+        nprocs: NPROCS,
+        messages_saved: on.report.messages_saved as u64,
+        messages_off,
+        messages_on,
+        makespan_off,
+        makespan_on,
+    }
+}
+
+fn main() {
+    let mut out_path = String::from("BENCH_aggregation.json");
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => out_path = it.next().expect("--out needs a value"),
+            other => {
+                eprintln!("usage: aggbench [--out PATH] (unknown arg {other})");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let rows: Vec<Row> = [
+        ("sp", Class::S),
+        ("sp", Class::W),
+        ("bt", Class::S),
+        ("bt", Class::W),
+    ]
+    .into_iter()
+    .map(|(n, c)| measure(n, c))
+    .collect();
+
+    println!(
+        "{:<6} {:<6} {:>7} {:>10} {:>10} {:>8} {:>14} {:>14} {:>9}",
+        "bench", "class", "nprocs", "msgs off", "msgs on", "red %", "off (s)", "on (s)", "speedup"
+    );
+    let mut json =
+        format!("{{\n  \"schema\": \"dhpf-agg-v1\",\n  \"nprocs\": {NPROCS},\n  \"benchmarks\": [");
+    for (i, r) in rows.iter().enumerate() {
+        let red = 100.0 * (r.messages_off - r.messages_on) as f64 / r.messages_off as f64;
+        let speedup = r.makespan_off / r.makespan_on;
+        println!(
+            "{:<6} {:<6} {:>7} {:>10} {:>10} {:>8.1} {:>14.6} {:>14.6} {:>9.4}",
+            r.name,
+            r.class.name(),
+            r.nprocs,
+            r.messages_off,
+            r.messages_on,
+            red,
+            r.makespan_off,
+            r.makespan_on,
+            speedup
+        );
+        if i > 0 {
+            json.push(',');
+        }
+        json.push_str(&format!(
+            "\n    {{ \"name\": \"{}\", \"class\": \"{}\", \"nprocs\": {}, \
+             \"messages_saved\": {}, \"messages_off\": {}, \"messages_on\": {}, \
+             \"msg_reduction_pct\": {:.1}, \"makespan_off\": {:.9}, \
+             \"makespan_on\": {:.9}, \"speedup\": {:.4} }}",
+            r.name,
+            r.class.name(),
+            r.nprocs,
+            r.messages_saved,
+            r.messages_off,
+            r.messages_on,
+            red,
+            r.makespan_off,
+            r.makespan_on,
+            speedup
+        ));
+    }
+    json.push_str("\n  ]\n}\n");
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("cannot write {out_path}: {e}"));
+    eprintln!("wrote {out_path}");
+}

@@ -93,15 +93,45 @@ pub struct Guard {
     pub terms: Vec<Vec<GuardAtom>>,
 }
 
-/// A compiled message (regions in global array coordinates; the array is
-/// a *local slot* resolved through the executing frame).
+/// One array section of a compiled message (region in global array
+/// coordinates; the array is a *local slot* resolved through the
+/// executing frame).
+#[derive(Clone, Debug)]
+pub struct CSeg {
+    pub arr: usize,
+    pub lo: Vec<i64>,
+    pub hi: Vec<i64>,
+}
+
+impl CSeg {
+    /// Element count of the section.
+    pub fn elems(&self) -> usize {
+        self.lo
+            .iter()
+            .zip(&self.hi)
+            .map(|(l, h)| (h - l + 1).max(0) as usize)
+            .product()
+    }
+}
+
+/// A compiled message: one physical transfer between a peer pair,
+/// carrying one or more array sections packed back-to-back. With
+/// per-peer aggregation disabled every message holds exactly one
+/// segment; with it enabled all same-endpoint plan messages of a phase
+/// collapse into a single multi-segment transfer (§7 aggregation).
 #[derive(Clone, Debug)]
 pub struct CMsg {
     pub from: usize,
     pub to: usize,
-    pub arr: usize,
-    pub lo: Vec<i64>,
-    pub hi: Vec<i64>,
+    /// Packed sections, in deterministic (arr, lo, hi) order.
+    pub segs: Vec<CSeg>,
+}
+
+impl CMsg {
+    /// Total element count over all segments.
+    pub fn elems(&self) -> usize {
+        self.segs.iter().map(CSeg::elems).sum()
+    }
 }
 
 /// One level of a pipelined nest.
@@ -272,6 +302,9 @@ pub enum NodeOp {
         write_depth: i64,
         arrays: Vec<PipeArray>,
         tag: u64,
+        /// Pack all swept arrays' boundary planes of a strip chunk into
+        /// one physical message per hop (per-peer aggregation).
+        aggregate: bool,
         /// Index into [`NodeProgram::provenance`].
         plan: u32,
     },
@@ -361,6 +394,8 @@ pub struct UnitCx<'a> {
     pub globals: &'a mut GlobalRegistry,
     /// Program-wide provenance table (see [`NodeProgram::provenance`]).
     pub provs: &'a mut Vec<PlanProv>,
+    /// Pack same-endpoint plan messages into multi-segment transfers.
+    aggregate: bool,
 }
 
 /// The program-wide array registry.
@@ -416,6 +451,7 @@ impl<'a> UnitCx<'a> {
         globals: &'a mut GlobalRegistry,
         tag_base: u64,
         provs: &'a mut Vec<PlanProv>,
+        aggregate: bool,
     ) -> Self {
         UnitCx {
             unit,
@@ -430,6 +466,7 @@ impl<'a> UnitCx<'a> {
             next_tag: tag_base,
             globals,
             provs,
+            aggregate,
         }
     }
 
@@ -695,9 +732,14 @@ impl<'a> UnitCx<'a> {
             .collect()
     }
 
-    /// Compile message list into `CMsg`s (and widen ghosts as needed).
+    /// Compile a plan's message list into `CMsg`s (and widen ghosts as
+    /// needed). With aggregation on, all plan messages sharing a
+    /// `(from, to)` endpoint pair pack into one multi-segment transfer;
+    /// otherwise each plan message becomes its own single-segment one.
+    /// Either way the output is deterministic: messages ordered by
+    /// `(from, to)`, segments within a message by `(arr, lo, hi)`.
     fn compile_msgs(&mut self, msgs: &[Msg]) -> CgResult<Vec<CMsg>> {
-        let mut out = Vec::with_capacity(msgs.len());
+        let mut flat: Vec<(usize, usize, CSeg)> = Vec::with_capacity(msgs.len());
         for m in msgs {
             let arr = self.array_slot(&m.array);
             // widen ghost regions on the receiving side
@@ -717,15 +759,17 @@ impl<'a> UnitCx<'a> {
                     }
                 }
             }
-            out.push(CMsg {
-                from: m.from,
-                to: m.to,
-                arr,
-                lo: m.region.lo.clone(),
-                hi: m.region.hi.clone(),
-            });
+            flat.push((
+                m.from,
+                m.to,
+                CSeg {
+                    arr,
+                    lo: m.region.lo.clone(),
+                    hi: m.region.hi.clone(),
+                },
+            ));
         }
-        Ok(out)
+        Ok(group_segs(flat, self.aggregate))
     }
 
     fn global_of_name(&self, name: &str) -> Option<usize> {
@@ -1210,6 +1254,7 @@ impl<'a> UnitCx<'a> {
             write_depth: schedule.depth,
             arrays,
             tag,
+            aggregate: self.aggregate,
             plan: plan_id,
         });
         Ok(())
@@ -1269,9 +1314,400 @@ impl<'a> UnitCx<'a> {
     }
 }
 
+/// Pack flat `(from, to, segment)` triples into per-peer transfers.
+/// Output is deterministic either way: messages ordered by `(from, to)`,
+/// segments within a message by `(arr, lo, hi)`. With `aggregate` every
+/// same-endpoint run becomes one multi-segment message; without it each
+/// segment stays its own physical message.
+fn group_segs(mut flat: Vec<(usize, usize, CSeg)>, aggregate: bool) -> Vec<CMsg> {
+    flat.sort_by(|a, b| {
+        (a.0, a.1, a.2.arr, &a.2.lo, &a.2.hi).cmp(&(b.0, b.1, b.2.arr, &b.2.lo, &b.2.hi))
+    });
+    let mut out: Vec<CMsg> = Vec::new();
+    for (from, to, seg) in flat {
+        match out.last_mut() {
+            Some(last) if aggregate && last.from == from && last.to == to => {
+                last.segs.push(seg);
+            }
+            _ => out.push(CMsg {
+                from,
+                to,
+                segs: vec![seg],
+            }),
+        }
+    }
+    out
+}
+
+/// Collect the local array slots an op subtree can write: compute
+/// stores, plus slots refreshed by unpacking communication (exchanges,
+/// overlap waits, pipeline boundary receives). Returns `false` — treat
+/// as "may write anything" — when the subtree calls another unit, since
+/// callee effects are not visible at this level.
+fn written_slots(ops: &[NodeOp], acc: &mut std::collections::BTreeSet<usize>) -> bool {
+    for op in ops {
+        match op {
+            NodeOp::Assign { arr, .. } => {
+                acc.insert(*arr);
+            }
+            NodeOp::AssignF { .. } | NodeOp::AssignI { .. } => {}
+            NodeOp::Call { .. } => return false,
+            NodeOp::Loop { body, .. } => {
+                if !written_slots(body, acc) {
+                    return false;
+                }
+            }
+            NodeOp::If { arms } => {
+                for (_, body) in arms {
+                    if !written_slots(body, acc) {
+                        return false;
+                    }
+                }
+            }
+            NodeOp::Exchange { msgs, .. } => {
+                for m in msgs {
+                    for s in &m.segs {
+                        acc.insert(s.arr);
+                    }
+                }
+            }
+            NodeOp::OverlapNest { msgs, body, .. } => {
+                for m in msgs {
+                    for s in &m.segs {
+                        acc.insert(s.arr);
+                    }
+                }
+                if !written_slots(body, acc) {
+                    return false;
+                }
+            }
+            NodeOp::Pipeline { arrays, body, .. } => {
+                for a in arrays {
+                    acc.insert(a.arr);
+                }
+                if !written_slots(body, acc) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Subtract box `b` from box `a` (inclusive bounds, equal rank),
+/// yielding disjoint remainder boxes. Used to drop data a packed
+/// transfer already carries: when two fused segments of the same array
+/// overlap, both were packed from the same sender snapshot, so the
+/// later one only needs its complement.
+fn box_subtract(a: (&[i64], &[i64]), b: (&[i64], &[i64])) -> Vec<(Vec<i64>, Vec<i64>)> {
+    let (alo, ahi) = a;
+    let (blo, bhi) = b;
+    let disjoint = alo
+        .iter()
+        .zip(ahi)
+        .zip(blo.iter().zip(bhi))
+        .any(|((al, ah), (bl, bh))| bh < al || bl > ah);
+    if disjoint {
+        return vec![(alo.to_vec(), ahi.to_vec())];
+    }
+    let mut out = Vec::new();
+    let (mut lo, mut hi) = (alo.to_vec(), ahi.to_vec());
+    for d in 0..lo.len() {
+        if blo[d] > lo[d] {
+            let mut piece_hi = hi.clone();
+            piece_hi[d] = blo[d] - 1;
+            out.push((lo.clone(), piece_hi));
+            lo[d] = blo[d];
+        }
+        if bhi[d] < hi[d] {
+            let mut piece_lo = lo.clone();
+            piece_lo[d] = bhi[d] + 1;
+            out.push((piece_lo, hi.clone()));
+            hi[d] = bhi[d];
+        }
+    }
+    // what remains of (lo, hi) lies inside b and is dropped
+    out
+}
+
+/// Coalesce the segments of one packed transfer: regions of the same
+/// array that earlier segments already carry are subtracted from later
+/// ones (all segments pack from the same sender snapshot, so the
+/// receiver reconstructs the full union either way). Empty remainders
+/// vanish; output keeps the deterministic `(arr, lo, hi)` order.
+fn dedup_packed_segs(msg: &mut CMsg) {
+    let mut out: Vec<CSeg> = Vec::new();
+    for seg in std::mem::take(&mut msg.segs) {
+        let mut pieces = vec![(seg.lo, seg.hi)];
+        for prior in out.iter().filter(|p| p.arr == seg.arr) {
+            pieces = pieces
+                .into_iter()
+                .flat_map(|(lo, hi)| box_subtract((&lo, &hi), (&prior.lo, &prior.hi)))
+                .collect();
+        }
+        out.extend(pieces.into_iter().map(|(lo, hi)| CSeg {
+            arr: seg.arr,
+            lo,
+            hi,
+        }));
+    }
+    out.sort_by(|a, b| (a.arr, &a.lo, &a.hi).cmp(&(b.arr, &b.lo, &b.hi)));
+    msg.segs = out;
+}
+
+/// Cross-nest per-peer aggregation: fuse the messages of *adjacent*
+/// communication ops so same-endpoint transfers that were split only by
+/// statement boundaries pack into one physical message.
+///
+/// Two shapes are fused, recursively through loops and branches:
+///
+/// * `OverlapNest A; OverlapNest B` — when A's nest body writes none of
+///   the arrays B communicates, B's halo data is already current at A's
+///   comm point, so B's messages hoist into A's nonblocking set (one
+///   packed send/recv per peer, unpacked at A's wait) and B degenerates
+///   to a pure compute nest. A's own unpacks don't interfere: halo
+///   receives land in ghost cells, packs read owned cells.
+/// * `Exchange A; Exchange B` — nothing executes between two adjacent
+///   blocking exchanges, so their unions are trivially mergeable and B
+///   disappears.
+///
+/// Fusion only fires when packing actually removes physical messages.
+/// Returns the number of messages saved and records a `comm-aggregated`
+/// decision per fused pair against the absorbed nest's statement.
+/// True when fusing B's messages into A would break the sequential
+/// delivery semantics: some rank sends a region in B that A delivers
+/// into (the send must read A's freshly received values — e.g. a
+/// write-back forwarded onward as the next nest's halo), or two
+/// different senders deliver overlapping regions to the same receiver
+/// (the unfused order made B's value win). Same-sender re-delivery is
+/// fine: the sender's copy cannot change between the two adjacent ops,
+/// so the duplicate carries the same bytes and `dedup_packed_segs`
+/// drops it.
+fn delivery_hazard(a_msgs: &[CMsg], b_msgs: &[CMsg]) -> bool {
+    let overlaps = |x: &CSeg, y: &CSeg| {
+        x.arr == y.arr
+            && x.lo
+                .iter()
+                .zip(&x.hi)
+                .zip(y.lo.iter().zip(&y.hi))
+                .all(|((xl, xh), (yl, yh))| *xl.max(yl) <= *xh.min(yh))
+    };
+    b_msgs.iter().any(|b| {
+        b.segs.iter().any(|s| {
+            a_msgs.iter().any(|a| {
+                let read_hazard = a.to == b.from;
+                let write_hazard = a.to == b.to && a.from != b.from;
+                (read_hazard || write_hazard) && a.segs.iter().any(|r| overlaps(r, s))
+            })
+        })
+    })
+}
+
+pub fn fuse_adjacent_comm(ops: &mut Vec<NodeOp>, provs: &[PlanProv]) -> usize {
+    use dhpf_obs::{self as obs, CommPhase, Decision, DecisionKind};
+    let mut saved = 0usize;
+    // recurse first so inner lists are in final form
+    for op in ops.iter_mut() {
+        match op {
+            NodeOp::Loop { body, .. } => saved += fuse_adjacent_comm(body, provs),
+            NodeOp::If { arms } => {
+                for (_, body) in arms.iter_mut() {
+                    saved += fuse_adjacent_comm(body, provs);
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut i = 0;
+    while i + 1 < ops.len() {
+        let flat = |msgs: &[CMsg]| -> Vec<(usize, usize, CSeg)> {
+            msgs.iter()
+                .flat_map(|m| m.segs.iter().map(|s| (m.from, m.to, s.clone())))
+                .collect()
+        };
+        // split around the pair so both ops can be borrowed mutably
+        let (head, tail) = ops.split_at_mut(i + 1);
+        let fused = match (&mut head[i], &mut tail[0]) {
+            (
+                NodeOp::OverlapNest {
+                    msgs: a_msgs,
+                    body: a_body,
+                    ..
+                },
+                NodeOp::OverlapNest {
+                    msgs: b_msgs,
+                    plan: b_plan,
+                    ..
+                },
+            ) if !a_msgs.is_empty() && !b_msgs.is_empty() => {
+                let mut writes = std::collections::BTreeSet::new();
+                let pure = written_slots(a_body, &mut writes);
+                let interferes = !pure
+                    || b_msgs
+                        .iter()
+                        .flat_map(|m| m.segs.iter())
+                        .any(|s| writes.contains(&s.arr))
+                    || delivery_hazard(a_msgs, b_msgs);
+                if interferes {
+                    None
+                } else {
+                    let before = a_msgs.len() + b_msgs.len();
+                    let mut all = flat(a_msgs);
+                    all.extend(flat(b_msgs));
+                    let mut merged = group_segs(all, true);
+                    merged.iter_mut().for_each(dedup_packed_segs);
+                    merged.retain(|m| !m.segs.is_empty());
+                    if merged.len() < before {
+                        let after = merged.len();
+                        let prov = provs
+                            .get(*b_plan as usize)
+                            .map(|p| (p.stmt, p.unit.clone()));
+                        *a_msgs = merged;
+                        b_msgs.clear();
+                        Some((before - after, after, before, prov, false))
+                    } else {
+                        None
+                    }
+                }
+            }
+            (
+                NodeOp::Exchange { msgs: a_msgs, .. },
+                NodeOp::Exchange {
+                    msgs: b_msgs, plan, ..
+                },
+            ) if !a_msgs.is_empty() && !b_msgs.is_empty() && !delivery_hazard(a_msgs, b_msgs) => {
+                let before = a_msgs.len() + b_msgs.len();
+                let mut all = flat(a_msgs);
+                all.extend(flat(b_msgs));
+                let mut merged = group_segs(all, true);
+                merged.iter_mut().for_each(dedup_packed_segs);
+                merged.retain(|m| !m.segs.is_empty());
+                if merged.len() < before {
+                    let after = merged.len();
+                    let prov = provs.get(*plan as usize).map(|p| (p.stmt, p.unit.clone()));
+                    *a_msgs = merged;
+                    b_msgs.clear();
+                    Some((before - after, after, before, prov, true))
+                } else {
+                    None
+                }
+            }
+            _ => None,
+        };
+        match fused {
+            Some((delta, after, before, prov, drop_b)) => {
+                saved += delta;
+                if obs::is_active() {
+                    obs::decide(move || {
+                        let mut d = Decision::new(DecisionKind::CommAggregated {
+                            phase: CommPhase::Pre,
+                            peers: after,
+                            messages_before: before,
+                            messages_after: after,
+                        });
+                        if let Some((s, u)) = prov {
+                            d = d.stmt(ast::StmtId(s)).unit(u);
+                        }
+                        d
+                    });
+                }
+                if drop_b {
+                    ops.remove(i + 1);
+                }
+                // stay on i: a further adjacent exchange may merge too
+            }
+            None => i += 1,
+        }
+    }
+    saved
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn seg(arr: usize, lo: &[i64], hi: &[i64]) -> CSeg {
+        CSeg {
+            arr,
+            lo: lo.to_vec(),
+            hi: hi.to_vec(),
+        }
+    }
+
+    fn msg(from: usize, to: usize, segs: Vec<CSeg>) -> CMsg {
+        CMsg { from, to, segs }
+    }
+
+    #[test]
+    fn box_subtract_disjoint_and_contained() {
+        // disjoint: minuend survives whole
+        let r = box_subtract((&[1, 1], &[4, 4]), (&[6, 6], &[9, 9]));
+        assert_eq!(r, vec![(vec![1, 1], vec![4, 4])]);
+        // fully contained: nothing left
+        assert!(box_subtract((&[2, 2], &[3, 3]), (&[1, 1], &[4, 4])).is_empty());
+        // partial: pieces tile the difference exactly (area check)
+        let r = box_subtract((&[1, 1], &[4, 4]), (&[3, 3], &[6, 6]));
+        let area: i64 = r
+            .iter()
+            .map(|(lo, hi)| (hi[0] - lo[0] + 1) * (hi[1] - lo[1] + 1))
+            .sum();
+        assert_eq!(area, 16 - 4, "pieces must tile |A| - |A ∩ B|");
+    }
+
+    #[test]
+    fn dedup_packed_segs_subtracts_prior_overlap() {
+        let mut m = msg(
+            0,
+            1,
+            vec![
+                seg(7, &[1], &[10]),
+                seg(7, &[8], &[12]),
+                seg(8, &[1], &[10]),
+            ],
+        );
+        dedup_packed_segs(&mut m);
+        let total: i64 = m
+            .segs
+            .iter()
+            .filter(|s| s.arr == 7)
+            .map(|s| s.hi[0] - s.lo[0] + 1)
+            .sum();
+        assert_eq!(total, 12, "arr 7 must cover 1..=12 exactly once");
+        assert_eq!(m.segs.iter().filter(|s| s.arr == 8).count(), 1);
+    }
+
+    #[test]
+    fn group_segs_packs_per_peer_only_when_enabled() {
+        let flat = vec![
+            (0usize, 1usize, seg(0, &[1], &[2])),
+            (0, 1, seg(1, &[5], &[6])),
+            (1, 0, seg(0, &[9], &[9])),
+        ];
+        let packed = group_segs(flat.clone(), true);
+        assert_eq!(packed.len(), 2, "0->1 packs into one envelope");
+        let plain = group_segs(flat, false);
+        assert_eq!(plain.len(), 3, "no packing with aggregation off");
+    }
+
+    #[test]
+    fn delivery_hazard_blocks_forwarding_and_allows_halos() {
+        // rank 1 receives wl[9] in A, then sends wl[9] onward in B:
+        // the fuzz-found write-back forwarding chain — must refuse
+        let a = vec![msg(0, 1, vec![seg(3, &[9], &[9])])];
+        let b = vec![msg(1, 0, vec![seg(3, &[9], &[9])])];
+        assert!(delivery_hazard(&a, &b));
+        // same sender re-delivering an overlapping halo region is fine
+        // (values identical; dedup_packed_segs drops the duplicate)
+        let b2 = vec![msg(0, 1, vec![seg(3, &[8], &[9])])];
+        assert!(!delivery_hazard(&a, &b2));
+        // two different senders writing the same receiver cells: the
+        // unfused order made B's value win — must refuse
+        let b3 = vec![msg(2, 1, vec![seg(3, &[9], &[9])])];
+        assert!(delivery_hazard(&a, &b3));
+        // different array, same indices: no hazard
+        let b4 = vec![msg(1, 0, vec![seg(2, &[9], &[9])])];
+        assert!(!delivery_hazard(&a, &b4));
+    }
 
     #[test]
     fn cidx_eval() {

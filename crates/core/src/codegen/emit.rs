@@ -111,28 +111,14 @@ fn emit_ops(ops: &[NodeOp], u: &CompiledUnit, depth: usize, out: &mut String) {
             }
             NodeOp::Exchange { msgs, tag, plan: _ } => {
                 ind(depth, out);
-                let vol: usize = msgs
-                    .iter()
-                    .map(|m| {
-                        m.lo.iter()
-                            .zip(&m.hi)
-                            .map(|(l, h)| (h - l + 1).max(0) as usize)
-                            .product::<usize>()
-                    })
-                    .sum();
+                let vol: usize = msgs.iter().map(|m| m.elems()).sum();
+                let segs: usize = msgs.iter().map(|m| m.segs.len()).sum();
                 let _ = writeln!(
                     out,
-                    "exchange tag {tag}: {} messages, {vol} elements",
+                    "exchange tag {tag}: {} messages ({segs} segments), {vol} elements",
                     msgs.len()
                 );
-                for m in msgs {
-                    ind(depth + 1, out);
-                    let _ = writeln!(
-                        out,
-                        "{} {}->{} {:?}..{:?}",
-                        u.array_names[m.arr], m.from, m.to, m.lo, m.hi
-                    );
-                }
+                emit_msgs(msgs, u, depth + 1, out);
             }
             NodeOp::OverlapNest {
                 msgs,
@@ -143,15 +129,8 @@ fn emit_ops(ops: &[NodeOp], u: &CompiledUnit, depth: usize, out: &mut String) {
                 plan: _,
             } => {
                 ind(depth, out);
-                let vol: usize = msgs
-                    .iter()
-                    .map(|m| {
-                        m.lo.iter()
-                            .zip(&m.hi)
-                            .map(|(l, h)| (h - l + 1).max(0) as usize)
-                            .product::<usize>()
-                    })
-                    .sum();
+                let vol: usize = msgs.iter().map(|m| m.elems()).sum();
+                let segs: usize = msgs.iter().map(|m| m.segs.len()).sum();
                 let checks: Vec<String> = halo
                     .iter()
                     .map(|h| {
@@ -163,20 +142,13 @@ fn emit_ops(ops: &[NodeOp], u: &CompiledUnit, depth: usize, out: &mut String) {
                     .collect();
                 let _ = writeln!(
                     out,
-                    "overlap exchange tag {tag}: {} messages, {vol} elements, \
-                     {} levels, interior [{}]",
+                    "overlap exchange tag {tag}: {} messages ({segs} segments), \
+                     {vol} elements, {} levels, interior [{}]",
                     msgs.len(),
                     levels.len(),
                     checks.join(" ∧ ")
                 );
-                for m in msgs {
-                    ind(depth + 1, out);
-                    let _ = writeln!(
-                        out,
-                        "{} {}->{} {:?}..{:?}",
-                        u.array_names[m.arr], m.from, m.to, m.lo, m.hi
-                    );
-                }
+                emit_msgs(msgs, u, depth + 1, out);
                 emit_ops(body, u, depth + 1, out);
             }
             NodeOp::Pipeline {
@@ -207,6 +179,17 @@ fn emit_ops(ops: &[NodeOp], u: &CompiledUnit, depth: usize, out: &mut String) {
                 );
                 emit_ops(body, u, depth + 1, out);
             }
+        }
+    }
+}
+
+fn emit_msgs(msgs: &[super::CMsg], u: &CompiledUnit, depth: usize, out: &mut String) {
+    for m in msgs {
+        ind(depth, out);
+        let _ = writeln!(out, "{}->{}:", m.from, m.to);
+        for s in &m.segs {
+            ind(depth + 1, out);
+            let _ = writeln!(out, "{} {:?}..{:?}", u.array_names[s.arr], s.lo, s.hi);
         }
     }
 }
@@ -254,29 +237,13 @@ pub fn plan_stats(prog: &NodeProgram) -> PlanStats {
                 NodeOp::Exchange { msgs, .. } => {
                     st.exchanges += 1;
                     st.exchange_messages += msgs.len();
-                    st.exchange_elements += msgs
-                        .iter()
-                        .map(|m| {
-                            m.lo.iter()
-                                .zip(&m.hi)
-                                .map(|(l, h)| (h - l + 1).max(0) as usize)
-                                .product::<usize>()
-                        })
-                        .sum::<usize>();
+                    st.exchange_elements += msgs.iter().map(|m| m.elems()).sum::<usize>();
                 }
                 NodeOp::OverlapNest { msgs, body, .. } => {
                     st.exchanges += 1;
                     st.overlapped += 1;
                     st.exchange_messages += msgs.len();
-                    st.exchange_elements += msgs
-                        .iter()
-                        .map(|m| {
-                            m.lo.iter()
-                                .zip(&m.hi)
-                                .map(|(l, h)| (h - l + 1).max(0) as usize)
-                                .product::<usize>()
-                        })
-                        .sum::<usize>();
+                    st.exchange_elements += msgs.iter().map(|m| m.elems()).sum::<usize>();
                     walk(body, st);
                 }
                 NodeOp::Pipeline { body, .. } => {

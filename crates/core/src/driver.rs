@@ -53,6 +53,9 @@ pub struct OptFlags {
     /// §3: overlap halo pre-exchanges with interior compute
     /// (post-irecv / compute-interior / wait / compute-boundary).
     pub overlap: bool,
+    /// §7: pack all coalesced messages between one processor pair into
+    /// a single physical transfer per phase (message aggregation).
+    pub aggregate: bool,
 }
 
 impl Default for OptFlags {
@@ -64,6 +67,7 @@ impl Default for OptFlags {
             interproc: true,
             data_availability: true,
             overlap: true,
+            aggregate: true,
         }
     }
 }
@@ -407,7 +411,15 @@ pub fn compile(program: &Program, opts: &CompileOptions) -> Result<Compiled, Com
         scopes.push(g.finish());
     }
     scopes.extend(unit_scopes);
-    compiled.obs = assemble_obs(opts.observe, scopes, &compiled, units, n_waves, &cache0);
+    compiled.obs = assemble_obs(
+        opts.observe,
+        opts.flags.aggregate,
+        scopes,
+        &compiled,
+        units,
+        n_waves,
+        &cache0,
+    );
     Ok(compiled)
 }
 
@@ -415,6 +427,7 @@ pub fn compile(program: &Program, opts: &CompileOptions) -> Result<Compiled, Com
 /// order) plus the unified metrics document.
 fn assemble_obs(
     enabled: bool,
+    aggregate: bool,
     scopes: Vec<obs::ScopeObs>,
     compiled: &Compiled,
     units: usize,
@@ -439,6 +452,7 @@ fn assemble_obs(
     m.counter("comm.post_messages", r.post_messages as i64);
     m.counter("comm.post_volume", r.post_volume as i64);
     m.counter("comm.overlapped_nests", r.overlapped_nests as i64);
+    m.counter("comm.messages_saved", r.messages_saved as i64);
 
     // iset cache activity attributable to this compile (delta against the
     // snapshot taken at compile start; sizes are absolute). Timing- and
@@ -493,6 +507,12 @@ fn assemble_obs(
             let Some(plan) = ua.plans.get(nest) else {
                 continue;
             };
+            let messages_saved = if aggregate {
+                (plan.pre().len() - crate::comm::aggregated_message_count(plan.pre()))
+                    + (plan.post().len() - crate::comm::aggregated_message_count(plan.post()))
+            } else {
+                0
+            };
             m.nests.push(obs::NestMetrics {
                 unit: uname.clone(),
                 stmt: nest.0,
@@ -503,6 +523,7 @@ fn assemble_obs(
                 pre_elems: plan.pre().iter().map(|x| x.region.len()).sum(),
                 post_messages: plan.post().len(),
                 post_elems: plan.post().iter().map(|x| x.region.len()).sum(),
+                messages_saved,
             });
         }
     }
@@ -918,6 +939,7 @@ fn process_unit(
                 data_availability: opts.flags.data_availability,
                 granularity: opts.granularity,
                 overlap: opts.flags.overlap,
+                aggregate: opts.flags.aggregate,
             };
             for &nest in &nests {
                 let _sp = obs::span_detail("comm-plan", || format!("nest s{}", nest.0));
@@ -983,7 +1005,7 @@ fn finish_compile(
     unit_cps: BTreeMap<String, CpAssignment>,
     unit_plans: BTreeMap<String, BTreeMap<StmtId, NestPlan>>,
     mut unit_nests: BTreeMap<String, (Vec<StmtId>, BTreeMap<StmtId, StmtId>)>,
-    report: CommReport,
+    mut report: CommReport,
 ) -> Result<Compiled, CompileError> {
     // ---- code generation ----------------------------------------------------
     let main_unit = program
@@ -1021,6 +1043,7 @@ fn finish_compile(
             &mut globals,
             0,
             &mut scratch,
+            opts.flags.aggregate,
         );
         cx.register_arrays().map_err(CompileError::Codegen)?;
     }
@@ -1040,13 +1063,21 @@ fn finish_compile(
             &mut globals,
             tag_base,
             &mut provenance,
+            opts.flags.aggregate,
         );
         cx.register_arrays().map_err(CompileError::Codegen)?;
         let ops = cx
             .compile_body(&u.body, &unit_index, &unit_refs)
             .map_err(CompileError::Codegen)?;
         tag_base = cx.final_tag() + 16;
-        units.push(cx.finish(ops));
+        let mut unit = cx.finish(ops);
+        if opts.flags.aggregate {
+            // cross-nest packing over the lowered op stream: messages of
+            // adjacent comm ops that the nest writes cannot invalidate
+            // merge into the earlier op's per-peer transfers
+            report.messages_saved += crate::codegen::fuse_adjacent_comm(&mut unit.ops, &provenance);
+        }
+        units.push(unit);
     }
 
     let cp_dump: BTreeMap<String, Vec<(StmtId, String)>> = unit_cps
@@ -1852,9 +1883,15 @@ mod tests {
 
     #[test]
     fn localize_off_still_correct_but_more_comm() {
-        let on = verify(LOCALIZED, 4, CompileOptions::new());
+        // aggregation off in both arms: per-peer packing folds the
+        // extra exchanges localize avoids into the same envelopes, so
+        // the runtime message count can't isolate localize's effect
+        let mut on_opts = CompileOptions::new();
+        on_opts.flags.aggregate = false;
+        let on = verify(LOCALIZED, 4, on_opts);
         let mut opts = CompileOptions::new();
         opts.flags.localize = false;
+        opts.flags.aggregate = false;
         let off = verify(LOCALIZED, 4, opts);
         assert!(
             off.run.stats.messages > on.run.stats.messages,

@@ -486,6 +486,7 @@ impl<'p> ProcState<'p> {
                 write_depth,
                 arrays,
                 tag,
+                aggregate,
                 plan,
             } => {
                 proc.set_provenance(Some(*plan));
@@ -504,6 +505,7 @@ impl<'p> ProcState<'p> {
                     *write_depth,
                     arrays,
                     *tag,
+                    *aggregate,
                 );
                 proc.set_provenance(None);
             }
@@ -511,28 +513,50 @@ impl<'p> ProcState<'p> {
     }
 
     fn exchange(&mut self, proc: &mut Proc, frame: &Frame, msgs: &[CMsg], tag: u64) {
-        // sends first (non-blocking), then receives
+        // sends first (non-blocking), then receives; each message packs
+        // its segments back-to-back into one physical transfer
         for m in msgs {
             if m.from != self.rank {
                 continue;
             }
-            let g = self.global_of(frame, m.arr);
-            let (lo, hi) = self.clip_to_window(g, &m.lo, &m.hi);
-            let buf = match &self.storage[g] {
-                Some(local) => local.pack(&lo, &hi),
-                None => Vec::new(),
-            };
-            proc.send(m.to, tag, buf);
+            let buf = self.pack_segments(frame, m);
+            proc.send_parts(m.to, tag, buf, m.segs.len() as u32);
         }
         for m in msgs {
             if m.to != self.rank {
                 continue;
             }
             let buf = proc.recv(m.from, tag);
-            let g = self.global_of(frame, m.arr);
-            let (lo, hi) = self.clip_to_window(g, &m.lo, &m.hi);
-            if let Some(local) = self.storage[g].as_mut() {
-                local.unpack(&lo, &hi, &buf);
+            self.unpack_segments(frame, m, &buf);
+        }
+    }
+
+    /// Pack every segment of `m` into one buffer, in segment order.
+    fn pack_segments(&mut self, frame: &Frame, m: &CMsg) -> Vec<f64> {
+        let mut buf = Vec::new();
+        for s in &m.segs {
+            let g = self.global_of(frame, s.arr);
+            let (lo, hi) = self.clip_to_window(g, &s.lo, &s.hi);
+            if let Some(local) = &self.storage[g] {
+                buf.extend_from_slice(&local.pack(&lo, &hi));
+            }
+        }
+        buf
+    }
+
+    /// Unpack a received buffer segment by segment: each ghost region
+    /// takes the next `section_len` elements of the packed payload.
+    fn unpack_segments(&mut self, frame: &Frame, m: &CMsg, buf: &[f64]) {
+        let mut off = 0usize;
+        for s in &m.segs {
+            let g = self.global_of(frame, s.arr);
+            let (lo, hi) = self.clip_to_window(g, &s.lo, &s.hi);
+            if self.storage[g].is_some() {
+                let n = dhpf_spmd::array::section_len(&lo, &hi);
+                if let Some(local) = self.storage[g].as_mut() {
+                    local.unpack(&lo, &hi, &buf[off..off + n]);
+                }
+                off += n;
             }
         }
     }
@@ -568,16 +592,12 @@ impl<'p> ProcState<'p> {
             if m.from != self.rank {
                 continue;
             }
-            let g = self.global_of(frame, m.arr);
-            let (lo, hi) = self.clip_to_window(g, &m.lo, &m.hi);
-            let buf = match &self.storage[g] {
-                Some(local) => local.pack(&lo, &hi),
-                None => Vec::new(),
-            };
-            proc.send(m.to, tag, buf);
+            let buf = self.pack_segments(frame, m);
+            proc.send_parts(m.to, tag, buf, m.segs.len() as u32);
         }
         // post in plan order: FIFO per (source, tag) matches each wait
-        // below to the same message the blocking exchange would recv
+        // below to the same message the blocking exchange would recv.
+        // One irecv per peer message, however many segments it carries.
         let mut posted = Vec::new();
         for m in msgs {
             if m.to != self.rank {
@@ -607,11 +627,7 @@ impl<'p> ProcState<'p> {
         self.run_split_nest(proc, unit, frame, levels, body, 0, &interior, true);
         for (m, req) in posted {
             let buf = proc.wait(req);
-            let g = self.global_of(frame, m.arr);
-            let (lo, hi) = self.clip_to_window(g, &m.lo, &m.hi);
-            if let Some(local) = self.storage[g].as_mut() {
-                local.unpack(&lo, &hi, &buf);
-            }
+            self.unpack_segments(frame, m, &buf);
         }
         self.run_split_nest(proc, unit, frame, levels, body, 0, &interior, false);
     }
@@ -677,6 +693,7 @@ impl<'p> ProcState<'p> {
         write_depth: i64,
         arrays: &'p [PipeArray],
         tag: u64,
+        aggregate: bool,
     ) {
         let dir: i64 = if forward { 1 } else { -1 };
         let c = self.coords[pdim];
@@ -738,25 +755,25 @@ impl<'p> ProcState<'p> {
         };
 
         for (chunk_lo, chunk_hi) in chunks {
-            // receive the predecessor's boundary for this strip
+            let strip = strip_level.map(|_| (chunk_lo, chunk_hi));
+            // receive the predecessor's boundary for this strip: one
+            // aggregated message covering every swept array, or one
+            // message per array with aggregation off
             if let Some(p) = pred {
-                for pa in arrays {
-                    let region = self.pipe_region(
-                        frame,
-                        pa,
-                        true,
-                        dir,
-                        rd,
-                        wd,
-                        strip_level.map(|_| (chunk_lo, chunk_hi)),
-                    );
+                if aggregate {
                     let buf = proc.recv(p, tag);
-                    if let Some((lo, hi)) = region {
+                    let mut off = 0usize;
+                    for pa in arrays {
+                        let Some((lo, hi)) = self.pipe_region(frame, pa, true, dir, rd, wd, strip)
+                        else {
+                            continue;
+                        };
                         let g = frame.arrays[pa.arr];
                         let need = dhpf_spmd::array::section_len(&lo, &hi);
-                        if need != buf.len() {
+                        if off + need > buf.len() {
                             exec_fail(format!(
-                                "pipeline recv mismatch on rank {} (coords {:?}) from {p}:                                  array {} region {lo:?}..{hi:?} needs {need} but got {}                                  (tag {tag}, chunk {chunk_lo}..{chunk_hi}, rd {rd} wd {wd}, dir {dir})",
+                                "pipeline recv mismatch on rank {} (coords {:?}) from {p}:                                  array {} region {lo:?}..{hi:?} needs {need} at offset {off} \
+                                 but the packed payload holds {}                                  (tag {tag}, chunk {chunk_lo}..{chunk_hi}, rd {rd} wd {wd}, dir {dir})",
                                 self.rank,
                                 self.coords,
                                 self.prog.arrays[g].name,
@@ -764,7 +781,37 @@ impl<'p> ProcState<'p> {
                             ));
                         }
                         if let Some(local) = self.storage[g].as_mut() {
-                            local.unpack(&lo, &hi, &buf);
+                            local.unpack(&lo, &hi, &buf[off..off + need]);
+                        }
+                        off += need;
+                    }
+                    if off != buf.len() {
+                        exec_fail(format!(
+                            "pipeline recv mismatch on rank {} (coords {:?}) from {p}:                              unpacked {off} of {} packed elements                              (tag {tag}, chunk {chunk_lo}..{chunk_hi}, rd {rd} wd {wd}, dir {dir})",
+                            self.rank,
+                            self.coords,
+                            buf.len()
+                        ));
+                    }
+                } else {
+                    for pa in arrays {
+                        let region = self.pipe_region(frame, pa, true, dir, rd, wd, strip);
+                        let buf = proc.recv(p, tag);
+                        if let Some((lo, hi)) = region {
+                            let g = frame.arrays[pa.arr];
+                            let need = dhpf_spmd::array::section_len(&lo, &hi);
+                            if need != buf.len() {
+                                exec_fail(format!(
+                                    "pipeline recv mismatch on rank {} (coords {:?}) from {p}:                                      array {} region {lo:?}..{hi:?} needs {need} but got {}                                      (tag {tag}, chunk {chunk_lo}..{chunk_hi}, rd {rd} wd {wd}, dir {dir})",
+                                    self.rank,
+                                    self.coords,
+                                    self.prog.arrays[g].name,
+                                    buf.len()
+                                ));
+                            }
+                            if let Some(local) = self.storage[g].as_mut() {
+                                local.unpack(&lo, &hi, &buf);
+                            }
                         }
                     }
                 }
@@ -783,27 +830,36 @@ impl<'p> ProcState<'p> {
             );
             // forward my boundary to the successor
             if let Some(s) = succ {
-                for pa in arrays {
-                    let region = self.pipe_region(
-                        frame,
-                        pa,
-                        false,
-                        dir,
-                        rd,
-                        wd,
-                        strip_level.map(|_| (chunk_lo, chunk_hi)),
-                    );
-                    let buf = match &region {
-                        Some((lo, hi)) => {
-                            let g = frame.arrays[pa.arr];
-                            match &self.storage[g] {
-                                Some(local) => local.pack(lo, hi),
-                                None => Vec::new(),
-                            }
+                if aggregate {
+                    let mut buf = Vec::new();
+                    let mut parts = 0u32;
+                    for pa in arrays {
+                        let Some((lo, hi)) = self.pipe_region(frame, pa, false, dir, rd, wd, strip)
+                        else {
+                            continue;
+                        };
+                        let g = frame.arrays[pa.arr];
+                        if let Some(local) = &self.storage[g] {
+                            buf.extend_from_slice(&local.pack(&lo, &hi));
+                            parts += 1;
                         }
-                        None => Vec::new(),
-                    };
-                    proc.send(s, tag, buf);
+                    }
+                    proc.send_parts(s, tag, buf, parts.max(1));
+                } else {
+                    for pa in arrays {
+                        let region = self.pipe_region(frame, pa, false, dir, rd, wd, strip);
+                        let buf = match &region {
+                            Some((lo, hi)) => {
+                                let g = frame.arrays[pa.arr];
+                                match &self.storage[g] {
+                                    Some(local) => local.pack(lo, hi),
+                                    None => Vec::new(),
+                                }
+                            }
+                            None => Vec::new(),
+                        };
+                        proc.send(s, tag, buf);
+                    }
                 }
             }
         }

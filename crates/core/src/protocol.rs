@@ -28,22 +28,35 @@
 use crate::codegen::{CExpr, CIdx, CMsg, CompiledUnit, FormalSlot, NodeOp, NodeProgram};
 use std::collections::BTreeSet;
 
+/// One resolved array section of a protocol message (global array id
+/// plus the region in global coordinates).
+#[derive(Clone, Debug)]
+pub struct ProtoSeg {
+    pub arr: usize,
+    pub lo: Vec<i64>,
+    pub hi: Vec<i64>,
+}
+
 /// One atom of the rank-symbolic protocol. Concrete ranks appear because
 /// the compiler already resolved ownership to rank constants when it
 /// planned the messages; "symbolic over rank" means the verifier reasons
 /// about all ranks' interleavings in one pass, not that ranks are
 /// unknowns.
+///
+/// Each Send/Recv/Post/Wait atom is one *physical* message; with
+/// per-peer aggregation it carries every packed array section in
+/// `segs`. Keeping one atom per transfer (instead of one per segment)
+/// preserves the matching, FIFO, and wait-coverage invariants the
+/// checker enforces per physical message.
 #[derive(Clone, Debug)]
 pub enum ProtoOp {
-    /// Nonblocking send of `arr[lo..hi]` executed by `from`.
+    /// Nonblocking send of the packed sections executed by `from`.
     Send {
         unit: usize,
         from: usize,
         to: usize,
         tag: u64,
-        arr: usize,
-        lo: Vec<i64>,
-        hi: Vec<i64>,
+        segs: Vec<ProtoSeg>,
     },
     /// Blocking receive executed by `to`.
     Recv {
@@ -51,9 +64,7 @@ pub enum ProtoOp {
         from: usize,
         to: usize,
         tag: u64,
-        arr: usize,
-        lo: Vec<i64>,
-        hi: Vec<i64>,
+        segs: Vec<ProtoSeg>,
     },
     /// Nonblocking receive post (irecv) executed by `to`. `req` is a
     /// program-unique request id tying it to its [`ProtoOp::Wait`].
@@ -63,9 +74,7 @@ pub enum ProtoOp {
         to: usize,
         tag: u64,
         req: u64,
-        arr: usize,
-        lo: Vec<i64>,
-        hi: Vec<i64>,
+        segs: Vec<ProtoSeg>,
     },
     /// Blocking wait + unpack for request `req`, executed by `to`.
     Wait {
@@ -74,9 +83,7 @@ pub enum ProtoOp {
         to: usize,
         tag: u64,
         req: u64,
-        arr: usize,
-        lo: Vec<i64>,
-        hi: Vec<i64>,
+        segs: Vec<ProtoSeg>,
     },
     /// Full-machine barrier. The code generator never emits one today,
     /// but the machine exposes `Proc::barrier` and the verifier checks
@@ -415,28 +422,26 @@ impl<'p> Extract<'p> {
                 // the interpreter issues all sends (nonblocking) before
                 // any blocking receive; keep that per-rank order
                 for m in msgs {
-                    if let Some((g, lo, hi)) = self.resolve_msg(m, f) {
+                    let segs = self.resolve_segs(m, f);
+                    if !segs.is_empty() {
                         out.push(ProtoOp::Send {
                             unit,
                             from: m.from,
                             to: m.to,
                             tag: *tag,
-                            arr: g,
-                            lo,
-                            hi,
+                            segs,
                         });
                     }
                 }
                 for m in msgs {
-                    if let Some((g, lo, hi)) = self.resolve_msg(m, f) {
+                    let segs = self.resolve_segs(m, f);
+                    if !segs.is_empty() {
                         out.push(ProtoOp::Recv {
                             unit,
                             from: m.from,
                             to: m.to,
                             tag: *tag,
-                            arr: g,
-                            lo,
-                            hi,
+                            segs,
                         });
                     }
                 }
@@ -449,34 +454,32 @@ impl<'p> Extract<'p> {
                 ..
             } => {
                 for m in msgs {
-                    if let Some((g, lo, hi)) = self.resolve_msg(m, f) {
+                    let segs = self.resolve_segs(m, f);
+                    if !segs.is_empty() {
                         out.push(ProtoOp::Send {
                             unit,
                             from: m.from,
                             to: m.to,
                             tag: *tag,
-                            arr: g,
-                            lo,
-                            hi,
+                            segs,
                         });
                     }
                 }
                 // posts in plan order; each wait below mirrors its post
                 let mut posted = Vec::new();
                 for m in msgs {
-                    if let Some((g, lo, hi)) = self.resolve_msg(m, f) {
+                    let segs = self.resolve_segs(m, f);
+                    if !segs.is_empty() {
                         let req = self.next_req;
                         self.next_req += 1;
-                        posted.push((m, req, g, lo.clone(), hi.clone()));
+                        posted.push((m, req, segs.clone()));
                         out.push(ProtoOp::Post {
                             unit,
                             from: m.from,
                             to: m.to,
                             tag: *tag,
                             req,
-                            arr: g,
-                            lo,
-                            hi,
+                            segs,
                         });
                     }
                 }
@@ -486,16 +489,14 @@ impl<'p> Extract<'p> {
                     f.ints[lv.var] = self.cidx_taint(&lv.lo, f) || self.cidx_taint(&lv.hi, f);
                 }
                 self.emit_ops(unit, body, f, ctx, out);
-                for (m, req, g, lo, hi) in posted {
+                for (m, req, segs) in posted {
                     out.push(ProtoOp::Wait {
                         unit,
                         from: m.from,
                         to: m.to,
                         tag: *tag,
                         req,
-                        arr: g,
-                        lo,
-                        hi,
+                        segs,
                     });
                 }
             }
@@ -508,6 +509,7 @@ impl<'p> Extract<'p> {
                 pdim,
                 arrays,
                 tag,
+                aggregate,
                 ..
             } => {
                 let grid = &self.prog.grid;
@@ -537,7 +539,9 @@ impl<'p> Extract<'p> {
                 out.push(ProtoOp::Pipeline {
                     unit,
                     tag: *tag,
-                    narrays: arrays.len(),
+                    // aggregated sweeps pack all swept arrays' boundary
+                    // planes into one physical message per chunk
+                    narrays: if *aggregate { 1 } else { arrays.len() },
                     links,
                     chunks,
                     arrays: globals.clone(),
@@ -598,9 +602,22 @@ impl<'p> Extract<'p> {
         ((hi - lo) / gr + 1) as usize
     }
 
-    fn resolve_msg(&self, m: &CMsg, f: &TaintFrame) -> Option<(usize, Vec<i64>, Vec<i64>)> {
-        let g = f.arrays[m.arr];
-        (g != usize::MAX).then(|| (g, m.lo.clone(), m.hi.clone()))
+    /// Resolve a compiled message's segments through the frame's array
+    /// bindings, dropping segments over unbound dummies (the message
+    /// itself disappears when every segment is unbound — same behavior
+    /// the single-section extraction had).
+    fn resolve_segs(&self, m: &CMsg, f: &TaintFrame) -> Vec<ProtoSeg> {
+        m.segs
+            .iter()
+            .filter_map(|s| {
+                let g = f.arrays[s.arr];
+                (g != usize::MAX).then(|| ProtoSeg {
+                    arr: g,
+                    lo: s.lo.clone(),
+                    hi: s.hi.clone(),
+                })
+            })
+            .collect()
     }
 }
 

@@ -45,6 +45,7 @@ options:
   --jobs N               parallel compile workers     [serial]
   --granularity N        pipeline strip size          [4]
   --no-overlap           disable halo/compute overlap (blocking exchanges)
+  --no-aggregate         disable per-peer cross-array message aggregation
 
 explain options:
   --json                 emit the dhpf-decisions-v1 document
@@ -94,6 +95,7 @@ struct Args {
     jobs: usize,
     granularity: i64,
     overlap: bool,
+    aggregate: bool,
     json: bool,
     run: bool,
     trace_out: Option<String>,
@@ -119,6 +121,7 @@ fn parse_args() -> Result<Args, String> {
         jobs: 0,
         granularity: 4,
         overlap: true,
+        aggregate: true,
         json: false,
         run: false,
         trace_out: None,
@@ -166,6 +169,7 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--granularity: {e}"))?
             }
             "--no-overlap" => a.overlap = false,
+            "--no-aggregate" => a.aggregate = false,
             "--json" => a.json = true,
             "--run" => a.run = true,
             "--trace-out" => a.trace_out = Some(need(&mut it, "--trace-out")?),
@@ -238,6 +242,7 @@ fn build_with_overlap(a: &Args, overlap: bool) -> Result<Compiled, CliError> {
     opts.granularity = a.granularity;
     opts.jobs = a.jobs;
     opts.flags.overlap = overlap;
+    opts.flags.aggregate = a.aggregate;
     compile(&program, &opts).map_err(|e| format!("compile failed: {e}").into())
 }
 

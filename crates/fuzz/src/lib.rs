@@ -168,6 +168,9 @@ fn minimize_failure(
 /// The mutation phase: walk fresh program seeds (an independent
 /// substream) until `cfg.mutants` sabotages have been planted, always
 /// at the largest requested geometry (most communication to break).
+/// Plants alternate between the two sabotage kinds — dropped exchange
+/// and wrong unpack offset — so a campaign with `mutants >= 2`
+/// exercises both detection paths.
 fn run_mutants(cfg: &CampaignConfig) -> MutationSummary {
     let mut summary = MutationSummary::default();
     let geom = cfg
@@ -185,7 +188,12 @@ fn run_mutants(cfg: &CampaignConfig) -> MutationSummary {
         k += 1;
         let spec = generate(pseed, &gen_opts);
         summary.attempted += 1;
-        let Some(outcome) = mutate::mutation_check(&spec, &geom, cfg.max_ulps) else {
+        let check = if summary.planted % 2 == 0 {
+            mutate::mutation_check(&spec, &geom, cfg.max_ulps)
+        } else {
+            mutate::unpack_offset_check(&spec, &geom, cfg.max_ulps)
+        };
+        let Some(outcome) = check else {
             continue;
         };
         // A drop that only the static coverage verifier can see (the

@@ -1,22 +1,32 @@
 //! Mutation self-check: prove the oracle matrix has teeth.
 //!
 //! A differential harness that never fires is indistinguishable from
-//! one that cannot fire. This module plants a known miscompile — it
-//! drops one *non-redundant* planned pre-exchange from a compiled
-//! program, removing both the plan-level [`Msg`] and the matching
-//! [`CMsg`] from the emitted node program — and then demands that at
-//! least two independent oracles catch it (the ISSUE acceptance bar).
+//! one that cannot fire. This module plants known miscompiles and then
+//! demands that at least two independent oracles catch each one (the
+//! ISSUE acceptance bar). Two sabotages are implemented:
 //!
-//! Dropping only the emitted `CMsg` would silence both the send and the
-//! receive side, so the message-matching checkers (protocol, traces)
-//! stay clean by construction; that is why the plan is mutated too —
-//! the comm-coverage verifier works from the plan, while the numeric
-//! oracle works from the execution, giving two genuinely independent
-//! detection paths.
+//! * **Dropped exchange** ([`mutation_check`]): remove one
+//!   *non-redundant* planned pre-exchange, both the plan-level [`Msg`]
+//!   and the matching segment of the emitted [`CMsg`]. Dropping only
+//!   the emitted segment would silence both the send and the receive
+//!   side, so the message-matching checkers (protocol, traces) stay
+//!   clean by construction; that is why the plan is mutated too — the
+//!   comm-coverage verifier works from the plan, while the numeric
+//!   oracle works from the execution, giving two genuinely independent
+//!   detection paths.
+//! * **Wrong unpack offset** ([`unpack_offset_check`]): shift one
+//!   segment's region inside an emitted (possibly aggregated) `CMsg`,
+//!   leaving the plan untouched — the classic aggregation bug where a
+//!   packed section lands at the wrong place in the ghost region. Both
+//!   ranks execute the same node program, so the traced byte counts
+//!   stay symmetric by construction; the mutant is instead caught by
+//!   the static protocol verifier (per-segment window containment) and
+//!   by the numeric oracle (the true ghost cells go stale), with the
+//!   unpack length assertion as a third line of defense.
 
 use crate::gen::{adapt_geometry, grid_bindings, ProgramSpec};
 use crate::oracle::{self, Oracle};
-use dhpf_core::codegen::{CMsg, NodeOp};
+use dhpf_core::codegen::{CSeg, NodeOp};
 use dhpf_core::comm::{Msg, NestPlan};
 use dhpf_core::driver::{compile, CompileOptions, Compiled};
 use dhpf_core::exec::node::run_node_program;
@@ -96,11 +106,11 @@ fn drop_plan_msg(compiled: &mut Compiled, unit: &str, nest: StmtId, i: usize) ->
     }
 }
 
-fn cmsg_matches(prog_arrays: &[dhpf_core::codegen::GlobalArray], c: &CMsg, m: &Msg) -> bool {
-    if c.from != m.from || c.to != m.to || c.lo != m.region.lo || c.hi != m.region.hi {
+fn seg_matches(prog_arrays: &[dhpf_core::codegen::GlobalArray], s: &CSeg, m: &Msg) -> bool {
+    if s.lo != m.region.lo || s.hi != m.region.hi {
         return false;
     }
-    let name = &prog_arrays[c.arr].name;
+    let name = &prog_arrays[s.arr].name;
     name == &m.array || name.ends_with(&format!("::{}", m.array))
 }
 
@@ -119,8 +129,24 @@ fn remove_from_ops(
 ) -> bool {
     for op in ops.iter_mut() {
         if let NodeOp::Exchange { msgs, .. } | NodeOp::OverlapNest { msgs, .. } = op {
-            if let Some(k) = msgs.iter().position(|c| cmsg_matches(arrays, c, m)) {
-                msgs.remove(k);
+            // With aggregation on, the plan message is one segment of a
+            // larger per-peer `CMsg`; drop just that segment, and the
+            // whole message only when nothing else rides in it.
+            let mut found = None;
+            for (ci, c) in msgs.iter().enumerate() {
+                if c.from != m.from || c.to != m.to {
+                    continue;
+                }
+                if let Some(k) = c.segs.iter().position(|s| seg_matches(arrays, s, m)) {
+                    found = Some((ci, k));
+                    break;
+                }
+            }
+            if let Some((ci, k)) = found {
+                msgs[ci].segs.remove(k);
+                if msgs[ci].segs.is_empty() {
+                    msgs.remove(ci);
+                }
                 return true;
             }
         }
@@ -133,7 +159,7 @@ fn remove_from_ops(
     false
 }
 
-/// Drop the emitted `CMsg` matching `m` anywhere in the node program.
+/// Drop the emitted segment matching `m` anywhere in the node program.
 fn drop_emitted_msg(compiled: &mut Compiled, m: &Msg) -> bool {
     let arrays = compiled.program.arrays.clone();
     for unit in compiled.program.units.iter_mut() {
@@ -214,6 +240,24 @@ fn run_experiment(
         return None; // plan message was not emitted (e.g. fused away)
     }
 
+    Some(MutationOutcome {
+        dropped: format!(
+            "pre-exchange {}→{} of `{}` region {:?}..{:?} in unit `{unit}`",
+            dropped.from, dropped.to, dropped.array, dropped.region.lo, dropped.region.hi
+        ),
+        caught_by: judge(compiled, program, serial, nprocs, max_ulps),
+    })
+}
+
+/// Run every post-compile oracle over a sabotaged program and report
+/// which ones fire, deduplicated.
+fn judge(
+    compiled: &Compiled,
+    program: &dhpf_fortran::ast::Program,
+    serial: &dhpf_core::exec::serial::SerialResult,
+    nprocs: usize,
+    max_ulps: u64,
+) -> Vec<Oracle> {
     let mut caught: Vec<Oracle> = Vec::new();
     let hit = |caught: &mut Vec<Oracle>, o: Oracle| {
         if !caught.contains(&o) {
@@ -247,12 +291,125 @@ fn run_experiment(
         Ok(Err(_)) => hit(&mut caught, Oracle::Exec),
         Err(_) => hit(&mut caught, Oracle::Panic),
     }
+    caught
+}
 
-    Some(MutationOutcome {
-        dropped: format!(
-            "pre-exchange {}→{} of `{}` region {:?}..{:?} in unit `{unit}`",
-            dropped.from, dropped.to, dropped.array, dropped.region.lo, dropped.region.hi
-        ),
-        caught_by: caught,
-    })
+/// Count emitted exchange segments in a unit's ops (recursively).
+fn count_segs(ops: &mut [NodeOp]) -> usize {
+    let mut n = 0;
+    for op in ops.iter_mut() {
+        if let NodeOp::Exchange { msgs, .. } | NodeOp::OverlapNest { msgs, .. } = op {
+            n += msgs.iter().map(|c| c.segs.len()).sum::<usize>();
+        }
+        for body in child_bodies(op) {
+            n += count_segs(body);
+        }
+    }
+    n
+}
+
+/// Shift the `target`-th emitted segment (pre-order) by `delta` along
+/// its first dimension. Returns a description of the shifted segment.
+fn shift_seg_in_ops(
+    ops: &mut [NodeOp],
+    arrays: &[dhpf_core::codegen::GlobalArray],
+    idx: &mut usize,
+    target: usize,
+    delta: i64,
+) -> Option<String> {
+    for op in ops.iter_mut() {
+        if let NodeOp::Exchange { msgs, .. } | NodeOp::OverlapNest { msgs, .. } = op {
+            for c in msgs.iter_mut() {
+                let (from, to) = (c.from, c.to);
+                for s in c.segs.iter_mut() {
+                    if *idx == target {
+                        if s.lo.is_empty() {
+                            return None; // scalar segment: nothing to shift
+                        }
+                        s.lo[0] += delta;
+                        s.hi[0] += delta;
+                        let name = arrays.get(s.arr).map(|a| a.name.as_str()).unwrap_or("?");
+                        return Some(format!(
+                            "segment `{name}` {:?}..{:?} of {from}→{to} shifted by {delta:+}",
+                            s.lo, s.hi
+                        ));
+                    }
+                    *idx += 1;
+                }
+            }
+        }
+        for body in child_bodies(op) {
+            if let r @ Some(_) = shift_seg_in_ops(body, arrays, idx, target, delta) {
+                return r;
+            }
+        }
+    }
+    None
+}
+
+/// The wrong-unpack-offset sabotage: compile `spec` with default flags
+/// (aggregation on), shift one emitted segment's region while leaving
+/// the plan untouched, and report which oracles notice. Segments and
+/// shift directions are tried in order until a mutant is caught by two
+/// independent oracles; the best outcome is returned. `None` when the
+/// program emits no shiftable segment at this geometry.
+pub fn unpack_offset_check(
+    spec: &ProgramSpec,
+    geom: &[i64],
+    max_ulps: u64,
+) -> Option<MutationOutcome> {
+    let src = spec.render();
+    let program = dhpf_fortran::parse(&src).ok()?;
+    let serial = run_serial(&program, &BTreeMap::new()).ok()?;
+
+    let adapted = adapt_geometry(geom, spec.grid_rank);
+    let nprocs: i64 = adapted.iter().product();
+    if nprocs < 2 {
+        return None; // single rank: nothing is ever exchanged
+    }
+    let mut opts = CompileOptions::new();
+    opts.bindings = grid_bindings(&adapted).into_iter().collect();
+
+    let total = {
+        let mut probe = compile(&program, &opts).ok()?;
+        probe
+            .program
+            .units
+            .iter_mut()
+            .map(|u| count_segs(&mut u.ops))
+            .sum::<usize>()
+    };
+    let mut best: Option<MutationOutcome> = None;
+    for target in 0..total.min(8) {
+        for delta in [1i64, -1] {
+            // recompile per candidate: mutation consumes the artifact
+            let mut compiled = compile(&program, &opts).ok()?;
+            let arrays = compiled.program.arrays.clone();
+            let mut desc = None;
+            let mut idx = 0usize;
+            for unit in compiled.program.units.iter_mut() {
+                desc = shift_seg_in_ops(&mut unit.ops, &arrays, &mut idx, target, delta);
+                if desc.is_some() {
+                    break;
+                }
+            }
+            let Some(desc) = desc else { continue };
+            let outcome = MutationOutcome {
+                dropped: desc,
+                caught_by: judge(&compiled, &program, &serial, nprocs as usize, max_ulps),
+            };
+            let twice = outcome.caught_twice();
+            if best
+                .as_ref()
+                .map(|b| outcome.caught_by.len() > b.caught_by.len())
+                .unwrap_or(true)
+            {
+                best = Some(outcome);
+            }
+            if twice {
+                return best;
+            }
+        }
+    }
+    best
 }

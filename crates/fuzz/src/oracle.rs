@@ -119,6 +119,7 @@ pub fn flag_lattice() -> Vec<(&'static str, OptFlags)> {
         interproc: false,
         data_availability: false,
         overlap: false,
+        aggregate: false,
     };
     vec![
         ("all-on", OptFlags::default()),
@@ -161,6 +162,13 @@ pub fn flag_lattice() -> Vec<(&'static str, OptFlags)> {
             "no-overlap",
             OptFlags {
                 overlap: false,
+                ..OptFlags::default()
+            },
+        ),
+        (
+            "no-aggregate",
+            OptFlags {
+                aggregate: false,
                 ..OptFlags::default()
             },
         ),
@@ -508,9 +516,9 @@ mod tests {
     #[test]
     fn lattice_covers_every_toggle_both_ways() {
         let lat = flag_lattice();
-        assert_eq!(lat.len(), 8);
+        assert_eq!(lat.len(), 9);
         // every flag is off in at least one config and on in at least one
-        let offs: Vec<[bool; 6]> = lat
+        let offs: Vec<[bool; 7]> = lat
             .iter()
             .map(|(_, f)| {
                 [
@@ -520,10 +528,11 @@ mod tests {
                     f.interproc,
                     f.data_availability,
                     f.overlap,
+                    f.aggregate,
                 ]
             })
             .collect();
-        for dim in 0..6 {
+        for dim in 0..7 {
             assert!(offs.iter().any(|c| c[dim]));
             assert!(offs.iter().any(|c| !c[dim]));
         }

@@ -133,6 +133,15 @@ pub enum DecisionKind {
         messages: usize,
         elems: usize,
     },
+    /// A phase's coalesced messages were aggregated per peer pair:
+    /// `messages_before` plan-level messages pack into `messages_after`
+    /// physical transfers over `peers` endpoint pairs (§7 aggregation).
+    CommAggregated {
+        phase: CommPhase,
+        peers: usize,
+        messages_before: usize,
+        messages_after: usize,
+    },
     /// A parallel nest's halo pre-exchange was marked overlappable:
     /// the generated code posts receives, computes the interior, then
     /// waits before finishing the boundary (§3).
@@ -156,6 +165,9 @@ pub struct Decision {
     pub kind: DecisionKind,
     /// Anchoring statement in the transformed AST, when known.
     pub stmt: Option<StmtId>,
+    /// Unit the decision concerns, when it differs from the recording
+    /// scope (driver-level passes deciding about a unit's statements).
+    pub unit: Option<String>,
     /// Source line, when the recorder resolved it eagerly (statements
     /// that do not survive into the transformed AST, e.g. a distributed
     /// loop). Otherwise the renderer resolves `stmt` lazily.
@@ -170,6 +182,7 @@ impl Decision {
         Decision {
             kind,
             stmt: None,
+            unit: None,
             line: None,
             t_us: 0,
         }
@@ -177,6 +190,12 @@ impl Decision {
 
     pub fn stmt(mut self, id: StmtId) -> Self {
         self.stmt = Some(id);
+        self
+    }
+
+    /// Attribute the decision to a unit other than the recording scope.
+    pub fn unit(mut self, name: impl Into<String>) -> Self {
+        self.unit = Some(name.into());
         self
     }
 
@@ -201,6 +220,9 @@ impl Decision {
             }
             DecisionKind::CommRetained { array, phase, .. } => {
                 format!("ret:{stmt}:{array}:{}", phase.as_str())
+            }
+            DecisionKind::CommAggregated { phase, .. } => {
+                format!("agg:{stmt}:{}", phase.as_str())
             }
             DecisionKind::CommOverlapped { .. } => format!("ovl:{stmt}"),
             DecisionKind::PipelineScheduled { .. } => format!("pipe:{stmt}"),
@@ -261,6 +283,15 @@ impl Decision {
                 "comm retained {array}: {} {messages} msg(s) {elems} elem(s)",
                 phase.as_str()
             ),
+            DecisionKind::CommAggregated {
+                phase,
+                peers,
+                messages_before,
+                messages_after,
+            } => format!(
+                "comm aggregated {}: {messages_before} -> {messages_after} msg(s) over {peers} peer pair(s)",
+                phase.as_str()
+            ),
             DecisionKind::CommOverlapped { arrays, halos } => {
                 format!("comm overlapped {} ({halos} halo dir(s))", arrays.join(","))
             }
@@ -293,6 +324,7 @@ impl Decision {
 
     /// Human rendering: `unit:line: <summary>`.
     pub fn render_human(&self, unit: &str, lines: &BTreeMap<StmtId, u32>) -> String {
+        let unit = self.unit.as_deref().unwrap_or(unit);
         let loc = match self.resolved_line(lines) {
             Some(l) => format!("{unit}:{l}"),
             None => unit.to_string(),
@@ -310,11 +342,13 @@ impl Decision {
             DecisionKind::EntryCp { .. } => "entry-cp",
             DecisionKind::CommEliminated { .. } => "comm-eliminated",
             DecisionKind::CommRetained { .. } => "comm-retained",
+            DecisionKind::CommAggregated { .. } => "comm-aggregated",
             DecisionKind::CommOverlapped { .. } => "comm-overlapped",
             DecisionKind::PipelineScheduled { .. } => "pipeline-scheduled",
             DecisionKind::ProtocolVerified { .. } => "protocol-verified",
             DecisionKind::ProtocolViolation { .. } => "protocol-violation",
         };
+        let unit = self.unit.as_deref().unwrap_or(unit);
         out.push_str(&format!("\"kind\":\"{kind}\",\"unit\":\"{}\"", jesc(unit)));
         if let Some(s) = self.stmt {
             out.push_str(&format!(",\"stmt\":{}", s.0));
@@ -367,6 +401,17 @@ impl Decision {
                 out.push_str(&format!(
                     ",\"array\":\"{}\",\"phase\":\"{}\",\"messages\":{messages},\"elems\":{elems}",
                     jesc(array),
+                    phase.as_str()
+                ));
+            }
+            DecisionKind::CommAggregated {
+                phase,
+                peers,
+                messages_before,
+                messages_after,
+            } => {
+                out.push_str(&format!(
+                    ",\"phase\":\"{}\",\"peers\":{peers},\"messages_before\":{messages_before},\"messages_after\":{messages_after}",
                     phase.as_str()
                 ));
             }

@@ -39,6 +39,9 @@ pub struct NestMetrics {
     pub pre_elems: usize,
     pub post_messages: usize,
     pub post_elems: usize,
+    /// Physical messages removed by per-peer aggregation (plan-level
+    /// count minus packed transfers; 0 with aggregation disabled).
+    pub messages_saved: usize,
 }
 
 /// The unified metrics document.
@@ -125,13 +128,15 @@ impl Metrics {
             }
             out.push_str(&format!(
                 "\"pipelined\": {}, \"overlapped\": {}, \"pre_messages\": {}, \
-                 \"pre_elems\": {}, \"post_messages\": {}, \"post_elems\": {} }}",
+                 \"pre_elems\": {}, \"post_messages\": {}, \"post_elems\": {}, \
+                 \"messages_saved\": {} }}",
                 n.pipelined,
                 n.overlapped,
                 n.pre_messages,
                 n.pre_elems,
                 n.post_messages,
-                n.post_elems
+                n.post_elems,
+                n.messages_saved
             ));
         }
         out.push_str("\n  ]\n}\n");
@@ -164,6 +169,7 @@ mod tests {
             pre_elems: 64,
             post_messages: 0,
             post_elems: 0,
+            messages_saved: 1,
         });
         let j = m.render_json();
         assert!(j.contains("\"schema\": \"dhpf-metrics-v1\""));
@@ -172,6 +178,7 @@ mod tests {
         assert!(j.contains("\"name\": \"codegen\""));
         assert!(j.contains("\"pipelined\": true"));
         assert!(j.contains("\"overlapped\": false"));
+        assert!(j.contains("\"messages_saved\": 1"));
         assert_eq!(m.get_counter("driver.units"), Some(7));
         assert_eq!(m.phase_ms("codegen"), 1.25);
     }

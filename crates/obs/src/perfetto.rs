@@ -106,6 +106,7 @@ fn decision_name(d: &crate::Decision) -> &'static str {
         EntryCp { .. } => "entry-cp",
         CommEliminated { .. } => "comm-eliminated",
         CommRetained { .. } => "comm-retained",
+        CommAggregated { .. } => "comm-aggregated",
         CommOverlapped { .. } => "comm-overlapped",
         PipelineScheduled { .. } => "pipeline-scheduled",
         ProtocolVerified { .. } => "protocol-verified",

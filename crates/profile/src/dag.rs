@@ -335,14 +335,30 @@ pub struct MessageSlack {
 }
 
 pub fn message_slack(traces: &[Trace], m: &Matching, cfg: &MachineConfig) -> Vec<MessageSlack> {
+    // Reconstruct each sender's injection pipeline: back-to-back sends
+    // serialize their byte times at the interface (LogGP's G), so a
+    // message's arrival depends on the sends departed before it — same
+    // model as the machine's per-proc `nic_free` clock.
+    let mut arrival_of: BTreeMap<(usize, usize), f64> = BTreeMap::new();
+    for tr in traces {
+        let mut nic_free = 0.0f64;
+        for (i, e) in tr.events.iter().enumerate() {
+            if let EventKind::Send { bytes, .. } = e.kind {
+                let inject = e.t1.max(nic_free);
+                let drain = bytes as f64 * cfg.byte_time;
+                nic_free = inject + drain;
+                arrival_of.insert((tr.rank, i), inject + drain + cfg.latency);
+            }
+        }
+    }
     let mut out = Vec::new();
     for (&(dr, di), &(sr, si)) in &m.recv_to_send {
         let e = &traces[dr].events[di];
-        let s = &traces[sr].events[si];
-        let Some((_, bytes)) = recv_completion(&e.kind) else {
+        if recv_completion(&e.kind).is_none() {
             continue;
-        };
-        let arrival = s.t1 + cfg.latency + bytes as f64 * cfg.byte_time;
+        }
+        let s = &traces[sr].events[si];
+        let arrival = arrival_of[&(traces[sr].rank, si)];
         let ready = e.t0 + cfg.recv_overhead;
         out.push(MessageSlack {
             nest: e.nest.or(s.nest),

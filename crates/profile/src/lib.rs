@@ -247,6 +247,20 @@ fn decision_matches(prov: &PlanProv, d: &DecisionKind) -> bool {
                 ..
             },
         ) => prov.arrays.contains(array),
+        (
+            ProvKind::Pre | ProvKind::Overlap,
+            DecisionKind::CommAggregated {
+                phase: CommPhase::Pre,
+                ..
+            },
+        )
+        | (
+            ProvKind::Post,
+            DecisionKind::CommAggregated {
+                phase: CommPhase::Post,
+                ..
+            },
+        ) => true,
         (ProvKind::Overlap, DecisionKind::CommOverlapped { .. }) => true,
         (ProvKind::Pipeline, DecisionKind::PipelineScheduled { .. }) => true,
         _ => false,

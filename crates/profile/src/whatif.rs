@@ -175,6 +175,11 @@ pub fn simulate(
 ) -> Result<SimResult, ProfileError> {
     let n = ranks.len();
     let mut clock = vec![0.0f64; n];
+    // virtual time each rank's network interface finishes injecting its
+    // last send: LogGP's G serializes back-to-back sends at the
+    // interface even though the CPU pays only o_s per message (mirrors
+    // the machine's per-proc injection model)
+    let mut nic_free = vec![0.0f64; n];
     let mut pc = vec![0usize; n];
     // per-(src,dst) sent-message arrival times, indexed by send ordinal
     let mut arrivals: BTreeMap<(usize, usize, u64), f64> = BTreeMap::new();
@@ -203,7 +208,10 @@ pub fn simulate(
                         } else {
                             let depart = clock[r] + cfg.send_overhead;
                             clock[r] = depart;
-                            depart + cfg.latency + *bytes as f64 * cfg.byte_time
+                            let inject = depart.max(nic_free[r]);
+                            let drain = *bytes as f64 * cfg.byte_time;
+                            nic_free[r] = inject + drain;
+                            inject + drain + cfg.latency
                         };
                         arrivals.insert((r, *to, *seq), arrival);
                         *seq += 1;

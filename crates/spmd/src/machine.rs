@@ -83,6 +83,9 @@ impl MachineConfig {
 struct Msg {
     arrival: f64,
     data: Vec<f64>,
+    /// Logical array sections packed into the payload (see
+    /// [`Proc::send_parts`]); stamped onto receive-side trace events.
+    parts: u32,
 }
 
 /// One processor's mailbox: FIFO queues keyed by `(source, tag)`.
@@ -203,6 +206,7 @@ impl Machine {
                             trace: Trace::new(rank),
                             pending_work: 0.0,
                             work_start: 0.0,
+                            nic_free: 0.0,
                             next_req: 0,
                             prov: None,
                         };
@@ -323,6 +327,11 @@ pub struct Proc {
     /// events; the clock itself is always up to date).
     pending_work: f64,
     work_start: f64,
+    /// Virtual time the network interface finishes injecting the last
+    /// send. LogGP's `G` is the gap per byte at the interface, so
+    /// back-to-back sends serialize their byte times here even though
+    /// the CPU pays only `o_s` per message.
+    nic_free: f64,
     /// Next rank-local nonblocking request id.
     next_req: u64,
     /// Provenance id stamped onto every traced event until changed
@@ -375,6 +384,7 @@ impl Proc {
                     t1: self.work_start + self.pending_work,
                     kind: EventKind::Compute,
                     nest: self.prov,
+                    parts: 1,
                 });
             }
             self.pending_work = 0.0;
@@ -401,6 +411,7 @@ impl Proc {
                 t1: self.clock,
                 kind: EventKind::Phase(name.to_string()),
                 nest: self.prov,
+                parts: 1,
             });
         }
     }
@@ -409,13 +420,27 @@ impl Proc {
     /// the sender pays only its CPU send overhead; the message arrives at
     /// `clock + o_s + latency + bytes·byte_time`.
     pub fn send(&mut self, to: usize, tag: u64, data: Vec<f64>) {
+        self.send_parts(to, tag, data, 1);
+    }
+
+    /// Like [`Proc::send`], annotating the message as carrying `parts`
+    /// logical array sections packed back-to-back (per-peer
+    /// aggregation). Identical in virtual time — one physical message,
+    /// one `o_s`, one latency — the annotation only flows into trace
+    /// events so diagrams and checkers can tell an aggregated transfer
+    /// from a plain one.
+    pub fn send_parts(&mut self, to: usize, tag: u64, data: Vec<f64>, parts: u32) {
         assert!(to < self.nprocs(), "send to rank {to} out of range");
         assert_ne!(to, self.rank, "self-send not supported (use local copy)");
         self.flush_work();
         let cfg = &self.shared.config;
         let bytes = (data.len() * 8) as f64;
         let depart = self.clock + cfg.send_overhead;
-        let arrival = depart + cfg.latency + bytes * cfg.byte_time;
+        // injection waits for the interface to drain earlier sends
+        // (LogGP gap); a lone message keeps arrival = depart + L + bytes·G
+        let inject = depart.max(self.nic_free);
+        let arrival = inject + bytes * cfg.byte_time + cfg.latency;
+        self.nic_free = inject + bytes * cfg.byte_time;
         self.clock = depart;
         if cfg.trace {
             self.trace.push(Event {
@@ -426,6 +451,7 @@ impl Proc {
                     bytes: bytes as u64,
                 },
                 nest: self.prov,
+                parts,
             });
         }
         self.shared.msg_count.fetch_add(1, Ordering::Relaxed);
@@ -436,7 +462,11 @@ impl Proc {
         lock_ignore_poison(&mailbox.queues)
             .entry((self.rank, tag))
             .or_default()
-            .push_back(Msg { arrival, data });
+            .push_back(Msg {
+                arrival,
+                data,
+                parts,
+            });
         mailbox.signal.notify_all();
     }
 
@@ -482,6 +512,7 @@ impl Proc {
                         bytes: (msg.data.len() * 8) as u64,
                     },
                     nest: self.prov,
+                    parts: msg.parts,
                 });
             } else {
                 self.trace.push(Event {
@@ -492,6 +523,7 @@ impl Proc {
                         bytes: (msg.data.len() * 8) as u64,
                     },
                     nest: self.prov,
+                    parts: msg.parts,
                 });
             }
         }
@@ -542,6 +574,7 @@ impl Proc {
                 t1: self.clock,
                 kind: EventKind::RecvPost { from, req },
                 nest: self.prov,
+                parts: 1,
             });
         }
         RecvReq { from, tag, req }
@@ -571,6 +604,7 @@ impl Proc {
                 t1: complete,
                 kind,
                 nest: self.prov,
+                parts: msg.parts,
             });
         }
         self.clock = complete;
@@ -622,6 +656,7 @@ impl Proc {
                 t1: t_exit,
                 kind: EventKind::Barrier,
                 nest: self.prov,
+                parts: 1,
             });
         }
         self.clock = self.clock.max(t_exit);

@@ -18,6 +18,11 @@ pub struct Event {
     /// (`NodeProgram.provenance`) identifying the communication nest
     /// this event was issued for, when the interpreter knows it.
     pub nest: Option<u32>,
+    /// How many logical array sections the transfer this event belongs
+    /// to carries (per-peer aggregation packs several plan messages
+    /// into one physical message). `1` for unaggregated transfers and
+    /// for events with no associated transfer.
+    pub parts: u32,
 }
 
 impl Event {
@@ -27,6 +32,7 @@ impl Event {
             t1,
             kind,
             nest: None,
+            parts: 1,
         }
     }
 }
@@ -198,12 +204,15 @@ pub fn render_spacetime(traces: &[Trace], t_start: f64, t_end: f64, width: usize
     out
 }
 
-/// Export traces as CSV: `rank,t0,t1,kind,peer,bytes,nest`.
+/// Export traces as CSV: `rank,t0,t1,kind,peer,bytes,nest,parts`.
 ///
 /// The `nest` column is the event's plan-table index (empty when the
 /// event has no provenance), matching the ids in `dhpf profile` output.
+/// The `parts` column is the number of packed array sections the
+/// event's transfer carries (1 unless per-peer aggregation packed
+/// several plan messages together).
 pub fn to_csv(traces: &[Trace]) -> String {
-    let mut out = String::from("rank,t0,t1,kind,peer,bytes,nest\n");
+    let mut out = String::from("rank,t0,t1,kind,peer,bytes,nest,parts\n");
     for tr in traces {
         for e in &tr.events {
             let (kind, peer, bytes) = match &e.kind {
@@ -222,8 +231,8 @@ pub fn to_csv(traces: &[Trace]) -> String {
             let nest = e.nest.map(|n| n.to_string()).unwrap_or_default();
             let _ = writeln!(
                 out,
-                "{},{:.9},{:.9},{},{},{},{}",
-                tr.rank, e.t0, e.t1, kind, peer, bytes, nest
+                "{},{:.9},{:.9},{},{},{},{},{}",
+                tr.rank, e.t0, e.t1, kind, peer, bytes, nest, e.parts
             );
         }
     }
@@ -399,9 +408,9 @@ mod tests {
         t.push(e);
         t.push(Event::new(2.0, 3.0, EventKind::Compute));
         let csv = to_csv(&[t.clone()]);
-        assert!(csv.starts_with("rank,t0,t1,kind,peer,bytes,nest\n"));
-        assert!(csv.contains("recv_wait,1,64,17"));
-        assert!(csv.contains("compute,,0,\n")); // unprovenanced => empty cell
+        assert!(csv.starts_with("rank,t0,t1,kind,peer,bytes,nest,parts\n"));
+        assert!(csv.contains("recv_wait,1,64,17,1"));
+        assert!(csv.contains("compute,,0,,1\n")); // unprovenanced => empty nest cell
         let s = render_spacetime(&[t], 0.0, 3.0, 3);
         assert!(s.contains("[nest 17]"));
     }

@@ -19,6 +19,13 @@
 #   8. overlap       — regenerate blocking-vs-overlapped virtual-time
 #                     deltas, validate the dhpf-overlap-v1 schema, and
 #                     diff against the checked-in results/BENCH_overlap.json
+#   8a. aggregation  — per-peer message aggregation acceptance: the
+#                     tests/aggregation.rs invariants under a hard
+#                     timeout, offline dhpf-agg-v1 schema + staleness
+#                     validation against results/BENCH_aggregation.json,
+#                     and the protocol verifier over aggregated and
+#                     unaggregated plans at every fuzz geometry's rank
+#                     count
 #   8b. profile      — the cross-rank critical-path profiler on SP
 #                     class S under a hard timeout: the dhpf-profile-v1
 #                     document is schema-validated offline (path tiles
@@ -207,6 +214,54 @@ cmp target/BENCH_overlap_ci.json results/BENCH_overlap.json || {
     echo "FAIL: results/BENCH_overlap.json is stale; rerun"
     echo "      target/release/overlapbench --out results/BENCH_overlap.json"
     exit 1; }
+
+echo "== message aggregation (dhpf-agg-v1)"
+# the acceptance invariants — >=25% message cut on NAS SP/BT class S at
+# 4 ranks, bitwise-identical numerics against the unaggregated run, and
+# strictly improved LogGP makespan — are asserted by tests/aggregation.rs;
+# the hard timeout bounds a hang rather than letting CI stall
+timeout 300 cargo test -q -p dhpf --test aggregation \
+    || { echo "FAIL: aggregation acceptance tests (or timeout)"; exit 1; }
+# regenerate the on/off comparison; everything is virtual time, so the
+# document is byte-reproducible and must match the checked-in copy
+target/release/aggbench --out target/BENCH_agg_ci.json > /dev/null
+python3 - target/BENCH_agg_ci.json <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "dhpf-agg-v1", doc.get("schema")
+assert doc["nprocs"] == 4
+names = {(b["name"], b["class"]) for b in doc["benchmarks"]}
+assert {("sp", "S"), ("sp", "W"), ("bt", "S"), ("bt", "W")} <= names, names
+for b in doc["benchmarks"]:
+    for key in ("name", "class", "nprocs", "messages_saved", "messages_off",
+                "messages_on", "msg_reduction_pct", "makespan_off",
+                "makespan_on", "speedup"):
+        assert key in b, f"missing {key} in {b}"
+    assert b["messages_on"] < b["messages_off"], b
+    assert b["messages_saved"] > 0, b
+    assert b["makespan_on"] < b["makespan_off"], \
+        f"{b['name']} {b['class']}: aggregation did not improve the makespan"
+    if b["class"] == "S":
+        assert b["msg_reduction_pct"] >= 25.0, b
+print(f"aggregation deltas OK ({len(doc['benchmarks'])} benchmarks)")
+EOF
+cmp target/BENCH_agg_ci.json results/BENCH_aggregation.json || {
+    echo "FAIL: results/BENCH_aggregation.json is stale; rerun"
+    echo "      target/release/aggbench --out results/BENCH_aggregation.json"
+    exit 1; }
+# the static protocol checks must hold with packing both on and off at
+# every fuzz geometry's rank count (aggregation is on by default)
+for n in 1 4 6; do
+    for bench in sp bt; do
+        timeout 300 "$DHPF" verify-protocol --nas "$bench" --class S --nprocs "$n" > /dev/null \
+            || { echo "FAIL: protocol violation in aggregated $bench S @ $n ranks"; exit 1; }
+        timeout 300 "$DHPF" verify-protocol --nas "$bench" --class S --nprocs "$n" --no-aggregate > /dev/null \
+            || { echo "FAIL: protocol violation in unaggregated $bench S @ $n ranks"; exit 1; }
+    done
+done
+# the lint/verify front end must stay clean over an aggregated plan
+"$LINT" --verify examples/hpf/jacobi.f | grep -q "no findings" \
+    || { echo "FAIL: jacobi.f should verify clean with aggregation on"; exit 1; }
 
 echo "== critical-path profile (dhpf profile)"
 # profile SP class S with blocking exchanges (so the overlap what-if has

@@ -1,0 +1,155 @@
+//! Acceptance tests for per-peer cross-array message aggregation (§7):
+//! on NAS SP and BT class S at 4 ranks, aggregation must cut the total
+//! physical message count by at least 25%, leave the computed solution
+//! bit-identical to the serial reference tolerance, and strictly
+//! improve the LogGP makespan (every packed transfer saves its peers'
+//! per-message overhead `o` and latency `L` on the critical path).
+
+use dhpf::core::driver::OptFlags;
+use dhpf::prelude::*;
+
+fn flags(aggregate: bool) -> OptFlags {
+    OptFlags {
+        aggregate,
+        ..Default::default()
+    }
+}
+
+struct Outcome {
+    messages: u64,
+    makespan: f64,
+    u: Vec<f64>,
+}
+
+fn run(name: &str, aggregate: bool) -> Outcome {
+    let compiled = match name {
+        "sp" => dhpf::nas::sp::compile_dhpf(Class::S, 4, Some(flags(aggregate))),
+        "bt" => dhpf::nas::bt::compile_dhpf(Class::S, 4, Some(flags(aggregate))),
+        other => unreachable!("unknown benchmark {other}"),
+    };
+    let r = run_node_program(&compiled.program, MachineConfig::sp2(4)).unwrap();
+    Outcome {
+        messages: r.run.stats.messages,
+        makespan: r.run.virtual_time,
+        u: r.arrays["u"].data.clone(),
+    }
+}
+
+fn check(name: &str) {
+    let serial = match name {
+        "sp" => dhpf::nas::sp::run_serial_reference(Class::S),
+        "bt" => dhpf::nas::bt::run_serial_reference(Class::S),
+        other => unreachable!("unknown benchmark {other}"),
+    };
+    let truth = &serial.arrays["u"].data;
+    let off = run(name, false);
+    let on = run(name, true);
+
+    // ≥25% fewer physical messages (the ISSUE acceptance floor).
+    let reduction = 100.0 * (off.messages - on.messages) as f64 / off.messages as f64;
+    assert!(
+        reduction >= 25.0,
+        "{name}: aggregation cut only {reduction:.1}% of messages \
+         (off={} on={}, need >= 25%)",
+        off.messages,
+        on.messages
+    );
+
+    // Numerics unchanged vs the serial reference interpreter.
+    for (label, out) in [("off", &off), ("on", &on)] {
+        let worst = truth
+            .iter()
+            .zip(&out.u)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(
+            worst < 1e-9,
+            "{name} aggregate-{label}: worst delta vs serial {worst:.3e}"
+        );
+    }
+    // And packing must be lossless: bit-identical across the toggle.
+    assert_eq!(
+        on.u, off.u,
+        "{name}: aggregation changed the computed answer"
+    );
+
+    // Strictly better LogGP makespan.
+    assert!(
+        on.makespan < off.makespan,
+        "{name}: aggregation did not improve makespan (on={:.6} off={:.6})",
+        on.makespan,
+        off.makespan
+    );
+}
+
+#[test]
+fn sp_class_s_aggregation_acceptance() {
+    check("sp");
+}
+
+#[test]
+fn bt_class_s_aggregation_acceptance() {
+    check("bt");
+}
+
+/// Aggregated plans must stay verifiable end to end: comm-coverage,
+/// the static protocol verifier, and the dynamic trace checker all
+/// clean on SP and BT class S at 4 ranks with aggregation on.
+#[test]
+fn aggregated_plans_pass_all_verifiers() {
+    for (name, compiled) in [
+        (
+            "sp",
+            dhpf::nas::sp::compile_dhpf(Class::S, 4, Some(flags(true))),
+        ),
+        (
+            "bt",
+            dhpf::nas::bt::compile_dhpf(Class::S, 4, Some(flags(true))),
+        ),
+    ] {
+        let cov = dhpf::analysis::verify_compiled(&compiled);
+        assert!(
+            cov.is_clean(),
+            "{name}: comm-coverage not clean on aggregated plan:\n{}",
+            cov.render_human(None)
+        );
+        let stat = verify_protocol(&compiled);
+        assert!(
+            stat.is_clean(),
+            "{name}: protocol verifier not clean on aggregated plan:\n{}",
+            stat.render_human(None)
+        );
+        let result =
+            run_node_program(&compiled.program, MachineConfig::sp2(4).with_trace()).unwrap();
+        let dyn_r = dhpf::analysis::check_traces(&result.run.traces);
+        assert_eq!(
+            dyn_r.error_count(),
+            0,
+            "{name}: trace checker errors on aggregated run:\n{}",
+            dyn_r.render_human(None)
+        );
+    }
+}
+
+/// The planted wrong-unpack-offset miscompile (a packed section landing
+/// at the wrong ghost offset) must be caught by at least two
+/// independent oracles — the satellite-3 acceptance bar for the fuzz
+/// harness's aggregation coverage.
+#[test]
+fn wrong_unpack_offset_mutant_is_caught_twice() {
+    for k in 0..16u64 {
+        let seed = dhpf_fuzz::program_seed(20260806, k as usize);
+        let spec = dhpf_fuzz::generate(seed, &dhpf_fuzz::GenOptions { max_pdim: 4 });
+        if let Some(o) = dhpf_fuzz::mutate::unpack_offset_check(&spec, &[2, 2], 4) {
+            if o.caught_twice() {
+                assert!(
+                    o.caught_by.len() >= 2,
+                    "outcome inconsistent: {:?}",
+                    o.caught_by
+                );
+                return;
+            }
+        }
+    }
+    panic!("no generated program yielded a doubly-caught unpack-offset mutant");
+}

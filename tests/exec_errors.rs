@@ -4,7 +4,7 @@
 //! `crates/core/src/exec/node.rs`).
 
 use dhpf::core::codegen::{
-    CIdx, CMsg, CompiledUnit, GlobalArray, NodeOp, NodeProgram, PipeArray, PipeLevel,
+    CIdx, CMsg, CSeg, CompiledUnit, GlobalArray, NodeOp, NodeProgram, PipeArray, PipeLevel,
 };
 use dhpf::core::distrib::{ArrayDist, DimMap, ProcGrid};
 use dhpf::core::exec::node::run_node_program;
@@ -44,9 +44,11 @@ fn unbound_dummy_in_exchange_is_a_structured_error() {
             msgs: vec![CMsg {
                 from: 0,
                 to: 1,
-                arr: 0,
-                lo: vec![1],
-                hi: vec![1],
+                segs: vec![CSeg {
+                    arr: 0,
+                    lo: vec![1],
+                    hi: vec![1],
+                }],
             }],
             tag: 7,
             plan: 0,
@@ -135,6 +137,7 @@ fn pipeline_over_unbound_dummy_is_a_structured_error() {
                 strip_dim: Some(0),
             }],
             tag: 9,
+            aggregate: true,
             plan: 0,
         }],
         ..Default::default()

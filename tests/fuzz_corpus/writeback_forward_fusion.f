@@ -1,0 +1,38 @@
+!     Cross-nest fusion forwarding hazard (found by the generative
+!     harness, seed 8498269797263313994, geometry 4, config
+!     no-loop-distribution): nest 1's owner-computes write-back sends
+!     freshly computed wl cells to their owners, and nest 2's halo
+!     pre-exchange immediately re-sends some of those cells onward
+!     (rank 1 forwards wl(9) to rank 0). Fusing the two adjacent
+!     exchanges made the forwarding rank pack its stale copy before the
+!     write-back landed. Fixed by the delivery-hazard check in
+!     codegen::fuse_adjacent_comm: a message whose sender receives an
+!     overlapping region in the earlier op refuses to fuse.
+      program fz
+      parameter (n = 28)
+      integer np1, np2, i, j, m, it, one
+      double precision a(n), b(n), c(n), wl(n)
+      common /flds/ a, b, c, wl
+!hpf$ processors p(np1)
+!hpf$ template t(n + 2)
+!hpf$ align a(i) with t(i + 2)
+!hpf$ align b(i) with t(i + 2)
+!hpf$ align c(i) with t(i + 2)
+!hpf$ align wl(i) with t(i)
+!hpf$ distribute t(block) onto p
+      double precision s0, sc
+      do i = 1, n
+         a(i) = 0.50d0 + 0.01d0 * i
+         b(i) = 0.75d0 + 0.02d0 * i
+         c(i) = 1.00d0 + 0.03d0 * i
+         wl(i) = 1.25d0 + 0.04d0 * i
+      enddo
+      do i = 2, n - 1
+         wl(i) = -0.10d0 * c(i - 1) + -0.30d0 * b(i + 1)
+      enddo
+!hpf$ independent, new(sc)
+      do i = 2, n - 1
+         sc = wl(i - 1) + wl(i + 1)
+         a(i) = 0.50d0 * sc
+      enddo
+      end

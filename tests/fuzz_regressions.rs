@@ -15,6 +15,7 @@ const CORPUS: &[(&str, usize)] = &[
     ("localize_init_write.f", 2),
     ("if_guarded_nest.f", 1),
     ("call_in_time_loop.f", 1),
+    ("writeback_forward_fusion.f", 1),
 ];
 
 #[test]

@@ -42,12 +42,17 @@ fn every_flag_combination_is_semantics_preserving() {
             ..Default::default()
         },
         OptFlags {
+            aggregate: false,
+            ..Default::default()
+        },
+        OptFlags {
             privatizable_cp: false,
             localize: false,
             loop_distribution: false,
             interproc: false,
             data_availability: false,
             overlap: false,
+            aggregate: false,
         },
     ];
     for (idx, flags) in configs.iter().enumerate() {
@@ -207,12 +212,69 @@ fn observed_parallel_compile_trace_is_deterministic() {
     }
 }
 
+/// Per-peer aggregation must be a pure packing transform: identical
+/// numerics with and without it, strictly fewer physical messages with
+/// it (SP class S at 4 ranks has multiple arrays exchanging per nest,
+/// so there is always something to aggregate).
+#[test]
+fn aggregation_preserves_numerics_and_reduces_messages() {
+    let (_, msgs_on, u_on) = run_sp_with(OptFlags::default(), 4);
+    let (_, msgs_off, u_off) = run_sp_with(
+        OptFlags {
+            aggregate: false,
+            ..Default::default()
+        },
+        4,
+    );
+    assert_eq!(
+        u_on, u_off,
+        "aggregation changed the computed answer (pack/unpack must be lossless)"
+    );
+    assert!(
+        msgs_on < msgs_off,
+        "aggregation must send strictly fewer messages: on={msgs_on} off={msgs_off}"
+    );
+}
+
+/// BT: same aggregation contract at 4 ranks.
+#[test]
+fn bt_aggregation_preserves_numerics_and_reduces_messages() {
+    let on = dhpf::nas::bt::compile_dhpf(Class::S, 4, Some(OptFlags::default()));
+    let off = dhpf::nas::bt::compile_dhpf(
+        Class::S,
+        4,
+        Some(OptFlags {
+            aggregate: false,
+            ..Default::default()
+        }),
+    );
+    let r_on = run_node_program(&on.program, MachineConfig::sp2(4)).unwrap();
+    let r_off = run_node_program(&off.program, MachineConfig::sp2(4)).unwrap();
+    assert_eq!(r_on.arrays["u"].data, r_off.arrays["u"].data);
+    assert!(
+        r_on.run.stats.messages < r_off.run.stats.messages,
+        "BT aggregation must send strictly fewer messages: on={} off={}",
+        r_on.run.stats.messages,
+        r_off.run.stats.messages
+    );
+}
+
 #[test]
 fn localize_reduces_messages() {
-    let (_, with, _) = run_sp_with(OptFlags::default(), 4);
+    // aggregation off in both arms: it packs per peer, so the extra
+    // logical transfers localize would eliminate ride in the same
+    // physical envelopes and the runtime message count can't see them
+    let (_, with, _) = run_sp_with(
+        OptFlags {
+            aggregate: false,
+            ..Default::default()
+        },
+        4,
+    );
     let (_, without, _) = run_sp_with(
         OptFlags {
             localize: false,
+            aggregate: false,
             ..Default::default()
         },
         4,

@@ -4,7 +4,7 @@
 //! caught by both (with the corresponding static `protocol-*` and
 //! dynamic `trace-*` codes).
 
-use dhpf::core::codegen::{CExpr, CIdx, CMsg, NodeOp};
+use dhpf::core::codegen::{CExpr, CIdx, CMsg, CSeg, NodeOp};
 use dhpf::core::protocol::{extract_protocol, ProtoOp};
 use dhpf::core::{CompileOptions, Compiled};
 use dhpf::prelude::*;
@@ -108,9 +108,11 @@ fn inject_divergent_exchange(compiled: &mut Compiled) {
                     msgs: vec![CMsg {
                         from: 0,
                         to: 1,
-                        arr: slot,
-                        lo: corner.clone(),
-                        hi: corner,
+                        segs: vec![CSeg {
+                            arr: slot,
+                            lo: corner.clone(),
+                            hi: corner,
+                        }],
                     }],
                     tag: 999_983,
                     plan: 0,
